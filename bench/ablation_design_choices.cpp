@@ -1,0 +1,80 @@
+// Ablation bench for the design choices called out in DESIGN.md §6:
+//   1. Host pacing for loss-based CCAs (off by default, like hosts without
+//      sch_fq) — does pacing change CUBIC's fate against BBRv1?
+//   2. ECN (off in the paper's runs) — what RED+ECN would have done.
+//   3. Plain CoDel vs FQ-CoDel — how much of FQ-CoDel's fairness comes from
+//      fair queuing rather than the CoDel drop law.
+//   4. TSO aggregation factor — sensitivity of macroscopic results to the
+//      simulation's aggregation substitution.
+
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "exp/config.hpp"
+
+namespace {
+
+using namespace elephant;
+using cca::CcaKind;
+
+void report(const char* label, const exp::AveragedResult& res) {
+  std::printf("  %-34s S1=%8s Mb/s  S2=%8s Mb/s  J=%6.3f  util=%6.3f  retx=%8.0f\n",
+              label, bench::mbps(res.sender_bps[0]).c_str(),
+              bench::mbps(res.sender_bps[1]).c_str(), res.jain2, res.utilization,
+              res.retx_segments);
+}
+
+}  // namespace
+
+int main() {
+  bench::print_banner("Ablations: pacing, ECN, CoDel-vs-FQ-CoDel, aggregation",
+                      "design-choice sensitivity study (not a paper figure)");
+
+  exp::ExperimentConfig base;
+  base.cca1 = CcaKind::kBbrV1;
+  base.cca2 = CcaKind::kCubic;
+  base.aqm = aqm::AqmKind::kFifo;
+  base.buffer_bdp = 2;
+  base.bottleneck_bps = 500e6;
+
+  std::printf("\n[1] host pacing for loss-based CCAs (bbr1 vs cubic, FIFO, 2 BDP, 500M)\n");
+  report("ack-clocked (default)", bench::run(base));
+  {
+    auto paced = base;
+    paced.pace_all = true;
+    report("paced at 2*cwnd/srtt", bench::run(paced));
+  }
+
+  std::printf("\n[2] ECN with RED (bbr2 vs cubic, 2 BDP, 500M)\n");
+  {
+    auto red = base;
+    red.cca1 = CcaKind::kBbrV2;
+    red.aqm = aqm::AqmKind::kRed;
+    report("RED, ECN off (paper setup)", bench::run(red));
+    auto ecn = red;
+    ecn.ecn = true;
+    report("RED, ECN on", bench::run(ecn));
+  }
+
+  std::printf("\n[3] plain CoDel vs FQ-CoDel (bbr1 vs cubic, 2 BDP, 500M)\n");
+  {
+    auto codel = base;
+    codel.aqm = aqm::AqmKind::kCodel;
+    report("codel (single queue)", bench::run(codel));
+    auto fq = base;
+    fq.aqm = aqm::AqmKind::kFqCodel;
+    report("fq_codel (per-flow queues)", bench::run(fq));
+  }
+
+  std::printf("\n[4] TSO aggregation sensitivity (cubic vs cubic, FIFO, 2 BDP, 1G)\n");
+  for (const std::uint32_t agg : {1u, 2u, 4u, 8u}) {
+    auto cfg = base;
+    cfg.cca1 = CcaKind::kCubic;
+    cfg.bottleneck_bps = 1e9;
+    cfg.aggregation = agg;
+    char label[32];
+    std::snprintf(label, sizeof(label), "aggregation = %u segments", agg);
+    report(label, bench::run(cfg));
+  }
+  return 0;
+}

@@ -1,0 +1,35 @@
+#include "bench_util.hpp"
+
+#include <cstdio>
+
+namespace elephant::bench {
+
+exp::AveragedResult run(const exp::ExperimentConfig& cfg) {
+  std::fprintf(stderr, "  [run] %-45s ...", cfg.label().c_str());
+  std::fflush(stderr);
+  const auto res = exp::run_averaged(cfg, exp::default_repetitions());
+  std::fprintf(stderr, " J=%.3f util=%.3f\n", res.jain2, res.utilization);
+  return res;
+}
+
+void print_banner(const std::string& title, const std::string& paper_claim) {
+  std::printf("\n================================================================\n");
+  std::printf("%s\n", title.c_str());
+  std::printf("----------------------------------------------------------------\n");
+  std::printf("Paper observation: %s\n", paper_claim.c_str());
+  std::printf("Durations are scaled per bandwidth (see DESIGN.md); set\n");
+  std::printf("ELEPHANT_DURATION_SCALE / ELEPHANT_REPS for full-length runs.\n");
+  std::printf("================================================================\n");
+}
+
+std::string pair_label(const exp::ExperimentConfig& cfg) {
+  return cca::to_string(cfg.cca1) + " vs " + cca::to_string(cfg.cca2);
+}
+
+std::string mbps(double bps) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.1f", bps / 1e6);
+  return buf;
+}
+
+}  // namespace elephant::bench

@@ -1,0 +1,25 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "exp/config.hpp"
+#include "exp/runner.hpp"
+
+namespace elephant::bench {
+
+/// Run one configuration with the bench defaults: ELEPHANT_REPS repetitions
+/// (default 1) and the shared on-disk result cache, printing progress to
+/// stderr so long sweeps are watchable.
+[[nodiscard]] exp::AveragedResult run(const exp::ExperimentConfig& cfg);
+
+/// Banner for a reproduced figure/table, including the scaling caveats.
+void print_banner(const std::string& title, const std::string& paper_claim);
+
+/// "bbr1 vs cubic" style pair label.
+[[nodiscard]] std::string pair_label(const exp::ExperimentConfig& cfg);
+
+/// Mb/s with sensible width.
+[[nodiscard]] std::string mbps(double bps);
+
+}  // namespace elephant::bench

@@ -1,0 +1,47 @@
+// Figure 2 reproduction: per-sender throughput of BBRv1/BBRv2/HTCP/Reno vs
+// CUBIC under FIFO, as a function of buffer size (0.5–16 BDP), one panel per
+// bottleneck bandwidth. The paper's key shape: the challenger wins at small
+// buffers, CUBIC overtakes past an equilibrium point that moves right with
+// bandwidth.
+
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "exp/config.hpp"
+
+int main() {
+  using namespace elephant;
+  using cca::CcaKind;
+
+  bench::print_banner(
+      "Figure 2: per-sender throughput vs buffer size, AQM = FIFO",
+      "BBRv1/BBRv2 beat CUBIC below a BW-dependent equilibrium buffer size; "
+      "CUBIC overtakes beyond it (2xBDP inflight cap). HTCP and Reno lose "
+      "share to CUBIC as buffers deepen.");
+
+  const CcaKind challengers[] = {CcaKind::kBbrV1, CcaKind::kBbrV2, CcaKind::kHtcp,
+                                 CcaKind::kReno};
+  const char* panels = "abcdefghijklmnopqrst";
+  int panel = 0;
+
+  for (const CcaKind challenger : challengers) {
+    for (const double bw : exp::paper_bandwidths()) {
+      std::printf("\n(%c) %s vs cubic @ %s\n", panels[panel++],
+                  cca::to_string(challenger).c_str(), exp::bw_label(bw).c_str());
+      std::printf("  %-11s %14s %14s\n", "buffer(BDP)",
+                  (cca::to_string(challenger) + "(Mb/s)").c_str(), "cubic(Mb/s)");
+      for (const double bdp : exp::paper_buffer_bdps()) {
+        exp::ExperimentConfig cfg;
+        cfg.cca1 = challenger;
+        cfg.cca2 = CcaKind::kCubic;
+        cfg.aqm = aqm::AqmKind::kFifo;
+        cfg.buffer_bdp = bdp;
+        cfg.bottleneck_bps = bw;
+        const auto res = bench::run(cfg);
+        std::printf("  %-11g %14s %14s\n", bdp, bench::mbps(res.sender_bps[0]).c_str(),
+                    bench::mbps(res.sender_bps[1]).c_str());
+      }
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,55 @@
+// Figure 5 reproduction: Jain's fairness index under RED, inter- and
+// intra-CCA, at 2 and 16 BDP buffers. The paper's key numbers: BBRv1 vs
+// CUBIC falls to J ~ 0.5 (total starvation); intra-CCA pairs stay fair
+// except BBRv1's RTO-driven instability.
+
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "exp/config.hpp"
+
+namespace {
+
+using namespace elephant;
+using cca::CcaKind;
+
+void panel(const char* name, bool intra, double bdp) {
+  std::printf("\n(%s) %s-CCA, buffer = %g BDP\n", name, intra ? "intra" : "inter", bdp);
+  std::printf("  %-16s", "pair");
+  for (const double bw : exp::paper_bandwidths()) {
+    std::printf(" %8s", exp::bw_label(bw).c_str());
+  }
+  std::printf("\n");
+
+  const CcaKind kinds[] = {CcaKind::kBbrV1, CcaKind::kBbrV2, CcaKind::kHtcp, CcaKind::kReno,
+                           CcaKind::kCubic};
+  for (const CcaKind k : kinds) {
+    if (intra && k == CcaKind::kCubic) continue;
+    exp::ExperimentConfig cfg;
+    cfg.cca1 = k;
+    cfg.cca2 = intra ? k : CcaKind::kCubic;
+    cfg.aqm = aqm::AqmKind::kRed;
+    cfg.buffer_bdp = bdp;
+    std::printf("  %-16s", bench::pair_label(cfg).c_str());
+    for (const double bw : exp::paper_bandwidths()) {
+      cfg.bottleneck_bps = bw;
+      const auto res = bench::run(cfg);
+      std::printf(" %8.3f", res.jain2);
+    }
+    std::printf("\n");
+  }
+}
+
+}  // namespace
+
+int main() {
+  bench::print_banner(
+      "Figure 5: Jain's fairness index, AQM = RED",
+      "BBRv1 vs CUBIC collapses toward J = 0.5; BBRv2 vs CUBIC also unfair; "
+      "HTCP/Reno vs CUBIC fair; intra-CCA fair except BBRv1's RTO churn.");
+  panel("a", false, 2);
+  panel("b", false, 16);
+  panel("c", true, 2);
+  panel("d", true, 16);
+  return 0;
+}

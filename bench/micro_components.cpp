@@ -1,0 +1,120 @@
+// Micro-benchmarks for the simulator's hot paths: event scheduling, queue
+// disciplines, CCA ack processing, and a full end-to-end cell. These bound
+// how much simulated traffic a wall-clock second buys and guided the
+// aggregation factors documented in DESIGN.md.
+
+#include <benchmark/benchmark.h>
+
+#include "aqm/fifo.hpp"
+#include "aqm/fq_codel.hpp"
+#include "aqm/red.hpp"
+#include "cca/congestion_control.hpp"
+#include "exp/runner.hpp"
+#include "sim/scheduler.hpp"
+
+namespace {
+
+using namespace elephant;
+
+void BM_SchedulerChurn(benchmark::State& state) {
+  sim::Scheduler sched;
+  std::int64_t t = 0;
+  for (auto _ : state) {
+    sched.schedule_at(sim::Time::nanoseconds(++t), [] {});
+    sched.run_until(sim::Time::nanoseconds(t));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SchedulerChurn);
+
+net::Packet bench_packet(std::uint64_t i) {
+  net::Packet p;
+  p.flow = static_cast<net::FlowId>(i % 64);
+  p.seq = i;
+  p.size = 8900;
+  return p;
+}
+
+void BM_FifoEnqueueDequeue(benchmark::State& state) {
+  sim::Scheduler sched;
+  aqm::FifoQueue q(sched, std::size_t{1} << 30);
+  std::uint64_t i = 0;
+  for (auto _ : state) {
+    (void)q.enqueue(bench_packet(i++));
+    benchmark::DoNotOptimize(q.dequeue());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_FifoEnqueueDequeue);
+
+void BM_RedEnqueueDequeue(benchmark::State& state) {
+  sim::Scheduler sched;
+  aqm::RedConfig cfg;
+  cfg.limit_bytes = std::size_t{1} << 30;
+  aqm::RedQueue q(sched, cfg, 1);
+  std::uint64_t i = 0;
+  for (auto _ : state) {
+    (void)q.enqueue(bench_packet(i++));
+    benchmark::DoNotOptimize(q.dequeue());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_RedEnqueueDequeue);
+
+void BM_FqCodelEnqueueDequeue(benchmark::State& state) {
+  sim::Scheduler sched;
+  aqm::FqCodelConfig cfg;
+  cfg.memory_limit_bytes = std::size_t{1} << 30;
+  aqm::FqCodelQueue q(sched, cfg);
+  std::uint64_t i = 0;
+  for (auto _ : state) {
+    (void)q.enqueue(bench_packet(i++));
+    benchmark::DoNotOptimize(q.dequeue());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_FqCodelEnqueueDequeue);
+
+void BM_CcaOnAck(benchmark::State& state, cca::CcaKind kind) {
+  auto cc = cca::make_cca(kind, cca::CcaParams{});
+  cca::AckSample ack;
+  ack.rtt = sim::Time::milliseconds(62);
+  ack.min_rtt = ack.rtt;
+  ack.acked_segments = 2;
+  ack.delivery_rate = 1000;
+  double t = 0;
+  double delivered = 0;
+  for (auto _ : state) {
+    t += 1e-4;
+    delivered += 2;
+    ack.now = sim::Time::seconds(t);
+    ack.delivered_segments = delivered;
+    ack.inflight_segments = 100;
+    ack.round_start = (state.iterations() % 50) == 0;
+    cc->on_ack(ack);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK_CAPTURE(BM_CcaOnAck, reno, cca::CcaKind::kReno);
+BENCHMARK_CAPTURE(BM_CcaOnAck, cubic, cca::CcaKind::kCubic);
+BENCHMARK_CAPTURE(BM_CcaOnAck, htcp, cca::CcaKind::kHtcp);
+BENCHMARK_CAPTURE(BM_CcaOnAck, bbr1, cca::CcaKind::kBbrV1);
+BENCHMARK_CAPTURE(BM_CcaOnAck, bbr2, cca::CcaKind::kBbrV2);
+
+void BM_EndToEndCell(benchmark::State& state) {
+  // One short experiment cell per iteration: measures whole-stack
+  // events/second (reported as items = executed events).
+  for (auto _ : state) {
+    exp::ExperimentConfig cfg;
+    cfg.cca1 = cca::CcaKind::kCubic;
+    cfg.cca2 = cca::CcaKind::kCubic;
+    cfg.bottleneck_bps = 100e6;
+    cfg.duration = sim::Time::seconds(5);
+    const auto res = exp::run_experiment(cfg);
+    state.SetItemsProcessed(state.items_processed() +
+                            static_cast<std::int64_t>(res.events_executed));
+  }
+}
+BENCHMARK(BM_EndToEndCell)->Unit(benchmark::kMillisecond);
+
+}  // namespace

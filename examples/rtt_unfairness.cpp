@@ -1,0 +1,68 @@
+// RTT unfairness on a parking-lot chain: one long flow crosses `hops`
+// bottlenecks (high RTT), competing at each hop with a local cross flow
+// (low RTT). Classic result: loss-based CCAs starve the long flow roughly
+// per-hop; BBR's model-based shares are much flatter — the "varying RTTs"
+// study the paper leaves as future work.
+//
+// Usage: rtt_unfairness [hops] [mbps]
+
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <vector>
+
+#include "net/parking_lot.hpp"
+#include "sim/random.hpp"
+#include "tcp/flow.hpp"
+
+int main(int argc, char** argv) {
+  using namespace elephant;
+
+  const int hops = argc > 1 ? std::atoi(argv[1]) : 3;
+  const double mbps = argc > 2 ? std::atof(argv[2]) : 100;
+
+  std::printf("Parking lot: %d hops @ %.0f Mb/s, FIFO 2xBDP per hop (40 s per CCA)\n\n",
+              hops, mbps);
+  std::printf("%-8s %14s %16s %14s\n", "CCA", "long(Mb/s)", "cross-avg(Mb/s)", "long share");
+
+  for (const cca::CcaKind kind :
+       {cca::CcaKind::kReno, cca::CcaKind::kCubic, cca::CcaKind::kHtcp,
+        cca::CcaKind::kBbrV1, cca::CcaKind::kBbrV2}) {
+    sim::Scheduler sched;
+    sim::Rng rng(11);
+    net::ParkingLotConfig cfg;
+    cfg.hops = hops;
+    cfg.bottleneck_bps = mbps * 1e6;
+    cfg.buffer_bytes_per_hop =
+        static_cast<std::size_t>(2.0 * cfg.bottleneck_bps * 0.024 / 8.0);
+    cfg.seed = rng.next_u64();
+    net::ParkingLot pl(sched, cfg);
+
+    std::vector<std::unique_ptr<tcp::Flow>> flows;
+    auto add = [&](net::Host& src, net::Host& dst) {
+      tcp::FlowConfig fc;
+      fc.id = static_cast<net::FlowId>(flows.size() + 1);
+      fc.cca = kind;
+      fc.seed = rng.next_u64();
+      fc.start_time = sim::Time::seconds(0.2 * rng.next_double());
+      flows.push_back(std::make_unique<tcp::Flow>(sched, src, dst, fc));
+      flows.back()->start();
+    };
+    add(pl.long_src(), pl.long_dst());
+    for (int i = 0; i < hops; ++i) add(pl.cross_src(i), pl.cross_dst(i));
+
+    const double duration = 40;
+    sched.run_until(sim::Time::seconds(duration));
+
+    const double long_bps = flows[0]->goodput_bps(sim::Time::seconds(duration));
+    double cross = 0;
+    for (std::size_t i = 1; i < flows.size(); ++i) {
+      cross += flows[i]->goodput_bps(sim::Time::seconds(duration));
+    }
+    cross /= static_cast<double>(flows.size() - 1);
+    std::printf("%-8s %14.2f %16.2f %13.1f%%\n", cca::to_string(kind).c_str(),
+                long_bps / 1e6, cross / 1e6, 100.0 * long_bps / (long_bps + cross));
+  }
+  std::printf("\n(50%% would be a perfectly RTT-fair split at each hop.)\n");
+  return 0;
+}

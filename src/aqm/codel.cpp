@@ -1,0 +1,36 @@
+#include "aqm/codel.hpp"
+
+#include <utility>
+
+namespace elephant::aqm {
+
+CodelQueue::CodelQueue(sim::Scheduler& sched, std::size_t limit_bytes, CodelParams params)
+    : QueueDisc(sched), limit_bytes_(limit_bytes), params_(params) {}
+
+net::Packet CodelQueue::Access::pop_front_packet() {
+  net::Packet p = std::move(q.queue_.front());
+  q.queue_.pop_front();
+  q.bytes_ -= p.size;
+  return p;
+}
+
+bool CodelQueue::enqueue(net::Packet&& p) {
+  if (bytes_ + p.size > limit_bytes_) {
+    ++stats_.dropped_overflow;
+    stats_.bytes_dropped += p.size;
+    return false;
+  }
+  bytes_ += p.size;
+  ++stats_.enqueued;
+  stats_.bytes_enqueued += p.size;
+  p.enqueue_time = now();
+  queue_.push_back(std::move(p));
+  return true;
+}
+
+std::optional<net::Packet> CodelQueue::dequeue() {
+  Access access{*this};
+  return codel_dequeue(access, state_, params_, now(), stats_);
+}
+
+}  // namespace elephant::aqm

@@ -1,0 +1,39 @@
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "aqm/codel.hpp"
+#include "aqm/fifo.hpp"
+#include "aqm/fq_codel.hpp"
+#include "aqm/queue_disc.hpp"
+#include "aqm/pie.hpp"
+#include "aqm/red.hpp"
+
+namespace elephant::aqm {
+
+/// The queue disciplines the paper evaluates (FIFO, RED, FQ-CoDel), plus
+/// plain CoDel, Adaptive RED (the self-tuning fix the paper's conclusion
+/// calls for), and PIE (RFC 8033) for the extension sweeps.
+enum class AqmKind { kFifo, kRed, kFqCodel, kCodel, kRedAdaptive, kPie };
+
+[[nodiscard]] std::string to_string(AqmKind kind);
+[[nodiscard]] AqmKind aqm_kind_from_string(const std::string& name);
+
+/// Extra knobs beyond the buffer size; defaults match the paper's `tc` setup.
+struct AqmOptions {
+  bool ecn = false;
+  RedConfig red{};          ///< limit is overwritten by `limit_bytes`
+  PieConfig pie{};          ///< limit is overwritten by `limit_bytes`
+  CodelParams codel{};
+  std::uint32_t fq_flows = 1024;
+  std::uint32_t fq_quantum = 9066;
+};
+
+/// Build a queue disc of `kind` with `limit_bytes` of buffer.
+[[nodiscard]] std::unique_ptr<QueueDisc> make_queue_disc(AqmKind kind, sim::Scheduler& sched,
+                                                         std::size_t limit_bytes,
+                                                         std::uint64_t seed,
+                                                         const AqmOptions& opts = {});
+
+}  // namespace elephant::aqm

@@ -1,0 +1,117 @@
+#include "aqm/fq_codel.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <utility>
+
+namespace elephant::aqm {
+
+FqCodelQueue::FqCodelQueue(sim::Scheduler& sched, FqCodelConfig cfg)
+    : QueueDisc(sched), cfg_(cfg), queues_(cfg.flows) {
+  assert(cfg_.flows > 0);
+  assert(cfg_.memory_limit_bytes > 0);
+}
+
+std::uint32_t FqCodelQueue::bucket_of(net::FlowId flow) const {
+  // splitmix-style avalanche so sequential flow ids spread across buckets.
+  std::uint64_t x = flow + 0x9E3779B97F4A7C15ULL;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  x ^= x >> 31;
+  return static_cast<std::uint32_t>(x % cfg_.flows);
+}
+
+void FqCodelQueue::drop_from_fattest() {
+  auto fattest = std::max_element(
+      queues_.begin(), queues_.end(),
+      [](const SubQueue& a, const SubQueue& b) { return a.bytes < b.bytes; });
+  if (fattest == queues_.end() || fattest->pkts.empty()) return;
+  net::Packet victim = std::move(fattest->pkts.front());
+  fattest->pkts.pop_front();
+  fattest->bytes -= victim.size;
+  total_bytes_ -= victim.size;
+  --total_packets_;
+  ++stats_.dropped_overflow;
+  stats_.bytes_dropped += victim.size;
+}
+
+bool FqCodelQueue::enqueue(net::Packet&& p) {
+  const std::uint32_t b = bucket_of(p.flow);
+  SubQueue& sq = queues_[b];
+
+  p.enqueue_time = now();
+  const std::uint32_t size = p.size;
+  sq.pkts.push_back(std::move(p));
+  sq.bytes += size;
+  total_bytes_ += size;
+  ++total_packets_;
+  ++stats_.enqueued;
+  stats_.bytes_enqueued += size;
+
+  if (sq.in_list == ListState::kNone) {
+    sq.deficit = cfg_.quantum;
+    sq.in_list = ListState::kNew;
+    new_flows_.push_back(b);
+  }
+
+  // Like Linux, overflow culls from the fattest queue, which may or may not
+  // be the one we just enqueued to.
+  while (total_bytes_ > cfg_.memory_limit_bytes) drop_from_fattest();
+  return true;
+}
+
+std::optional<net::Packet> FqCodelQueue::dequeue() {
+  while (true) {
+    std::deque<std::uint32_t>* list = nullptr;
+    if (!new_flows_.empty()) {
+      list = &new_flows_;
+    } else if (!old_flows_.empty()) {
+      list = &old_flows_;
+    } else {
+      return std::nullopt;
+    }
+
+    const std::uint32_t b = list->front();
+    SubQueue& sq = queues_[b];
+
+    if (sq.deficit <= 0) {
+      sq.deficit += cfg_.quantum;
+      list->pop_front();
+      sq.in_list = ListState::kOld;
+      old_flows_.push_back(b);
+      continue;
+    }
+
+    Access access{*this, sq};
+    auto pkt = codel_dequeue(access, sq.codel, cfg_.codel, now(), stats_);
+    if (!pkt) {
+      list->pop_front();
+      if (list == &new_flows_) {
+        // An emptied new flow gets one more round as an old flow so a
+        // quick follow-up burst cannot re-enter the priority list (RFC 8290 §4.2).
+        sq.in_list = ListState::kOld;
+        old_flows_.push_back(b);
+      } else {
+        sq.in_list = ListState::kNone;
+      }
+      continue;
+    }
+    sq.deficit -= pkt->size;
+    return pkt;
+  }
+}
+
+net::Packet FqCodelQueue::Access::pop_front_packet() {
+  net::Packet p = std::move(sq.pkts.front());
+  sq.pkts.pop_front();
+  sq.bytes -= p.size;
+  fq.total_bytes_ -= p.size;
+  --fq.total_packets_;
+  return p;
+}
+
+std::uint32_t FqCodelQueue::active_flows() const {
+  return static_cast<std::uint32_t>(new_flows_.size() + old_flows_.size());
+}
+
+}  // namespace elephant::aqm

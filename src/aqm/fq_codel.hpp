@@ -1,0 +1,73 @@
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "aqm/codel.hpp"
+#include "aqm/queue_disc.hpp"
+
+namespace elephant::aqm {
+
+/// FQ-CoDel configuration (RFC 8290 / Linux `sch_fq_codel` defaults, with the
+/// quantum raised to one jumbo MTU as `tc` does on 9k-MTU interfaces).
+struct FqCodelConfig {
+  std::size_t memory_limit_bytes = 0;  ///< total backlog cap (the buffer size)
+  std::uint32_t flows = 1024;          ///< number of hash buckets
+  std::uint32_t quantum = 9066;        ///< DRR quantum in bytes
+  CodelParams codel{};
+};
+
+/// Fair Queuing with Controlled Delay (RFC 8290).
+///
+/// Arriving packets are hashed by flow id into one of `flows` sub-queues.
+/// Sub-queues are served by deficit round-robin with a two-tier (new/old)
+/// flow list, and each sub-queue runs its own CoDel controller. When the
+/// total backlog exceeds the memory limit, packets are culled from the head
+/// of the fattest sub-queue, exactly as the Linux implementation does.
+class FqCodelQueue : public QueueDisc {
+ public:
+  FqCodelQueue(sim::Scheduler& sched, FqCodelConfig cfg);
+
+  bool enqueue(net::Packet&& p) override;
+  std::optional<net::Packet> dequeue() override;
+
+  [[nodiscard]] std::size_t byte_length() const override { return total_bytes_; }
+  [[nodiscard]] std::size_t packet_length() const override { return total_packets_; }
+  [[nodiscard]] std::string name() const override { return "fq_codel"; }
+
+  [[nodiscard]] std::uint32_t active_flows() const;
+  [[nodiscard]] const FqCodelConfig& config() const { return cfg_; }
+
+ private:
+  enum class ListState : std::uint8_t { kNone, kNew, kOld };
+
+  struct SubQueue {
+    std::deque<net::Packet> pkts;
+    std::size_t bytes = 0;
+    std::int64_t deficit = 0;
+    CodelState codel{};
+    ListState in_list = ListState::kNone;
+  };
+
+  /// codel_dequeue adaptor over one sub-queue; keeps aggregate counters honest.
+  struct Access {
+    FqCodelQueue& fq;
+    SubQueue& sq;
+    [[nodiscard]] bool empty() const { return sq.pkts.empty(); }
+    [[nodiscard]] std::size_t byte_length() const { return sq.bytes; }
+    net::Packet pop_front_packet();
+  };
+
+  [[nodiscard]] std::uint32_t bucket_of(net::FlowId flow) const;
+  void drop_from_fattest();
+
+  FqCodelConfig cfg_;
+  std::vector<SubQueue> queues_;
+  std::deque<std::uint32_t> new_flows_;
+  std::deque<std::uint32_t> old_flows_;
+  std::size_t total_bytes_ = 0;
+  std::size_t total_packets_ = 0;
+};
+
+}  // namespace elephant::aqm

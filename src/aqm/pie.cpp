@@ -1,0 +1,139 @@
+#include "aqm/pie.hpp"
+
+#include <algorithm>
+#include <utility>
+
+namespace elephant::aqm {
+
+namespace {
+/// Start a departure-rate measurement once at least this much backlog exists.
+constexpr std::size_t kDqThresholdBytes = 64 * 1024;
+}  // namespace
+
+PieQueue::PieQueue(sim::Scheduler& sched, PieConfig cfg, std::uint64_t seed)
+    : QueueDisc(sched), cfg_(cfg), rng_(seed) {
+  burst_left_ = cfg_.burst_allowance;
+}
+
+void PieQueue::update_probability() {
+  const sim::Time t = now();
+  if (next_update_ == sim::Time::zero()) {
+    next_update_ = t + cfg_.t_update;
+    return;
+  }
+  if (t < next_update_) return;
+  next_update_ = t + cfg_.t_update;
+
+  // Current queueing delay estimate: backlog / drain rate.
+  if (avg_drain_rate_ > 0) {
+    cur_delay_ = sim::Time::seconds(static_cast<double>(bytes_) / avg_drain_rate_);
+  }
+
+  // PI controller (RFC 8033 §5.1), with the standard auto-scaling of the
+  // gains when the probability is small so tiny queues do not oscillate.
+  double alpha = cfg_.alpha;
+  double beta = cfg_.beta;
+  if (prob_ < 0.000001) {
+    alpha /= 2048;
+    beta /= 2048;
+  } else if (prob_ < 0.00001) {
+    alpha /= 512;
+    beta /= 512;
+  } else if (prob_ < 0.0001) {
+    alpha /= 128;
+    beta /= 128;
+  } else if (prob_ < 0.001) {
+    alpha /= 32;
+    beta /= 32;
+  } else if (prob_ < 0.01) {
+    alpha /= 8;
+    beta /= 8;
+  } else if (prob_ < 0.1) {
+    alpha /= 2;
+    beta /= 2;
+  }
+
+  double p = prob_ + alpha * (cur_delay_ - cfg_.target).sec() +
+             beta * (cur_delay_ - old_delay_).sec();
+
+  // Exponential decay when the queue is idle and delay is zero.
+  if (cur_delay_ == sim::Time::zero() && old_delay_ == sim::Time::zero()) {
+    p *= 0.98;
+  }
+  prob_ = std::clamp(p, 0.0, 1.0);
+  old_delay_ = cur_delay_;
+
+  if (burst_left_ > sim::Time::zero()) {
+    burst_left_ -= cfg_.t_update;
+    if (prob_ == 0.0 && cur_delay_ < cfg_.target / 2 && old_delay_ < cfg_.target / 2) {
+      burst_left_ = cfg_.burst_allowance;  // re-arm while uncongested
+    }
+  }
+}
+
+bool PieQueue::enqueue(net::Packet&& p) {
+  update_probability();
+
+  bool drop = false;
+  if (bytes_ + p.size > cfg_.limit_bytes) {
+    ++stats_.dropped_overflow;
+    stats_.bytes_dropped += p.size;
+    return false;
+  }
+
+  // Random early drop/mark unless still inside the startup burst allowance
+  // or the queue is trivially small.
+  if (burst_left_ <= sim::Time::zero() && prob_ > 0.0 &&
+      bytes_ > 2 * cfg_.mean_packet) {
+    if (rng_.next_double() < prob_) {
+      if (cfg_.ecn && p.ecn_capable && prob_ < cfg_.ecn_prob_cap) {
+        p.ecn_marked = true;
+        ++stats_.ecn_marked;
+      } else {
+        drop = true;
+      }
+    }
+  }
+  if (drop) {
+    ++stats_.dropped_early;
+    stats_.bytes_dropped += p.size;
+    return false;
+  }
+
+  bytes_ += p.size;
+  ++stats_.enqueued;
+  stats_.bytes_enqueued += p.size;
+  p.enqueue_time = now();
+  queue_.push_back(std::move(p));
+  return true;
+}
+
+std::optional<net::Packet> PieQueue::dequeue() {
+  if (queue_.empty()) return std::nullopt;
+  net::Packet p = std::move(queue_.front());
+  queue_.pop_front();
+  bytes_ -= p.size;
+  ++stats_.dequeued;
+
+  // Departure-rate estimation: measure how long a chunk of backlog takes to
+  // drain (RFC 8033 §5.2), EWMA over measurement periods.
+  if (!in_measurement_ && bytes_ >= kDqThresholdBytes) {
+    in_measurement_ = true;
+    dq_start_ = now();
+    dq_count_bytes_ = 0;
+  }
+  if (in_measurement_) {
+    dq_count_bytes_ += p.size;
+    if (dq_count_bytes_ >= kDqThresholdBytes) {
+      const sim::Time elapsed = now() - dq_start_;
+      if (elapsed > sim::Time::zero()) {
+        const double rate = static_cast<double>(dq_count_bytes_) / elapsed.sec();
+        avg_drain_rate_ = avg_drain_rate_ == 0.0 ? rate : 0.9 * avg_drain_rate_ + 0.1 * rate;
+      }
+      in_measurement_ = false;
+    }
+  }
+  return p;
+}
+
+}  // namespace elephant::aqm

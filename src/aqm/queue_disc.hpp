@@ -1,0 +1,58 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "net/packet.hpp"
+#include "sim/scheduler.hpp"
+
+namespace elephant::aqm {
+
+/// Counters every queue discipline maintains; read by tests and benches.
+struct QueueStats {
+  std::uint64_t enqueued = 0;         ///< packets accepted into the queue
+  std::uint64_t dequeued = 0;         ///< packets handed to the link
+  std::uint64_t dropped_overflow = 0; ///< tail/overflow drops (queue full)
+  std::uint64_t dropped_early = 0;    ///< proactive AQM drops (RED/CoDel)
+  std::uint64_t ecn_marked = 0;       ///< packets CE-marked instead of dropped
+  std::uint64_t bytes_enqueued = 0;
+  std::uint64_t bytes_dropped = 0;
+
+  [[nodiscard]] std::uint64_t total_dropped() const {
+    return dropped_overflow + dropped_early;
+  }
+};
+
+/// Abstract queue discipline: the contract between a router egress port and
+/// an AQM algorithm. Mirrors the Linux qdisc enqueue/dequeue split.
+///
+/// enqueue() may drop (returns false) or CE-mark the packet; dequeue() may
+/// also drop internally (CoDel drops at dequeue time) and returns the next
+/// packet to serialize, or nullopt when no packet is available.
+class QueueDisc {
+ public:
+  explicit QueueDisc(sim::Scheduler& sched) : sched_(&sched) {}
+  virtual ~QueueDisc() = default;
+
+  QueueDisc(const QueueDisc&) = delete;
+  QueueDisc& operator=(const QueueDisc&) = delete;
+
+  virtual bool enqueue(net::Packet&& p) = 0;
+  virtual std::optional<net::Packet> dequeue() = 0;
+
+  [[nodiscard]] virtual std::size_t byte_length() const = 0;
+  [[nodiscard]] virtual std::size_t packet_length() const = 0;
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  [[nodiscard]] const QueueStats& stats() const { return stats_; }
+
+ protected:
+  [[nodiscard]] sim::Time now() const { return sched_->now(); }
+
+  sim::Scheduler* sched_;
+  QueueStats stats_;
+};
+
+}  // namespace elephant::aqm

@@ -1,0 +1,136 @@
+#include "aqm/red.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+namespace elephant::aqm {
+
+void RedConfig::finalize() {
+  if (min_bytes == 0) min_bytes = std::max<std::size_t>(limit_bytes / 12, mean_packet);
+  if (max_bytes == 0) max_bytes = std::max<std::size_t>(limit_bytes / 4, 2 * min_bytes);
+}
+
+RedQueue::RedQueue(sim::Scheduler& sched, RedConfig cfg, std::uint64_t seed)
+    : QueueDisc(sched), cfg_(cfg), rng_(seed) {
+  cfg_.finalize();
+  count_ = -1;
+  max_p_ = cfg_.max_p;
+}
+
+void RedQueue::maybe_adapt() {
+  // Floyd/Gummadi/Shenker self-tuning: hold avg within the middle half of
+  // [min, max] by AIMD on max_p, evaluated on a fixed cadence.
+  if (!cfg_.adaptive) return;
+  const sim::Time t = now();
+  if (next_adapt_ == sim::Time::zero()) {
+    next_adapt_ = t + cfg_.adapt_interval;
+    return;
+  }
+  if (t < next_adapt_) return;
+  next_adapt_ = t + cfg_.adapt_interval;
+
+  const double min_th = static_cast<double>(cfg_.min_bytes);
+  const double max_th = static_cast<double>(cfg_.max_bytes);
+  const double target_lo = min_th + 0.4 * (max_th - min_th);
+  const double target_hi = min_th + 0.6 * (max_th - min_th);
+  if (avg_ > target_hi && max_p_ < cfg_.adapt_p_max) {
+    max_p_ += std::min(cfg_.adapt_alpha, max_p_ / 4.0);
+  } else if (avg_ < target_lo && max_p_ > cfg_.adapt_p_min) {
+    max_p_ *= cfg_.adapt_beta;
+  }
+  max_p_ = std::clamp(max_p_, cfg_.adapt_p_min, cfg_.adapt_p_max);
+}
+
+double RedQueue::drop_probability() const {
+  const auto min_th = static_cast<double>(cfg_.min_bytes);
+  const auto max_th = static_cast<double>(cfg_.max_bytes);
+  if (avg_ < min_th) return 0.0;
+  if (avg_ < max_th) return max_p_ * (avg_ - min_th) / (max_th - min_th);
+  if (cfg_.gentle && avg_ < 2.0 * max_th) {
+    return max_p_ + (1.0 - max_p_) * (avg_ - max_th) / max_th;
+  }
+  return 1.0;
+}
+
+void RedQueue::decay_for_idle() {
+  // While the queue was empty the average should have kept shrinking; emulate
+  // m departures of mean-sized packets at line rate (Floyd & Jacobson §4).
+  const sim::Time idle = now() - idle_since_;
+  if (idle <= sim::Time::zero()) return;
+  // One "virtual departure" per mean packet transmission; the port rate is
+  // not visible here, so use 10 us per packet as a conservative stand-in —
+  // fast enough that long idles fully reset the average.
+  const double departures = idle.us() / 10.0;
+  avg_ *= std::pow(1.0 - cfg_.weight, departures);
+}
+
+bool RedQueue::enqueue(net::Packet&& p) {
+  // Idle decay keys off the queue being empty *now*, not off a flag set at
+  // dequeue time: when the average sits in the drop region while the queue
+  // is empty, arrivals are dropped before any dequeue could run, and a
+  // flag-based scheme would never decay the average again (a permanent
+  // blackhole). Floyd & Jacobson's idle period is simply "time the queue
+  // spent empty", which this measures directly.
+  if (bytes_ == 0) {
+    decay_for_idle();
+    idle_since_ = now();
+  }
+  avg_ += cfg_.weight * (static_cast<double>(bytes_) - avg_);
+  maybe_adapt();
+
+  const double pb = drop_probability();
+  bool early_signal = false;
+  if (pb >= 1.0) {
+    early_signal = true;
+  } else if (pb > 0.0) {
+    if (count_ < 0) {
+      count_ = 0;  // fresh marking phase
+    }
+    ++count_;
+    // Uniformize inter-drop spacing: pa = pb / (1 - count*pb).
+    const double denom = 1.0 - static_cast<double>(count_) * pb;
+    const double pa = denom <= 0.0 ? 1.0 : std::min(1.0, pb / denom);
+    if (rng_.next_double() < pa) early_signal = true;
+  } else {
+    count_ = -1;
+  }
+
+  if (early_signal) {
+    count_ = 0;
+    if (cfg_.ecn && p.ecn_capable && pb < 1.0) {
+      p.ecn_marked = true;
+      ++stats_.ecn_marked;
+    } else {
+      ++stats_.dropped_early;
+      stats_.bytes_dropped += p.size;
+      return false;
+    }
+  }
+
+  if (bytes_ + p.size > cfg_.limit_bytes) {
+    ++stats_.dropped_overflow;
+    stats_.bytes_dropped += p.size;
+    count_ = 0;
+    return false;
+  }
+
+  bytes_ += p.size;
+  ++stats_.enqueued;
+  stats_.bytes_enqueued += p.size;
+  p.enqueue_time = now();
+  queue_.push_back(std::move(p));
+  return true;
+}
+
+std::optional<net::Packet> RedQueue::dequeue() {
+  if (queue_.empty()) return std::nullopt;
+  net::Packet p = std::move(queue_.front());
+  queue_.pop_front();
+  bytes_ -= p.size;
+  ++stats_.dequeued;
+  if (queue_.empty()) idle_since_ = now();
+  return p;
+}
+
+}  // namespace elephant::aqm

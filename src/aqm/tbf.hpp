@@ -1,0 +1,93 @@
+#pragma once
+
+#include <memory>
+
+#include "aqm/queue_disc.hpp"
+#include "sim/time.hpp"
+
+namespace elephant::aqm {
+
+/// Token-bucket filter configuration (Linux `sch_tbf`).
+struct TbfConfig {
+  double rate_bps = 1e9;          ///< token refill rate
+  std::size_t burst_bytes = 64 * 1024;  ///< bucket depth
+};
+
+/// Token-bucket filter wrapping an inner queue discipline.
+///
+/// The paper shapes router1's egress with `tc`, which rate-limits via a
+/// token bucket with the AQM as child qdisc. Our Port already serializes at
+/// the configured link rate (an equivalent shaping model for steady flows),
+/// but TBF is provided for experiments that need burst-tolerant shaping
+/// *below* line rate — e.g. emulating a 1G `tc` limit on a 100G port.
+///
+/// dequeue() only releases the head packet when enough tokens are banked;
+/// otherwise it reports empty, and the port must poll again (the Port's
+/// transmit loop retries on every enqueue and transmit-complete; for exact
+/// conformance at low load, pair TBF with a periodic kick or leave it to
+/// the natural packet cadence — both are exercised in the tests).
+class TbfQueue : public QueueDisc {
+ public:
+  TbfQueue(sim::Scheduler& sched, std::unique_ptr<QueueDisc> inner, TbfConfig cfg)
+      : QueueDisc(sched), inner_(std::move(inner)), cfg_(cfg),
+        tokens_(static_cast<double>(cfg.burst_bytes)), last_refill_(now()) {}
+
+  bool enqueue(net::Packet&& p) override {
+    const bool ok = inner_->enqueue(std::move(p));
+    mirror_stats();
+    return ok;
+  }
+
+  std::optional<net::Packet> dequeue() override {
+    refill();
+    if (inner_->packet_length() == 0) return std::nullopt;
+    // Peek cost: we must know the head size; QueueDisc has no peek, so pop
+    // and hold the packet until affordable.
+    if (!held_) {
+      held_ = inner_->dequeue();
+      mirror_stats();
+      if (!held_) return std::nullopt;
+    }
+    if (tokens_ < static_cast<double>(held_->size)) return std::nullopt;
+    tokens_ -= static_cast<double>(held_->size);
+    auto out = std::move(held_);
+    held_.reset();
+    return out;
+  }
+
+  [[nodiscard]] std::size_t byte_length() const override {
+    return inner_->byte_length() + (held_ ? held_->size : 0);
+  }
+  [[nodiscard]] std::size_t packet_length() const override {
+    return inner_->packet_length() + (held_ ? 1 : 0);
+  }
+  [[nodiscard]] std::string name() const override { return inner_->name() + "+tbf"; }
+
+  [[nodiscard]] double tokens() const { return tokens_; }
+  [[nodiscard]] const TbfConfig& config() const { return cfg_; }
+  /// Earliest instant the held head packet becomes sendable (for pollers).
+  [[nodiscard]] sim::Time next_ready() const {
+    if (!held_ || tokens_ >= static_cast<double>(held_->size)) return now();
+    const double deficit = static_cast<double>(held_->size) - tokens_;
+    return now() + sim::Time::seconds(deficit * 8.0 / cfg_.rate_bps);
+  }
+
+ private:
+  void refill() {
+    const sim::Time t = now();
+    if (t > last_refill_) {
+      tokens_ += (t - last_refill_).sec() * cfg_.rate_bps / 8.0;
+      tokens_ = std::min(tokens_, static_cast<double>(cfg_.burst_bytes));
+      last_refill_ = t;
+    }
+  }
+  void mirror_stats() { stats_ = inner_->stats(); }
+
+  std::unique_ptr<QueueDisc> inner_;
+  TbfConfig cfg_;
+  double tokens_;
+  sim::Time last_refill_;
+  std::optional<net::Packet> held_;
+};
+
+}  // namespace elephant::aqm

@@ -1,0 +1,197 @@
+#include "cca/bbr_v1.hpp"
+
+#include <algorithm>
+
+namespace elephant::cca {
+
+namespace {
+constexpr double kPacingGainCycle[] = {1.25, 0.75, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0};
+constexpr int kCycleLength = 8;
+}  // namespace
+
+BbrV1::BbrV1(const CcaParams& params, BbrV1Params bbr)
+    : CongestionControl(params),
+      bbr_(bbr),
+      rng_(params.seed),
+      max_bw_(bbr.bw_window_rounds, 0.0, 0),
+      pacing_gain_(bbr.high_gain),
+      cwnd_gain_(bbr.high_gain),
+      cwnd_(params.initial_cwnd_segments) {}
+
+double BbrV1::bdp_segments(double gain) const {
+  const double bw = max_bw_.best();
+  if (bw <= 0 || min_rtt_ == sim::Time::zero()) return params_.initial_cwnd_segments;
+  return gain * bw * min_rtt_.sec();
+}
+
+void BbrV1::update_model(const AckSample& ack) {
+  if (ack.round_start) {
+    ++round_count_;
+    saw_loss_in_round_ = false;
+  }
+  if (ack.delivery_rate > 0) max_bw_.update(ack.delivery_rate, round_count_);
+}
+
+void BbrV1::check_full_pipe(const AckSample& ack) {
+  if (full_bw_reached_ || !ack.round_start) return;
+  const double bw = max_bw_.best();
+  if (bw >= full_bw_ * bbr_.full_bw_threshold) {
+    full_bw_ = bw;
+    full_bw_count_ = 0;
+    return;
+  }
+  if (++full_bw_count_ >= bbr_.full_bw_rounds) full_bw_reached_ = true;
+}
+
+void BbrV1::advance_cycle_phase(const AckSample& ack) {
+  const double gain = kPacingGainCycle[cycle_index_];
+  const sim::Time elapsed = ack.now - cycle_start_;
+  bool advance = false;
+  if (gain > 1.0) {
+    // Stay in the probing phase until it has actually stressed the pipe.
+    advance = elapsed > min_rtt_ &&
+              (saw_loss_in_round_ || ack.inflight_segments >= bdp_segments(gain));
+  } else if (gain < 1.0) {
+    // Leave the drain phase as soon as the excess queue is gone.
+    advance = elapsed > min_rtt_ || ack.inflight_segments <= bdp_segments(1.0);
+  } else {
+    advance = elapsed > min_rtt_;
+  }
+  if (advance) {
+    cycle_index_ = (cycle_index_ + 1) % kCycleLength;
+    cycle_start_ = ack.now;
+    pacing_gain_ = kPacingGainCycle[cycle_index_];
+  }
+}
+
+void BbrV1::update_state(const AckSample& ack) {
+  switch (mode_) {
+    case Mode::kStartup:
+      check_full_pipe(ack);
+      if (full_bw_reached_) {
+        mode_ = Mode::kDrain;
+        pacing_gain_ = bbr_.drain_gain;
+        cwnd_gain_ = bbr_.high_gain;
+      }
+      break;
+    case Mode::kDrain:
+      if (ack.inflight_segments <= bdp_segments(1.0)) {
+        mode_ = Mode::kProbeBw;
+        cwnd_gain_ = bbr_.cwnd_gain;
+        // Start at a random phase other than the 1.25 probe (Linux behaviour)
+        // to decorrelate competing BBR flows.
+        cycle_index_ =
+            1 + static_cast<int>(rng_.next_below(static_cast<std::uint64_t>(kCycleLength - 1)));
+        cycle_start_ = ack.now;
+        pacing_gain_ = kPacingGainCycle[cycle_index_];
+      }
+      break;
+    case Mode::kProbeBw:
+      advance_cycle_phase(ack);
+      break;
+    case Mode::kProbeRtt:
+      break;  // handled in update_min_rtt
+  }
+}
+
+void BbrV1::update_min_rtt(const AckSample& ack) {
+  const bool expired = min_rtt_stamp_ != sim::Time::zero() &&
+                       ack.now > min_rtt_stamp_ + bbr_.min_rtt_window;
+  if (ack.rtt != sim::Time::zero() &&
+      (min_rtt_ == sim::Time::zero() || ack.rtt < min_rtt_ || expired)) {
+    min_rtt_ = ack.rtt;
+    min_rtt_stamp_ = ack.now;
+  }
+
+  if (expired && mode_ != Mode::kProbeRtt && full_bw_reached_) {
+    mode_ = Mode::kProbeRtt;
+    prior_cwnd_ = cwnd_;
+    pacing_gain_ = 1.0;
+    cwnd_gain_ = 1.0;
+    probe_rtt_done_ = sim::Time::zero();
+    probe_rtt_round_done_ = false;
+  }
+
+  if (mode_ == Mode::kProbeRtt) {
+    if (probe_rtt_done_ == sim::Time::zero()) {
+      if (ack.inflight_segments <= bbr_.probe_rtt_cwnd_segments + 1) {
+        probe_rtt_done_ = ack.now + bbr_.probe_rtt_duration;
+        probe_rtt_round_done_ = false;
+      }
+    } else {
+      if (ack.round_start) probe_rtt_round_done_ = true;
+      if (probe_rtt_round_done_ && ack.now >= probe_rtt_done_) {
+        min_rtt_stamp_ = ack.now;
+        cwnd_ = std::max(cwnd_, prior_cwnd_);
+        if (full_bw_reached_) {
+          mode_ = Mode::kProbeBw;
+          cwnd_gain_ = bbr_.cwnd_gain;
+          cycle_index_ = 2;
+          cycle_start_ = ack.now;
+          pacing_gain_ = kPacingGainCycle[cycle_index_];
+        } else {
+          mode_ = Mode::kStartup;
+          pacing_gain_ = bbr_.high_gain;
+          cwnd_gain_ = bbr_.high_gain;
+        }
+      }
+    }
+  }
+}
+
+void BbrV1::set_pacing_and_cwnd(const AckSample& ack) {
+  const double bw = max_bw_.best();  // segments/s
+
+  // Pacing: gain * estimated bottleneck bandwidth.
+  if (bw > 0 && min_rtt_ != sim::Time::zero()) {
+    const double rate = pacing_gain_ * bw * params_.mss_bytes * 8.0;
+    if (!pacing_initialized_ || rate > 0) {
+      pacing_rate_bps_ = rate;
+      pacing_initialized_ = true;
+    }
+  } else if (!pacing_initialized_ && ack.rtt != sim::Time::zero()) {
+    // Before the first bw sample: pace at high_gain * cwnd / rtt.
+    pacing_rate_bps_ =
+        bbr_.high_gain * cwnd_ * params_.mss_bytes * 8.0 / ack.rtt.sec();
+  }
+
+  // cwnd: grow by acked toward the gain-scaled BDP (the 2×BDP inflight cap).
+  if (mode_ == Mode::kProbeRtt) {
+    cwnd_ = std::min(cwnd_, bbr_.probe_rtt_cwnd_segments);
+    cwnd_ = std::max(cwnd_, params_.min_cwnd_segments);
+    return;
+  }
+  const double target = bdp_segments(cwnd_gain_);
+  if (full_bw_reached_) {
+    cwnd_ = std::min(cwnd_ + ack.acked_segments, target);
+  } else if (cwnd_ < target ||
+             ack.delivered_segments < 2 * params_.initial_cwnd_segments) {
+    // Startup: grow by acked while under the high-gain target (tcp_bbr.c
+    // keeps growing a little past it, but never unboundedly).
+    cwnd_ += ack.acked_segments;
+  }
+  cwnd_ = std::max(cwnd_, std::max(params_.min_cwnd_segments, bbr_.probe_rtt_cwnd_segments));
+}
+
+void BbrV1::on_ack(const AckSample& ack) {
+  if (ack.acked_segments <= 0 && !ack.ece) return;
+  update_model(ack);
+  update_state(ack);
+  update_min_rtt(ack);
+  set_pacing_and_cwnd(ack);
+}
+
+void BbrV1::on_loss(const LossSample& /*loss*/) {
+  // BBRv1 deliberately does not react to packet loss (no cwnd reduction);
+  // the loss still matters to the cycle-phase logic above.
+  saw_loss_in_round_ = true;
+}
+
+void BbrV1::on_rto(sim::Time /*now*/) {
+  // Only a retransmission timeout collapses BBRv1's window (tcp_bbr.c saves
+  // and later restores the prior cwnd; the model filters survive).
+  prior_cwnd_ = std::max(prior_cwnd_, cwnd_);
+  cwnd_ = params_.min_cwnd_segments;
+}
+
+}  // namespace elephant::cca

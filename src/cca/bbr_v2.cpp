@@ -1,0 +1,272 @@
+#include "cca/bbr_v2.hpp"
+
+#include <algorithm>
+
+namespace elephant::cca {
+
+BbrV2::BbrV2(const CcaParams& params, BbrV2Params bbr)
+    : CongestionControl(params),
+      bbr_(bbr),
+      rng_(params.seed ^ 0xBB22),
+      max_bw_(bbr.bw_window_rounds, 0.0, 0),
+      pacing_gain_(bbr.high_gain),
+      cwnd_gain_(bbr.high_gain),
+      cwnd_(params.initial_cwnd_segments) {}
+
+double BbrV2::bdp_segments(double gain) const {
+  const double bw = max_bw_.best();
+  if (bw <= 0 || min_rtt_ == sim::Time::zero()) return params_.initial_cwnd_segments;
+  return gain * bw * min_rtt_.sec();
+}
+
+double BbrV2::inflight_with_headroom() const {
+  if (inflight_hi_ >= 1e17) return inflight_hi_;
+  return std::max(bbr_.headroom * inflight_hi_, params_.min_cwnd_segments);
+}
+
+void BbrV2::update_model(const AckSample& ack) {
+  delivered_in_round_ += ack.acked_segments;
+  if (ack.ece) ece_in_round_ = true;
+  if (ack.round_start) {
+    end_of_round(ack);
+    ++round_count_;
+  }
+  if (ack.delivery_rate > 0) max_bw_.update(ack.delivery_rate, round_count_);
+}
+
+void BbrV2::end_of_round(const AckSample& ack) {
+  const double total = delivered_in_round_ + lost_in_round_;
+  const double loss_rate = total > 0 ? lost_in_round_ / total : 0.0;
+  loss_round_ = loss_rate > bbr_.loss_thresh;
+
+  if (loss_round_) {
+    if (mode_ == Mode::kStartup) {
+      if (++startup_lossy_rounds_ >= bbr_.startup_loss_rounds) full_bw_reached_ = true;
+      // Startup learned the pipe depth the hard way: bound future inflight.
+      inflight_hi_ = std::min(inflight_hi_, std::max(ack.inflight_segments, bdp_segments(1.0)));
+    } else {
+      // The 2% rule (v2alpha bbr2_handle_inflight_too_high): bound inflight
+      // at the level where the loss occurred, floored at beta * the gain
+      // target. The floor is what stops a downward spiral while coexisting
+      // with loss-based flows; the bound-at-loss-level is what makes BBRv2
+      // yield in deep FIFO buffers, where overflow bursts put whole rounds
+      // over the threshold (the paper's §5.1 explanation).
+      inflight_hi_ =
+          std::max(ack.inflight_segments, bdp_segments(cwnd_gain_) * bbr_.beta);
+      const double lo_base = inflight_lo_ >= 1e17 ? cwnd_ : inflight_lo_;
+      inflight_lo_ = std::max(lo_base * bbr_.beta, params_.min_cwnd_segments);
+      if (mode_ == Mode::kProbeBw && (phase_ == Phase::kUp || phase_ == Phase::kRefill)) {
+        start_probe_down(ack.now);
+      }
+    }
+  } else if (ece_in_round_ && inflight_hi_ < 1e17) {
+    inflight_hi_ = std::max(inflight_hi_ * bbr_.ecn_factor, params_.min_cwnd_segments);
+  }
+
+  lost_in_round_ = 0;
+  delivered_in_round_ = 0;
+  ece_in_round_ = false;
+
+  // Startup also exits on a bandwidth plateau, like BBRv1.
+  if (mode_ == Mode::kStartup && !full_bw_reached_) {
+    const double bw = max_bw_.best();
+    if (bw >= full_bw_ * 1.25) {
+      full_bw_ = bw;
+      full_bw_count_ = 0;
+    } else if (++full_bw_count_ >= 3) {
+      full_bw_reached_ = true;
+    }
+  }
+}
+
+void BbrV2::start_probe_down(sim::Time now) {
+  phase_ = Phase::kDown;
+  phase_start_ = now;
+  pacing_gain_ = bbr_.probe_down_pacing_gain;
+  probe_up_hit_hi_ = false;
+}
+
+void BbrV2::start_probe_cruise(sim::Time now) {
+  phase_ = Phase::kCruise;
+  phase_start_ = now;
+  pacing_gain_ = 1.0;
+  const double span = (bbr_.max_probe_interval - bbr_.min_probe_interval).sec();
+  cruise_duration_ = bbr_.min_probe_interval + sim::Time::seconds(span * rng_.next_double());
+}
+
+void BbrV2::start_probe_refill(sim::Time now) {
+  phase_ = Phase::kRefill;
+  phase_start_ = now;
+  pacing_gain_ = 1.0;
+  inflight_lo_ = 1e18;  // v2alpha resets the short-term bounds before probing
+}
+
+void BbrV2::start_probe_up(sim::Time now) {
+  phase_ = Phase::kUp;
+  phase_start_ = now;
+  pacing_gain_ = bbr_.probe_up_pacing_gain;
+  probe_up_hit_hi_ = false;
+  probe_up_rounds_ = 0;
+  probe_up_acks_ = 0;
+  probe_up_cnt_ = std::max(cwnd_, 1.0);
+}
+
+void BbrV2::update_state(const AckSample& ack) {
+  switch (mode_) {
+    case Mode::kStartup:
+      if (full_bw_reached_) {
+        mode_ = Mode::kDrain;
+        pacing_gain_ = bbr_.drain_gain;
+        cwnd_gain_ = bbr_.high_gain;
+      }
+      break;
+    case Mode::kDrain:
+      if (ack.inflight_segments <= bdp_segments(1.0)) {
+        mode_ = Mode::kProbeBw;
+        cwnd_gain_ = bbr_.cwnd_gain;
+        start_probe_down(ack.now);
+      }
+      break;
+    case Mode::kProbeBw: {
+      const sim::Time elapsed = ack.now - phase_start_;
+      switch (phase_) {
+        case Phase::kDown:
+          if (ack.inflight_segments <= inflight_with_headroom() || elapsed > 2 * min_rtt_) {
+            start_probe_cruise(ack.now);
+          }
+          break;
+        case Phase::kCruise:
+          if (elapsed >= cruise_duration_) start_probe_refill(ack.now);
+          break;
+        case Phase::kRefill:
+          // One round at gain 1 to refill the pipe before probing up.
+          if (ack.round_start) start_probe_up(ack.now);
+          break;
+        case Phase::kUp:
+          if (ack.round_start) {
+            ++probe_up_rounds_;
+            probe_up_cnt_ = std::max(cwnd_ / probe_up_rounds_, 1.0);
+          }
+          if (probe_up_hit_hi_ && ack.inflight_segments >= inflight_hi_ * 0.99 &&
+              inflight_hi_ < 1e17) {
+            // Bound reached without excess loss: the path may have more room.
+            // Raise the ceiling slow-start-style (v2alpha: ~probe_up_rounds
+            // segments per round), not by a whole cwnd per RTT.
+            probe_up_acks_ += ack.acked_segments;
+            while (probe_up_acks_ >= probe_up_cnt_) {
+              probe_up_acks_ -= probe_up_cnt_;
+              inflight_hi_ += 1.0;
+            }
+          }
+          if (inflight_hi_ >= 1e17) {
+            // No learned bound: behave like a v1 probe round.
+            if (elapsed > min_rtt_ &&
+                (loss_round_ || ack.inflight_segments >= bdp_segments(1.25))) {
+              start_probe_down(ack.now);
+            }
+          } else if (ack.inflight_segments >= inflight_hi_) {
+            probe_up_hit_hi_ = true;
+            if (elapsed > 4 * min_rtt_) start_probe_down(ack.now);
+          }
+          break;
+      }
+      break;
+    }
+    case Mode::kProbeRtt:
+      break;
+  }
+}
+
+void BbrV2::update_min_rtt(const AckSample& ack) {
+  const bool expired = min_rtt_stamp_ != sim::Time::zero() &&
+                       ack.now > min_rtt_stamp_ + bbr_.min_rtt_window;
+  if (ack.rtt != sim::Time::zero() &&
+      (min_rtt_ == sim::Time::zero() || ack.rtt < min_rtt_ || expired)) {
+    min_rtt_ = ack.rtt;
+    min_rtt_stamp_ = ack.now;
+  }
+
+  if (expired && mode_ != Mode::kProbeRtt && full_bw_reached_) {
+    mode_ = Mode::kProbeRtt;
+    prior_cwnd_ = cwnd_;
+    pacing_gain_ = 1.0;
+    probe_rtt_done_ = sim::Time::zero();
+    probe_rtt_round_done_ = false;
+  }
+
+  if (mode_ == Mode::kProbeRtt) {
+    const double floor_cwnd =
+        std::max(bdp_segments(bbr_.probe_rtt_cwnd_gain), params_.min_cwnd_segments);
+    if (probe_rtt_done_ == sim::Time::zero()) {
+      if (ack.inflight_segments <= floor_cwnd * 1.1) {
+        probe_rtt_done_ = ack.now + bbr_.probe_rtt_duration;
+      }
+    } else {
+      if (ack.round_start) probe_rtt_round_done_ = true;
+      if (probe_rtt_round_done_ && ack.now >= probe_rtt_done_) {
+        min_rtt_stamp_ = ack.now;
+        cwnd_ = std::max(cwnd_, prior_cwnd_);
+        mode_ = Mode::kProbeBw;
+        cwnd_gain_ = bbr_.cwnd_gain;
+        start_probe_cruise(ack.now);
+      }
+    }
+  }
+}
+
+void BbrV2::set_pacing_and_cwnd(const AckSample& ack) {
+  const double bw = max_bw_.best();
+  if (bw > 0 && min_rtt_ != sim::Time::zero()) {
+    pacing_rate_bps_ = pacing_gain_ * bw * params_.mss_bytes * 8.0;
+  } else if (pacing_rate_bps_ == 0 && ack.rtt != sim::Time::zero()) {
+    pacing_rate_bps_ = bbr_.high_gain * cwnd_ * params_.mss_bytes * 8.0 / ack.rtt.sec();
+  }
+
+  if (mode_ == Mode::kProbeRtt) {
+    const double floor_cwnd =
+        std::max(bdp_segments(bbr_.probe_rtt_cwnd_gain), params_.min_cwnd_segments);
+    cwnd_ = std::min(cwnd_, floor_cwnd);
+    return;
+  }
+
+  double target = bdp_segments(cwnd_gain_);
+  // Apply the inflight bounds: the full long-term bound while probing
+  // up/refilling, the headroom-reduced bound while cruising or draining,
+  // and always the short-term (loss-derived) bound.
+  double bound = (mode_ == Mode::kProbeBw && (phase_ == Phase::kUp || phase_ == Phase::kRefill))
+                     ? inflight_hi_
+                     : inflight_with_headroom();
+  bound = std::min(bound, inflight_lo_);
+  target = std::min(target, bound);
+
+  if (full_bw_reached_) {
+    cwnd_ = std::min(cwnd_ + ack.acked_segments, target);
+  } else if (cwnd_ < target ||
+             ack.delivered_segments < 2 * params_.initial_cwnd_segments) {
+    cwnd_ = std::min(cwnd_ + ack.acked_segments, inflight_hi_);
+  }
+  cwnd_ = std::max(cwnd_, params_.min_cwnd_segments);
+}
+
+void BbrV2::on_ack(const AckSample& ack) {
+  if (ack.acked_segments <= 0 && !ack.ece) return;
+  update_model(ack);
+  update_state(ack);
+  update_min_rtt(ack);
+  set_pacing_and_cwnd(ack);
+}
+
+void BbrV2::on_loss(const LossSample& loss) {
+  lost_in_round_ += loss.lost_segments;
+}
+
+void BbrV2::on_rto(sim::Time /*now*/) {
+  prior_cwnd_ = std::max(prior_cwnd_, cwnd_);
+  cwnd_ = params_.min_cwnd_segments;
+  // An RTO is the strongest congestion evidence BBRv2 gets: bound inflight.
+  if (inflight_hi_ < 1e17) {
+    inflight_hi_ = std::max(inflight_hi_ * bbr_.beta, params_.min_cwnd_segments);
+  }
+}
+
+}  // namespace elephant::cca

@@ -1,0 +1,54 @@
+#include "cca/congestion_control.hpp"
+
+#include <stdexcept>
+
+#include "cca/bbr_v1.hpp"
+#include "cca/bbr_v2.hpp"
+#include "cca/cubic.hpp"
+#include "cca/htcp.hpp"
+#include "cca/reno.hpp"
+
+namespace elephant::cca {
+
+std::string to_string(CcaKind kind) {
+  switch (kind) {
+    case CcaKind::kReno:
+      return "reno";
+    case CcaKind::kCubic:
+      return "cubic";
+    case CcaKind::kHtcp:
+      return "htcp";
+    case CcaKind::kBbrV1:
+      return "bbr1";
+    case CcaKind::kBbrV2:
+      return "bbr2";
+  }
+  return "unknown";
+}
+
+CcaKind cca_kind_from_string(const std::string& name) {
+  if (name == "reno") return CcaKind::kReno;
+  if (name == "cubic") return CcaKind::kCubic;
+  if (name == "htcp") return CcaKind::kHtcp;
+  if (name == "bbr1" || name == "bbrv1" || name == "bbr") return CcaKind::kBbrV1;
+  if (name == "bbr2" || name == "bbrv2") return CcaKind::kBbrV2;
+  throw std::invalid_argument("unknown CCA name: " + name);
+}
+
+std::unique_ptr<CongestionControl> make_cca(CcaKind kind, const CcaParams& params) {
+  switch (kind) {
+    case CcaKind::kReno:
+      return std::make_unique<Reno>(params);
+    case CcaKind::kCubic:
+      return std::make_unique<Cubic>(params);
+    case CcaKind::kHtcp:
+      return std::make_unique<Htcp>(params);
+    case CcaKind::kBbrV1:
+      return std::make_unique<BbrV1>(params);
+    case CcaKind::kBbrV2:
+      return std::make_unique<BbrV2>(params);
+  }
+  throw std::invalid_argument("unknown CCA kind");
+}
+
+}  // namespace elephant::cca

@@ -1,0 +1,113 @@
+#include "cca/cubic.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace elephant::cca {
+
+Cubic::Cubic(const CcaParams& params, CubicParams cubic)
+    : CongestionControl(params), cubic_(cubic), cwnd_(params.initial_cwnd_segments),
+      ssthresh_(1e18) {}
+
+void Cubic::hystart_update(const AckSample& ack) {
+  // HyStart (Ha & Rhee): within each round collect the min RTT from the first
+  // few samples; if it exceeds the previous round's min by a clamped
+  // threshold, the queue has started building — leave slow start now.
+  if (ack.round_start) {
+    hs_prev_round_min_rtt_ = hs_round_min_rtt_;
+    hs_round_min_rtt_ = sim::Time::max();
+    hs_samples_ = 0;
+  }
+  if (ack.rtt == sim::Time::zero() || hs_samples_ >= 8) return;
+  ++hs_samples_;
+  hs_round_min_rtt_ = std::min(hs_round_min_rtt_, ack.rtt);
+  if (hs_samples_ < 8 || hs_prev_round_min_rtt_ == sim::Time::max()) return;
+
+  const auto base = hs_prev_round_min_rtt_;
+  auto thresh = base / 8;
+  const auto lo = sim::Time::milliseconds(4);
+  const auto hi = sim::Time::milliseconds(16);
+  thresh = std::clamp(thresh, lo, hi);
+  if (hs_round_min_rtt_ >= base + thresh) {
+    ssthresh_ = cwnd_;  // exit slow start without a loss
+  }
+}
+
+void Cubic::enter_congestion_avoidance(sim::Time now) {
+  epoch_start_ = now;
+  if (cwnd_ < w_max_ && cubic_.fast_convergence) {
+    // Release bandwidth faster when the flow is shrinking.
+    w_max_ = cwnd_ * (2.0 - cubic_.beta) / 2.0;
+  } else {
+    w_max_ = cwnd_;
+  }
+  k_ = std::cbrt(w_max_ * (1.0 - cubic_.beta) / cubic_.c);
+  w_est_ = cwnd_;
+  est_accum_ = 0;
+}
+
+void Cubic::on_ack(const AckSample& ack) {
+  if (ack.acked_segments <= 0) return;
+
+  if (in_slow_start()) {
+    cwnd_ += ack.acked_segments;
+    if (cubic_.hystart) hystart_update(ack);
+    if (cwnd_ < ssthresh_) return;
+    cwnd_ = ssthresh_;  // fall through to CA on this ack
+  }
+
+  if (epoch_start_ == sim::Time::zero()) {
+    // First CA epoch (e.g. HyStart exit without any loss yet).
+    epoch_start_ = ack.now;
+    if (w_max_ <= 0) w_max_ = cwnd_;
+    k_ = std::cbrt(w_max_ * (1.0 - cubic_.beta) / cubic_.c);
+    w_est_ = cwnd_;
+    est_accum_ = 0;
+  }
+
+  const double t = (ack.now - epoch_start_).sec();
+  const double rtt_s = ack.rtt != sim::Time::zero() ? ack.rtt.sec() : 0.0;
+
+  // Target is the cubic curve one RTT ahead (RFC 8312 §4.1).
+  const double dt = t + rtt_s;
+  const double w_cubic = cubic_.c * (dt - k_) * (dt - k_) * (dt - k_) + w_max_;
+
+  // Reno-equivalent window for the TCP-friendly region (RFC 8312 §4.2).
+  if (cubic_.tcp_friendliness) {
+    est_accum_ += ack.acked_segments;
+    const double alpha = 3.0 * (1.0 - cubic_.beta) / (1.0 + cubic_.beta);
+    if (w_est_ > 0 && est_accum_ >= w_est_) {
+      est_accum_ -= w_est_;
+      w_est_ += alpha;
+    }
+  }
+
+  double target = w_cubic;
+  if (cubic_.tcp_friendliness && w_est_ > target) target = w_est_;
+
+  if (target > cwnd_) {
+    // Approach the target over one cwnd of ACKs.
+    cwnd_ += (target - cwnd_) / cwnd_ * ack.acked_segments;
+  } else {
+    // Max-probing plateau: creep forward very slowly.
+    cwnd_ += ack.acked_segments / (100.0 * cwnd_);
+  }
+}
+
+void Cubic::on_loss(const LossSample& loss) {
+  if (!loss.new_congestion_event) return;
+  enter_congestion_avoidance(loss.now);
+  cwnd_ = std::max(cwnd_ * cubic_.beta, params_.min_cwnd_segments);
+  ssthresh_ = cwnd_;
+  w_est_ = cwnd_;  // TCP-friendly window restarts from the reduced window
+}
+
+void Cubic::on_rto(sim::Time /*now*/) {
+  // Linux resets the cubic epoch and collapses to the minimum window.
+  ssthresh_ = std::max(cwnd_ * cubic_.beta, params_.min_cwnd_segments);
+  cwnd_ = params_.min_cwnd_segments;
+  epoch_start_ = sim::Time::zero();
+  w_max_ = ssthresh_;
+}
+
+}  // namespace elephant::cca

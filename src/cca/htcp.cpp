@@ -1,0 +1,100 @@
+#include "cca/htcp.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace elephant::cca {
+
+Htcp::Htcp(const CcaParams& params, HtcpParams htcp)
+    : CongestionControl(params), htcp_(htcp), cwnd_(params.initial_cwnd_segments),
+      ssthresh_(1e18) {}
+
+void Htcp::update_alpha(sim::Time now, sim::Time rtt) {
+  if (last_congestion_ == sim::Time::zero()) {
+    alpha_ = 1.0;
+    return;
+  }
+  const double delta = (now - last_congestion_).sec();
+  if (delta <= htcp_.delta_l) {
+    alpha_ = 1.0;
+    return;
+  }
+  const double d = delta - htcp_.delta_l;
+  double a = 1.0 + 10.0 * d + (d / 2.0) * (d / 2.0);
+  if (htcp_.rtt_scaling && rtt != sim::Time::zero()) {
+    // Optional RTT scaling normalizes aggressiveness across RTTs.
+    a *= rtt.sec() / 0.1;
+    a = std::max(a, 1.0);
+  }
+  // The published algorithm scales α by 2(1−β) to keep the average rate
+  // matched to the AIMD fixed point.
+  alpha_ = std::max(1.0, 2.0 * (1.0 - beta_) * a);
+}
+
+void Htcp::on_ack(const AckSample& ack) {
+  if (ack.acked_segments <= 0) return;
+  if (ack.rtt != sim::Time::zero()) {
+    epoch_rtt_min_ = std::min(epoch_rtt_min_, ack.rtt);
+    epoch_rtt_max_ = std::max(epoch_rtt_max_, ack.rtt);
+  }
+
+  if (in_slow_start()) {
+    cwnd_ += ack.acked_segments;
+    if (cwnd_ > ssthresh_) cwnd_ = ssthresh_;
+    return;
+  }
+
+  update_alpha(ack.now, ack.rtt);
+  acked_accum_ += ack.acked_segments;
+  if (acked_accum_ >= cwnd_) {
+    acked_accum_ -= cwnd_;
+    cwnd_ += alpha_;
+  }
+}
+
+void Htcp::on_loss(const LossSample& loss) {
+  if (!loss.new_congestion_event) return;
+
+  // Throughput of the epoch that just ended (segments/s).
+  double epoch_bw = 0;
+  if (epoch_start_ != sim::Time::zero() && loss.now > epoch_start_) {
+    epoch_bw = (loss.delivered_segments - epoch_throughput_) / (loss.now - epoch_start_).sec();
+  }
+
+  if (htcp_.bandwidth_switch && last_bw_ > 0 && epoch_bw > 0 &&
+      std::abs(epoch_bw - last_bw_) > 0.2 * last_bw_) {
+    // Linux htcp's use_bandwidth_switch: a >20% throughput shift between
+    // epochs means the share is in flux — back off conservatively. Under
+    // deep-buffer coexistence with CUBIC this fires often and is what lets
+    // CUBIC gradually take over (paper Fig. 2(k)-(o)).
+    beta_ = htcp_.beta_min;
+  } else if (htcp_.adaptive_backoff && epoch_rtt_max_ > sim::Time::zero() &&
+             epoch_rtt_min_ != sim::Time::max()) {
+    beta_ = std::clamp(epoch_rtt_min_ / epoch_rtt_max_, htcp_.beta_min, htcp_.beta_max);
+  } else {
+    beta_ = htcp_.beta_min;
+  }
+  if (epoch_bw > 0) last_bw_ = epoch_bw;
+
+  cwnd_ = std::max(cwnd_ * beta_, params_.min_cwnd_segments);
+  ssthresh_ = cwnd_;
+  last_congestion_ = loss.now;
+  epoch_start_ = loss.now;
+  epoch_rtt_min_ = sim::Time::max();
+  epoch_rtt_max_ = sim::Time::zero();
+  epoch_throughput_ = loss.delivered_segments;
+  acked_accum_ = 0;
+  alpha_ = 1.0;
+}
+
+void Htcp::on_rto(sim::Time now) {
+  ssthresh_ = std::max(cwnd_ / 2.0, params_.min_cwnd_segments);
+  cwnd_ = params_.min_cwnd_segments;
+  last_congestion_ = now;
+  epoch_rtt_min_ = sim::Time::max();
+  epoch_rtt_max_ = sim::Time::zero();
+  acked_accum_ = 0;
+  alpha_ = 1.0;
+}
+
+}  // namespace elephant::cca

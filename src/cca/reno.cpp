@@ -1,0 +1,35 @@
+#include "cca/reno.hpp"
+
+#include <algorithm>
+
+namespace elephant::cca {
+
+void Reno::on_ack(const AckSample& ack) {
+  if (ack.acked_segments <= 0) return;
+  if (in_slow_start()) {
+    cwnd_ += ack.acked_segments;
+    if (cwnd_ > ssthresh_) cwnd_ = ssthresh_;  // cap overshoot at exit
+    return;
+  }
+  // Congestion avoidance: +1 segment per cwnd of acked data.
+  acked_accum_ += ack.acked_segments;
+  if (acked_accum_ >= cwnd_) {
+    acked_accum_ -= cwnd_;
+    cwnd_ += 1.0;
+  }
+}
+
+void Reno::on_loss(const LossSample& loss) {
+  if (!loss.new_congestion_event) return;  // one reduction per episode
+  ssthresh_ = std::max(cwnd_ / 2.0, params_.min_cwnd_segments);
+  cwnd_ = ssthresh_;
+  acked_accum_ = 0;
+}
+
+void Reno::on_rto(sim::Time /*now*/) {
+  ssthresh_ = std::max(cwnd_ / 2.0, params_.min_cwnd_segments);
+  cwnd_ = params_.min_cwnd_segments;
+  acked_accum_ = 0;
+}
+
+}  // namespace elephant::cca

@@ -1,0 +1,91 @@
+#pragma once
+
+#include <cstdint>
+
+namespace elephant::cca {
+
+/// Kathleen Nichols' windowed min/max estimator, as used by Linux BBR
+/// (lib/minmax.c): tracks the best, second-best and third-best samples so
+/// the window can expire the current best without rescanning history.
+///
+/// `Compare(a, b)` returns true when `a` is a better estimate than `b`
+/// (e.g. `>` for a max filter). `T` is the sample type, `TimeT` any
+/// monotonically increasing timestamp (rounds or nanoseconds).
+template <typename T, typename TimeT, typename Compare>
+class WindowedFilter {
+ public:
+  WindowedFilter(TimeT window, T zero, TimeT zero_time) : window_(window) {
+    reset(zero, zero_time);
+  }
+
+  void reset(T sample, TimeT time) {
+    estimates_[0] = estimates_[1] = estimates_[2] = Entry{sample, time};
+  }
+
+  void update(T sample, TimeT time) {
+    const Entry entry{sample, time};
+    // A new best sample, or a window that has fully expired, resets everything.
+    if (Compare{}(sample, estimates_[0].sample) || time - estimates_[2].time > window_) {
+      reset(sample, time);
+      return;
+    }
+    if (Compare{}(sample, estimates_[1].sample)) {
+      estimates_[1] = entry;
+      estimates_[2] = entry;
+    } else if (Compare{}(sample, estimates_[2].sample)) {
+      estimates_[2] = entry;
+    }
+
+    // Expire stale estimates.
+    if (time - estimates_[0].time > window_) {
+      estimates_[0] = estimates_[1];
+      estimates_[1] = estimates_[2];
+      estimates_[2] = entry;
+      if (time - estimates_[0].time > window_) {
+        estimates_[0] = estimates_[1];
+        estimates_[1] = estimates_[2];
+      }
+      return;
+    }
+    if (estimates_[1].time == estimates_[0].time && time - estimates_[1].time > window_ / 4) {
+      estimates_[1] = entry;
+      estimates_[2] = entry;
+      return;
+    }
+    if (estimates_[2].time == estimates_[1].time && time - estimates_[2].time > window_ / 2) {
+      estimates_[2] = entry;
+    }
+  }
+
+  [[nodiscard]] T best() const { return estimates_[0].sample; }
+  [[nodiscard]] T second_best() const { return estimates_[1].sample; }
+  [[nodiscard]] T third_best() const { return estimates_[2].sample; }
+
+ private:
+  struct Entry {
+    T sample{};
+    TimeT time{};
+  };
+  TimeT window_;
+  Entry estimates_[3];
+};
+
+struct MaxCompare {
+  template <typename T>
+  bool operator()(const T& a, const T& b) const {
+    return a >= b;
+  }
+};
+struct MinCompare {
+  template <typename T>
+  bool operator()(const T& a, const T& b) const {
+    return a <= b;
+  }
+};
+
+template <typename T, typename TimeT>
+using MaxFilter = WindowedFilter<T, TimeT, MaxCompare>;
+template <typename T, typename TimeT>
+using MinFilter = WindowedFilter<T, TimeT, MinCompare>;
+
+}  // namespace elephant::cca

@@ -1,0 +1,92 @@
+#include "exp/cache.hpp"
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <unordered_map>
+
+namespace elephant::exp {
+
+ResultCache::ResultCache(std::filesystem::path dir) : dir_(std::move(dir)) {
+  std::error_code ec;
+  std::filesystem::create_directories(dir_, ec);
+  if (ec) enabled_ = false;
+}
+
+ResultCache& ResultCache::global() {
+  static ResultCache cache = [] {
+    const char* env = std::getenv("ELEPHANT_RESULTS_DIR");
+    return ResultCache(env != nullptr ? std::filesystem::path(env)
+                                      : std::filesystem::path("results"));
+  }();
+  return cache;
+}
+
+std::filesystem::path ResultCache::path_for(const ExperimentConfig& cfg) const {
+  return dir_ / (cfg.id() + ".result");
+}
+
+std::optional<ExperimentResult> ResultCache::load(const ExperimentConfig& cfg) const {
+  if (!enabled_) return std::nullopt;
+  std::lock_guard lock(mu_);
+  std::ifstream in(path_for(cfg));
+  if (!in) return std::nullopt;
+
+  std::unordered_map<std::string, std::string> kv;
+  std::string line;
+  while (std::getline(in, line)) {
+    const auto eq = line.find('=');
+    if (eq == std::string::npos) continue;
+    kv[line.substr(0, eq)] = line.substr(eq + 1);
+  }
+  auto get = [&](const char* key) -> std::optional<double> {
+    auto it = kv.find(key);
+    if (it == kv.end()) return std::nullopt;
+    return std::atof(it->second.c_str());
+  };
+
+  ExperimentResult res;
+  res.config = cfg;
+  const auto s1 = get("sender1_bps");
+  const auto s2 = get("sender2_bps");
+  const auto jain = get("jain2");
+  const auto util = get("utilization");
+  const auto retx = get("retx_segments");
+  if (!s1 || !s2 || !jain || !util || !retx) return std::nullopt;
+  res.sender_bps[0] = *s1;
+  res.sender_bps[1] = *s2;
+  res.jain2 = *jain;
+  res.utilization = *util;
+  res.retx_segments = static_cast<std::uint64_t>(*retx);
+  res.rtos = static_cast<std::uint64_t>(get("rtos").value_or(0));
+  res.events_executed = static_cast<std::uint64_t>(get("events").value_or(0));
+  res.wall_seconds = get("wall_seconds").value_or(0);
+  return res;
+}
+
+void ResultCache::store(const ExperimentResult& result) {
+  if (!enabled_) return;
+  std::lock_guard lock(mu_);
+  const auto path = path_for(result.config);
+  const auto tmp = path.string() + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::trunc);
+    if (!out) return;
+    out.precision(17);
+    out << "id=" << result.config.id() << '\n'
+        << "label=" << result.config.label() << '\n'
+        << "sender1_bps=" << result.sender_bps[0] << '\n'
+        << "sender2_bps=" << result.sender_bps[1] << '\n'
+        << "jain2=" << result.jain2 << '\n'
+        << "utilization=" << result.utilization << '\n'
+        << "retx_segments=" << result.retx_segments << '\n'
+        << "rtos=" << result.rtos << '\n'
+        << "events=" << result.events_executed << '\n'
+        << "wall_seconds=" << result.wall_seconds << '\n';
+  }
+  std::error_code ec;
+  std::filesystem::rename(tmp, path, ec);
+}
+
+}  // namespace elephant::exp

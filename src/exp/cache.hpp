@@ -1,0 +1,40 @@
+#pragma once
+
+#include <filesystem>
+#include <mutex>
+#include <optional>
+
+#include "exp/runner.hpp"
+
+namespace elephant::exp {
+
+/// On-disk result cache: one small key=value file per (config, seed) run
+/// under the results directory (ELEPHANT_RESULTS_DIR, default ./results).
+///
+/// All figure benches and the Table 3 bench draw from the same 810-cell
+/// matrix, so caching lets them share runs instead of re-simulating — and
+/// makes re-running a bench after a crash cheap.
+class ResultCache {
+ public:
+  explicit ResultCache(std::filesystem::path dir);
+
+  /// The process-wide cache rooted at the env-configured directory.
+  static ResultCache& global();
+
+  [[nodiscard]] std::optional<ExperimentResult> load(const ExperimentConfig& cfg) const;
+  void store(const ExperimentResult& result);
+
+  [[nodiscard]] const std::filesystem::path& dir() const { return dir_; }
+  /// Disable persistence (used by tests).
+  void set_enabled(bool enabled) { enabled_ = enabled; }
+  [[nodiscard]] bool enabled() const { return enabled_; }
+
+ private:
+  [[nodiscard]] std::filesystem::path path_for(const ExperimentConfig& cfg) const;
+
+  std::filesystem::path dir_;
+  bool enabled_ = true;
+  mutable std::mutex mu_;
+};
+
+}  // namespace elephant::exp

@@ -1,0 +1,70 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "aqm/factory.hpp"
+#include "cca/congestion_control.hpp"
+#include "sim/time.hpp"
+
+namespace elephant::exp {
+
+/// One cell of the paper's 810-configuration matrix (Table 1):
+/// a CCA pair, an AQM, a buffer size in BDP units, and a bottleneck rate.
+struct ExperimentConfig {
+  cca::CcaKind cca1 = cca::CcaKind::kBbrV1;  ///< sender node 1 (vs ...)
+  cca::CcaKind cca2 = cca::CcaKind::kCubic;  ///< sender node 2
+  aqm::AqmKind aqm = aqm::AqmKind::kFifo;
+  double buffer_bdp = 2.0;          ///< router1 queue length in BDP multiples
+  double bottleneck_bps = 1e9;
+  sim::Time rtt = sim::Time::milliseconds(62);  ///< Clemson↔TACC base RTT
+
+  std::uint32_t total_flows = 0;    ///< 0 → paper Table 2 value for the BW
+  sim::Time duration = sim::Time::zero();  ///< 0 → scaled default for the BW
+  std::uint32_t aggregation = 0;    ///< segments per unit; 0 → default for BW
+  std::uint32_t mss = 8900;         ///< jumbo frames, as in the paper
+  std::uint64_t seed = 42;
+  bool ecn = false;
+  bool pace_all = false;            ///< ablation: pace loss-based CCAs too
+  double random_loss = 0.0;         ///< Bernoulli loss at the bottleneck (future work)
+
+  /// BDP in bytes (paper Eq. 1): BW · RTT / 8.
+  [[nodiscard]] double bdp_bytes() const { return bottleneck_bps * rtt.sec() / 8.0; }
+  [[nodiscard]] double buffer_bytes() const { return buffer_bdp * bdp_bytes(); }
+
+  /// Paper Table 2: total flows per bottleneck bandwidth.
+  [[nodiscard]] static std::uint32_t paper_flows_for(double bps);
+  /// TSO/GRO-style aggregation factor used to keep event counts tractable.
+  [[nodiscard]] static std::uint32_t default_aggregation_for(double bps);
+  /// Default (shortened) run length per bandwidth; scaled by
+  /// ELEPHANT_DURATION_SCALE (paper: 200 s everywhere).
+  [[nodiscard]] static sim::Time default_duration_for(double bps);
+
+  [[nodiscard]] std::uint32_t effective_flows() const {
+    return total_flows != 0 ? total_flows : paper_flows_for(bottleneck_bps);
+  }
+  [[nodiscard]] std::uint32_t effective_aggregation() const {
+    return aggregation != 0 ? aggregation : default_aggregation_for(bottleneck_bps);
+  }
+  [[nodiscard]] sim::Time effective_duration() const;
+
+  [[nodiscard]] bool intra() const { return cca1 == cca2; }
+
+  /// Stable identifier used as the on-disk cache key.
+  [[nodiscard]] std::string id() const;
+  /// Human-readable label, e.g. "bbr1 vs cubic, fifo, 2 BDP, 1G".
+  [[nodiscard]] std::string label() const;
+};
+
+/// Short bandwidth label ("100M", "25G").
+[[nodiscard]] std::string bw_label(double bps);
+
+/// The paper's axis values.
+[[nodiscard]] const std::vector<double>& paper_bandwidths();          // 5 rates
+[[nodiscard]] const std::vector<double>& paper_buffer_bdps();         // 6 sizes
+[[nodiscard]] const std::vector<aqm::AqmKind>& paper_aqms();          // 3 AQMs
+/// The 9 CCA pairings (5 inter vs CUBIC incl. CUBIC-CUBIC, 4 intra).
+[[nodiscard]] const std::vector<std::pair<cca::CcaKind, cca::CcaKind>>& paper_cca_pairs();
+
+}  // namespace elephant::exp

@@ -1,0 +1,178 @@
+#include "exp/runner.hpp"
+
+#include <chrono>
+#include <cstdlib>
+#include <memory>
+
+#include "exp/cache.hpp"
+#include "metrics/fairness.hpp"
+#include "net/topology.hpp"
+#include "sim/random.hpp"
+#include "sim/scheduler.hpp"
+#include "tcp/tcp_receiver.hpp"
+#include "tcp/tcp_sender.hpp"
+
+namespace elephant::exp {
+
+ExperimentResult run_experiment(const ExperimentConfig& cfg) {
+  const auto wall_start = std::chrono::steady_clock::now();
+
+  sim::Scheduler sched;
+  sim::Rng rng(cfg.seed);
+
+  net::DumbbellConfig topo;
+  topo.bottleneck_bps = cfg.bottleneck_bps;
+  topo.aqm = cfg.aqm;
+  topo.bottleneck_buffer_bytes = static_cast<std::size_t>(cfg.buffer_bytes());
+  topo.aqm_options.ecn = cfg.ecn;
+  topo.random_loss = cfg.random_loss;
+  topo.seed = rng.next_u64();
+  // Propagation splits to the paper's 62 ms RTT by default; respect a
+  // non-default cfg.rtt by scaling the trunk delay.
+  const sim::Time default_rtt = 2 * (topo.client_delay + topo.trunk_delay + topo.server_delay);
+  if (cfg.rtt != default_rtt) {
+    const sim::Time edge = topo.client_delay + topo.server_delay;
+    topo.trunk_delay = cfg.rtt / 2 - edge;
+    if (topo.trunk_delay < sim::Time::microseconds(10)) {
+      topo.trunk_delay = sim::Time::microseconds(10);
+      topo.client_delay = topo.server_delay =
+          (cfg.rtt / 2 - topo.trunk_delay) / 2;
+    }
+  }
+  net::Dumbbell net(sched, topo);
+
+  const std::uint32_t n_flows = cfg.effective_flows();
+  const std::uint32_t per_sender = std::max<std::uint32_t>(n_flows / 2, 1);
+  const std::uint32_t agg = cfg.effective_aggregation();
+  const sim::Time duration = cfg.effective_duration();
+
+  struct FlowEnd {
+    std::unique_ptr<tcp::TcpSender> sender;
+    std::unique_ptr<tcp::TcpReceiver> receiver;
+    int side;
+  };
+  std::vector<FlowEnd> ends;
+  ends.reserve(2 * per_sender);
+
+  for (int side = 0; side < 2; ++side) {
+    const cca::CcaKind kind = side == 0 ? cfg.cca1 : cfg.cca2;
+    for (std::uint32_t i = 0; i < per_sender; ++i) {
+      const net::FlowId flow = static_cast<net::FlowId>(ends.size() + 1);
+      net::Host& client = net.client(side);
+      net::Host& server = net.server(side);
+
+      cca::CcaParams cp;
+      cp.mss_bytes = cfg.mss;
+      cp.initial_cwnd_segments = std::max<double>(10.0, agg);
+      cp.min_cwnd_segments = std::max<double>(2.0, agg);
+      cp.seed = rng.next_u64();
+
+      tcp::TcpSenderConfig sc;
+      sc.flow = flow;
+      sc.src = client.id();
+      sc.dst = server.id();
+      sc.mss = cfg.mss;
+      sc.agg = agg;
+      sc.ecn = cfg.ecn;
+      sc.pace_always = cfg.pace_all;
+      // Stagger starts within half a second, like scripted iperf3 launches.
+      sc.start_time = sim::Time::seconds(0.5 * rng.next_double());
+
+      FlowEnd end;
+      end.side = side;
+      end.receiver = std::make_unique<tcp::TcpReceiver>(sched, server, client.id(), flow);
+      end.sender = std::make_unique<tcp::TcpSender>(sched, client, sc,
+                                                    cca::make_cca(kind, cp));
+      client.register_endpoint(flow, end.sender.get());
+      server.register_endpoint(flow, end.receiver.get());
+      end.sender->start();
+      ends.push_back(std::move(end));
+    }
+  }
+
+  sched.run_until(duration);
+
+  ExperimentResult res;
+  res.config = cfg;
+  double side_bps[2] = {0, 0};
+  std::vector<double> flow_bps;
+  flow_bps.reserve(ends.size());
+  for (const FlowEnd& end : ends) {
+    FlowResult fr;
+    fr.flow = end.sender->config().flow;
+    fr.sender = end.side;
+    fr.cca = end.sender->cc().name();
+    fr.throughput_bps =
+        static_cast<double>(end.receiver->delivered_bytes()) * 8.0 / duration.sec();
+    fr.retx_segments = end.sender->retx_segments();
+    fr.rtos = end.sender->stats().rtos;
+    fr.srtt_ms = end.sender->rtt().srtt().ms();
+    side_bps[end.side] += fr.throughput_bps;
+    res.retx_segments += fr.retx_segments;
+    res.rtos += fr.rtos;
+    flow_bps.push_back(fr.throughput_bps);
+    res.flows.push_back(std::move(fr));
+  }
+  res.sender_bps[0] = side_bps[0];
+  res.sender_bps[1] = side_bps[1];
+  res.jain2 = metrics::jain_index(std::span<const double>(side_bps, 2));
+  res.utilization = metrics::link_utilization(flow_bps, cfg.bottleneck_bps);
+  res.bottleneck = net.bottleneck().qdisc().stats();
+  res.events_executed = sched.executed_events();
+  res.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - wall_start).count();
+  return res;
+}
+
+AveragedResult average(const ExperimentConfig& cfg, const std::vector<ExperimentResult>& runs) {
+  AveragedResult avg;
+  avg.config = cfg;
+  avg.repetitions = static_cast<int>(runs.size());
+  if (runs.empty()) return avg;
+  avg.jain2 = 0;  // accumulator: clear the "trivially fair" default
+  for (const ExperimentResult& r : runs) {
+    avg.sender_bps[0] += r.sender_bps[0];
+    avg.sender_bps[1] += r.sender_bps[1];
+    avg.jain2 += r.jain2;
+    avg.utilization += r.utilization;
+    avg.retx_segments += static_cast<double>(r.retx_segments);
+    avg.rtos += static_cast<double>(r.rtos);
+  }
+  const double n = static_cast<double>(runs.size());
+  avg.sender_bps[0] /= n;
+  avg.sender_bps[1] /= n;
+  avg.jain2 /= n;
+  avg.utilization /= n;
+  avg.retx_segments /= n;
+  avg.rtos /= n;
+  return avg;
+}
+
+AveragedResult run_averaged(const ExperimentConfig& cfg, int reps, bool use_cache) {
+  std::vector<ExperimentResult> runs;
+  runs.reserve(reps);
+  for (int r = 0; r < reps; ++r) {
+    ExperimentConfig c = cfg;
+    c.seed = cfg.seed + static_cast<std::uint64_t>(r) * 1000003;
+    if (use_cache) {
+      if (auto cached = ResultCache::global().load(c)) {
+        runs.push_back(*std::move(cached));
+        continue;
+      }
+    }
+    ExperimentResult res = run_experiment(c);
+    if (use_cache) ResultCache::global().store(res);
+    runs.push_back(std::move(res));
+  }
+  return average(cfg, runs);
+}
+
+int default_repetitions() {
+  if (const char* env = std::getenv("ELEPHANT_REPS")) {
+    const int v = std::atoi(env);
+    if (v > 0) return v;
+  }
+  return 1;
+}
+
+}  // namespace elephant::exp

@@ -1,0 +1,64 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "aqm/queue_disc.hpp"
+#include "exp/config.hpp"
+
+namespace elephant::exp {
+
+/// Per-flow outcome of one run.
+struct FlowResult {
+  std::uint32_t flow = 0;
+  int sender = 0;  ///< 0 = client1/cca1, 1 = client2/cca2
+  std::string cca;
+  double throughput_bps = 0;     ///< receiver goodput over the full run
+  std::uint64_t retx_segments = 0;
+  std::uint64_t rtos = 0;
+  double srtt_ms = 0;
+};
+
+/// Aggregate outcome of one run (one repetition of one configuration).
+struct ExperimentResult {
+  ExperimentConfig config;
+  std::vector<FlowResult> flows;
+
+  double sender_bps[2] = {0, 0};   ///< per-sender aggregate throughput (S1, S2)
+  double jain2 = 1.0;              ///< per-sender Jain index (Eq. 2, n = 2)
+  double utilization = 0;          ///< φ (Eq. 3)
+  std::uint64_t retx_segments = 0; ///< Σ retransmitted segments (Fig. 8 metric)
+  std::uint64_t rtos = 0;
+  aqm::QueueStats bottleneck;
+
+  std::uint64_t events_executed = 0;
+  double wall_seconds = 0;
+};
+
+/// Repetition-averaged view (the paper averages 5 runs per configuration).
+struct AveragedResult {
+  ExperimentConfig config;
+  int repetitions = 0;
+  double sender_bps[2] = {0, 0};
+  double jain2 = 1.0;
+  double utilization = 0;
+  double retx_segments = 0;
+  double rtos = 0;
+};
+
+/// Execute one configuration once (seed taken from the config).
+[[nodiscard]] ExperimentResult run_experiment(const ExperimentConfig& cfg);
+
+/// Execute `reps` repetitions with derived seeds and average. Uses the
+/// on-disk cache (see cache.hpp) unless it is disabled.
+[[nodiscard]] AveragedResult run_averaged(const ExperimentConfig& cfg, int reps,
+                                          bool use_cache = true);
+
+[[nodiscard]] AveragedResult average(const ExperimentConfig& cfg,
+                                     const std::vector<ExperimentResult>& runs);
+
+/// Repetition count for benches: ELEPHANT_REPS env var, default 1.
+[[nodiscard]] int default_repetitions();
+
+}  // namespace elephant::exp

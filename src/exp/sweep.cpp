@@ -1,0 +1,79 @@
+#include "exp/sweep.hpp"
+
+#include <atomic>
+#include <mutex>
+#include <thread>
+
+namespace elephant::exp {
+
+std::vector<ExperimentConfig> make_matrix(
+    const std::vector<std::pair<cca::CcaKind, cca::CcaKind>>& pairs,
+    const std::vector<aqm::AqmKind>& aqms, const std::vector<double>& buffer_bdps,
+    const std::vector<double>& bandwidths, std::uint64_t seed) {
+  std::vector<ExperimentConfig> out;
+  out.reserve(pairs.size() * aqms.size() * buffer_bdps.size() * bandwidths.size());
+  for (const auto& [c1, c2] : pairs) {
+    for (const aqm::AqmKind aqm : aqms) {
+      for (const double bdp : buffer_bdps) {
+        for (const double bw : bandwidths) {
+          ExperimentConfig cfg;
+          cfg.cca1 = c1;
+          cfg.cca2 = c2;
+          cfg.aqm = aqm;
+          cfg.buffer_bdp = bdp;
+          cfg.bottleneck_bps = bw;
+          cfg.seed = seed;
+          out.push_back(cfg);
+        }
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<ExperimentConfig> paper_matrix(std::uint64_t seed) {
+  return make_matrix(paper_cca_pairs(), paper_aqms(), paper_buffer_bdps(), paper_bandwidths(),
+                     seed);
+}
+
+std::vector<AveragedResult> run_sweep(const std::vector<ExperimentConfig>& configs,
+                                      const SweepOptions& options) {
+  std::vector<AveragedResult> results(configs.size());
+  if (configs.empty()) return results;
+
+  int threads = options.threads;
+  if (threads <= 0) {
+    threads = static_cast<int>(std::thread::hardware_concurrency());
+    if (threads <= 0) threads = 1;
+  }
+  threads = std::min<int>(threads, static_cast<int>(configs.size()));
+
+  std::atomic<std::size_t> next{0};
+  std::atomic<std::size_t> done{0};
+  std::mutex report_mu;
+
+  auto worker = [&] {
+    while (true) {
+      const std::size_t i = next.fetch_add(1);
+      if (i >= configs.size()) return;
+      results[i] = run_averaged(configs[i], options.repetitions, options.use_cache);
+      const std::size_t d = done.fetch_add(1) + 1;
+      if (options.on_result) {
+        std::lock_guard lock(report_mu);
+        options.on_result(results[i], d, configs.size());
+      }
+    }
+  };
+
+  if (threads == 1) {
+    worker();
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(threads);
+    for (int t = 0; t < threads; ++t) pool.emplace_back(worker);
+    for (std::thread& t : pool) t.join();
+  }
+  return results;
+}
+
+}  // namespace elephant::exp

@@ -1,0 +1,36 @@
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "exp/config.hpp"
+#include "exp/runner.hpp"
+
+namespace elephant::exp {
+
+/// Cartesian experiment matrix builder. With the paper's axes this yields
+/// the full 810-configuration grid of Table 1.
+[[nodiscard]] std::vector<ExperimentConfig> make_matrix(
+    const std::vector<std::pair<cca::CcaKind, cca::CcaKind>>& pairs,
+    const std::vector<aqm::AqmKind>& aqms, const std::vector<double>& buffer_bdps,
+    const std::vector<double>& bandwidths, std::uint64_t seed = 42);
+
+/// The full paper matrix (9 pairs × 3 AQMs × 6 buffers × 5 bandwidths).
+[[nodiscard]] std::vector<ExperimentConfig> paper_matrix(std::uint64_t seed = 42);
+
+struct SweepOptions {
+  int repetitions = 1;
+  int threads = 0;  ///< 0 → hardware concurrency
+  bool use_cache = true;
+  /// Called after each config completes (from the submitting thread order is
+  /// not guaranteed); `done`/`total` enable progress reporting.
+  std::function<void(const AveragedResult&, std::size_t done, std::size_t total)> on_result;
+};
+
+/// Run a batch of configurations, optionally in parallel (each run owns its
+/// scheduler and RNG, so runs are embarrassingly parallel). Results are
+/// returned in input order.
+[[nodiscard]] std::vector<AveragedResult> run_sweep(const std::vector<ExperimentConfig>& configs,
+                                                    const SweepOptions& options = {});
+
+}  // namespace elephant::exp

@@ -1,0 +1,24 @@
+#include "metrics/fairness.hpp"
+
+namespace elephant::metrics {
+
+double jain_index(std::span<const double> shares) {
+  if (shares.empty()) return 1.0;
+  double sum = 0;
+  double sum_sq = 0;
+  for (const double s : shares) {
+    sum += s;
+    sum_sq += s * s;
+  }
+  if (sum_sq <= 0) return 1.0;
+  return (sum * sum) / (static_cast<double>(shares.size()) * sum_sq);
+}
+
+double link_utilization(std::span<const double> throughputs_bps, double bottleneck_bps) {
+  if (bottleneck_bps <= 0) return 0.0;
+  double total = 0;
+  for (const double t : throughputs_bps) total += t;
+  return total / bottleneck_bps;
+}
+
+}  // namespace elephant::metrics

@@ -1,0 +1,17 @@
+#pragma once
+
+#include <span>
+
+namespace elephant::metrics {
+
+/// Jain's fairness index (paper Eq. 2):
+///   J = (Σ S_i)² / (n · Σ S_i²),  J ∈ [1/n, 1], 1 = perfectly fair.
+/// Returns 1.0 for degenerate inputs (0 or all-zero shares), matching the
+/// convention that an empty bottleneck is trivially fair.
+[[nodiscard]] double jain_index(std::span<const double> shares);
+
+/// Overall link utilization φ (paper Eq. 3): Σ throughput / bottleneck BW.
+[[nodiscard]] double link_utilization(std::span<const double> throughputs_bps,
+                                      double bottleneck_bps);
+
+}  // namespace elephant::metrics

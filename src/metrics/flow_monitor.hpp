@@ -1,0 +1,60 @@
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "sim/scheduler.hpp"
+#include "tcp/flow.hpp"
+
+namespace elephant::metrics {
+
+/// One telemetry sample of a flow's transport state.
+struct FlowSample {
+  sim::Time t;
+  double cwnd_segments = 0;
+  double pipe_segments = 0;
+  double srtt_ms = 0;
+  double pacing_bps = 0;
+  double goodput_bps = 0;       ///< receiver goodput over the last interval
+  std::uint64_t retx_units = 0; ///< cumulative
+  std::uint64_t rtos = 0;       ///< cumulative
+};
+
+/// Periodic per-flow telemetry — the simulated counterpart of the iperf3 +
+/// `ss -ti` logs the paper publishes as its dataset contribution. Attach to
+/// any number of flows; samples accumulate in memory and can be dumped as a
+/// tidy CSV for offline analysis or ML training.
+class FlowMonitor {
+ public:
+  FlowMonitor(sim::Scheduler& sched, sim::Time interval)
+      : sched_(sched), interval_(interval) {}
+
+  /// Register a flow. The caller keeps ownership; the flow must outlive the
+  /// monitor's sampling (i.e. the scheduler run).
+  void watch(const tcp::Flow& flow, std::string label = {});
+
+  /// Begin sampling; the first sample lands one interval from now.
+  void start();
+
+  struct Series {
+    const tcp::Flow* flow;
+    std::string label;
+    std::vector<FlowSample> samples;
+  };
+  [[nodiscard]] const std::vector<Series>& series() const { return series_; }
+
+  /// Tidy CSV: label,flow,t_s,cwnd,pipe,srtt_ms,pacing_bps,goodput_bps,retx,rtos
+  void write_csv(std::ostream& out) const;
+
+ private:
+  void sample_all();
+
+  sim::Scheduler& sched_;
+  sim::Time interval_;
+  std::vector<Series> series_;
+  std::vector<double> last_delivered_bytes_;
+  bool started_ = false;
+};
+
+}  // namespace elephant::metrics

@@ -1,0 +1,52 @@
+#include "metrics/queue_monitor.hpp"
+
+#include <algorithm>
+
+namespace elephant::metrics {
+
+void QueueMonitor::start() {
+  if (started_) return;
+  started_ = true;
+  sched_.schedule_in(interval_, [this] { sample(); });
+}
+
+void QueueMonitor::sample() {
+  QueueSample s;
+  s.t = sched_.now();
+  s.backlog_bytes = port_.qdisc().byte_length();
+  s.backlog_packets = port_.qdisc().packet_length();
+  const auto& st = port_.qdisc().stats();
+  s.dropped_overflow = st.dropped_overflow;
+  s.dropped_early = st.dropped_early;
+  s.ecn_marked = st.ecn_marked;
+  s.tx_bytes = port_.tx_bytes();
+  const double sent = static_cast<double>(s.tx_bytes - last_tx_bytes_);
+  s.utilization = sent * 8.0 / (port_.rate_bps() * interval_.sec());
+  last_tx_bytes_ = s.tx_bytes;
+  samples_.push_back(s);
+  sched_.schedule_in(interval_, [this] { sample(); });
+}
+
+std::size_t QueueMonitor::max_backlog_bytes() const {
+  std::size_t best = 0;
+  for (const QueueSample& s : samples_) best = std::max(best, s.backlog_bytes);
+  return best;
+}
+
+double QueueMonitor::mean_utilization() const {
+  if (samples_.empty()) return 0;
+  double sum = 0;
+  for (const QueueSample& s : samples_) sum += s.utilization;
+  return sum / static_cast<double>(samples_.size());
+}
+
+void QueueMonitor::write_csv(std::ostream& out) const {
+  out << "t_s,backlog_bytes,backlog_pkts,drop_overflow,drop_early,ecn_marked,utilization\n";
+  for (const QueueSample& s : samples_) {
+    out << s.t.sec() << ',' << s.backlog_bytes << ',' << s.backlog_packets << ','
+        << s.dropped_overflow << ',' << s.dropped_early << ',' << s.ecn_marked << ','
+        << s.utilization << '\n';
+  }
+}
+
+}  // namespace elephant::metrics

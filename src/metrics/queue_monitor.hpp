@@ -1,0 +1,54 @@
+#pragma once
+
+#include <ostream>
+#include <vector>
+
+#include "net/port.hpp"
+#include "sim/scheduler.hpp"
+
+namespace elephant::metrics {
+
+/// One telemetry sample of a router port's queue.
+struct QueueSample {
+  sim::Time t;
+  std::size_t backlog_bytes = 0;
+  std::size_t backlog_packets = 0;
+  std::uint64_t dropped_overflow = 0;  ///< cumulative
+  std::uint64_t dropped_early = 0;     ///< cumulative
+  std::uint64_t ecn_marked = 0;        ///< cumulative
+  std::uint64_t tx_bytes = 0;          ///< cumulative
+  double utilization = 0;              ///< of link rate, over the last interval
+};
+
+/// Periodic router-queue telemetry — the "detailed router logs" the paper's
+/// conclusion wants for understanding AQM-internal behaviour. Attach to any
+/// Port (normally the bottleneck) and dump a CSV next to FlowMonitor's.
+class QueueMonitor {
+ public:
+  QueueMonitor(sim::Scheduler& sched, const net::Port& port, sim::Time interval)
+      : sched_(sched), port_(port), interval_(interval) {}
+
+  void start();
+
+  [[nodiscard]] const std::vector<QueueSample>& samples() const { return samples_; }
+
+  /// Peak backlog observed at sampling instants.
+  [[nodiscard]] std::size_t max_backlog_bytes() const;
+  /// Mean utilization across sampled intervals.
+  [[nodiscard]] double mean_utilization() const;
+
+  /// Tidy CSV: t_s,backlog_bytes,backlog_pkts,drop_overflow,drop_early,ecn,utilization
+  void write_csv(std::ostream& out) const;
+
+ private:
+  void sample();
+
+  sim::Scheduler& sched_;
+  const net::Port& port_;
+  sim::Time interval_;
+  std::vector<QueueSample> samples_;
+  std::uint64_t last_tx_bytes_ = 0;
+  bool started_ = false;
+};
+
+}  // namespace elephant::metrics

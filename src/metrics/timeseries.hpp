@@ -1,0 +1,56 @@
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "sim/scheduler.hpp"
+#include "sim/time.hpp"
+
+namespace elephant::metrics {
+
+/// Periodic sampler: polls a probe every `interval` of simulation time and
+/// records (t, value) points — the building block for per-second throughput
+/// traces like iperf3's interval reports.
+class TimeSeries {
+ public:
+  using Probe = std::function<double()>;
+
+  TimeSeries(sim::Scheduler& sched, sim::Time interval, Probe probe)
+      : sched_(sched), interval_(interval), probe_(std::move(probe)) {}
+
+  /// Begin sampling; the first sample is taken one interval from now.
+  void start() { arm(); }
+
+  struct Point {
+    sim::Time t;
+    double value;
+  };
+  [[nodiscard]] const std::vector<Point>& points() const { return points_; }
+
+  /// Convenience: successive differences (e.g. bytes → per-interval bytes).
+  [[nodiscard]] std::vector<Point> deltas() const {
+    std::vector<Point> out;
+    out.reserve(points_.size());
+    double prev = 0;
+    for (const Point& p : points_) {
+      out.push_back({p.t, p.value - prev});
+      prev = p.value;
+    }
+    return out;
+  }
+
+ private:
+  void arm() {
+    sched_.schedule_in(interval_, [this] {
+      points_.push_back({sched_.now(), probe_()});
+      arm();
+    });
+  }
+
+  sim::Scheduler& sched_;
+  sim::Time interval_;
+  Probe probe_;
+  std::vector<Point> points_;
+};
+
+}  // namespace elephant::metrics

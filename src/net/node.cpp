@@ -1,0 +1,33 @@
+#include "net/node.hpp"
+
+#include <utility>
+
+#include "net/port.hpp"
+
+namespace elephant::net {
+
+void Router::receive(Packet&& p) {
+  auto it = routes_.find(p.dst);
+  if (it == routes_.end()) {
+    ++no_route_drops_;
+    return;
+  }
+  ++forwarded_;
+  it->second->send(std::move(p));
+}
+
+void Host::transmit(Packet&& p) {
+  if (nic_ != nullptr) nic_->send(std::move(p));
+}
+
+void Host::receive(Packet&& p) {
+  auto it = endpoints_.find(p.flow);
+  if (it == endpoints_.end()) {
+    ++no_endpoint_drops_;
+    return;
+  }
+  ++delivered_;
+  it->second->on_packet(std::move(p));
+}
+
+}  // namespace elephant::net

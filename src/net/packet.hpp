@@ -1,0 +1,57 @@
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "sim/time.hpp"
+
+namespace elephant::net {
+
+using NodeId = std::uint32_t;
+using FlowId = std::uint32_t;
+
+/// Half-open range of SACKed segment indices [start, end).
+struct SackBlock {
+  std::uint64_t start = 0;
+  std::uint64_t end = 0;
+  [[nodiscard]] bool empty() const { return start >= end; }
+};
+
+/// A simulated packet.
+///
+/// The TCP model is segment-granular: `seq` is the index of the first MSS
+/// segment carried, and `segments` the number of consecutive segments this
+/// packet aggregates (TSO/GRO-style super-segments at high bandwidth;
+/// 1 at low bandwidth). `size` is the on-wire byte count used for all
+/// queueing and serialization arithmetic.
+struct Packet {
+  FlowId flow = 0;
+  NodeId src = 0;
+  NodeId dst = 0;
+
+  std::uint64_t seq = 0;       ///< first segment index (data packets)
+  std::uint32_t segments = 1;  ///< number of MSS segments aggregated
+  std::uint32_t size = 0;      ///< bytes on the wire
+
+  bool is_ack = false;
+  bool retx = false;         ///< retransmission (for tracing/accounting)
+  bool ecn_capable = false;  ///< ECT set by sender
+  bool ecn_marked = false;   ///< CE set by an AQM
+
+  // --- ACK fields (valid when is_ack) ---
+  std::uint64_t ack = 0;  ///< cumulative: next segment expected by receiver
+  std::array<SackBlock, 3> sacks{};
+  std::uint8_t n_sacks = 0;
+  bool ece = false;  ///< ECN-echo: receiver saw a CE mark
+
+  sim::Time sent_time{};     ///< timestamp at the original sender
+  sim::Time enqueue_time{};  ///< set by AQMs to measure sojourn time
+};
+
+/// On-wire overhead added to every data segment (Ethernet + IP + TCP headers,
+/// matching the jumbo-frame accounting in the paper: 8900-byte frames).
+inline constexpr std::uint32_t kHeaderBytes = 66;
+/// Pure-ACK wire size.
+inline constexpr std::uint32_t kAckBytes = 66;
+
+}  // namespace elephant::net

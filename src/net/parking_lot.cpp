@@ -1,0 +1,105 @@
+#include "net/parking_lot.hpp"
+
+#include <cassert>
+
+#include "aqm/fifo.hpp"
+
+namespace elephant::net {
+
+Port* ParkingLot::add_port(std::unique_ptr<aqm::QueueDisc> q, double bps, sim::Time delay,
+                           Node* to, std::string name) {
+  ports_.push_back(std::make_unique<Port>(sched_, std::move(q), bps, delay, std::move(name)));
+  Port* p = ports_.back().get();
+  p->connect(to);
+  return p;
+}
+
+ParkingLot::ParkingLot(sim::Scheduler& sched, const ParkingLotConfig& cfg)
+    : sched_(sched), cfg_(cfg) {
+  assert(cfg_.hops >= 1);
+
+  // Node ids: routers 100..100+hops, long endpoints 1/2, cross hosts from 10.
+  for (int i = 0; i <= cfg_.hops; ++i) {
+    routers_.push_back(std::make_unique<Router>(100 + i, "r" + std::to_string(i)));
+  }
+  long_src_ = std::make_unique<Host>(1, "long-src");
+  long_dst_ = std::make_unique<Host>(2, "long-dst");
+  for (int i = 0; i < cfg_.hops; ++i) {
+    cross_src_.push_back(std::make_unique<Host>(10 + 2 * i, "cross-src" + std::to_string(i)));
+    cross_dst_.push_back(std::make_unique<Host>(11 + 2 * i, "cross-dst" + std::to_string(i)));
+  }
+
+  auto fifo = [&] { return std::make_unique<aqm::FifoQueue>(sched_, cfg_.access_buffer_bytes); };
+
+  // Long endpoints attach to the chain's ends.
+  Port* long_up = add_port(fifo(), cfg_.access_bps, cfg_.access_delay, routers_.front().get(),
+                           "long-src->r0");
+  long_src_->attach_nic(long_up);
+  Port* rN_long = add_port(fifo(), cfg_.access_bps, cfg_.access_delay, long_dst_.get(),
+                           "rN->long-dst");
+  Port* r0_long = add_port(fifo(), cfg_.access_bps, cfg_.access_delay, long_src_.get(),
+                           "r0->long-src");
+  Port* long_back = add_port(fifo(), cfg_.access_bps, cfg_.access_delay, routers_.back().get(),
+                             "long-dst->rN");
+  long_dst_->attach_nic(long_back);
+
+  // The chain itself: forward shaped bottlenecks, reverse line-rate links.
+  std::vector<Port*> fwd(cfg_.hops);
+  std::vector<Port*> rev(cfg_.hops);
+  for (int i = 0; i < cfg_.hops; ++i) {
+    fwd[i] = add_port(aqm::make_queue_disc(cfg_.aqm, sched_, cfg_.buffer_bytes_per_hop,
+                                           cfg_.seed + i, cfg_.aqm_options),
+                      cfg_.bottleneck_bps, cfg_.hop_delay, routers_[i + 1].get(),
+                      "r" + std::to_string(i) + "->r" + std::to_string(i + 1));
+    rev[i] = add_port(fifo(), cfg_.access_bps, cfg_.hop_delay, routers_[i].get(),
+                      "r" + std::to_string(i + 1) + "->r" + std::to_string(i));
+    bottlenecks_.push_back(fwd[i]);
+  }
+
+  // Cross hosts: src enters at r_i, dst hangs off r_{i+1}.
+  std::vector<Port*> cross_in(cfg_.hops);
+  std::vector<Port*> cross_out(cfg_.hops);
+  std::vector<Port*> cross_back_in(cfg_.hops);
+  std::vector<Port*> cross_back_out(cfg_.hops);
+  for (int i = 0; i < cfg_.hops; ++i) {
+    cross_in[i] = add_port(fifo(), cfg_.access_bps, cfg_.access_delay, routers_[i].get(),
+                           "cross-src->r" + std::to_string(i));
+    cross_src_[i]->attach_nic(cross_in[i]);
+    cross_out[i] = add_port(fifo(), cfg_.access_bps, cfg_.access_delay, cross_dst_[i].get(),
+                            "r" + std::to_string(i + 1) + "->cross-dst");
+    cross_back_in[i] = add_port(fifo(), cfg_.access_bps, cfg_.access_delay,
+                                routers_[i + 1].get(), "cross-dst->r");
+    cross_dst_[i]->attach_nic(cross_back_in[i]);
+    cross_back_out[i] = add_port(fifo(), cfg_.access_bps, cfg_.access_delay,
+                                 cross_src_[i].get(), "r->cross-src");
+  }
+
+  // Routing. Forward direction: long_dst (2) reachable by walking the chain;
+  // cross_dst_i (11+2i) exits at router i+1. Reverse: long_src (1) back down
+  // the chain; cross_src_i (10+2i) exits at router i.
+  for (int r = 0; r <= cfg_.hops; ++r) {
+    Router& router = *routers_[r];
+    if (r < cfg_.hops) router.set_route(2, fwd[r]);
+    if (r == cfg_.hops) router.set_route(2, rN_long);
+    if (r > 0) router.set_route(1, rev[r - 1]);
+    if (r == 0) router.set_route(1, r0_long);
+    for (int i = 0; i < cfg_.hops; ++i) {
+      const NodeId dst = 11 + 2 * i;
+      const NodeId src = 10 + 2 * i;
+      // Data toward cross_dst_i: forward until router i+1, then out.
+      if (r < i + 1) {
+        router.set_route(dst, fwd[r]);
+      } else if (r == i + 1) {
+        router.set_route(dst, cross_out[i]);
+      }
+      // ACKs toward cross_src_i: backward until router i, then out.
+      if (r > i) {
+        router.set_route(src, rev[r - 1]);
+      } else if (r == i) {
+        router.set_route(src, cross_back_out[i]);
+      }
+    }
+  }
+}
+
+}  // namespace elephant::net

@@ -1,0 +1,74 @@
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "aqm/factory.hpp"
+#include "net/node.hpp"
+#include "net/port.hpp"
+#include "sim/scheduler.hpp"
+#include "sim/time.hpp"
+
+namespace elephant::net {
+
+/// Parking-lot chain configuration: `hops` identical bottleneck links in a
+/// row, one long path crossing all of them, and one cross-traffic host pair
+/// per hop. The standard topology for studying multi-bottleneck sharing and
+/// RTT unfairness — the "varying RTTs" extension the paper's conclusion
+/// names (a long flow sees `hops`× the queueing of each cross flow).
+struct ParkingLotConfig {
+  int hops = 3;
+  double bottleneck_bps = 1e9;
+  double access_bps = 25e9;
+  sim::Time hop_delay = sim::Time::milliseconds(10);   ///< per bottleneck hop
+  sim::Time access_delay = sim::Time::milliseconds(1); ///< host ↔ router
+
+  aqm::AqmKind aqm = aqm::AqmKind::kFifo;
+  std::size_t buffer_bytes_per_hop = 1 << 22;
+  aqm::AqmOptions aqm_options{};
+  std::size_t access_buffer_bytes = std::size_t{256} << 20;
+  std::uint64_t seed = 1;
+};
+
+/// The assembled chain:
+///
+///   long_src ─ r0 ══ r1 ══ r2 ══ … ══ rN ─ long_dst
+///              │      │      │
+///        cross_src_i arrives at r_i, exits at r_{i+1} to cross_dst_i
+///
+/// Every r_i → r_{i+1} link is a shaped bottleneck with the configured AQM.
+class ParkingLot {
+ public:
+  ParkingLot(sim::Scheduler& sched, const ParkingLotConfig& cfg);
+
+  [[nodiscard]] Host& long_src() { return *long_src_; }
+  [[nodiscard]] Host& long_dst() { return *long_dst_; }
+  [[nodiscard]] Host& cross_src(int hop) { return *cross_src_.at(hop); }
+  [[nodiscard]] Host& cross_dst(int hop) { return *cross_dst_.at(hop); }
+  [[nodiscard]] Port& bottleneck(int hop) { return *bottlenecks_.at(hop); }
+  [[nodiscard]] int hops() const { return cfg_.hops; }
+
+  /// Propagation RTT of the long path (all hops) and of one hop's cross path.
+  [[nodiscard]] sim::Time long_rtt() const {
+    return 2 * (2 * cfg_.access_delay + cfg_.hop_delay * cfg_.hops);
+  }
+  [[nodiscard]] sim::Time cross_rtt() const {
+    return 2 * (2 * cfg_.access_delay + cfg_.hop_delay);
+  }
+
+ private:
+  Port* add_port(std::unique_ptr<aqm::QueueDisc> q, double bps, sim::Time delay, Node* to,
+                 std::string name);
+
+  sim::Scheduler& sched_;
+  ParkingLotConfig cfg_;
+  std::vector<std::unique_ptr<Router>> routers_;
+  std::unique_ptr<Host> long_src_;
+  std::unique_ptr<Host> long_dst_;
+  std::vector<std::unique_ptr<Host>> cross_src_;
+  std::vector<std::unique_ptr<Host>> cross_dst_;
+  std::vector<std::unique_ptr<Port>> ports_;
+  std::vector<Port*> bottlenecks_;
+};
+
+}  // namespace elephant::net

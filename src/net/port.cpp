@@ -1,0 +1,47 @@
+#include "net/port.hpp"
+
+#include <cassert>
+#include <utility>
+
+#include "net/node.hpp"
+
+namespace elephant::net {
+
+Port::Port(sim::Scheduler& sched, std::unique_ptr<aqm::QueueDisc> qdisc, double rate_bps,
+           sim::Time propagation, std::string name)
+    : sched_(sched),
+      qdisc_(std::move(qdisc)),
+      rate_bps_(rate_bps),
+      propagation_(propagation),
+      name_(std::move(name)) {
+  assert(rate_bps_ > 0.0);
+}
+
+void Port::send(Packet&& p) {
+  qdisc_->enqueue(std::move(p));
+  try_transmit();
+}
+
+void Port::try_transmit() {
+  if (busy_) return;
+  auto next = qdisc_->dequeue();
+  if (!next) return;
+
+  busy_ = true;
+  const sim::Time tx = sim::transmission_time(next->size, rate_bps_);
+  ++tx_packets_;
+  tx_bytes_ += next->size;
+
+  // The link frees after serialization; the packet lands after serialization
+  // plus propagation. Two events, both relative to now.
+  sched_.schedule_in(tx, [this] {
+    busy_ = false;
+    try_transmit();
+  });
+  sched_.schedule_in(tx + propagation_, [this, pkt = std::move(*next)]() mutable {
+    assert(peer_ != nullptr && "port not connected");
+    peer_->receive(std::move(pkt));
+  });
+}
+
+}  // namespace elephant::net

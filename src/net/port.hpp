@@ -1,0 +1,57 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "aqm/queue_disc.hpp"
+#include "net/packet.hpp"
+#include "sim/scheduler.hpp"
+#include "sim/time.hpp"
+
+namespace elephant::net {
+
+class Node;
+
+/// An egress port: a queue discipline feeding a serializing link.
+///
+/// Models one direction of a physical link — a rate (bits/s), a propagation
+/// delay, and the attached queue. The paper's bottleneck is reproduced by
+/// giving router1's port toward router2 the configured rate and AQM; every
+/// other port gets line rate and a deep drop-tail queue.
+class Port {
+ public:
+  Port(sim::Scheduler& sched, std::unique_ptr<aqm::QueueDisc> qdisc, double rate_bps,
+       sim::Time propagation, std::string name);
+
+  /// Hand a packet to this port. It is queued (or dropped by the AQM) and
+  /// serialized onto the link as capacity allows.
+  void send(Packet&& p);
+
+  void connect(Node* peer) { peer_ = peer; }
+
+  [[nodiscard]] aqm::QueueDisc& qdisc() { return *qdisc_; }
+  [[nodiscard]] const aqm::QueueDisc& qdisc() const { return *qdisc_; }
+  [[nodiscard]] double rate_bps() const { return rate_bps_; }
+  [[nodiscard]] sim::Time propagation() const { return propagation_; }
+  [[nodiscard]] const std::string& name() const { return name_; }
+
+  [[nodiscard]] std::uint64_t tx_packets() const { return tx_packets_; }
+  [[nodiscard]] std::uint64_t tx_bytes() const { return tx_bytes_; }
+
+ private:
+  void try_transmit();
+
+  sim::Scheduler& sched_;
+  std::unique_ptr<aqm::QueueDisc> qdisc_;
+  double rate_bps_;
+  sim::Time propagation_;
+  std::string name_;
+  Node* peer_ = nullptr;
+  bool busy_ = false;
+
+  std::uint64_t tx_packets_ = 0;
+  std::uint64_t tx_bytes_ = 0;
+};
+
+}  // namespace elephant::net

@@ -1,0 +1,37 @@
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+namespace elephant::sim {
+
+/// Deterministic pseudo-random source: xoshiro256++ seeded via splitmix64.
+///
+/// Every experiment run owns exactly one Rng seeded from the experiment
+/// configuration, so repeated runs are bit-reproducible regardless of
+/// platform or standard-library version (std::mt19937 distributions are not
+/// portable across implementations).
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed);
+
+  /// Uniform 64-bit value.
+  std::uint64_t next_u64();
+
+  /// Uniform double in [0, 1).
+  double next_double();
+
+  /// Uniform integer in [0, bound) using Lemire's rejection method.
+  std::uint64_t next_below(std::uint64_t bound);
+
+  /// Exponentially distributed value with the given mean.
+  double next_exponential(double mean);
+
+  /// Derive an independent child stream (used to give each flow its own RNG).
+  Rng split();
+
+ private:
+  std::array<std::uint64_t, 4> s_{};
+};
+
+}  // namespace elephant::sim

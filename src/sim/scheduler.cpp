@@ -1,0 +1,55 @@
+#include "sim/scheduler.hpp"
+
+#include <cassert>
+#include <utility>
+
+namespace elephant::sim {
+
+EventId Scheduler::schedule_at(Time at, Callback cb) {
+  assert(at >= now_ && "cannot schedule events in the past");
+  const std::uint64_t seq = next_seq_++;
+  queue_.push(Entry{at, seq, std::move(cb)});
+  return EventId{seq};
+}
+
+void Scheduler::cancel(EventId id) {
+  if (id.valid()) cancelled_.insert(id.value);
+}
+
+bool Scheduler::pop_one(Time deadline) {
+  while (!queue_.empty()) {
+    const Entry& top = queue_.top();
+    if (top.at > deadline) return false;
+    if (auto it = cancelled_.find(top.seq); it != cancelled_.end()) {
+      cancelled_.erase(it);
+      queue_.pop();
+      continue;
+    }
+    // Move the callback out before popping so it may schedule new events.
+    Entry entry = std::move(const_cast<Entry&>(top));
+    queue_.pop();
+    now_ = entry.at;
+    ++executed_;
+    entry.cb();
+    return true;
+  }
+  return false;
+}
+
+void Scheduler::run() {
+  while (pop_one(Time::max())) {
+  }
+}
+
+void Scheduler::run_until(Time deadline) {
+  while (pop_one(deadline)) {
+  }
+  if (now_ < deadline) now_ = deadline;
+}
+
+void Scheduler::clear() {
+  queue_ = {};
+  cancelled_.clear();
+}
+
+}  // namespace elephant::sim

@@ -1,0 +1,74 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace elephant::sim {
+
+/// Opaque handle to a scheduled event; used to cancel timers.
+struct EventId {
+  std::uint64_t value = 0;
+  [[nodiscard]] bool valid() const { return value != 0; }
+};
+
+/// Discrete-event scheduler: a time-ordered queue of callbacks.
+///
+/// Events scheduled for the same instant fire in scheduling order (FIFO
+/// tie-break via a monotone sequence number), which keeps runs deterministic.
+/// Cancellation is lazy: cancelled ids are remembered and skipped at pop
+/// time, so cancel() is O(1) and the heap is never restructured.
+class Scheduler {
+ public:
+  using Callback = std::function<void()>;
+
+  /// Current simulation time. Advances only inside run()/run_until().
+  [[nodiscard]] Time now() const { return now_; }
+
+  /// Schedule `cb` at absolute time `at` (must not be in the past).
+  EventId schedule_at(Time at, Callback cb);
+
+  /// Schedule `cb` after `delay` from now.
+  EventId schedule_in(Time delay, Callback cb) { return schedule_at(now_ + delay, cb); }
+
+  /// Cancel a pending event. Cancelling an already-fired or invalid id is a no-op.
+  void cancel(EventId id);
+
+  /// Run until the queue is empty.
+  void run();
+
+  /// Run until the queue is empty or simulation time would exceed `deadline`.
+  /// On return now() == min(deadline, time of last event).
+  void run_until(Time deadline);
+
+  /// Drop every pending event (used when tearing down a run early).
+  void clear();
+
+  [[nodiscard]] std::size_t pending_events() const { return queue_.size() - cancelled_.size(); }
+  [[nodiscard]] std::uint64_t executed_events() const { return executed_; }
+
+ private:
+  struct Entry {
+    Time at;
+    std::uint64_t seq;
+    Callback cb;
+    bool operator>(const Entry& rhs) const {
+      if (at != rhs.at) return at > rhs.at;
+      return seq > rhs.seq;
+    }
+  };
+
+  bool pop_one(Time deadline);
+
+  Time now_ = Time::zero();
+  std::uint64_t next_seq_ = 1;
+  std::uint64_t executed_ = 0;
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> queue_;
+  std::unordered_set<std::uint64_t> cancelled_;
+};
+
+}  // namespace elephant::sim

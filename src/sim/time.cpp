@@ -1,0 +1,23 @@
+#include "sim/time.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+namespace elephant::sim {
+
+std::string Time::to_string() const {
+  char buf[48];
+  const double abs_ns = std::abs(static_cast<double>(ns_));
+  if (abs_ns >= 1e9) {
+    std::snprintf(buf, sizeof(buf), "%.6gs", sec());
+  } else if (abs_ns >= 1e6) {
+    std::snprintf(buf, sizeof(buf), "%.6gms", ms());
+  } else if (abs_ns >= 1e3) {
+    std::snprintf(buf, sizeof(buf), "%.6gus", us());
+  } else {
+    std::snprintf(buf, sizeof(buf), "%lldns", static_cast<long long>(ns_));
+  }
+  return buf;
+}
+
+}  // namespace elephant::sim

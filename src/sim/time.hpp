@@ -1,0 +1,75 @@
+#pragma once
+
+#include <cstdint>
+#include <compare>
+#include <type_traits>
+#include <limits>
+#include <string>
+
+namespace elephant::sim {
+
+/// Simulation time with nanosecond resolution.
+///
+/// A strong wrapper around a signed 64-bit nanosecond count. Signed so that
+/// differences (e.g. RTT estimates, negative slack) are representable without
+/// surprises. 2^63 ns is ~292 years, far beyond any experiment length.
+class Time {
+ public:
+  constexpr Time() = default;
+
+  [[nodiscard]] static constexpr Time nanoseconds(std::int64_t ns) { return Time(ns); }
+  [[nodiscard]] static constexpr Time microseconds(std::int64_t us) { return Time(us * 1'000); }
+  [[nodiscard]] static constexpr Time milliseconds(std::int64_t ms) { return Time(ms * 1'000'000); }
+  [[nodiscard]] static constexpr Time seconds(double s) {
+    return Time(static_cast<std::int64_t>(s * 1e9));
+  }
+  [[nodiscard]] static constexpr Time zero() { return Time(0); }
+  [[nodiscard]] static constexpr Time max() {
+    return Time(std::numeric_limits<std::int64_t>::max());
+  }
+
+  [[nodiscard]] constexpr std::int64_t ns() const { return ns_; }
+  [[nodiscard]] constexpr double us() const { return static_cast<double>(ns_) / 1e3; }
+  [[nodiscard]] constexpr double ms() const { return static_cast<double>(ns_) / 1e6; }
+  [[nodiscard]] constexpr double sec() const { return static_cast<double>(ns_) / 1e9; }
+
+  constexpr auto operator<=>(const Time&) const = default;
+
+  constexpr Time& operator+=(Time rhs) {
+    ns_ += rhs.ns_;
+    return *this;
+  }
+  constexpr Time& operator-=(Time rhs) {
+    ns_ -= rhs.ns_;
+    return *this;
+  }
+  friend constexpr Time operator+(Time a, Time b) { return Time(a.ns_ + b.ns_); }
+  friend constexpr Time operator-(Time a, Time b) { return Time(a.ns_ - b.ns_); }
+  friend constexpr Time operator*(Time a, std::int64_t k) { return Time(a.ns_ * k); }
+  friend constexpr Time operator*(std::int64_t k, Time a) { return Time(a.ns_ * k); }
+  // Constrained to floating point so integer literals unambiguously pick the
+  // int64 overload above.
+  template <typename F>
+    requires std::is_floating_point_v<F>
+  friend constexpr Time operator*(Time a, F k) {
+    return Time(static_cast<std::int64_t>(static_cast<double>(a.ns_) * static_cast<double>(k)));
+  }
+  friend constexpr Time operator/(Time a, std::int64_t k) { return Time(a.ns_ / k); }
+  friend constexpr double operator/(Time a, Time b) {
+    return static_cast<double>(a.ns_) / static_cast<double>(b.ns_);
+  }
+
+  /// Human-readable rendering, e.g. "12.345ms", used in traces and test failures.
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  explicit constexpr Time(std::int64_t ns) : ns_(ns) {}
+  std::int64_t ns_ = 0;
+};
+
+/// Duration a transmission of `bytes` occupies a link of `bits_per_second`.
+[[nodiscard]] constexpr Time transmission_time(std::int64_t bytes, double bits_per_second) {
+  return Time::seconds(static_cast<double>(bytes) * 8.0 / bits_per_second);
+}
+
+}  // namespace elephant::sim

@@ -1,0 +1,33 @@
+#include "tcp/flow.hpp"
+
+namespace elephant::tcp {
+
+Flow::Flow(sim::Scheduler& sched, net::Host& client, net::Host& server, const FlowConfig& cfg)
+    : cfg_(cfg) {
+  cca::CcaParams cp;
+  cp.mss_bytes = cfg.mss;
+  cp.initial_cwnd_segments = std::max<double>(cfg.initial_cwnd_segments, cfg.agg);
+  cp.min_cwnd_segments = std::max<double>(2.0, cfg.agg);
+  cp.seed = cfg.seed;
+
+  TcpSenderConfig sc;
+  sc.flow = cfg.id;
+  sc.src = client.id();
+  sc.dst = server.id();
+  sc.mss = cfg.mss;
+  sc.agg = cfg.agg;
+  sc.ecn = cfg.ecn;
+  sc.pace_always = cfg.pace_always;
+  sc.start_time = cfg.start_time;
+  if (cfg.transfer_bytes != 0) {
+    const std::uint64_t unit_bytes = std::uint64_t{cfg.mss} * cfg.agg;
+    sc.transfer_units = (cfg.transfer_bytes + unit_bytes - 1) / unit_bytes;
+  }
+
+  receiver_ = std::make_unique<TcpReceiver>(sched, server, client.id(), cfg.id);
+  sender_ = std::make_unique<TcpSender>(sched, client, sc, cca::make_cca(cfg.cca, cp));
+  client.register_endpoint(cfg.id, sender_.get());
+  server.register_endpoint(cfg.id, receiver_.get());
+}
+
+}  // namespace elephant::tcp

@@ -1,0 +1,66 @@
+#pragma once
+
+#include <memory>
+
+#include "cca/congestion_control.hpp"
+#include "net/topology.hpp"
+#include "tcp/tcp_receiver.hpp"
+#include "tcp/tcp_sender.hpp"
+
+namespace elephant::tcp {
+
+/// Everything needed to define one bulk flow between a client and a server.
+struct FlowConfig {
+  net::FlowId id = 0;
+  cca::CcaKind cca = cca::CcaKind::kCubic;
+  std::uint32_t mss = 8900;
+  std::uint32_t agg = 1;
+  sim::Time start_time = sim::Time::zero();
+  std::uint64_t transfer_bytes = 0;  ///< finite transfer size; 0 = unbounded elephant
+  bool ecn = false;
+  bool pace_always = false;
+  std::uint64_t seed = 1;
+  double initial_cwnd_segments = 10;
+};
+
+/// One end-to-end bulk TCP flow: a sender on `client`, a receiver on
+/// `server`, both registered for the flow id, congestion-controlled by the
+/// configured CCA. This is the highest-level unit of the public API —
+/// the simulated analogue of one iperf3 stream.
+class Flow {
+ public:
+  Flow(sim::Scheduler& sched, net::Host& client, net::Host& server, const FlowConfig& cfg);
+
+  /// Begin transmitting at cfg.start_time.
+  void start() { sender_->start(); }
+  /// Stop offering new data.
+  void stop() { sender_->stop(); }
+
+  [[nodiscard]] TcpSender& sender() { return *sender_; }
+  [[nodiscard]] const TcpSender& sender() const { return *sender_; }
+  [[nodiscard]] TcpReceiver& receiver() { return *receiver_; }
+  [[nodiscard]] const TcpReceiver& receiver() const { return *receiver_; }
+
+  /// Receiver goodput in bits/s over `elapsed`.
+  [[nodiscard]] double goodput_bps(sim::Time elapsed) const {
+    if (elapsed <= sim::Time::zero()) return 0.0;
+    return static_cast<double>(receiver_->delivered_bytes()) * 8.0 / elapsed.sec();
+  }
+
+  /// Finite transfers: whether the whole object has been acknowledged, and
+  /// the flow-completion time relative to the configured start.
+  [[nodiscard]] bool completed() const { return sender_->completed(); }
+  [[nodiscard]] sim::Time completion_time() const {
+    return sender_->completion_time() - cfg_.start_time;
+  }
+
+  [[nodiscard]] net::FlowId id() const { return cfg_.id; }
+  [[nodiscard]] const FlowConfig& config() const { return cfg_; }
+
+ private:
+  FlowConfig cfg_;
+  std::unique_ptr<TcpSender> sender_;
+  std::unique_ptr<TcpReceiver> receiver_;
+};
+
+}  // namespace elephant::tcp

@@ -1,0 +1,51 @@
+#pragma once
+
+#include "sim/time.hpp"
+
+namespace elephant::tcp {
+
+/// RFC 6298 smoothed RTT estimation and RTO computation.
+class RttEstimator {
+ public:
+  explicit RttEstimator(sim::Time min_rto = sim::Time::milliseconds(200),
+                        sim::Time max_rto = sim::Time::seconds(60))
+      : min_rto_(min_rto), max_rto_(max_rto) {}
+
+  void add_sample(sim::Time rtt) {
+    if (rtt <= sim::Time::zero()) return;
+    if (min_rtt_ == sim::Time::zero() || rtt < min_rtt_) min_rtt_ = rtt;
+    latest_ = rtt;
+    if (srtt_ == sim::Time::zero()) {
+      srtt_ = rtt;
+      rttvar_ = rtt / 2;
+    } else {
+      const sim::Time err = rtt > srtt_ ? rtt - srtt_ : srtt_ - rtt;
+      rttvar_ = (3 * rttvar_ + err) / 4;
+      srtt_ = (7 * srtt_ + rtt) / 8;
+    }
+  }
+
+  [[nodiscard]] sim::Time rto() const {
+    if (srtt_ == sim::Time::zero()) return sim::Time::seconds(1.0);  // RFC 6298 initial
+    sim::Time candidate = srtt_ + 4 * rttvar_;
+    if (candidate < min_rto_) candidate = min_rto_;
+    if (candidate > max_rto_) candidate = max_rto_;
+    return candidate;
+  }
+
+  [[nodiscard]] sim::Time srtt() const { return srtt_; }
+  [[nodiscard]] sim::Time rttvar() const { return rttvar_; }
+  [[nodiscard]] sim::Time min_rtt() const { return min_rtt_; }
+  [[nodiscard]] sim::Time latest() const { return latest_; }
+  [[nodiscard]] bool has_sample() const { return srtt_ != sim::Time::zero(); }
+
+ private:
+  sim::Time min_rto_;
+  sim::Time max_rto_;
+  sim::Time srtt_ = sim::Time::zero();
+  sim::Time rttvar_ = sim::Time::zero();
+  sim::Time min_rtt_ = sim::Time::zero();
+  sim::Time latest_ = sim::Time::zero();
+};
+
+}  // namespace elephant::tcp

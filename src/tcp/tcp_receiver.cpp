@@ -1,0 +1,138 @@
+#include "tcp/tcp_receiver.hpp"
+
+#include <utility>
+
+namespace elephant::tcp {
+
+bool TcpReceiver::ooo_insert(std::uint64_t unit) {
+  // Find the first interval starting after `unit`, and its predecessor.
+  auto next = ooo_.upper_bound(unit);
+  if (next != ooo_.begin()) {
+    auto prev = std::prev(next);
+    if (unit < prev->second) return false;  // already covered
+    if (unit == prev->second) {
+      // Extends the predecessor; possibly bridges into `next`.
+      prev->second = unit + 1;
+      if (next != ooo_.end() && next->first == prev->second) {
+        prev->second = next->second;
+        ooo_.erase(next);
+      }
+      return true;
+    }
+  }
+  if (next != ooo_.end() && next->first == unit + 1) {
+    // Extends `next` downward: reinsert under the new start key.
+    const std::uint64_t end = next->second;
+    ooo_.erase(next);
+    ooo_.emplace(unit, end);
+    return true;
+  }
+  ooo_.emplace(unit, unit + 1);
+  return true;
+}
+
+void TcpReceiver::on_packet(net::Packet&& p) {
+  if (p.is_ack) return;  // receivers only see data
+  ++received_packets_;
+
+  bool out_of_order = false;
+  bool advanced = false;
+  const bool had_ooo = !ooo_.empty();
+  const std::uint64_t unit = p.seq;
+  last_recv_unit_ = unit;
+
+  if (unit == rcv_next_) {
+    ++rcv_next_;
+    delivered_bytes_ += p.size;
+    // Drain the buffered interval now contiguous, if any.
+    auto it = ooo_.begin();
+    if (it != ooo_.end() && it->first == rcv_next_) {
+      rcv_next_ = it->second;
+      ooo_.erase(it);
+    }
+    advanced = true;
+  } else if (unit > rcv_next_) {
+    out_of_order = true;
+    ++ooo_packets_;
+    if (ooo_insert(unit)) {
+      delivered_bytes_ += p.size;
+    } else {
+      ++duplicate_units_;
+    }
+  } else {
+    ++duplicate_units_;  // spurious retransmission below rcv_next_
+  }
+
+  if (p.ecn_marked) pending_ce_ = true;
+  peer_ecn_ = p.ecn_capable;
+
+  ++unacked_count_;
+  // Delayed ACK: every 2nd in-order unit; immediately on any reordering
+  // signal (duplicate ACK generation drives fast retransmit), on a gap fill,
+  // or when a CE mark must be echoed promptly. Otherwise a 40 ms timer
+  // guarantees the ACK eventually leaves (single-unit windows must not stall
+  // into the sender's RTO).
+  // RFC 5681: an arrival that fills a gap must be acknowledged immediately
+  // so the sender's recovery sees the cumulative advance without delay.
+  const bool gap_filled = advanced && had_ooo;
+  if (out_of_order || gap_filled || pending_ce_ || !ooo_.empty() || unacked_count_ >= 2) {
+    send_ack();
+  } else {
+    arm_delayed_ack();
+  }
+}
+
+void TcpReceiver::arm_delayed_ack() {
+  if (ack_timer_armed_) return;
+  ack_timer_armed_ = true;
+  sched_.schedule_in(kDelayedAckTimeout, [this] {
+    ack_timer_armed_ = false;
+    if (unacked_count_ > 0) send_ack();
+  });
+}
+
+void TcpReceiver::send_ack() {
+  net::Packet ack;
+  ack.flow = flow_;
+  ack.src = local_.id();
+  ack.dst = peer_;
+  ack.is_ack = true;
+  ack.size = net::kAckBytes;
+  ack.ack = rcv_next_;
+  ack.ece = pending_ce_;
+  ack.ecn_capable = peer_ecn_;
+
+  // SACK block 1: the interval containing the most recently arrived unit,
+  // then the highest other intervals (RFC 2018: most recent first).
+  ack.n_sacks = 0;
+  if (!ooo_.empty()) {
+    auto add_block = [&](std::uint64_t lo, std::uint64_t hi) {
+      if (ack.n_sacks >= ack.sacks.size()) return;
+      for (std::uint8_t i = 0; i < ack.n_sacks; ++i) {
+        if (ack.sacks[i].start == lo && ack.sacks[i].end == hi) return;
+      }
+      ack.sacks[ack.n_sacks++] = net::SackBlock{lo, hi};
+    };
+
+    // Interval containing the most recent arrival.
+    auto it = ooo_.upper_bound(last_recv_unit_);
+    if (it != ooo_.begin()) {
+      auto prev = std::prev(it);
+      if (last_recv_unit_ >= prev->first && last_recv_unit_ < prev->second) {
+        add_block(prev->first, prev->second);
+      }
+    }
+    // Highest intervals next.
+    for (auto rit = ooo_.rbegin(); rit != ooo_.rend() && ack.n_sacks < ack.sacks.size();
+         ++rit) {
+      add_block(rit->first, rit->second);
+    }
+  }
+
+  pending_ce_ = false;
+  unacked_count_ = 0;
+  ++acks_sent_;
+  local_.transmit(std::move(ack));
+}
+
+}  // namespace elephant::tcp

@@ -1,0 +1,339 @@
+#include "tcp/tcp_sender.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <utility>
+
+namespace elephant::tcp {
+
+namespace {
+constexpr std::uint32_t kMaxRtoBackoff = 64;
+}
+
+TcpSender::TcpSender(sim::Scheduler& sched, net::Host& local, TcpSenderConfig cfg,
+                     std::unique_ptr<cca::CongestionControl> cc)
+    : sched_(sched), local_(local), cfg_(cfg), cc_(std::move(cc)), rtt_(cfg.min_rto) {
+  assert(cfg_.agg >= 1);
+  assert(cc_ != nullptr);
+}
+
+void TcpSender::start() {
+  if (started_) return;
+  started_ = true;
+  const sim::Time at = std::max(cfg_.start_time, sched_.now());
+  sched_.schedule_at(at, [this] { try_send(); });
+}
+
+double TcpSender::cwnd_segments() const { return cc_->cwnd_segments(); }
+
+bool TcpSender::can_send_now() const {
+  if (pipe_units_ == 0) return true;  // always allow one unit of progress
+  const double pipe_seg = static_cast<double>(pipe_units_) * cfg_.agg;
+  return pipe_seg + cfg_.agg <= cwnd_segments();
+}
+
+std::optional<std::uint64_t> TcpSender::pick_unit_to_send() {
+  if (lost_pending_ > 0) {
+    for (std::uint64_t abs = std::max(min_unresolved_, una_); abs < next_seq_; ++abs) {
+      UnitState& u = unit(abs);
+      if (u.lost && !u.inflight && !u.sacked) return abs;
+    }
+    lost_pending_ = 0;  // stale counter; fall through to new data
+  }
+  const bool more_data =
+      !stopped_ && (cfg_.transfer_units == 0 || next_seq_ < cfg_.transfer_units);
+  if (more_data) return next_seq_;
+  return std::nullopt;
+}
+
+void TcpSender::try_send() {
+  const double pacing_bps =
+      cfg_.pace_always && cc_->pacing_rate_bps() == 0.0 && rtt_.has_sample()
+          ? 2.0 * cwnd_segments() * cfg_.mss * 8.0 / rtt_.srtt().sec()
+          : cc_->pacing_rate_bps();
+  const bool paced = pacing_bps > 0.0;
+  const double unit_bits = static_cast<double>(cfg_.mss) * 8.0 * cfg_.agg;
+
+  while (can_send_now()) {
+    if (paced && sched_.now() < next_pace_time_) {
+      arm_pacing(next_pace_time_);
+      return;
+    }
+    const auto abs = pick_unit_to_send();
+    if (!abs) return;
+    send_unit(*abs);
+    if (paced) {
+      const sim::Time gap = sim::Time::seconds(unit_bits / pacing_bps);
+      const sim::Time base = std::max(next_pace_time_, sched_.now());
+      next_pace_time_ = base + gap;
+    }
+  }
+}
+
+void TcpSender::send_unit(std::uint64_t abs) {
+  const sim::Time now = sched_.now();
+  const bool is_retx = abs < next_seq_;
+
+  if (abs == next_seq_) {
+    units_.emplace_back();
+    ++next_seq_;
+  }
+  UnitState& u = unit(abs);
+  if (is_retx) {
+    assert(u.lost && !u.inflight);
+    u.lost = false;
+    ++u.retx;
+    if (lost_pending_ > 0) --lost_pending_;
+    ++stats_.retx_units;
+    min_unresolved_ = std::min(min_unresolved_, abs);
+  }
+  u.sent_time = now;
+  u.delivered_at_send = delivered_segments_;
+  u.delivered_time_at_send = delivered_time_ == sim::Time::zero() ? now : delivered_time_;
+  u.inflight = true;
+  ++pipe_units_;
+  ++stats_.units_sent;
+
+  net::Packet p;
+  p.flow = cfg_.flow;
+  p.src = cfg_.src;
+  p.dst = cfg_.dst;
+  p.seq = abs;
+  p.segments = cfg_.agg;
+  p.size = cfg_.mss * cfg_.agg;
+  p.retx = is_retx;
+  p.ecn_capable = cfg_.ecn;
+  p.sent_time = now;
+  local_.transmit(std::move(p));
+
+  if (is_retx || !rto_armed_ || rto_deadline_ == sim::Time::max()) {
+    // (Re)start the timer on fresh sends from idle and on every
+    // retransmission, as Linux does.
+    rto_deadline_ = now + rtt_.rto() * static_cast<std::int64_t>(rto_backoff_);
+    arm_rto();
+  }
+}
+
+void TcpSender::arm_rto() {
+  if (rto_armed_) return;
+  rto_armed_ = true;
+  sched_.schedule_at(rto_deadline_, [this] { rto_timer_fired(); });
+}
+
+void TcpSender::rto_timer_fired() {
+  rto_armed_ = false;
+  if (pipe_units_ == 0 && lost_pending_ == 0) {
+    rto_deadline_ = sim::Time::max();
+    return;
+  }
+  if (sched_.now() < rto_deadline_) {
+    arm_rto();  // deadline was pushed forward by ACK progress
+    return;
+  }
+  do_rto();
+}
+
+void TcpSender::do_rto() {
+  const sim::Time now = sched_.now();
+  ++stats_.rtos;
+  rto_backoff_ = std::min(rto_backoff_ * 2, kMaxRtoBackoff);
+
+  // Everything in flight is presumed lost; SACKed units are retained
+  // (we do not model reneging).
+  lost_pending_ = 0;
+  for (std::uint64_t abs = una_; abs < next_seq_; ++abs) {
+    UnitState& u = unit(abs);
+    if (u.sacked) continue;
+    if (u.inflight) {
+      u.inflight = false;
+      --pipe_units_;
+    }
+    if (!u.lost) u.lost = true;
+    ++lost_pending_;
+  }
+  min_unresolved_ = una_;
+  recovery_point_ = next_seq_;
+  ++stats_.congestion_events;
+  cc_->on_rto(now);
+
+  rto_deadline_ = now + rtt_.rto() * static_cast<std::int64_t>(rto_backoff_);
+  arm_rto();
+  next_pace_time_ = sim::Time::zero();  // RTO recovery is not pacing-limited
+  try_send();
+}
+
+void TcpSender::arm_pacing(sim::Time at) {
+  if (pace_armed_) return;
+  pace_armed_ = true;
+  sched_.schedule_at(std::max(at, sched_.now()), [this] {
+    pace_armed_ = false;
+    try_send();
+  });
+}
+
+void TcpSender::process_sacks(const net::Packet& ack, std::uint64_t* newly_delivered_units,
+                              SampleRef* newest) {
+  for (std::uint8_t i = 0; i < ack.n_sacks; ++i) {
+    const net::SackBlock& b = ack.sacks[i];
+    // Everything below min_unresolved_ is already SACKed (the scan-hint
+    // invariant), so long-established blocks cost nothing to reprocess.
+    const std::uint64_t lo = std::max(b.start, std::max(una_, min_unresolved_));
+    const std::uint64_t hi = std::min(b.end, next_seq_);
+    for (std::uint64_t abs = lo; abs < hi; ++abs) {
+      UnitState& u = unit(abs);
+      if (u.sacked) continue;
+      u.sacked = true;
+      if (u.inflight) {
+        u.inflight = false;
+        --pipe_units_;
+      }
+      if (u.lost) {
+        // Was marked lost but arrived after all; cancel the pending retx.
+        u.lost = false;
+        if (lost_pending_ > 0) --lost_pending_;
+      }
+      if (!u.delivered_counted) {
+        u.delivered_counted = true;
+        ++*newly_delivered_units;
+        newest->consider(u);
+      }
+      if (u.sent_time > latest_sacked_sent_time_) latest_sacked_sent_time_ = u.sent_time;
+      if (abs + 1 > highest_sacked_) highest_sacked_ = abs + 1;
+    }
+  }
+}
+
+void TcpSender::mark_losses() {
+  if (highest_sacked_ <= una_) return;
+  double lost_segments = 0;
+  const std::uint64_t fack_limit =
+      highest_sacked_ > cfg_.reorder_units ? highest_sacked_ - cfg_.reorder_units : 0;
+
+  // The hint may only advance over a SACKed prefix: lost-but-unsent units
+  // below it would otherwise be skipped by pick_unit_to_send().
+  bool prefix_resolved = true;
+  for (std::uint64_t abs = std::max(min_unresolved_, una_); abs < fack_limit; ++abs) {
+    UnitState& u = unit(abs);
+    if (u.sacked) {
+      if (prefix_resolved) min_unresolved_ = abs + 1;
+      continue;
+    }
+    if (!u.lost && u.inflight && u.sent_time <= latest_sacked_sent_time_) {
+      // FACK rule with RACK-style ordering: at least reorder_units units
+      // sent after this one have been SACKed.
+      u.lost = true;
+      u.inflight = false;
+      --pipe_units_;
+      ++lost_pending_;
+      ++stats_.lost_units_marked;
+      lost_segments += cfg_.agg;
+    }
+    prefix_resolved = false;
+  }
+
+  if (lost_segments > 0) enter_or_update_recovery(lost_segments);
+}
+
+void TcpSender::enter_or_update_recovery(double lost_segments) {
+  cca::LossSample loss;
+  loss.now = sched_.now();
+  loss.lost_segments = lost_segments;
+  loss.inflight_segments = pipe_segments();
+  loss.delivered_segments = delivered_segments_;
+  loss.new_congestion_event = una_ >= recovery_point_;
+  if (loss.new_congestion_event) {
+    recovery_point_ = next_seq_;
+    ++stats_.congestion_events;
+  }
+  cc_->on_loss(loss);
+}
+
+void TcpSender::on_packet(net::Packet&& p) {
+  if (!p.is_ack) return;
+  ++stats_.acks_received;
+  const sim::Time now = sched_.now();
+
+  std::uint64_t newly_delivered_units = 0;
+  SampleRef newest;  // most recently sent unit delivered by this ACK
+  bool progressed = false;
+
+  // 1. Cumulative ACK advance (capture rate-sample fields before popping).
+  const std::uint64_t ack_to = std::min(p.ack, next_seq_);
+  while (una_ < ack_to) {
+    UnitState& u = units_.front();
+    if (u.inflight) {
+      u.inflight = false;
+      --pipe_units_;
+    }
+    if (u.lost && lost_pending_ > 0) --lost_pending_;
+    if (!u.delivered_counted) {
+      ++newly_delivered_units;
+      newest.consider(u);
+    }
+    units_.pop_front();
+    ++una_;
+    progressed = true;
+  }
+  min_unresolved_ = std::max(min_unresolved_, una_);
+
+  // 2. SACK processing (shares the same "newest delivered" tracking).
+  process_sacks(p, &newly_delivered_units, &newest);
+
+  // 3. RTT sample (Karn's rule: only never-retransmitted units).
+  cca::AckSample ack;
+  if (newest.valid()) {
+    const sim::Time rtt_sample = now - newest.sent_time;
+    rtt_.add_sample(rtt_sample);
+    ack.rtt = rtt_sample;
+  }
+
+  // 4. Delivery bookkeeping, rate sample, and packet-timed round tracking.
+  double delivery_rate = 0;
+  bool round_start = false;
+  if (newly_delivered_units > 0) {
+    delivered_segments_ += static_cast<double>(newly_delivered_units) * cfg_.agg;
+    delivered_time_ = now;
+    if (newest.valid() && now > newest.delivered_time_at_send) {
+      delivery_rate = (delivered_segments_ - newest.delivered_at_send) /
+                      (now - newest.delivered_time_at_send).sec();
+    }
+    if (newest.valid() && newest.delivered_at_send >= next_round_delivered_) {
+      round_start = true;
+      next_round_delivered_ = delivered_segments_;
+    }
+  }
+
+  // 5. Loss marking from the updated SACK picture.
+  mark_losses();
+
+  // 6. Upcall to the congestion controller.
+  if (newly_delivered_units > 0 || p.ece) {
+    ack.now = now;
+    ack.min_rtt = rtt_.min_rtt();
+    ack.acked_segments = static_cast<double>(newly_delivered_units) * cfg_.agg;
+    ack.inflight_segments = pipe_segments();
+    ack.delivered_segments = delivered_segments_;
+    ack.delivery_rate = delivery_rate;
+    ack.round_start = round_start;
+    ack.ece = p.ece;
+    cc_->on_ack(ack);
+  }
+
+  // Finite transfer bookkeeping: record the completion instant once.
+  if (completion_time_ == sim::Time::zero() && completed()) completion_time_ = now;
+
+  // 7. RTO refresh. Any delivery progress (cumulative OR SACK) restarts the
+  // timer: during SACK recovery in a deep buffer, una can legitimately stall
+  // for a full queue-drain RTT while SACKs stream in, and refreshing only on
+  // cumulative advance would fire spurious RTOs (tcp_rearm_rto behaviour).
+  if (progressed) rto_backoff_ = 1;
+  if (progressed || newly_delivered_units > 0) {
+    rto_deadline_ = (pipe_units_ > 0 || lost_pending_ > 0)
+                        ? now + rtt_.rto() * static_cast<std::int64_t>(rto_backoff_)
+                        : sim::Time::max();
+  }
+
+  try_send();
+}
+
+}  // namespace elephant::tcp

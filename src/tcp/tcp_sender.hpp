@@ -1,0 +1,171 @@
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <optional>
+
+#include "cca/congestion_control.hpp"
+#include "net/node.hpp"
+#include "net/packet.hpp"
+#include "sim/scheduler.hpp"
+#include "tcp/rtt_estimator.hpp"
+
+namespace elephant::tcp {
+
+/// Per-flow sender configuration.
+struct TcpSenderConfig {
+  net::FlowId flow = 0;
+  net::NodeId src = 0;
+  net::NodeId dst = 0;
+  std::uint32_t mss = 8900;  ///< wire bytes per segment (paper: jumbo 8900 B)
+  std::uint32_t agg = 1;     ///< segments per transmission unit (TSO/GRO analogue)
+  sim::Time start_time = sim::Time::zero();
+  std::uint64_t transfer_units = 0;  ///< stop after this many units (0 = unbounded elephant)
+  bool ecn = false;               ///< mark packets ECT
+  bool pace_always = false;       ///< ablation: pace loss-based CCAs at 2*cwnd/srtt
+  sim::Time min_rto = sim::Time::milliseconds(200);
+  std::uint32_t reorder_units = 3;  ///< FACK/dupack loss threshold in units
+};
+
+/// Counters exposed for experiments; segment counts are MSS-granular.
+struct TcpSenderStats {
+  std::uint64_t units_sent = 0;
+  std::uint64_t retx_units = 0;  ///< retransmitted units (iperf3 "Retr" analogue)
+  std::uint64_t rtos = 0;
+  std::uint64_t acks_received = 0;
+  std::uint64_t congestion_events = 0;
+  std::uint64_t lost_units_marked = 0;
+};
+
+/// A bulk-transfer ("elephant") TCP sender.
+///
+/// Implements the transport machinery shared by every CCA the paper tests:
+/// a SACK scoreboard, FACK-with-RACK-timing loss marking, NewReno-style
+/// recovery episodes, RFC 6298 RTO with exponential backoff, delivery-rate
+/// sampling (for BBR), packet-timed round tracking, and optional pacing.
+/// Congestion decisions are delegated entirely to the plugged
+/// cca::CongestionControl.
+///
+/// Sequence space is in transmission units of `agg` segments; all CCA
+/// accounting is converted to segments so algorithm constants keep their
+/// RFC meanings under aggregation.
+class TcpSender : public net::PacketHandler {
+ public:
+  TcpSender(sim::Scheduler& sched, net::Host& local, TcpSenderConfig cfg,
+            std::unique_ptr<cca::CongestionControl> cc);
+
+  /// Begin transmitting at cfg.start_time.
+  void start();
+  /// Stop offering new data (in-flight data still completes).
+  void stop() { stopped_ = true; }
+
+  void on_packet(net::Packet&& p) override;  // ACK input
+
+  [[nodiscard]] const TcpSenderStats& stats() const { return stats_; }
+  [[nodiscard]] const cca::CongestionControl& cc() const { return *cc_; }
+  [[nodiscard]] const RttEstimator& rtt() const { return rtt_; }
+  [[nodiscard]] const TcpSenderConfig& config() const { return cfg_; }
+
+  [[nodiscard]] std::uint64_t una() const { return una_; }
+  [[nodiscard]] std::uint64_t next_seq() const { return next_seq_; }
+  [[nodiscard]] double pipe_segments() const { return static_cast<double>(pipe_units_) * cfg_.agg; }
+  [[nodiscard]] double delivered_segments() const { return delivered_segments_; }
+  [[nodiscard]] bool in_recovery() const { return una_ < recovery_point_; }
+
+  /// Retransmitted segments (units * agg), the quantity Fig. 8 plots.
+  [[nodiscard]] std::uint64_t retx_segments() const { return stats_.retx_units * cfg_.agg; }
+
+  /// Finite transfers: true once every unit of the configured size is
+  /// cumulatively acknowledged.
+  [[nodiscard]] bool completed() const {
+    return cfg_.transfer_units != 0 && una_ >= cfg_.transfer_units;
+  }
+  /// Completion instant (zero until completed) — the FCT numerator.
+  [[nodiscard]] sim::Time completion_time() const { return completion_time_; }
+
+ private:
+  struct UnitState {
+    sim::Time sent_time{};
+    sim::Time delivered_time_at_send{};
+    double delivered_at_send = 0;  // segments
+    std::uint8_t retx = 0;
+    bool inflight = false;
+    bool sacked = false;
+    bool lost = false;            // marked lost, awaiting retransmission
+    bool delivered_counted = false;
+  };
+
+  /// Rate/RTT sample source: the most recently sent, never-retransmitted
+  /// unit delivered by the current ACK (Karn's rule).
+  struct SampleRef {
+    sim::Time sent_time = sim::Time::zero();
+    double delivered_at_send = 0;
+    sim::Time delivered_time_at_send = sim::Time::zero();
+    bool has_sample = false;  // explicit: packets sent at t=0 are valid too
+
+    void consider(const UnitState& u) {
+      if (u.retx == 0 && (!has_sample || u.sent_time > sent_time)) {
+        sent_time = u.sent_time;
+        delivered_at_send = u.delivered_at_send;
+        delivered_time_at_send = u.delivered_time_at_send;
+        has_sample = true;
+      }
+    }
+    [[nodiscard]] bool valid() const { return has_sample; }
+  };
+
+  [[nodiscard]] UnitState& unit(std::uint64_t abs) { return units_[abs - una_]; }
+  [[nodiscard]] double cwnd_segments() const;
+  [[nodiscard]] bool can_send_now() const;
+  [[nodiscard]] std::optional<std::uint64_t> pick_unit_to_send();
+
+  void try_send();
+  void send_unit(std::uint64_t abs);
+  void process_sacks(const net::Packet& ack, std::uint64_t* newly_delivered_units,
+                     SampleRef* newest);
+  void mark_losses();
+  void enter_or_update_recovery(double lost_segments);
+  void arm_rto();
+  void rto_timer_fired();
+  void do_rto();
+  void arm_pacing(sim::Time at);
+
+  sim::Scheduler& sched_;
+  net::Host& local_;
+  TcpSenderConfig cfg_;
+  std::unique_ptr<cca::CongestionControl> cc_;
+  RttEstimator rtt_;
+  TcpSenderStats stats_;
+
+  std::deque<UnitState> units_;  // scoreboard, index 0 == una_
+  std::uint64_t una_ = 0;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t pipe_units_ = 0;
+  std::uint64_t lost_pending_ = 0;    // lost units not yet retransmitted
+  std::uint64_t min_unresolved_ = 0;  // scan hint for loss marking / retx pick
+
+  double delivered_segments_ = 0;
+  sim::Time delivered_time_ = sim::Time::zero();
+  double next_round_delivered_ = 0;
+
+  std::uint64_t highest_sacked_ = 0;  // absolute unit + 1 (0 = none)
+  sim::Time latest_sacked_sent_time_ = sim::Time::zero();
+
+  std::uint64_t recovery_point_ = 0;
+
+  // RTO machinery (single outstanding lazy timer).
+  sim::Time rto_deadline_ = sim::Time::max();
+  bool rto_armed_ = false;
+  std::uint32_t rto_backoff_ = 1;
+
+  // Pacing machinery.
+  sim::Time next_pace_time_ = sim::Time::zero();
+  bool pace_armed_ = false;
+
+  bool started_ = false;
+  bool stopped_ = false;
+  sim::Time completion_time_ = sim::Time::zero();
+};
+
+}  // namespace elephant::tcp

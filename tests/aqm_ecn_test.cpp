@@ -1,0 +1,93 @@
+#include <gtest/gtest.h>
+
+#include "aqm/codel.hpp"
+#include "aqm/fq_codel.hpp"
+#include "test_util.hpp"
+
+namespace elephant::aqm {
+namespace {
+
+using test::make_packet;
+
+net::Packet ect(net::FlowId flow, std::uint64_t seq) {
+  net::Packet p = make_packet(flow, seq);
+  p.ecn_capable = true;
+  return p;
+}
+
+TEST(CodelEcn, MarksInsteadOfDroppingEctTraffic) {
+  sim::Scheduler sched;
+  CodelParams params;
+  params.ecn = true;
+  CodelQueue q(sched, std::size_t{1} << 26, params);
+  // Standing queue with slow drain: CoDel must signal — via CE, not drops.
+  for (std::uint64_t i = 0; i < 400; ++i) (void)q.enqueue(ect(1, i));
+  std::uint64_t marked_seen = 0;
+  for (int step = 0; step < 400; ++step) {
+    sched.schedule_at(sim::Time::milliseconds(10) * (step + 1), [&] {
+      auto p = q.dequeue();
+      if (p && p->ecn_marked) ++marked_seen;
+      (void)q.enqueue(ect(1, 1000 + static_cast<std::uint64_t>(step)));
+    });
+  }
+  sched.run();
+  EXPECT_GT(q.stats().ecn_marked, 0u);
+  EXPECT_EQ(q.stats().dropped_early, 0u);
+  EXPECT_EQ(marked_seen, q.stats().ecn_marked);
+}
+
+TEST(CodelEcn, NonEctStillDropped) {
+  sim::Scheduler sched;
+  CodelParams params;
+  params.ecn = true;
+  CodelQueue q(sched, std::size_t{1} << 26, params);
+  for (std::uint64_t i = 0; i < 400; ++i) (void)q.enqueue(make_packet(1, i));
+  for (int step = 0; step < 400; ++step) {
+    sched.schedule_at(sim::Time::milliseconds(10) * (step + 1), [&] {
+      (void)q.dequeue();
+      (void)q.enqueue(make_packet(1, 1000 + static_cast<std::uint64_t>(step)));
+    });
+  }
+  sched.run();
+  EXPECT_GT(q.stats().dropped_early, 0u);
+  EXPECT_EQ(q.stats().ecn_marked, 0u);
+}
+
+TEST(FqCodelEcn, PerFlowMarking) {
+  sim::Scheduler sched;
+  FqCodelConfig cfg;
+  cfg.memory_limit_bytes = std::size_t{1} << 26;
+  cfg.codel.ecn = true;
+  FqCodelQueue q(sched, cfg);
+  for (std::uint64_t i = 0; i < 400; ++i) (void)q.enqueue(ect(1, i));
+  for (int step = 0; step < 400; ++step) {
+    sched.schedule_at(sim::Time::milliseconds(10) * (step + 1), [&] {
+      (void)q.dequeue();
+      (void)q.enqueue(ect(1, 1000 + static_cast<std::uint64_t>(step)));
+    });
+  }
+  sched.run();
+  EXPECT_GT(q.stats().ecn_marked, 0u);
+  EXPECT_EQ(q.stats().dropped_early, 0u);
+}
+
+TEST(EcnEndToEnd, Bbr2WithFqCodelEcnAvoidsLoss) {
+  auto cfg = test::quick_config(cca::CcaKind::kBbrV2, cca::CcaKind::kBbrV2,
+                                aqm::AqmKind::kFqCodel, 2.0, 100e6, 20);
+  cfg.ecn = true;
+  const auto res = test::run_uncached(cfg);
+  EXPECT_GT(res.bottleneck.ecn_marked, 0u);
+  EXPECT_EQ(res.bottleneck.dropped_early, 0u);
+  EXPECT_GT(res.utilization, 0.6);
+}
+
+TEST(EcnEndToEnd, MarksNeverAppearWhenDisabled) {
+  auto cfg = test::quick_config(cca::CcaKind::kCubic, cca::CcaKind::kCubic,
+                                aqm::AqmKind::kFqCodel, 2.0, 100e6, 15);
+  cfg.ecn = false;
+  const auto res = test::run_uncached(cfg);
+  EXPECT_EQ(res.bottleneck.ecn_marked, 0u);
+}
+
+}  // namespace
+}  // namespace elephant::aqm

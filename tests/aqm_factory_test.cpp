@@ -1,0 +1,67 @@
+#include "aqm/factory.hpp"
+
+#include <gtest/gtest.h>
+
+#include "test_util.hpp"
+
+namespace elephant::aqm {
+namespace {
+
+TEST(AqmFactory, BuildsEveryKind) {
+  sim::Scheduler sched;
+  for (const AqmKind kind :
+       {AqmKind::kFifo, AqmKind::kRed, AqmKind::kFqCodel, AqmKind::kCodel}) {
+    auto q = make_queue_disc(kind, sched, 1 << 20, 1);
+    ASSERT_NE(q, nullptr);
+    EXPECT_EQ(q->name(), to_string(kind));
+    EXPECT_EQ(q->byte_length(), 0u);
+  }
+}
+
+TEST(AqmFactory, AppliesLimit) {
+  sim::Scheduler sched;
+  auto q = make_queue_disc(AqmKind::kFifo, sched, 2 * 8900, 1);
+  EXPECT_TRUE(q->enqueue(test::make_packet(1, 0)));
+  EXPECT_TRUE(q->enqueue(test::make_packet(1, 1)));
+  EXPECT_FALSE(q->enqueue(test::make_packet(1, 2)));
+}
+
+TEST(AqmFactory, EcnOptionFlowsThrough) {
+  sim::Scheduler sched;
+  AqmOptions opts;
+  opts.ecn = true;
+  auto red = make_queue_disc(AqmKind::kRed, sched, 1 << 20, 1, opts);
+  ASSERT_NE(red, nullptr);
+  const auto* typed = dynamic_cast<const RedQueue*>(red.get());
+  ASSERT_NE(typed, nullptr);
+  EXPECT_TRUE(typed->config().ecn);
+}
+
+TEST(AqmFactory, FqCodelOptionsApplied) {
+  sim::Scheduler sched;
+  AqmOptions opts;
+  opts.fq_flows = 64;
+  opts.fq_quantum = 1500;
+  auto q = make_queue_disc(AqmKind::kFqCodel, sched, 1 << 20, 1, opts);
+  const auto* typed = dynamic_cast<const FqCodelQueue*>(q.get());
+  ASSERT_NE(typed, nullptr);
+  EXPECT_EQ(typed->config().flows, 64u);
+  EXPECT_EQ(typed->config().quantum, 1500u);
+}
+
+TEST(AqmFactory, RedSeedDeterminism) {
+  sim::Scheduler sched;
+  auto run_drops = [&](std::uint64_t seed) {
+    auto q = make_queue_disc(AqmKind::kRed, sched, 100 * 8900, seed);
+    std::uint64_t drops = 0;
+    for (std::uint64_t i = 0; i < 3000; ++i) {
+      if (!q->enqueue(test::make_packet(1, i))) ++drops;
+      if (i % 2 == 0) (void)q->dequeue();
+    }
+    return drops;
+  };
+  EXPECT_EQ(run_drops(9), run_drops(9));
+}
+
+}  // namespace
+}  // namespace elephant::aqm

@@ -1,0 +1,95 @@
+#include "aqm/fifo.hpp"
+
+#include <gtest/gtest.h>
+
+#include "test_util.hpp"
+
+namespace elephant::aqm {
+namespace {
+
+using test::make_packet;
+
+TEST(Fifo, EnqueueDequeuePreservesOrder) {
+  sim::Scheduler sched;
+  FifoQueue q(sched, 1 << 20);
+  for (std::uint64_t i = 0; i < 5; ++i) EXPECT_TRUE(q.enqueue(make_packet(1, i)));
+  for (std::uint64_t i = 0; i < 5; ++i) {
+    auto p = q.dequeue();
+    ASSERT_TRUE(p.has_value());
+    EXPECT_EQ(p->seq, i);
+  }
+  EXPECT_FALSE(q.dequeue().has_value());
+}
+
+TEST(Fifo, DropsWhenFull) {
+  sim::Scheduler sched;
+  FifoQueue q(sched, 3 * 8900);
+  EXPECT_TRUE(q.enqueue(make_packet(1, 0)));
+  EXPECT_TRUE(q.enqueue(make_packet(1, 1)));
+  EXPECT_TRUE(q.enqueue(make_packet(1, 2)));
+  EXPECT_FALSE(q.enqueue(make_packet(1, 3)));  // would exceed the byte limit
+  EXPECT_EQ(q.stats().dropped_overflow, 1u);
+  EXPECT_EQ(q.packet_length(), 3u);
+}
+
+TEST(Fifo, ByteAccounting) {
+  sim::Scheduler sched;
+  FifoQueue q(sched, 1 << 20);
+  EXPECT_TRUE(q.enqueue(make_packet(1, 0, 1000)));
+  EXPECT_TRUE(q.enqueue(make_packet(1, 1, 500)));
+  EXPECT_EQ(q.byte_length(), 1500u);
+  (void)q.dequeue();
+  EXPECT_EQ(q.byte_length(), 500u);
+  (void)q.dequeue();
+  EXPECT_EQ(q.byte_length(), 0u);
+}
+
+TEST(Fifo, DropPreservesEarlierPackets) {
+  sim::Scheduler sched;
+  FifoQueue q(sched, 2 * 8900);
+  EXPECT_TRUE(q.enqueue(make_packet(1, 10)));
+  EXPECT_TRUE(q.enqueue(make_packet(1, 11)));
+  EXPECT_FALSE(q.enqueue(make_packet(1, 12)));
+  EXPECT_EQ(q.dequeue()->seq, 10u);
+  EXPECT_EQ(q.dequeue()->seq, 11u);
+}
+
+TEST(Fifo, NeverDropsEarly) {
+  sim::Scheduler sched;
+  FifoQueue q(sched, 100 * 8900);
+  for (std::uint64_t i = 0; i < 100; ++i) EXPECT_TRUE(q.enqueue(make_packet(1, i)));
+  EXPECT_EQ(q.stats().dropped_early, 0u);
+  EXPECT_EQ(q.stats().enqueued, 100u);
+}
+
+TEST(Fifo, StatsCountDequeues) {
+  sim::Scheduler sched;
+  FifoQueue q(sched, 1 << 20);
+  (void)q.enqueue(make_packet(1, 0));
+  (void)q.enqueue(make_packet(1, 1));
+  (void)q.dequeue();
+  EXPECT_EQ(q.stats().dequeued, 1u);
+  EXPECT_EQ(q.stats().enqueued, 2u);
+}
+
+TEST(Fifo, TinyLimitStillAcceptsNothingTooBig) {
+  sim::Scheduler sched;
+  FifoQueue q(sched, 100);  // smaller than one jumbo frame
+  EXPECT_FALSE(q.enqueue(make_packet(1, 0)));
+  EXPECT_EQ(q.byte_length(), 0u);
+}
+
+TEST(Fifo, SetsEnqueueTimestamp) {
+  sim::Scheduler sched;
+  FifoQueue q(sched, 1 << 20);
+  sched.schedule_at(sim::Time::milliseconds(7), [&] {
+    (void)q.enqueue(make_packet(1, 0));
+  });
+  sched.run();
+  auto p = q.dequeue();
+  ASSERT_TRUE(p.has_value());
+  EXPECT_EQ(p->enqueue_time, sim::Time::milliseconds(7));
+}
+
+}  // namespace
+}  // namespace elephant::aqm

@@ -1,0 +1,103 @@
+#include "aqm/loss_injector.hpp"
+
+#include <gtest/gtest.h>
+
+#include "aqm/fifo.hpp"
+#include "test_util.hpp"
+
+namespace elephant::aqm {
+namespace {
+
+using test::make_packet;
+
+LossInjector make(sim::Scheduler& sched, double rate, std::uint64_t seed = 1,
+                  std::size_t limit = std::size_t{1} << 30) {
+  return LossInjector(sched, std::make_unique<FifoQueue>(sched, limit), rate, seed);
+}
+
+TEST(LossInjector, ZeroRatePassesEverything) {
+  sim::Scheduler sched;
+  auto q = make(sched, 0.0);
+  for (std::uint64_t i = 0; i < 1000; ++i) EXPECT_TRUE(q.enqueue(make_packet(1, i)));
+  EXPECT_EQ(q.injected_drops(), 0u);
+  EXPECT_EQ(q.packet_length(), 1000u);
+}
+
+TEST(LossInjector, DropRateApproximatelyHonored) {
+  sim::Scheduler sched;
+  auto q = make(sched, 0.1);
+  int dropped = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    if (!q.enqueue(make_packet(1, static_cast<std::uint64_t>(i)))) ++dropped;
+  }
+  EXPECT_NEAR(static_cast<double>(dropped) / n, 0.1, 0.01);
+  EXPECT_EQ(q.injected_drops(), static_cast<std::uint64_t>(dropped));
+}
+
+TEST(LossInjector, SurvivorsComeOutInOrder) {
+  sim::Scheduler sched;
+  auto q = make(sched, 0.3);
+  for (std::uint64_t i = 0; i < 100; ++i) (void)q.enqueue(make_packet(1, i));
+  std::uint64_t prev = 0;
+  bool first = true;
+  while (auto p = q.dequeue()) {
+    if (!first) EXPECT_GT(p->seq, prev);
+    prev = p->seq;
+    first = false;
+  }
+}
+
+TEST(LossInjector, DeterministicPerSeed) {
+  auto drops_with_seed = [](std::uint64_t seed) {
+    sim::Scheduler sched;
+    auto q = make(sched, 0.2, seed);
+    std::uint64_t d = 0;
+    for (std::uint64_t i = 0; i < 5000; ++i) {
+      if (!q.enqueue(make_packet(1, i))) ++d;
+    }
+    return d;
+  };
+  EXPECT_EQ(drops_with_seed(3), drops_with_seed(3));
+  EXPECT_NE(drops_with_seed(3), drops_with_seed(4));
+}
+
+TEST(LossInjector, InnerOverflowStillCounted) {
+  sim::Scheduler sched;
+  auto q = make(sched, 0.0, 1, 2 * 8900);
+  (void)q.enqueue(make_packet(1, 0));
+  (void)q.enqueue(make_packet(1, 1));
+  EXPECT_FALSE(q.enqueue(make_packet(1, 2)));
+  EXPECT_EQ(q.stats().dropped_overflow, 1u);
+  EXPECT_EQ(q.injected_drops(), 0u);
+}
+
+TEST(LossInjector, NameAdvertisesDecoration) {
+  sim::Scheduler sched;
+  auto q = make(sched, 0.1);
+  EXPECT_EQ(q.name(), "fifo+loss");
+}
+
+TEST(LossInjector, EndToEndLossyExperimentRuns) {
+  auto cfg = test::quick_config(cca::CcaKind::kBbrV1, cca::CcaKind::kBbrV1,
+                                aqm::AqmKind::kFifo, 2.0, 100e6, 15);
+  cfg.random_loss = 0.01;
+  const auto res = test::run_uncached(cfg);
+  // BBRv1 is loss-blind: still fills most of the link at 1% loss.
+  EXPECT_GT(res.utilization, 0.5);
+  EXPECT_GT(res.retx_segments, 0u);
+}
+
+TEST(LossInjector, LossCrushesRenoMoreThanBbr) {
+  auto reno = test::quick_config(cca::CcaKind::kReno, cca::CcaKind::kReno,
+                                 aqm::AqmKind::kFifo, 2.0, 100e6, 15);
+  reno.random_loss = 0.005;
+  auto bbr = reno;
+  bbr.cca1 = bbr.cca2 = cca::CcaKind::kBbrV1;
+  const auto res_reno = test::run_uncached(reno);
+  const auto res_bbr = test::run_uncached(bbr);
+  EXPECT_GT(res_bbr.utilization, res_reno.utilization);
+}
+
+}  // namespace
+}  // namespace elephant::aqm

@@ -1,0 +1,171 @@
+#include "aqm/red.hpp"
+
+#include <gtest/gtest.h>
+
+#include "test_util.hpp"
+
+namespace elephant::aqm {
+namespace {
+
+using test::make_packet;
+
+RedConfig small_red(std::size_t limit = 100 * 8900) {
+  RedConfig cfg;
+  cfg.limit_bytes = limit;
+  return cfg;
+}
+
+TEST(Red, FinalizeDerivesThresholds) {
+  RedConfig cfg;
+  cfg.limit_bytes = 1'200'000;
+  cfg.finalize();
+  EXPECT_EQ(cfg.min_bytes, 100'000u);
+  EXPECT_EQ(cfg.max_bytes, 300'000u);
+}
+
+TEST(Red, FinalizeRespectsExplicitThresholds) {
+  RedConfig cfg;
+  cfg.limit_bytes = 1'200'000;
+  cfg.min_bytes = 50'000;
+  cfg.max_bytes = 90'000;
+  cfg.finalize();
+  EXPECT_EQ(cfg.min_bytes, 50'000u);
+  EXPECT_EQ(cfg.max_bytes, 90'000u);
+}
+
+TEST(Red, FinalizeFloorsTinyLimits) {
+  RedConfig cfg;
+  cfg.limit_bytes = 10'000;  // limit/12 < one packet
+  cfg.finalize();
+  EXPECT_GE(cfg.min_bytes, cfg.mean_packet);
+  EXPECT_GE(cfg.max_bytes, 2 * cfg.min_bytes);
+}
+
+TEST(Red, NoDropsBelowMinThreshold) {
+  sim::Scheduler sched;
+  RedQueue q(sched, small_red(), 1);
+  // A handful of packets keeps avg below min: no early drops possible.
+  for (std::uint64_t i = 0; i < 5; ++i) {
+    EXPECT_TRUE(q.enqueue(make_packet(1, i)));
+    (void)q.dequeue();
+  }
+  EXPECT_EQ(q.stats().dropped_early, 0u);
+}
+
+TEST(Red, DropsProbabilisticallyAboveMin) {
+  sim::Scheduler sched;
+  RedConfig cfg = small_red(1000 * 8900);
+  cfg.weight = 0.2;  // fast-moving average for the test
+  RedQueue q(sched, cfg, 1);
+  int dropped = 0;
+  for (std::uint64_t i = 0; i < 2000; ++i) {
+    if (!q.enqueue(make_packet(1, i))) ++dropped;
+  }
+  EXPECT_GT(dropped, 0);
+  EXPECT_GT(q.stats().dropped_early, 0u);
+}
+
+TEST(Red, HardDropsAtTwiceMaxThreshold) {
+  sim::Scheduler sched;
+  RedConfig cfg = small_red(1000 * 8900);
+  cfg.weight = 1.0;  // avg == instantaneous queue
+  RedQueue q(sched, cfg, 1);
+  cfg.finalize();
+  // Fill well past 2*max: every enqueue must now fail.
+  std::uint64_t i = 0;
+  while (q.byte_length() < 2 * cfg.max_bytes + 8900) {
+    (void)q.enqueue(make_packet(1, i++));
+    if (i > 100000) break;
+  }
+  EXPECT_FALSE(q.enqueue(make_packet(1, i)));
+}
+
+TEST(Red, OverflowDropsCountedSeparately) {
+  sim::Scheduler sched;
+  RedConfig cfg;
+  cfg.limit_bytes = 2 * 8900;
+  cfg.min_bytes = 100 * 8900;  // thresholds far above the limit: no early drops
+  cfg.max_bytes = 200 * 8900;
+  RedQueue q(sched, cfg, 1);
+  EXPECT_TRUE(q.enqueue(make_packet(1, 0)));
+  EXPECT_TRUE(q.enqueue(make_packet(1, 1)));
+  EXPECT_FALSE(q.enqueue(make_packet(1, 2)));
+  EXPECT_EQ(q.stats().dropped_overflow, 1u);
+  EXPECT_EQ(q.stats().dropped_early, 0u);
+}
+
+TEST(Red, AverageTracksQueue) {
+  sim::Scheduler sched;
+  RedConfig cfg = small_red();
+  cfg.weight = 0.5;
+  RedQueue q(sched, cfg, 1);
+  EXPECT_DOUBLE_EQ(q.average_queue(), 0.0);
+  (void)q.enqueue(make_packet(1, 0, 1000));
+  (void)q.enqueue(make_packet(1, 1, 1000));
+  (void)q.enqueue(make_packet(1, 2, 1000));
+  EXPECT_GT(q.average_queue(), 0.0);
+  EXPECT_LE(q.average_queue(), 3000.0);
+}
+
+TEST(Red, IdleDecayShrinksAverage) {
+  sim::Scheduler sched;
+  RedConfig cfg = small_red();
+  cfg.weight = 0.5;
+  RedQueue q(sched, cfg, 1);
+  for (std::uint64_t i = 0; i < 10; ++i) (void)q.enqueue(make_packet(1, i));
+  while (q.dequeue().has_value()) {
+  }
+  const double avg_before = q.average_queue();
+  ASSERT_GT(avg_before, 0.0);
+  // Let a long idle period elapse, then enqueue: the average must have decayed.
+  sched.schedule_at(sim::Time::seconds(5), [&] { (void)q.enqueue(make_packet(1, 99)); });
+  sched.run();
+  EXPECT_LT(q.average_queue(), avg_before * 0.1);
+}
+
+TEST(Red, EcnMarksInsteadOfDropping) {
+  sim::Scheduler sched;
+  RedConfig cfg = small_red(1000 * 8900);
+  cfg.weight = 0.5;
+  cfg.ecn = true;
+  RedQueue q(sched, cfg, 1);
+  cfg.finalize();
+  // Hold the queue between min and max thresholds (2 in, 1 out): the
+  // probabilistic region, where every early signal must become a CE mark.
+  std::uint64_t i = 0;
+  while (q.byte_length() < (cfg.min_bytes + cfg.max_bytes) / 2) {
+    net::Packet p = make_packet(1, i++);
+    p.ecn_capable = true;
+    (void)q.enqueue(std::move(p));
+  }
+  for (int step = 0; step < 4000; ++step) {
+    net::Packet p = make_packet(1, i++);
+    p.ecn_capable = true;
+    (void)q.enqueue(std::move(p));
+    (void)q.dequeue();
+  }
+  EXPECT_GT(q.stats().ecn_marked, 0u);
+  EXPECT_EQ(q.stats().dropped_early, 0u);  // all early signals became marks
+}
+
+TEST(Red, DeterministicForSeed) {
+  auto run_once = [](std::uint64_t seed) {
+    sim::Scheduler sched;
+    RedConfig cfg;
+    cfg.limit_bytes = 1000 * 8900;
+    cfg.weight = 0.2;
+    RedQueue q(sched, cfg, seed);
+    std::uint64_t drops = 0;
+    for (std::uint64_t i = 0; i < 5000; ++i) {
+      if (!q.enqueue(make_packet(1, i))) ++drops;
+      if (i % 3 == 0) (void)q.dequeue();
+    }
+    return drops;
+  };
+  EXPECT_EQ(run_once(5), run_once(5));
+  // Different seeds should (with overwhelming probability) differ.
+  EXPECT_NE(run_once(5), run_once(6));
+}
+
+}  // namespace
+}  // namespace elephant::aqm

@@ -1,0 +1,95 @@
+#include "aqm/tbf.hpp"
+
+#include <gtest/gtest.h>
+
+#include "aqm/fifo.hpp"
+#include "test_util.hpp"
+
+namespace elephant::aqm {
+namespace {
+
+using test::make_packet;
+
+TbfQueue make_tbf(sim::Scheduler& sched, double rate_bps, std::size_t burst = 64 * 1024) {
+  TbfConfig cfg;
+  cfg.rate_bps = rate_bps;
+  cfg.burst_bytes = burst;
+  return TbfQueue(sched, std::make_unique<FifoQueue>(sched, std::size_t{1} << 26), cfg);
+}
+
+TEST(Tbf, BurstPassesImmediately) {
+  sim::Scheduler sched;
+  auto q = make_tbf(sched, 1e6, 4 * 8900);
+  for (std::uint64_t i = 0; i < 4; ++i) (void)q.enqueue(make_packet(1, i));
+  int released = 0;
+  while (q.dequeue().has_value()) ++released;
+  EXPECT_EQ(released, 4);  // exactly the bucket depth
+}
+
+TEST(Tbf, BeyondBurstIsRateLimited) {
+  sim::Scheduler sched;
+  auto q = make_tbf(sched, 8900.0 * 8.0, 8900);  // one packet of burst, 1 pkt/s rate
+  for (std::uint64_t i = 0; i < 3; ++i) (void)q.enqueue(make_packet(1, i));
+  EXPECT_TRUE(q.dequeue().has_value());   // burst
+  EXPECT_FALSE(q.dequeue().has_value());  // no tokens yet
+  bool got_second = false;
+  sched.schedule_at(sim::Time::seconds(1.01), [&] { got_second = q.dequeue().has_value(); });
+  sched.run();
+  EXPECT_TRUE(got_second);
+}
+
+TEST(Tbf, NextReadyPredictsRelease) {
+  sim::Scheduler sched;
+  auto q = make_tbf(sched, 8900.0 * 8.0, 8900);
+  (void)q.enqueue(make_packet(1, 0));
+  (void)q.enqueue(make_packet(1, 1));
+  (void)q.dequeue();                       // consume burst
+  EXPECT_FALSE(q.dequeue().has_value());   // holds packet 1
+  const sim::Time ready = q.next_ready();
+  EXPECT_GT(ready, sched.now());
+  EXPECT_LE(ready, sched.now() + sim::Time::seconds(1.01));
+}
+
+TEST(Tbf, TokensCapAtBurst) {
+  sim::Scheduler sched;
+  auto q = make_tbf(sched, 1e9, 10000);
+  // Long idle: tokens must not exceed the bucket depth.
+  sched.schedule_at(sim::Time::seconds(10), [&] {
+    (void)q.enqueue(make_packet(1, 0));
+    (void)q.dequeue();
+  });
+  sched.run();
+  EXPECT_LE(q.tokens(), 10000.0);
+}
+
+TEST(Tbf, AccountsHeldPacket) {
+  sim::Scheduler sched;
+  auto q = make_tbf(sched, 8900.0 * 8.0, 8900);
+  (void)q.enqueue(make_packet(1, 0));
+  (void)q.enqueue(make_packet(1, 1));
+  (void)q.dequeue();
+  (void)q.dequeue();  // holds the head internally
+  EXPECT_EQ(q.packet_length(), 1u);
+  EXPECT_EQ(q.byte_length(), 8900u);
+}
+
+TEST(Tbf, InnerDropsStillCounted) {
+  sim::Scheduler sched;
+  TbfConfig cfg;
+  cfg.rate_bps = 1e9;
+  cfg.burst_bytes = 1 << 20;
+  TbfQueue q(sched, std::make_unique<FifoQueue>(sched, 2 * 8900), cfg);
+  (void)q.enqueue(make_packet(1, 0));
+  (void)q.enqueue(make_packet(1, 1));
+  EXPECT_FALSE(q.enqueue(make_packet(1, 2)));
+  EXPECT_EQ(q.stats().dropped_overflow, 1u);
+}
+
+TEST(Tbf, NameAdvertisesShaping) {
+  sim::Scheduler sched;
+  auto q = make_tbf(sched, 1e9);
+  EXPECT_EQ(q.name(), "fifo+tbf");
+}
+
+}  // namespace
+}  // namespace elephant::aqm

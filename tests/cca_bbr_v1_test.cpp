@@ -1,0 +1,155 @@
+#include "cca/bbr_v1.hpp"
+
+#include <gtest/gtest.h>
+
+namespace elephant::cca {
+namespace {
+
+/// Drives a BbrV1 instance with a synthetic steady path: bandwidth in
+/// segments/s, RTT, one ack per "step", round starts every RTT.
+struct Driver {
+  BbrV1 bbr{CcaParams{}};
+  double t = 0.1;
+  double delivered = 0;
+
+  AckSample step(double rate, double rtt_s, double acked = 10, bool round = false,
+                 double inflight = 50) {
+    AckSample a;
+    a.now = sim::Time::seconds(t);
+    a.rtt = sim::Time::seconds(rtt_s);
+    a.min_rtt = sim::Time::seconds(rtt_s);
+    a.acked_segments = acked;
+    delivered += acked;
+    a.delivered_segments = delivered;
+    a.delivery_rate = rate;
+    a.round_start = round;
+    a.inflight_segments = inflight;
+    bbr.on_ack(a);
+    return a;
+  }
+
+  /// One full round: several acks then a round boundary.
+  void round(double rate, double rtt_s, double inflight = 50) {
+    for (int i = 0; i < 4; ++i) {
+      step(rate, rtt_s, 10, false, inflight);
+      t += rtt_s / 5;
+    }
+    step(rate, rtt_s, 10, true, inflight);
+    t += rtt_s / 5;
+  }
+};
+
+TEST(BbrV1, StartsInStartupWithHighGain) {
+  Driver d;
+  EXPECT_EQ(d.bbr.mode(), BbrV1::Mode::kStartup);
+  d.round(1000, 0.062);
+  // Pacing at high_gain × bw.
+  EXPECT_NEAR(d.bbr.pacing_rate_bps(), 2.885 * 1000 * 8900 * 8, 1e6);
+}
+
+TEST(BbrV1, ExitsStartupWhenBandwidthPlateaus) {
+  Driver d;
+  d.round(1000, 0.062);
+  d.round(2000, 0.062);
+  d.round(4000, 0.062);  // growing: stay in startup
+  EXPECT_EQ(d.bbr.mode(), BbrV1::Mode::kStartup);
+  for (int i = 0; i < 5; ++i) d.round(4000, 0.062);  // plateau
+  EXPECT_NE(d.bbr.mode(), BbrV1::Mode::kStartup);
+}
+
+TEST(BbrV1, DrainsThenProbesBandwidth) {
+  Driver d;
+  for (int i = 0; i < 10; ++i) d.round(4000, 0.062, /*inflight=*/600);
+  // With inflight well above BDP (4000*0.062=248), mode is Drain.
+  EXPECT_EQ(d.bbr.mode(), BbrV1::Mode::kDrain);
+  // Let inflight fall below BDP: ProbeBW.
+  d.round(4000, 0.062, /*inflight=*/100);
+  EXPECT_EQ(d.bbr.mode(), BbrV1::Mode::kProbeBw);
+}
+
+TEST(BbrV1, CwndCappedAtTwoBdpInProbeBw) {
+  Driver d;
+  for (int i = 0; i < 10; ++i) d.round(4000, 0.062, 600);
+  d.round(4000, 0.062, 100);
+  ASSERT_EQ(d.bbr.mode(), BbrV1::Mode::kProbeBw);
+  for (int i = 0; i < 50; ++i) d.round(4000, 0.062, 300);
+  // BDP = 4000 * 0.062 = 248 segments; cap = 2×BDP = 496.
+  EXPECT_LE(d.bbr.cwnd_segments(), 2.0 * 248 + 1);
+  EXPECT_GT(d.bbr.cwnd_segments(), 1.5 * 248);
+}
+
+TEST(BbrV1, LossDoesNotReduceWindow) {
+  Driver d;
+  for (int i = 0; i < 10; ++i) d.round(4000, 0.062, 600);
+  d.round(4000, 0.062, 100);
+  const double w = d.bbr.cwnd_segments();
+  LossSample l;
+  l.now = sim::Time::seconds(d.t);
+  l.lost_segments = 50;
+  l.new_congestion_event = true;
+  d.bbr.on_loss(l);
+  EXPECT_DOUBLE_EQ(d.bbr.cwnd_segments(), w);
+}
+
+TEST(BbrV1, RtoCollapsesWindow) {
+  Driver d;
+  for (int i = 0; i < 10; ++i) d.round(4000, 0.062, 600);
+  d.bbr.on_rto(sim::Time::seconds(d.t));
+  EXPECT_LE(d.bbr.cwnd_segments(), 4.0);
+  // Bandwidth model survives the RTO.
+  EXPECT_GT(d.bbr.bw_estimate(), 3000.0);
+}
+
+TEST(BbrV1, MinRttTracksFloor) {
+  Driver d;
+  d.round(1000, 0.080);
+  d.round(1000, 0.062);
+  d.round(1000, 0.090);
+  EXPECT_EQ(d.bbr.min_rtt(), sim::Time::seconds(0.062));
+}
+
+TEST(BbrV1, EntersProbeRttAfterWindowExpiry) {
+  Driver d;
+  for (int i = 0; i < 10; ++i) d.round(4000, 0.062, 600);
+  d.round(4000, 0.062, 100);
+  ASSERT_EQ(d.bbr.mode(), BbrV1::Mode::kProbeBw);
+  // Hold RTT slightly above the floor for >10 s of sim time.
+  while (d.t < 12.0) d.round(4000, 0.070, 300);
+  EXPECT_EQ(d.bbr.mode(), BbrV1::Mode::kProbeRtt);
+  EXPECT_LE(d.bbr.cwnd_segments(), 4.0 + 1e-9);
+}
+
+TEST(BbrV1, ProbeRttExitsAfterDwell) {
+  Driver d;
+  for (int i = 0; i < 10; ++i) d.round(4000, 0.062, 600);
+  d.round(4000, 0.062, 100);
+  while (d.t < 12.0) d.round(4000, 0.070, 300);
+  ASSERT_EQ(d.bbr.mode(), BbrV1::Mode::kProbeRtt);
+  // Drain inflight to ≤ 4 and dwell 200 ms + a round.
+  const double start = d.t;
+  while (d.t < start + 1.0) d.round(4000, 0.062, 3);
+  EXPECT_EQ(d.bbr.mode(), BbrV1::Mode::kProbeBw);
+}
+
+TEST(BbrV1, PacingGainCyclesInProbeBw) {
+  Driver d;
+  for (int i = 0; i < 10; ++i) d.round(4000, 0.062, 600);
+  d.round(4000, 0.062, 100);
+  ASSERT_EQ(d.bbr.mode(), BbrV1::Mode::kProbeBw);
+  // Across many rounds the pacing rate must visit >1 values (cycle gains).
+  // Keep inflight above 1.25*BDP (=310) so the probe phase can complete.
+  double min_rate = 1e18;
+  double max_rate = 0;
+  for (int i = 0; i < 30; ++i) {
+    d.round(4000, 0.062, 330);
+    min_rate = std::min(min_rate, d.bbr.pacing_rate_bps());
+    max_rate = std::max(max_rate, d.bbr.pacing_rate_bps());
+  }
+  EXPECT_LT(min_rate, max_rate);
+  const double base = 4000 * 8900 * 8;
+  EXPECT_NEAR(min_rate, 0.75 * base, 0.02 * base);
+  EXPECT_NEAR(max_rate, 1.25 * base, 0.02 * base);
+}
+
+}  // namespace
+}  // namespace elephant::cca

@@ -1,0 +1,153 @@
+#include "cca/cubic.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace elephant::cca {
+namespace {
+
+AckSample ack(double acked, double now_s, double rtt_ms = 62, bool round_start = false) {
+  AckSample a;
+  a.now = sim::Time::seconds(now_s);
+  a.rtt = sim::Time::milliseconds(static_cast<std::int64_t>(rtt_ms));
+  a.acked_segments = acked;
+  a.round_start = round_start;
+  return a;
+}
+
+LossSample loss(double now_s) {
+  LossSample l;
+  l.now = sim::Time::seconds(now_s);
+  l.lost_segments = 1;
+  l.new_congestion_event = true;
+  return l;
+}
+
+TEST(Cubic, LossMultipliesByBeta) {
+  Cubic c{CcaParams{}};
+  c.on_ack(ack(90, 1.0));  // slow start: cwnd 100
+  EXPECT_DOUBLE_EQ(c.cwnd_segments(), 100.0);
+  c.on_loss(loss(1.1));
+  EXPECT_NEAR(c.cwnd_segments(), 70.0, 1e-9);
+  EXPECT_NEAR(c.w_max(), 100.0, 1e-9);
+}
+
+TEST(Cubic, KMatchesRfc8312) {
+  Cubic c{CcaParams{}};
+  c.on_ack(ack(90, 1.0));
+  c.on_loss(loss(1.0));
+  // K = cbrt(W_max * (1-beta) / C) = cbrt(100 * 0.3 / 0.4) = cbrt(75).
+  EXPECT_NEAR(c.k(), std::cbrt(75.0), 1e-9);
+}
+
+TEST(Cubic, RecoversTowardWmaxWithinK) {
+  Cubic c{CcaParams{}};
+  c.on_ack(ack(90, 1.0));
+  c.on_loss(loss(1.0));
+  // Feed steady acks for K seconds: window should approach W_max again.
+  const double k = c.k();
+  double t = 1.0;
+  while (t < 1.0 + k + 1.0) {
+    c.on_ack(ack(c.cwnd_segments(), t));
+    t += 0.062;
+  }
+  EXPECT_GT(c.cwnd_segments(), 95.0);
+}
+
+TEST(Cubic, GrowthIsSlowNearWmaxFastBeyond) {
+  // The signature cubic shape: concave approach to the plateau, then convex
+  // growth past it.
+  Cubic c{CcaParams{}};
+  c.on_ack(ack(90, 1.0));
+  c.on_loss(loss(1.0));
+  const double k = c.k();
+  auto growth_during = [&](double from, double to) {
+    double t = from;
+    const double w0 = c.cwnd_segments();
+    while (t < to) {
+      c.on_ack(ack(c.cwnd_segments(), t));
+      t += 0.062;
+    }
+    return c.cwnd_segments() - w0;
+  };
+  const double early = growth_during(1.0, 1.0 + 0.4 * k);       // steep recovery
+  const double plateau = growth_during(1.0 + 0.8 * k, 1.0 + 1.2 * k);  // near K: flat
+  EXPECT_GT(early, plateau);
+}
+
+TEST(Cubic, FastConvergenceLowersWmax) {
+  CubicParams p;
+  p.fast_convergence = true;
+  Cubic c{CcaParams{}, p};
+  c.on_ack(ack(90, 1.0));
+  c.on_loss(loss(1.0));  // W_max = 100
+  // Second loss at a smaller window: W_max scaled by (2-beta)/2 = 0.65.
+  c.on_loss(loss(1.1));
+  // cwnd was 70 at the loss: W_max = 70 * 0.65 = 45.5.
+  EXPECT_NEAR(c.w_max(), 70.0 * 0.65, 1e-6);
+}
+
+TEST(Cubic, TcpFriendlyFloorInSmallWindows) {
+  // With tiny windows the Reno-equivalent estimate dominates the cubic term,
+  // so growth should at least match Reno's.
+  Cubic c{CcaParams{}};
+  c.on_ack(ack(2, 1.0));  // cwnd 12, slow start
+  c.on_loss(loss(1.0));   // cwnd ~8.4
+  const double w0 = c.cwnd_segments();
+  double t = 1.0;
+  for (int rtt = 0; rtt < 10; ++rtt) {
+    c.on_ack(ack(c.cwnd_segments(), t));
+    t += 0.062;
+  }
+  EXPECT_GT(c.cwnd_segments(), w0 + 1.0);
+}
+
+TEST(Cubic, HystartExitsOnDelayIncrease) {
+  CubicParams p;
+  p.hystart = true;
+  Cubic c{CcaParams{}, p};
+  double t = 0.0;
+  double rtt = 62;
+  // Rounds of 8+ samples with sharply growing RTT: HyStart must fire well
+  // before the window reaches absurd sizes.
+  for (int round = 0; round < 30 && c.in_slow_start(); ++round) {
+    c.on_ack(ack(1, t, rtt, /*round_start=*/true));
+    for (int i = 0; i < 9; ++i) c.on_ack(ack(1, t += 0.001, rtt));
+    rtt += 30;  // the queue is clearly building
+    t += 0.06;
+  }
+  EXPECT_FALSE(c.in_slow_start());
+  EXPECT_LT(c.cwnd_segments(), 400.0);
+}
+
+TEST(Cubic, NoHystartNoEarlyExit) {
+  CubicParams p;
+  p.hystart = false;
+  Cubic c{CcaParams{}, p};
+  double t = 0.0;
+  double rtt = 62;
+  for (int round = 0; round < 10; ++round) {
+    c.on_ack(ack(1, t, rtt, true));
+    for (int i = 0; i < 9; ++i) c.on_ack(ack(1, t += 0.001, rtt));
+    rtt += 30;
+    t += 0.06;
+  }
+  EXPECT_TRUE(c.in_slow_start());
+}
+
+TEST(Cubic, RtoResetsToMinimum) {
+  Cubic c{CcaParams{}};
+  c.on_ack(ack(90, 1.0));
+  c.on_rto(sim::Time::seconds(2));
+  EXPECT_DOUBLE_EQ(c.cwnd_segments(), 2.0);
+}
+
+TEST(Cubic, CwndNeverNegativeOrBelowMin) {
+  Cubic c{CcaParams{}};
+  for (int i = 0; i < 50; ++i) c.on_loss(loss(1.0 + i * 0.01));
+  EXPECT_GE(c.cwnd_segments(), 2.0);
+}
+
+}  // namespace
+}  // namespace elephant::cca

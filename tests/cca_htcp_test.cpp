@@ -1,0 +1,122 @@
+#include "cca/htcp.hpp"
+
+#include <gtest/gtest.h>
+
+namespace elephant::cca {
+namespace {
+
+AckSample ack(double acked, double now_s, double rtt_ms = 62) {
+  AckSample a;
+  a.now = sim::Time::seconds(now_s);
+  a.rtt = sim::Time::milliseconds(static_cast<std::int64_t>(rtt_ms));
+  a.acked_segments = acked;
+  return a;
+}
+
+LossSample loss(double now_s) {
+  LossSample l;
+  l.now = sim::Time::seconds(now_s);
+  l.lost_segments = 1;
+  l.new_congestion_event = true;
+  return l;
+}
+
+TEST(Htcp, SlowStartUntilFirstLoss) {
+  Htcp h{CcaParams{}};
+  EXPECT_TRUE(h.in_slow_start());
+  h.on_ack(ack(10, 0.1));
+  EXPECT_DOUBLE_EQ(h.cwnd_segments(), 20.0);
+}
+
+TEST(Htcp, RenoLikeWithinDeltaL) {
+  Htcp h{CcaParams{}};
+  h.on_ack(ack(90, 0.1));  // cwnd 100
+  h.on_loss(loss(1.0));
+  // Within 1 s of the loss α stays 1: one full window of acks adds ~1.
+  const double w0 = h.cwnd_segments();
+  double acked = 0;
+  while (acked < w0) {
+    h.on_ack(ack(1, 1.5));
+    acked += 1;
+  }
+  EXPECT_NEAR(h.cwnd_segments(), w0 + 1.0, 1e-6);
+  EXPECT_DOUBLE_EQ(h.alpha(), 1.0);
+}
+
+TEST(Htcp, AlphaGrowsQuadraticallyAfterDeltaL) {
+  Htcp h{CcaParams{}};
+  h.on_ack(ack(90, 0.1));
+  h.on_loss(loss(0.5));
+  // 3.5 s after the loss: Δ-Δ_L = 2.5 → raw α = 1+25+1.5625 = 27.5625,
+  // scaled by 2(1-β).
+  h.on_ack(ack(1, 4.0));
+  const double expected_raw = 1.0 + 10.0 * 2.5 + (2.5 / 2) * (2.5 / 2);
+  EXPECT_NEAR(h.alpha(), 2.0 * (1.0 - h.beta()) * expected_raw, 1e-6);
+}
+
+TEST(Htcp, AlphaResetsOnLoss) {
+  Htcp h{CcaParams{}};
+  h.on_ack(ack(90, 0.1));
+  h.on_loss(loss(0.5));
+  h.on_ack(ack(1, 5.0));
+  EXPECT_GT(h.alpha(), 10.0);
+  h.on_loss(loss(5.1));
+  EXPECT_DOUBLE_EQ(h.alpha(), 1.0);
+}
+
+TEST(Htcp, AdaptiveBetaTracksRttRatio) {
+  Htcp h{CcaParams{}};
+  h.on_ack(ack(90, 0.1));
+  h.on_loss(loss(0.2));  // establish an epoch
+  // Epoch with RTT from 62 to 124 ms: β ≈ 62/124 = 0.5.
+  h.on_ack(ack(1, 0.5, 62));
+  h.on_ack(ack(1, 0.9, 124));
+  h.on_loss(loss(1.0));
+  EXPECT_NEAR(h.beta(), 0.5, 0.01);
+}
+
+TEST(Htcp, BetaClampedToBounds) {
+  HtcpParams p;
+  Htcp h{CcaParams{}, p};
+  h.on_ack(ack(90, 0.1));
+  h.on_loss(loss(0.2));
+  // Nearly constant RTT: ratio ~1 but clamped to beta_max=0.8.
+  h.on_ack(ack(1, 0.5, 62));
+  h.on_ack(ack(1, 0.9, 62));
+  h.on_loss(loss(1.0));
+  EXPECT_NEAR(h.beta(), 0.8, 1e-9);
+}
+
+TEST(Htcp, BackoffUsesBeta) {
+  Htcp h{CcaParams{}};
+  h.on_ack(ack(90, 0.1));
+  h.on_loss(loss(0.2));
+  h.on_ack(ack(1, 0.5, 62));
+  h.on_ack(ack(1, 0.9, 62));
+  const double w = h.cwnd_segments();
+  h.on_loss(loss(1.0));  // β = 0.8
+  EXPECT_NEAR(h.cwnd_segments(), w * 0.8, 1e-6);
+}
+
+TEST(Htcp, BufferbloatLowersBetaAndThroughput) {
+  // The mechanism behind paper Fig. 2(k)-(o): queue-induced RTT inflation
+  // drives β toward 0.5, making HTCP back off harder.
+  Htcp bloated{CcaParams{}};
+  bloated.on_ack(ack(90, 0.1));
+  bloated.on_loss(loss(0.2));
+  bloated.on_ack(ack(1, 0.5, 62));
+  bloated.on_ack(ack(1, 0.9, 500));  // severe bufferbloat
+  bloated.on_loss(loss(1.0));
+  EXPECT_NEAR(bloated.beta(), 0.5, 1e-9);
+}
+
+TEST(Htcp, RtoCollapses) {
+  Htcp h{CcaParams{}};
+  h.on_ack(ack(90, 0.1));
+  h.on_rto(sim::Time::seconds(1));
+  EXPECT_DOUBLE_EQ(h.cwnd_segments(), 2.0);
+  EXPECT_DOUBLE_EQ(h.alpha(), 1.0);
+}
+
+}  // namespace
+}  // namespace elephant::cca

@@ -1,0 +1,127 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "cca/congestion_control.hpp"
+
+namespace elephant::cca {
+namespace {
+
+/// Behavioural invariants that must hold for EVERY congestion controller,
+/// driven through synthetic ack/loss/RTO sequences.
+class CcaInvariants : public ::testing::TestWithParam<CcaKind> {
+ protected:
+  std::unique_ptr<CongestionControl> make() { return make_cca(GetParam(), CcaParams{}); }
+
+  static AckSample ack(double t, double acked = 10, double rate = 1000,
+                       bool round = false, double inflight = 50) {
+    AckSample a;
+    a.now = sim::Time::seconds(t);
+    a.rtt = sim::Time::milliseconds(62);
+    a.min_rtt = a.rtt;
+    a.acked_segments = acked;
+    a.delivery_rate = rate;
+    a.round_start = round;
+    a.inflight_segments = inflight;
+    return a;
+  }
+
+  static LossSample loss(double t, double lost = 5, bool new_event = true) {
+    LossSample l;
+    l.now = sim::Time::seconds(t);
+    l.lost_segments = lost;
+    l.inflight_segments = 50;
+    l.new_congestion_event = new_event;
+    return l;
+  }
+};
+
+TEST_P(CcaInvariants, CwndAlwaysPositive) {
+  auto cc = make();
+  double delivered = 0;
+  for (int i = 0; i < 2000; ++i) {
+    const double t = 0.01 * i;
+    if (i % 7 == 3) cc->on_loss(loss(t, 10, i % 21 == 3));
+    if (i % 50 == 49) cc->on_rto(sim::Time::seconds(t));
+    AckSample a = ack(t, 5, 500, i % 10 == 0);
+    delivered += 5;
+    a.delivered_segments = delivered;
+    cc->on_ack(a);
+    ASSERT_GE(cc->cwnd_segments(), 1.0) << cc->name() << " step " << i;
+    ASSERT_LT(cc->cwnd_segments(), 1e9) << cc->name() << " step " << i;
+  }
+}
+
+TEST_P(CcaInvariants, GrowsWithoutCongestion) {
+  auto cc = make();
+  const double w0 = cc->cwnd_segments();
+  double delivered = 0;
+  for (int i = 0; i < 200; ++i) {
+    AckSample a = ack(0.062 * i, 10, 2000, i % 5 == 0, 40);
+    delivered += 10;
+    a.delivered_segments = delivered;
+    cc->on_ack(a);
+  }
+  EXPECT_GT(cc->cwnd_segments(), w0) << cc->name();
+}
+
+TEST_P(CcaInvariants, RtoNeverIncreasesWindow) {
+  auto cc = make();
+  double delivered = 0;
+  for (int i = 0; i < 100; ++i) {
+    AckSample a = ack(0.062 * i, 10, 2000, i % 5 == 0);
+    delivered += 10;
+    a.delivered_segments = delivered;
+    cc->on_ack(a);
+  }
+  const double before = cc->cwnd_segments();
+  cc->on_rto(sim::Time::seconds(10));
+  EXPECT_LE(cc->cwnd_segments(), before) << cc->name();
+}
+
+TEST_P(CcaInvariants, PacingRateNonNegative) {
+  auto cc = make();
+  double delivered = 0;
+  for (int i = 0; i < 300; ++i) {
+    AckSample a = ack(0.01 * i, 5, 800, i % 12 == 0);
+    delivered += 5;
+    a.delivered_segments = delivered;
+    cc->on_ack(a);
+    ASSERT_GE(cc->pacing_rate_bps(), 0.0) << cc->name();
+  }
+}
+
+TEST_P(CcaInvariants, ZeroAckedIsIgnoredSafely) {
+  auto cc = make();
+  const double w0 = cc->cwnd_segments();
+  cc->on_ack(ack(1.0, /*acked=*/0));
+  EXPECT_DOUBLE_EQ(cc->cwnd_segments(), w0) << cc->name();
+}
+
+TEST_P(CcaInvariants, NameIsStable) {
+  auto cc = make();
+  EXPECT_EQ(cc->name(), to_string(GetParam()));
+}
+
+TEST_P(CcaInvariants, FactoryProducesIndependentInstances) {
+  auto a = make_cca(GetParam(), CcaParams{});
+  auto b = make_cca(GetParam(), CcaParams{});
+  double delivered = 0;
+  for (int i = 0; i < 50; ++i) {
+    AckSample s = ack(0.062 * i, 10, 1000, i % 5 == 0);
+    delivered += 10;
+    s.delivered_segments = delivered;
+    a->on_ack(s);
+  }
+  // b untouched: still at initial window.
+  EXPECT_DOUBLE_EQ(b->cwnd_segments(), CcaParams{}.initial_cwnd_segments);
+  EXPECT_NE(a->cwnd_segments(), b->cwnd_segments());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllCcas, CcaInvariants,
+                         ::testing::Values(CcaKind::kReno, CcaKind::kCubic, CcaKind::kHtcp,
+                                           CcaKind::kBbrV1, CcaKind::kBbrV2),
+                         [](const auto& info) { return to_string(info.param); });
+
+}  // namespace
+}  // namespace elephant::cca

@@ -1,0 +1,97 @@
+#include "cca/reno.hpp"
+
+#include <gtest/gtest.h>
+
+namespace elephant::cca {
+namespace {
+
+AckSample ack(double acked, double now_s = 1.0, double rtt_ms = 62) {
+  AckSample a;
+  a.now = sim::Time::seconds(now_s);
+  a.rtt = sim::Time::milliseconds(static_cast<std::int64_t>(rtt_ms));
+  a.acked_segments = acked;
+  return a;
+}
+
+LossSample loss(bool new_event = true, double now_s = 1.0) {
+  LossSample l;
+  l.now = sim::Time::seconds(now_s);
+  l.lost_segments = 1;
+  l.new_congestion_event = new_event;
+  return l;
+}
+
+TEST(Reno, StartsInSlowStartAtInitialWindow) {
+  Reno r{CcaParams{}};
+  EXPECT_DOUBLE_EQ(r.cwnd_segments(), 10.0);
+  EXPECT_TRUE(r.in_slow_start());
+}
+
+TEST(Reno, SlowStartDoublesPerRtt) {
+  Reno r{CcaParams{}};
+  // Acking a full window in slow start doubles cwnd.
+  r.on_ack(ack(10));
+  EXPECT_DOUBLE_EQ(r.cwnd_segments(), 20.0);
+}
+
+TEST(Reno, LossHalvesWindowAndExitsSlowStart) {
+  Reno r{CcaParams{}};
+  r.on_ack(ack(30));  // cwnd 40
+  r.on_loss(loss());
+  EXPECT_DOUBLE_EQ(r.cwnd_segments(), 20.0);
+  EXPECT_FALSE(r.in_slow_start());
+}
+
+TEST(Reno, CongestionAvoidanceAddsOnePerRtt) {
+  Reno r{CcaParams{}};
+  r.on_loss(loss());  // cwnd 5, CA
+  const double w0 = r.cwnd_segments();
+  // Ack one full window: +1 segment.
+  double acked = 0;
+  while (acked < w0) {
+    r.on_ack(ack(1));
+    acked += 1;
+  }
+  EXPECT_NEAR(r.cwnd_segments(), w0 + 1.0, 1e-9);
+}
+
+TEST(Reno, DuplicateLossSignalsIgnoredWithinEpisode) {
+  Reno r{CcaParams{}};
+  r.on_ack(ack(30));
+  r.on_loss(loss(true));
+  const double w = r.cwnd_segments();
+  r.on_loss(loss(false));
+  r.on_loss(loss(false));
+  EXPECT_DOUBLE_EQ(r.cwnd_segments(), w);
+}
+
+TEST(Reno, RtoCollapsesToMinimum) {
+  Reno r{CcaParams{}};
+  r.on_ack(ack(100));
+  r.on_rto(sim::Time::seconds(2));
+  EXPECT_DOUBLE_EQ(r.cwnd_segments(), 2.0);
+  EXPECT_TRUE(r.in_slow_start());      // restart below ssthresh
+  EXPECT_GT(r.ssthresh(), 2.0);
+}
+
+TEST(Reno, NeverBelowMinCwnd) {
+  Reno r{CcaParams{}};
+  for (int i = 0; i < 20; ++i) {
+    r.on_loss(loss(true));
+  }
+  EXPECT_GE(r.cwnd_segments(), 2.0);
+}
+
+TEST(Reno, SlowStartCapsAtSsthresh) {
+  Reno r{CcaParams{}};
+  r.on_ack(ack(100));
+  r.on_loss(loss());  // ssthresh = cwnd/2
+  r.on_rto(sim::Time::seconds(1));
+  const double ssthresh = r.ssthresh();
+  // Grow back: cwnd must not overshoot ssthresh within slow start.
+  while (r.in_slow_start()) r.on_ack(ack(4));
+  EXPECT_LE(r.cwnd_segments(), ssthresh + 1e-9);
+}
+
+}  // namespace
+}  // namespace elephant::cca

@@ -1,0 +1,67 @@
+#include "cca/windowed_filter.hpp"
+
+#include <gtest/gtest.h>
+
+namespace elephant::cca {
+namespace {
+
+TEST(WindowedFilter, MaxTracksBest) {
+  MaxFilter<double, int> f(10, 0.0, 0);
+  f.update(5, 1);
+  EXPECT_DOUBLE_EQ(f.best(), 5);
+  f.update(3, 2);
+  EXPECT_DOUBLE_EQ(f.best(), 5);
+  f.update(9, 3);
+  EXPECT_DOUBLE_EQ(f.best(), 9);
+}
+
+TEST(WindowedFilter, MaxExpiresOldBest) {
+  MaxFilter<double, int> f(10, 0.0, 0);
+  f.update(100, 0);
+  for (int t = 1; t <= 25; ++t) f.update(50, t);
+  // The 100 sample is far outside the window: the best must now be 50.
+  EXPECT_DOUBLE_EQ(f.best(), 50);
+}
+
+TEST(WindowedFilter, MinTracksLowest) {
+  MinFilter<double, int> f(10, 1e9, 0);
+  f.update(100, 1);
+  f.update(40, 2);
+  f.update(70, 3);
+  EXPECT_DOUBLE_EQ(f.best(), 40);
+}
+
+TEST(WindowedFilter, MinExpires) {
+  MinFilter<double, int> f(10, 1e9, 0);
+  f.update(5, 0);
+  for (int t = 1; t <= 25; ++t) f.update(20, t);
+  EXPECT_DOUBLE_EQ(f.best(), 20);
+}
+
+TEST(WindowedFilter, SecondBestPromoted) {
+  MaxFilter<double, int> f(10, 0.0, 0);
+  f.update(100, 0);
+  f.update(80, 5);   // second best, newer
+  f.update(60, 11);  // 100 expires (age 11 > 10): 80 should take over
+  EXPECT_DOUBLE_EQ(f.best(), 80);
+}
+
+TEST(WindowedFilter, ResetReplacesEverything) {
+  MaxFilter<double, int> f(10, 0.0, 0);
+  f.update(100, 0);
+  f.reset(7, 50);
+  EXPECT_DOUBLE_EQ(f.best(), 7);
+  EXPECT_DOUBLE_EQ(f.second_best(), 7);
+  EXPECT_DOUBLE_EQ(f.third_best(), 7);
+}
+
+TEST(WindowedFilter, MonotoneDecreasingStillTracked) {
+  MaxFilter<double, int> f(8, 0.0, 0);
+  // Bandwidth fading away: filter must follow downward once samples age out.
+  for (int t = 0; t < 50; ++t) f.update(100.0 - t, t);
+  EXPECT_LT(f.best(), 100.0);
+  EXPECT_GE(f.best(), 100.0 - 50);
+}
+
+}  // namespace
+}  // namespace elephant::cca

@@ -1,0 +1,99 @@
+#include "exp/cache.hpp"
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <filesystem>
+#include <fstream>
+
+namespace elephant::exp {
+namespace {
+
+class CacheTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("elephant_cache_test_" + std::to_string(::getpid()));
+    std::filesystem::remove_all(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+  std::filesystem::path dir_;
+};
+
+ExperimentResult fake_result(const ExperimentConfig& cfg) {
+  ExperimentResult r;
+  r.config = cfg;
+  r.sender_bps[0] = 4.2e8;
+  r.sender_bps[1] = 5.8e8;
+  r.jain2 = 0.973;
+  r.utilization = 0.99;
+  r.retx_segments = 1234;
+  r.rtos = 3;
+  r.events_executed = 1000000;
+  r.wall_seconds = 1.5;
+  return r;
+}
+
+TEST_F(CacheTest, MissOnEmptyCache) {
+  ResultCache cache(dir_);
+  EXPECT_FALSE(cache.load(ExperimentConfig{}).has_value());
+}
+
+TEST_F(CacheTest, StoreThenLoadRoundTrips) {
+  ResultCache cache(dir_);
+  ExperimentConfig cfg;
+  cache.store(fake_result(cfg));
+  const auto loaded = cache.load(cfg);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_DOUBLE_EQ(loaded->sender_bps[0], 4.2e8);
+  EXPECT_DOUBLE_EQ(loaded->sender_bps[1], 5.8e8);
+  EXPECT_DOUBLE_EQ(loaded->jain2, 0.973);
+  EXPECT_DOUBLE_EQ(loaded->utilization, 0.99);
+  EXPECT_EQ(loaded->retx_segments, 1234u);
+  EXPECT_EQ(loaded->rtos, 3u);
+}
+
+TEST_F(CacheTest, DifferentConfigsDoNotCollide) {
+  ResultCache cache(dir_);
+  ExperimentConfig a;
+  ExperimentConfig b;
+  b.buffer_bdp = 16;
+  cache.store(fake_result(a));
+  EXPECT_TRUE(cache.load(a).has_value());
+  EXPECT_FALSE(cache.load(b).has_value());
+}
+
+TEST_F(CacheTest, DisabledCacheStoresNothing) {
+  ResultCache cache(dir_);
+  cache.set_enabled(false);
+  ExperimentConfig cfg;
+  cache.store(fake_result(cfg));
+  EXPECT_FALSE(cache.load(cfg).has_value());
+  cache.set_enabled(true);
+  EXPECT_FALSE(cache.load(cfg).has_value());
+}
+
+TEST_F(CacheTest, CorruptFileIsAMiss) {
+  ResultCache cache(dir_);
+  ExperimentConfig cfg;
+  cache.store(fake_result(cfg));
+  // Truncate the file behind the cache's back.
+  for (const auto& entry : std::filesystem::directory_iterator(dir_)) {
+    std::ofstream(entry.path(), std::ios::trunc) << "garbage\n";
+  }
+  EXPECT_FALSE(cache.load(cfg).has_value());
+}
+
+TEST_F(CacheTest, SeedIsPartOfTheKey) {
+  ResultCache cache(dir_);
+  ExperimentConfig a;
+  a.seed = 1;
+  ExperimentConfig b;
+  b.seed = 2;
+  cache.store(fake_result(a));
+  EXPECT_TRUE(cache.load(a).has_value());
+  EXPECT_FALSE(cache.load(b).has_value());
+}
+
+}  // namespace
+}  // namespace elephant::exp

@@ -1,0 +1,99 @@
+#include "exp/runner.hpp"
+
+#include <gtest/gtest.h>
+
+#include "test_util.hpp"
+
+namespace elephant::exp {
+namespace {
+
+using cca::CcaKind;
+
+TEST(Runner, FlowSplitIsHalfAndHalf) {
+  auto cfg = test::quick_config(CcaKind::kBbrV1, CcaKind::kCubic, aqm::AqmKind::kFifo,
+                                2.0, 100e6, 5);
+  cfg.total_flows = 8;
+  const auto res = run_experiment(cfg);
+  int side0 = 0;
+  int side1 = 0;
+  for (const auto& f : res.flows) {
+    (f.sender == 0 ? side0 : side1)++;
+  }
+  EXPECT_EQ(side0, 4);
+  EXPECT_EQ(side1, 4);
+}
+
+TEST(Runner, SidesRunTheConfiguredCcas) {
+  auto cfg = test::quick_config(CcaKind::kHtcp, CcaKind::kReno, aqm::AqmKind::kFifo, 2.0,
+                                100e6, 5);
+  const auto res = run_experiment(cfg);
+  for (const auto& f : res.flows) {
+    EXPECT_EQ(f.cca, f.sender == 0 ? "htcp" : "reno");
+  }
+}
+
+TEST(Runner, ConfigEchoedInResult) {
+  auto cfg = test::quick_config(CcaKind::kCubic, CcaKind::kCubic, aqm::AqmKind::kRed, 4.0,
+                                100e6, 5);
+  const auto res = run_experiment(cfg);
+  EXPECT_EQ(res.config.id(), cfg.id());
+}
+
+TEST(Runner, RandomLossReachesTheBottleneck) {
+  auto cfg = test::quick_config(CcaKind::kBbrV1, CcaKind::kBbrV1, aqm::AqmKind::kFifo, 2.0,
+                                100e6, 10);
+  cfg.random_loss = 0.02;
+  const auto res = run_experiment(cfg);
+  // The loss injector reports through the qdisc's early-drop counter.
+  EXPECT_GT(res.bottleneck.dropped_early, 0u);
+}
+
+TEST(Runner, WallClockAndEventsPopulated) {
+  auto cfg = test::quick_config(CcaKind::kCubic, CcaKind::kCubic, aqm::AqmKind::kFifo, 2.0,
+                                100e6, 5);
+  const auto res = run_experiment(cfg);
+  EXPECT_GT(res.events_executed, 1000u);
+  EXPECT_GT(res.wall_seconds, 0.0);
+}
+
+TEST(Runner, DifferentSeedsDifferentMicrostate) {
+  auto a = test::quick_config(CcaKind::kBbrV2, CcaKind::kCubic, aqm::AqmKind::kFifo, 2.0,
+                              100e6, 10);
+  auto b = a;
+  b.seed = a.seed + 1;
+  const auto ra = run_experiment(a);
+  const auto rb = run_experiment(b);
+  EXPECT_NE(ra.events_executed, rb.events_executed);
+}
+
+TEST(Runner, AveragedResultAveragesAcrossSeeds) {
+  auto cfg = test::quick_config(CcaKind::kCubic, CcaKind::kCubic, aqm::AqmKind::kFifo, 2.0,
+                                100e6, 5);
+  const auto avg = run_averaged(cfg, 2, /*use_cache=*/false);
+  EXPECT_EQ(avg.repetitions, 2);
+  EXPECT_GT(avg.utilization, 0.3);
+  EXPECT_LE(avg.jain2, 1.0);
+  EXPECT_GE(avg.jain2, 0.5);
+}
+
+TEST(Runner, PaceAllSmoothsLossBasedBursts) {
+  auto cfg = test::quick_config(CcaKind::kCubic, CcaKind::kCubic, aqm::AqmKind::kFifo, 0.5,
+                                100e6, 20);
+  auto paced = cfg;
+  paced.pace_all = true;
+  const auto res = run_experiment(cfg);
+  const auto res_paced = run_experiment(paced);
+  // Pacing must not break anything; utilization stays comparable.
+  EXPECT_GT(res_paced.utilization, res.utilization - 0.15);
+}
+
+TEST(Runner, OddFlowCountStillRuns) {
+  auto cfg = test::quick_config(CcaKind::kCubic, CcaKind::kCubic, aqm::AqmKind::kFifo, 2.0,
+                                100e6, 5);
+  cfg.total_flows = 3;  // per-sender max(3/2,1) = 1 each
+  const auto res = run_experiment(cfg);
+  EXPECT_EQ(res.flows.size(), 2u);
+}
+
+}  // namespace
+}  // namespace elephant::exp

@@ -1,0 +1,99 @@
+#include <gtest/gtest.h>
+
+#include "test_util.hpp"
+
+namespace elephant {
+namespace {
+
+using cca::CcaKind;
+using test::quick_config;
+using test::run_uncached;
+
+TEST(AqmIntegration, FifoRetxFallWhenBufferGrowsPastBdp) {
+  // Fig. 8(a)-(b): under FIFO, bigger buffers mean fewer drops. The cleanest
+  // regime for the claim is sub-BDP → super-BDP (at very deep buffers CUBIC's
+  // overshoot ∝ the inflated detection RTT partially offsets it — see
+  // EXPERIMENTS.md).
+  auto small = quick_config(CcaKind::kCubic, CcaKind::kCubic, aqm::AqmKind::kFifo, 0.5,
+                            100e6, 120);
+  auto large = small;
+  large.buffer_bdp = 2;
+  const auto res_small = run_uncached(small);
+  const auto res_large = run_uncached(large);
+  EXPECT_GT(res_small.retx_segments, res_large.retx_segments);
+}
+
+TEST(AqmIntegration, BbrV1RetransmitsMostIntraCca) {
+  // Fig. 8 / Table 3 ordering: BBRv1's loss-blindness makes it the top
+  // retransmitter with FIFO.
+  auto bbr = quick_config(CcaKind::kBbrV1, CcaKind::kBbrV1, aqm::AqmKind::kFifo, 0.5,
+                          100e6, 40);
+  auto cub = quick_config(CcaKind::kCubic, CcaKind::kCubic, aqm::AqmKind::kFifo, 0.5,
+                          100e6, 40);
+  const auto res_bbr = run_uncached(bbr);
+  const auto res_cub = run_uncached(cub);
+  EXPECT_GT(res_bbr.retx_segments, res_cub.retx_segments);
+}
+
+TEST(AqmIntegration, BbrV2RetransmitsLessThanBbrV1) {
+  auto v1 = quick_config(CcaKind::kBbrV1, CcaKind::kBbrV1, aqm::AqmKind::kRed, 2.0, 100e6,
+                         40);
+  auto v2 = quick_config(CcaKind::kBbrV2, CcaKind::kBbrV2, aqm::AqmKind::kRed, 2.0, 100e6,
+                         40);
+  const auto res1 = run_uncached(v1);
+  const auto res2 = run_uncached(v2);
+  EXPECT_GT(res1.retx_segments, res2.retx_segments);
+}
+
+TEST(AqmIntegration, RedUnderutilizesVsFifoForLossBased) {
+  // Fig. 7: RED's random early drops cost loss-based CCAs utilization.
+  auto fifo = quick_config(CcaKind::kReno, CcaKind::kReno, aqm::AqmKind::kFifo, 2.0, 100e6,
+                           40);
+  auto red = fifo;
+  red.aqm = aqm::AqmKind::kRed;
+  const auto res_fifo = run_uncached(fifo);
+  const auto res_red = run_uncached(red);
+  EXPECT_GE(res_fifo.utilization, res_red.utilization - 0.02);
+}
+
+TEST(AqmIntegration, FqCodelKeepsLatencyLow) {
+  // CoDel's 5 ms target: srtt must stay near base RTT even with a deep
+  // buffer, unlike FIFO bufferbloat.
+  auto cfg = quick_config(CcaKind::kCubic, CcaKind::kCubic, aqm::AqmKind::kFqCodel, 8.0,
+                          100e6, 40);
+  const auto res = run_uncached(cfg);
+  for (const auto& f : res.flows) {
+    EXPECT_LT(f.srtt_ms, 62.0 + 40.0);
+  }
+}
+
+TEST(AqmIntegration, FqCodelStillUtilizesWell) {
+  auto cfg = quick_config(CcaKind::kCubic, CcaKind::kCubic, aqm::AqmKind::kFqCodel, 2.0,
+                          100e6, 40);
+  const auto res = run_uncached(cfg);
+  EXPECT_GT(res.utilization, 0.8);
+}
+
+TEST(AqmIntegration, BottleneckStatsPopulated) {
+  auto cfg = quick_config(CcaKind::kCubic, CcaKind::kCubic, aqm::AqmKind::kFifo, 1.0,
+                          100e6, 20);
+  const auto res = run_uncached(cfg);
+  EXPECT_GT(res.bottleneck.enqueued, 0u);
+  EXPECT_GT(res.bottleneck.dequeued, 0u);
+  EXPECT_LE(res.bottleneck.dequeued, res.bottleneck.enqueued);
+}
+
+TEST(AqmIntegration, EcnReducesRetransmissionsWithRed) {
+  // With ECN on, RED marks instead of dropping for ECT flows; BBRv2
+  // responds to ECE without losses, so retransmissions drop.
+  auto base = quick_config(CcaKind::kBbrV2, CcaKind::kBbrV2, aqm::AqmKind::kRed, 2.0,
+                           100e6, 30);
+  auto ecn = base;
+  ecn.ecn = true;
+  const auto res_base = run_uncached(base);
+  const auto res_ecn = run_uncached(ecn);
+  EXPECT_LT(res_ecn.retx_segments, res_base.retx_segments + 1);
+}
+
+}  // namespace
+}  // namespace elephant

@@ -1,0 +1,91 @@
+#include <gtest/gtest.h>
+
+#include "test_util.hpp"
+
+namespace elephant {
+namespace {
+
+using cca::CcaKind;
+using test::quick_config;
+using test::run_uncached;
+
+/// Intra-CCA runs must be fair between the two senders — the paper's
+/// Fig. 3(c)-(d) baseline (J ≈ 1 for every CCA under FIFO).
+class IntraCcaFairness : public ::testing::TestWithParam<CcaKind> {};
+
+TEST_P(IntraCcaFairness, FifoJainNearOne) {
+  auto cfg = quick_config(GetParam(), GetParam(), aqm::AqmKind::kFifo, 2.0, 100e6, 40);
+  const auto res = run_uncached(cfg);
+  EXPECT_GT(res.jain2, 0.85) << cca::to_string(GetParam());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllCcas, IntraCcaFairness,
+                         ::testing::Values(CcaKind::kReno, CcaKind::kCubic, CcaKind::kHtcp,
+                                           CcaKind::kBbrV2),
+                         [](const auto& info) { return cca::to_string(info.param); });
+
+TEST(Fairness, FqCodelEqualizesBbrV1VsCubic) {
+  // The paper's headline FQ_CODEL result: per-flow queues equalize even the
+  // most mismatched pair.
+  auto cfg = quick_config(CcaKind::kBbrV1, CcaKind::kCubic, aqm::AqmKind::kFqCodel, 2.0,
+                          100e6, 40);
+  const auto res = run_uncached(cfg);
+  EXPECT_GT(res.jain2, 0.95);
+}
+
+TEST(Fairness, BbrV1BeatsCubicInSmallFifoBuffers) {
+  // Fig. 2(a)-(e) left side: below the equilibrium buffer size BBRv1 takes
+  // the larger share.
+  auto cfg = quick_config(CcaKind::kBbrV1, CcaKind::kCubic, aqm::AqmKind::kFifo, 0.5,
+                          100e6, 40);
+  const auto res = run_uncached(cfg);
+  EXPECT_GT(res.sender_bps[0], res.sender_bps[1]);
+}
+
+TEST(Fairness, CubicOvertakesBbrV1InDeepFifoBuffers) {
+  // Fig. 2(a): past ~2 BDP at 100 Mb/s CUBIC wins (BBR's inflight cap).
+  auto cfg = quick_config(CcaKind::kBbrV1, CcaKind::kCubic, aqm::AqmKind::kFifo, 8.0,
+                          100e6, 60);
+  const auto res = run_uncached(cfg);
+  EXPECT_GT(res.sender_bps[1], res.sender_bps[0]);
+}
+
+TEST(Fairness, RedStarvesCubicAgainstBbrV1) {
+  // Fig. 4(a)-(e): BBRv1 sails over RED's random drops, CUBIC collapses.
+  auto cfg = quick_config(CcaKind::kBbrV1, CcaKind::kCubic, aqm::AqmKind::kRed, 2.0,
+                          100e6, 40);
+  const auto res = run_uncached(cfg);
+  EXPECT_GT(res.sender_bps[0], 2.0 * res.sender_bps[1]);
+  EXPECT_LT(res.jain2, 0.9);
+}
+
+TEST(Fairness, RenoFairAgainstCubicWithRed) {
+  // Fig. 4(p)-(t): RED equalizes the loss-based pair.
+  auto cfg = quick_config(CcaKind::kReno, CcaKind::kCubic, aqm::AqmKind::kRed, 2.0, 100e6,
+                          60);
+  const auto res = run_uncached(cfg);
+  EXPECT_GT(res.jain2, 0.8);
+}
+
+TEST(Fairness, JainAlwaysInValidRange) {
+  for (auto aqm : {aqm::AqmKind::kFifo, aqm::AqmKind::kRed, aqm::AqmKind::kFqCodel}) {
+    auto cfg = quick_config(CcaKind::kBbrV2, CcaKind::kCubic, aqm, 1.0, 100e6, 15);
+    const auto res = run_uncached(cfg);
+    EXPECT_GE(res.jain2, 0.5);
+    EXPECT_LE(res.jain2, 1.0);
+  }
+}
+
+TEST(Fairness, DeterministicGivenSeed) {
+  auto cfg = quick_config(CcaKind::kBbrV2, CcaKind::kCubic, aqm::AqmKind::kFifo, 2.0,
+                          100e6, 15);
+  const auto a = run_uncached(cfg);
+  const auto b = run_uncached(cfg);
+  EXPECT_DOUBLE_EQ(a.sender_bps[0], b.sender_bps[0]);
+  EXPECT_DOUBLE_EQ(a.sender_bps[1], b.sender_bps[1]);
+  EXPECT_EQ(a.retx_segments, b.retx_segments);
+  EXPECT_EQ(a.events_executed, b.events_executed);
+}
+
+}  // namespace
+}  // namespace elephant

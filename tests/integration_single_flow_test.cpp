@@ -1,0 +1,92 @@
+#include <gtest/gtest.h>
+
+#include "test_util.hpp"
+
+namespace elephant {
+namespace {
+
+using cca::CcaKind;
+using test::quick_config;
+using test::run_uncached;
+
+/// Single-CCA runs at 100 Mb/s with 2 flows (one per sender): every CCA must
+/// fill most of the pipe, the most basic sanity property of the whole stack.
+class SingleCcaUtilization : public ::testing::TestWithParam<CcaKind> {};
+
+TEST_P(SingleCcaUtilization, FillsBottleneckWithFifo) {
+  auto cfg = quick_config(GetParam(), GetParam(), aqm::AqmKind::kFifo, 2.0, 100e6, 30);
+  const auto res = run_uncached(cfg);
+  EXPECT_GT(res.utilization, 0.80) << "CCA " << cca::to_string(GetParam());
+  EXPECT_LE(res.utilization, 1.05);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllCcas, SingleCcaUtilization,
+                         ::testing::Values(CcaKind::kReno, CcaKind::kCubic, CcaKind::kHtcp,
+                                           CcaKind::kBbrV1, CcaKind::kBbrV2),
+                         [](const auto& info) { return cca::to_string(info.param); });
+
+TEST(SingleFlow, ThroughputNeverExceedsBottleneck) {
+  auto cfg = quick_config(CcaKind::kCubic, CcaKind::kCubic, aqm::AqmKind::kFifo, 4.0,
+                          100e6, 20);
+  const auto res = run_uncached(cfg);
+  for (const auto& f : res.flows) {
+    EXPECT_LE(f.throughput_bps, 100e6 * 1.01);
+  }
+}
+
+TEST(SingleFlow, SrttReflectsPathRtt) {
+  auto cfg = quick_config(CcaKind::kCubic, CcaKind::kCubic, aqm::AqmKind::kFifo, 0.5,
+                          100e6, 20);
+  const auto res = run_uncached(cfg);
+  for (const auto& f : res.flows) {
+    EXPECT_GE(f.srtt_ms, 61.0);
+    // 0.5 BDP buffer bounds queueing delay to ~31 ms.
+    EXPECT_LE(f.srtt_ms, 62.0 + 32.0);
+  }
+}
+
+TEST(SingleFlow, DeepBufferInflatesRttForLossBased) {
+  // CUBIC keeps deep FIFO buffers full (bufferbloat): srtt >> base RTT.
+  auto cfg = quick_config(CcaKind::kCubic, CcaKind::kCubic, aqm::AqmKind::kFifo, 8.0,
+                          100e6, 30);
+  const auto res = run_uncached(cfg);
+  double max_srtt = 0;
+  for (const auto& f : res.flows) max_srtt = std::max(max_srtt, f.srtt_ms);
+  EXPECT_GT(max_srtt, 150.0);
+}
+
+TEST(SingleFlow, BbrV1KeepsQueuesShortInDeepBuffers) {
+  // BBR's 2×BDP inflight cap: even with an 8 BDP buffer the standing queue
+  // stays around 1×BDP, so srtt stays near 2×base RTT.
+  auto cfg = quick_config(CcaKind::kBbrV1, CcaKind::kBbrV1, aqm::AqmKind::kFifo, 8.0,
+                          100e6, 30);
+  const auto res = run_uncached(cfg);
+  for (const auto& f : res.flows) {
+    EXPECT_LT(f.srtt_ms, 62.0 * 3.0);
+  }
+}
+
+TEST(SingleFlow, FlowCountsMatchTable2Spec) {
+  auto cfg = quick_config(CcaKind::kCubic, CcaKind::kCubic, aqm::AqmKind::kFifo, 2.0,
+                          100e6, 5);
+  const auto res = run_uncached(cfg);
+  EXPECT_EQ(res.flows.size(), 2u);
+
+  cfg.total_flows = 10;
+  const auto res10 = run_uncached(cfg);
+  EXPECT_EQ(res10.flows.size(), 10u);
+}
+
+TEST(SingleFlow, ResultAccountingConsistent) {
+  auto cfg = quick_config(CcaKind::kReno, CcaKind::kReno, aqm::AqmKind::kFifo, 2.0, 100e6,
+                          20);
+  const auto res = run_uncached(cfg);
+  double sum = 0;
+  for (const auto& f : res.flows) sum += f.throughput_bps;
+  EXPECT_NEAR(res.sender_bps[0] + res.sender_bps[1], sum, 1.0);
+  EXPECT_NEAR(res.utilization, sum / 100e6, 1e-9);
+  EXPECT_GT(res.events_executed, 0u);
+}
+
+}  // namespace
+}  // namespace elephant

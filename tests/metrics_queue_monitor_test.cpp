@@ -1,0 +1,95 @@
+#include "metrics/queue_monitor.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <sstream>
+
+#include "net/topology.hpp"
+#include "tcp/flow.hpp"
+
+namespace elephant::metrics {
+namespace {
+
+struct Fixture {
+  sim::Scheduler sched;
+  net::Dumbbell net;
+  Fixture() : net(sched, topo()) {}
+  static net::DumbbellConfig topo() {
+    net::DumbbellConfig cfg;
+    cfg.bottleneck_bps = 100e6;
+    cfg.bottleneck_buffer_bytes = static_cast<std::size_t>(2 * 100e6 * 0.062 / 8);
+    return cfg;
+  }
+};
+
+TEST(QueueMonitor, SamplesBottleneckBacklog) {
+  Fixture f;
+  tcp::FlowConfig fc;
+  fc.id = 1;
+  fc.cca = cca::CcaKind::kCubic;
+  tcp::Flow flow(f.sched, f.net.client(0), f.net.server(0), fc);
+  QueueMonitor mon(f.sched, f.net.bottleneck(), sim::Time::seconds(1));
+  flow.start();
+  mon.start();
+  f.sched.run_until(sim::Time::seconds(15.5));
+  ASSERT_EQ(mon.samples().size(), 15u);
+  // CUBIC fills the FIFO: backlog must be visible at some point.
+  EXPECT_GT(mon.max_backlog_bytes(), 0u);
+}
+
+TEST(QueueMonitor, UtilizationPerIntervalBounded) {
+  Fixture f;
+  tcp::FlowConfig fc;
+  fc.id = 1;
+  fc.cca = cca::CcaKind::kCubic;
+  tcp::Flow flow(f.sched, f.net.client(0), f.net.server(0), fc);
+  QueueMonitor mon(f.sched, f.net.bottleneck(), sim::Time::seconds(1));
+  flow.start();
+  mon.start();
+  f.sched.run_until(sim::Time::seconds(20.5));
+  for (const auto& s : mon.samples()) {
+    EXPECT_GE(s.utilization, 0.0);
+    EXPECT_LE(s.utilization, 1.01);
+  }
+  EXPECT_GT(mon.mean_utilization(), 0.5);
+}
+
+TEST(QueueMonitor, CountersAreCumulative) {
+  Fixture f;
+  tcp::FlowConfig fc;
+  fc.id = 1;
+  fc.cca = cca::CcaKind::kCubic;
+  tcp::Flow flow(f.sched, f.net.client(0), f.net.server(0), fc);
+  QueueMonitor mon(f.sched, f.net.bottleneck(), sim::Time::seconds(1));
+  flow.start();
+  mon.start();
+  f.sched.run_until(sim::Time::seconds(30.5));
+  const auto& ss = mon.samples();
+  for (std::size_t i = 1; i < ss.size(); ++i) {
+    EXPECT_GE(ss[i].dropped_overflow, ss[i - 1].dropped_overflow);
+    EXPECT_GE(ss[i].tx_bytes, ss[i - 1].tx_bytes);
+  }
+}
+
+TEST(QueueMonitor, CsvRoundTrip) {
+  Fixture f;
+  QueueMonitor mon(f.sched, f.net.bottleneck(), sim::Time::seconds(1));
+  mon.start();
+  f.sched.run_until(sim::Time::seconds(3.5));
+  std::ostringstream out;
+  mon.write_csv(out);
+  const std::string csv = out.str();
+  EXPECT_NE(csv.find("t_s,backlog_bytes"), std::string::npos);
+  EXPECT_EQ(std::count(csv.begin(), csv.end(), '\n'), 4);  // header + 3
+}
+
+TEST(QueueMonitor, EmptyMonitorSafeAccessors) {
+  Fixture f;
+  QueueMonitor mon(f.sched, f.net.bottleneck(), sim::Time::seconds(1));
+  EXPECT_EQ(mon.max_backlog_bytes(), 0u);
+  EXPECT_DOUBLE_EQ(mon.mean_utilization(), 0.0);
+}
+
+}  // namespace
+}  // namespace elephant::metrics

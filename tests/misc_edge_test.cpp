@@ -1,0 +1,80 @@
+#include <gtest/gtest.h>
+
+#include "aqm/fq_codel.hpp"
+#include "exp/config.hpp"
+#include "sim/time.hpp"
+#include "test_util.hpp"
+
+namespace elephant {
+namespace {
+
+TEST(BwLabel, FractionalGigabits) {
+  EXPECT_EQ(exp::bw_label(2.5e9), "2.5G");
+  EXPECT_EQ(exp::bw_label(40e9), "40G");
+  EXPECT_EQ(exp::bw_label(1e6), "1M");
+}
+
+TEST(TimeToString, NegativeDurations) {
+  const auto d = sim::Time::milliseconds(-5);
+  EXPECT_EQ(d.to_string(), "-5ms");
+}
+
+TEST(FqCodelQuantum, OversizedPacketsStillServedFairly) {
+  // Packets larger than the quantum (jumbo aggregates) must not starve the
+  // other flows: DRR's deficit goes negative and the flow waits out its debt.
+  sim::Scheduler sched;
+  aqm::FqCodelConfig cfg;
+  cfg.memory_limit_bytes = std::size_t{1} << 26;
+  cfg.quantum = 1500;  // far below the 8900-byte packets
+  aqm::FqCodelQueue q(sched, cfg);
+  for (std::uint64_t i = 0; i < 30; ++i) {
+    (void)q.enqueue(test::make_packet(1, i));
+    (void)q.enqueue(test::make_packet(2, 100 + i));
+  }
+  int flow1 = 0;
+  int flow2 = 0;
+  for (int i = 0; i < 40; ++i) {
+    auto p = q.dequeue();
+    ASSERT_TRUE(p.has_value());
+    (p->flow == 1 ? flow1 : flow2)++;
+  }
+  EXPECT_NEAR(flow1, flow2, 2);
+}
+
+TEST(ExperimentId, EncodesRttAndLoss) {
+  exp::ExperimentConfig a;
+  exp::ExperimentConfig b = a;
+  b.rtt = sim::Time::milliseconds(20);
+  EXPECT_NE(a.id(), b.id());
+  exp::ExperimentConfig c = a;
+  c.random_loss = 0.01;
+  EXPECT_NE(a.id(), c.id());
+}
+
+TEST(ExperimentId, EcnAndPacingFlagged) {
+  exp::ExperimentConfig a;
+  exp::ExperimentConfig b = a;
+  b.ecn = true;
+  EXPECT_NE(a.id(), b.id());
+  exp::ExperimentConfig c = a;
+  c.pace_all = true;
+  EXPECT_NE(a.id(), c.id());
+}
+
+TEST(PaperFlows, SplitNeverZero) {
+  for (const double bw : exp::paper_bandwidths()) {
+    EXPECT_GE(exp::ExperimentConfig::paper_flows_for(bw), 2u);
+  }
+}
+
+TEST(DurationScaling, MonotoneNonIncreasingWithBandwidth) {
+  sim::Time prev = sim::Time::max();
+  for (const double bw : exp::paper_bandwidths()) {
+    const sim::Time d = exp::ExperimentConfig::default_duration_for(bw);
+    EXPECT_LE(d, prev);
+    prev = d;
+  }
+}
+
+}  // namespace
+}  // namespace elephant

@@ -1,0 +1,107 @@
+#include "net/parking_lot.hpp"
+
+#include <gtest/gtest.h>
+
+#include "tcp/flow.hpp"
+
+namespace elephant::net {
+namespace {
+
+TEST(ParkingLot, RttsScaleWithHops) {
+  sim::Scheduler sched;
+  ParkingLotConfig cfg;
+  cfg.hops = 3;
+  ParkingLot pl(sched, cfg);
+  // access 1 ms, hop 10 ms: long = 2*(2+30)=64 ms, cross = 2*(2+10)=24 ms.
+  EXPECT_EQ(pl.long_rtt(), sim::Time::milliseconds(64));
+  EXPECT_EQ(pl.cross_rtt(), sim::Time::milliseconds(24));
+}
+
+TEST(ParkingLot, LongPathDeliversEndToEnd) {
+  sim::Scheduler sched;
+  ParkingLotConfig cfg;
+  cfg.hops = 3;
+  cfg.bottleneck_bps = 100e6;
+  ParkingLot pl(sched, cfg);
+  tcp::FlowConfig fc;
+  fc.id = 1;
+  fc.cca = cca::CcaKind::kCubic;
+  tcp::Flow flow(sched, pl.long_src(), pl.long_dst(), fc);
+  flow.start();
+  sched.run_until(sim::Time::seconds(10));
+  EXPECT_GT(flow.goodput_bps(sim::Time::seconds(10)), 50e6);
+  // Every hop carried the traffic.
+  for (int i = 0; i < 3; ++i) EXPECT_GT(pl.bottleneck(i).tx_packets(), 1000u);
+}
+
+TEST(ParkingLot, CrossPathsAreLocal) {
+  sim::Scheduler sched;
+  ParkingLotConfig cfg;
+  cfg.hops = 3;
+  cfg.bottleneck_bps = 100e6;
+  ParkingLot pl(sched, cfg);
+  tcp::FlowConfig fc;
+  fc.id = 1;
+  fc.cca = cca::CcaKind::kCubic;
+  tcp::Flow flow(sched, pl.cross_src(1), pl.cross_dst(1), fc);
+  flow.start();
+  sched.run_until(sim::Time::seconds(5));
+  EXPECT_GT(flow.goodput_bps(sim::Time::seconds(5)), 50e6);
+  // Only hop 1 carries it.
+  EXPECT_GT(pl.bottleneck(1).tx_packets(), 1000u);
+  EXPECT_EQ(pl.bottleneck(0).tx_packets(), 0u);
+  EXPECT_EQ(pl.bottleneck(2).tx_packets(), 0u);
+}
+
+TEST(ParkingLot, LongFlowDisadvantagedAgainstCrossTraffic) {
+  // The classic parking-lot result: the long flow crosses every contested
+  // hop (and has the larger RTT), so it gets less than an equal share.
+  sim::Scheduler sched;
+  ParkingLotConfig cfg;
+  cfg.hops = 3;
+  cfg.bottleneck_bps = 100e6;
+  cfg.buffer_bytes_per_hop = static_cast<std::size_t>(2 * 100e6 * 0.024 / 8);
+  ParkingLot pl(sched, cfg);
+
+  std::vector<std::unique_ptr<tcp::Flow>> flows;
+  tcp::FlowConfig fc;
+  fc.id = 1;
+  fc.cca = cca::CcaKind::kCubic;
+  fc.seed = 1;
+  flows.push_back(std::make_unique<tcp::Flow>(sched, pl.long_src(), pl.long_dst(), fc));
+  for (int i = 0; i < 3; ++i) {
+    tcp::FlowConfig cc;
+    cc.id = static_cast<FlowId>(2 + i);
+    cc.cca = cca::CcaKind::kCubic;
+    cc.seed = 100 + static_cast<std::uint64_t>(i);
+    flows.push_back(
+        std::make_unique<tcp::Flow>(sched, pl.cross_src(i), pl.cross_dst(i), cc));
+  }
+  for (auto& f : flows) f->start();
+  sched.run_until(sim::Time::seconds(40));
+
+  const double long_bps = flows[0]->goodput_bps(sim::Time::seconds(40));
+  double cross_mean = 0;
+  for (int i = 1; i <= 3; ++i) cross_mean += flows[i]->goodput_bps(sim::Time::seconds(40));
+  cross_mean /= 3;
+  EXPECT_LT(long_bps, cross_mean);
+  EXPECT_GT(long_bps, 1e6);  // not starved either
+}
+
+TEST(ParkingLot, SingleHopDegeneratesToDumbbellish) {
+  sim::Scheduler sched;
+  ParkingLotConfig cfg;
+  cfg.hops = 1;
+  cfg.bottleneck_bps = 100e6;
+  ParkingLot pl(sched, cfg);
+  tcp::FlowConfig fc;
+  fc.id = 1;
+  fc.cca = cca::CcaKind::kReno;
+  tcp::Flow flow(sched, pl.long_src(), pl.long_dst(), fc);
+  flow.start();
+  sched.run_until(sim::Time::seconds(5));
+  EXPECT_GT(flow.goodput_bps(sim::Time::seconds(5)), 30e6);
+}
+
+}  // namespace
+}  // namespace elephant::net

@@ -1,0 +1,94 @@
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "test_util.hpp"
+
+namespace elephant {
+namespace {
+
+using cca::CcaKind;
+using test::quick_config;
+using test::run_uncached;
+
+/// Property sweep over (CCA pair, AQM, buffer): system-wide invariants that
+/// must hold for EVERY configuration, not just the paper's headline cells.
+using PropertyParams = std::tuple<CcaKind, aqm::AqmKind, double>;
+
+class SystemInvariants : public ::testing::TestWithParam<PropertyParams> {};
+
+TEST_P(SystemInvariants, ConservationFairnessAndSanity) {
+  const auto [kind, aqm_kind, bdp] = GetParam();
+  auto cfg = quick_config(kind, CcaKind::kCubic, aqm_kind, bdp, 100e6, 20);
+  const auto res = run_uncached(cfg);
+
+  // Conservation: total goodput cannot exceed the bottleneck (small epsilon
+  // for measurement-window edge effects).
+  EXPECT_LE(res.utilization, 1.02);
+
+  // Jain's index bounds for two senders.
+  EXPECT_GE(res.jain2, 0.5 - 1e-9);
+  EXPECT_LE(res.jain2, 1.0 + 1e-9);
+
+  // Non-negative counters.
+  for (const auto& f : res.flows) {
+    EXPECT_GE(f.throughput_bps, 0.0);
+    EXPECT_GE(f.srtt_ms, 0.0);
+  }
+
+  // Queue accounting: everything enqueued is dequeued or still queued.
+  const auto& q = res.bottleneck;
+  EXPECT_LE(q.dequeued, q.enqueued);
+
+  // The run must have made real progress.
+  EXPECT_GT(res.utilization, 0.05);
+  EXPECT_GT(res.events_executed, 1000u);
+}
+
+std::string property_name(const ::testing::TestParamInfo<PropertyParams>& info) {
+  const auto [kind, aqm_kind, bdp] = info.param;
+  std::string s = cca::to_string(kind) + "_" + aqm::to_string(aqm_kind) + "_bdp";
+  const int whole = static_cast<int>(bdp);
+  const int frac = static_cast<int>(bdp * 10) % 10;
+  s += std::to_string(whole);
+  if (frac != 0) s += "p" + std::to_string(frac);
+  return s;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Matrix, SystemInvariants,
+    ::testing::Combine(::testing::Values(CcaKind::kReno, CcaKind::kCubic, CcaKind::kHtcp,
+                                         CcaKind::kBbrV1, CcaKind::kBbrV2),
+                       ::testing::Values(aqm::AqmKind::kFifo, aqm::AqmKind::kRed,
+                                         aqm::AqmKind::kFqCodel, aqm::AqmKind::kPie,
+                                         aqm::AqmKind::kRedAdaptive),
+                       ::testing::Values(0.5, 2.0, 16.0)),
+    property_name);
+
+/// Aggregation must not change macroscopic outcomes (the TSO substitution's
+/// correctness argument): same config ±agg gives comparable utilization.
+TEST(AggregationProperty, UtilizationInsensitiveToAggregation) {
+  auto cfg1 = quick_config(CcaKind::kCubic, CcaKind::kCubic, aqm::AqmKind::kFifo, 2.0,
+                           500e6, 20);
+  cfg1.aggregation = 1;
+  auto cfg2 = cfg1;
+  cfg2.aggregation = 4;
+  const auto r1 = run_uncached(cfg1);
+  const auto r2 = run_uncached(cfg2);
+  EXPECT_NEAR(r1.utilization, r2.utilization, 0.15);
+}
+
+/// Seeds change microscopic outcomes but invariants hold across seeds.
+TEST(SeedProperty, InvariantsHoldAcrossSeeds) {
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    auto cfg = quick_config(CcaKind::kBbrV2, CcaKind::kCubic, aqm::AqmKind::kFifo, 2.0,
+                            100e6, 15);
+    cfg.seed = seed;
+    const auto res = run_uncached(cfg);
+    EXPECT_LE(res.utilization, 1.02) << "seed " << seed;
+    EXPECT_GT(res.utilization, 0.3) << "seed " << seed;
+  }
+}
+
+}  // namespace
+}  // namespace elephant

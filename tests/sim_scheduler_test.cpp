@@ -1,0 +1,133 @@
+#include "sim/scheduler.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace elephant::sim {
+namespace {
+
+TEST(Scheduler, StartsAtZero) {
+  Scheduler s;
+  EXPECT_EQ(s.now(), Time::zero());
+  EXPECT_EQ(s.pending_events(), 0u);
+}
+
+TEST(Scheduler, RunsEventsInTimeOrder) {
+  Scheduler s;
+  std::vector<int> order;
+  s.schedule_at(Time::milliseconds(30), [&] { order.push_back(3); });
+  s.schedule_at(Time::milliseconds(10), [&] { order.push_back(1); });
+  s.schedule_at(Time::milliseconds(20), [&] { order.push_back(2); });
+  s.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(s.now(), Time::milliseconds(30));
+}
+
+TEST(Scheduler, SameTimeFifoOrder) {
+  Scheduler s;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    s.schedule_at(Time::milliseconds(5), [&order, i] { order.push_back(i); });
+  }
+  s.run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(Scheduler, ScheduleInIsRelative) {
+  Scheduler s;
+  Time fired = Time::zero();
+  s.schedule_at(Time::milliseconds(10), [&] {
+    s.schedule_in(Time::milliseconds(5), [&] { fired = s.now(); });
+  });
+  s.run();
+  EXPECT_EQ(fired, Time::milliseconds(15));
+}
+
+TEST(Scheduler, EventsMayScheduleMoreEvents) {
+  Scheduler s;
+  int count = 0;
+  std::function<void()> chain = [&] {
+    if (++count < 100) s.schedule_in(Time::microseconds(1), chain);
+  };
+  s.schedule_in(Time::microseconds(1), chain);
+  s.run();
+  EXPECT_EQ(count, 100);
+  EXPECT_EQ(s.now(), Time::microseconds(100));
+}
+
+TEST(Scheduler, RunUntilStopsAtDeadline) {
+  Scheduler s;
+  int fired = 0;
+  s.schedule_at(Time::seconds(1), [&] { ++fired; });
+  s.schedule_at(Time::seconds(3), [&] { ++fired; });
+  s.run_until(Time::seconds(2));
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(s.now(), Time::seconds(2));
+  EXPECT_EQ(s.pending_events(), 1u);
+}
+
+TEST(Scheduler, RunUntilAdvancesToDeadlineWhenIdle) {
+  Scheduler s;
+  s.run_until(Time::seconds(5));
+  EXPECT_EQ(s.now(), Time::seconds(5));
+}
+
+TEST(Scheduler, CancelPreventsExecution) {
+  Scheduler s;
+  bool fired = false;
+  const EventId id = s.schedule_at(Time::milliseconds(1), [&] { fired = true; });
+  s.cancel(id);
+  s.run();
+  EXPECT_FALSE(fired);
+}
+
+TEST(Scheduler, CancelInvalidIdIsNoop) {
+  Scheduler s;
+  s.cancel(EventId{});
+  s.cancel(EventId{999});
+  bool fired = false;
+  s.schedule_at(Time::milliseconds(1), [&] { fired = true; });
+  s.run();
+  EXPECT_TRUE(fired);
+}
+
+TEST(Scheduler, CancelOneOfManyAtSameInstant) {
+  Scheduler s;
+  int fired = 0;
+  s.schedule_at(Time::milliseconds(1), [&] { ++fired; });
+  const EventId id = s.schedule_at(Time::milliseconds(1), [&] { fired += 100; });
+  s.schedule_at(Time::milliseconds(1), [&] { ++fired; });
+  s.cancel(id);
+  s.run();
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(Scheduler, ExecutedEventsCounter) {
+  Scheduler s;
+  for (int i = 0; i < 5; ++i) s.schedule_in(Time::milliseconds(i + 1), [] {});
+  s.run();
+  EXPECT_EQ(s.executed_events(), 5u);
+}
+
+TEST(Scheduler, ClearDropsPending) {
+  Scheduler s;
+  bool fired = false;
+  s.schedule_at(Time::milliseconds(1), [&] { fired = true; });
+  s.clear();
+  s.run();
+  EXPECT_FALSE(fired);
+  EXPECT_EQ(s.pending_events(), 0u);
+}
+
+TEST(Scheduler, PendingCountExcludesCancelled) {
+  Scheduler s;
+  const EventId id = s.schedule_at(Time::milliseconds(1), [] {});
+  s.schedule_at(Time::milliseconds(2), [] {});
+  EXPECT_EQ(s.pending_events(), 2u);
+  s.cancel(id);
+  EXPECT_EQ(s.pending_events(), 1u);
+}
+
+}  // namespace
+}  // namespace elephant::sim

@@ -1,0 +1,67 @@
+#include "sim/time.hpp"
+
+#include <gtest/gtest.h>
+
+namespace elephant::sim {
+namespace {
+
+TEST(Time, ConversionRoundTrips) {
+  EXPECT_EQ(Time::milliseconds(62).ns(), 62'000'000);
+  EXPECT_DOUBLE_EQ(Time::milliseconds(62).ms(), 62.0);
+  EXPECT_DOUBLE_EQ(Time::seconds(1.5).sec(), 1.5);
+  EXPECT_EQ(Time::microseconds(10).ns(), 10'000);
+  EXPECT_EQ(Time::zero().ns(), 0);
+}
+
+TEST(Time, Arithmetic) {
+  const Time a = Time::milliseconds(10);
+  const Time b = Time::milliseconds(4);
+  EXPECT_EQ((a + b).ms(), 14.0);
+  EXPECT_EQ((a - b).ms(), 6.0);
+  EXPECT_EQ((a * 3).ms(), 30.0);
+  EXPECT_EQ((3 * a).ms(), 30.0);
+  EXPECT_EQ((a / 2).ms(), 5.0);
+  EXPECT_DOUBLE_EQ(a / b, 2.5);
+  EXPECT_EQ((a * 0.5).ms(), 5.0);
+}
+
+TEST(Time, CompoundAssignment) {
+  Time t = Time::seconds(1);
+  t += Time::seconds(2);
+  EXPECT_DOUBLE_EQ(t.sec(), 3.0);
+  t -= Time::seconds(0.5);
+  EXPECT_DOUBLE_EQ(t.sec(), 2.5);
+}
+
+TEST(Time, Ordering) {
+  EXPECT_LT(Time::milliseconds(1), Time::milliseconds(2));
+  EXPECT_GT(Time::seconds(1), Time::milliseconds(2));
+  EXPECT_EQ(Time::milliseconds(1000), Time::seconds(1));
+  EXPECT_LE(Time::zero(), Time::zero());
+}
+
+TEST(Time, NegativeDifferencesAreRepresentable) {
+  const Time d = Time::milliseconds(1) - Time::milliseconds(3);
+  EXPECT_EQ(d.ns(), -2'000'000);
+  EXPECT_LT(d, Time::zero());
+}
+
+TEST(Time, TransmissionTime) {
+  // 12500 bytes at 1 Mb/s = 0.1 s.
+  EXPECT_NEAR(transmission_time(12500, 1e6).sec(), 0.1, 1e-12);
+  // One jumbo frame at 25 Gb/s ≈ 2.848 us.
+  EXPECT_NEAR(transmission_time(8900, 25e9).us(), 2.848, 0.001);
+}
+
+TEST(Time, ToStringPicksSensibleUnits) {
+  EXPECT_EQ(Time::seconds(1.5).to_string(), "1.5s");
+  EXPECT_EQ(Time::milliseconds(62).to_string(), "62ms");
+  EXPECT_EQ(Time::microseconds(10).to_string(), "10us");
+  EXPECT_EQ(Time::nanoseconds(5).to_string(), "5ns");
+}
+
+// 2^63 ns ≈ 9.2e9 s ≈ 292 years — far beyond any experiment length.
+TEST(Time, MaxIsHuge) { EXPECT_GT(Time::max().sec(), 9e9); }
+
+}  // namespace
+}  // namespace elephant::sim

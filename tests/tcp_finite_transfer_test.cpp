@@ -1,0 +1,110 @@
+#include <gtest/gtest.h>
+
+#include "net/topology.hpp"
+#include "tcp/flow.hpp"
+
+namespace elephant::tcp {
+namespace {
+
+struct Fixture {
+  sim::Scheduler sched;
+  net::Dumbbell net;
+  Fixture() : net(sched, topo()) {}
+  static net::DumbbellConfig topo() {
+    net::DumbbellConfig cfg;
+    cfg.bottleneck_bps = 100e6;
+    cfg.bottleneck_buffer_bytes = static_cast<std::size_t>(2 * 100e6 * 0.062 / 8);
+    return cfg;
+  }
+  Flow flow(net::FlowId id, std::uint64_t bytes, sim::Time start = sim::Time::zero(),
+            std::uint32_t agg = 1) {
+    FlowConfig fc;
+    fc.id = id;
+    fc.cca = cca::CcaKind::kCubic;
+    fc.transfer_bytes = bytes;
+    fc.start_time = start;
+    fc.agg = agg;
+    fc.seed = id;
+    return Flow(sched, net.client(0), net.server(0), fc);
+  }
+};
+
+TEST(FiniteTransfer, CompletesAndRecordsFct) {
+  Fixture f;
+  Flow mouse = f.flow(1, 890'000);  // 100 units
+  mouse.start();
+  f.sched.run_until(sim::Time::seconds(5));
+  EXPECT_TRUE(mouse.completed());
+  // ≥1 RTT; well under a second at 100 Mb/s.
+  EXPECT_GT(mouse.completion_time(), sim::Time::milliseconds(62));
+  EXPECT_LT(mouse.completion_time(), sim::Time::seconds(1));
+}
+
+TEST(FiniteTransfer, DeliversExactlyTheObject) {
+  Fixture f;
+  Flow mouse = f.flow(1, 890'000);
+  mouse.start();
+  f.sched.run_until(sim::Time::seconds(5));
+  EXPECT_EQ(mouse.receiver().delivered_units(), 100u);
+  EXPECT_EQ(mouse.receiver().delivered_bytes(), 890'000u);
+}
+
+TEST(FiniteTransfer, SizeRoundsUpToUnits) {
+  Fixture f;
+  Flow odd = f.flow(1, 10'000, sim::Time::zero(), /*agg=*/1);  // 2 units of 8900
+  odd.start();
+  f.sched.run_until(sim::Time::seconds(2));
+  EXPECT_TRUE(odd.completed());
+  EXPECT_EQ(odd.receiver().delivered_units(), 2u);
+}
+
+TEST(FiniteTransfer, FctMeasuredFromConfiguredStart) {
+  Fixture f;
+  Flow late = f.flow(1, 890'000, sim::Time::seconds(3));
+  late.start();
+  f.sched.run_until(sim::Time::seconds(10));
+  ASSERT_TRUE(late.completed());
+  EXPECT_LT(late.completion_time(), sim::Time::seconds(2));
+}
+
+TEST(FiniteTransfer, UnboundedFlowNeverCompletes) {
+  Fixture f;
+  Flow elephant = f.flow(1, 0);
+  elephant.start();
+  f.sched.run_until(sim::Time::seconds(3));
+  EXPECT_FALSE(elephant.completed());
+  EXPECT_EQ(elephant.completion_time(), sim::Time::zero());
+}
+
+TEST(FiniteTransfer, CompletesDespiteLosses) {
+  Fixture f;
+  // Elephant floods the queue; the mouse still completes (retransmissions).
+  Flow elephant = f.flow(1, 0);
+  Flow mouse = f.flow(2, 890'000, sim::Time::seconds(2));
+  elephant.start();
+  mouse.start();
+  f.sched.run_until(sim::Time::seconds(30));
+  EXPECT_TRUE(mouse.completed());
+}
+
+TEST(FiniteTransfer, FctWorsensBehindBufferbloat) {
+  // A mouse behind a CUBIC elephant in a deep FIFO waits out the standing
+  // queue; the same mouse alone is far faster.
+  Fixture alone;
+  Flow solo = alone.flow(1, 890'000);
+  solo.start();
+  alone.sched.run_until(sim::Time::seconds(10));
+  ASSERT_TRUE(solo.completed());
+
+  Fixture busy;
+  Flow elephant = busy.flow(1, 0);
+  Flow mouse = busy.flow(2, 890'000, sim::Time::seconds(5));
+  elephant.start();
+  mouse.start();
+  busy.sched.run_until(sim::Time::seconds(40));
+  ASSERT_TRUE(mouse.completed());
+  EXPECT_GT(mouse.completion_time(), solo.completion_time());
+}
+
+}  // namespace
+}  // namespace elephant::tcp

@@ -1,0 +1,95 @@
+#include "tcp/flow.hpp"
+
+#include <gtest/gtest.h>
+
+#include "net/topology.hpp"
+
+namespace elephant::tcp {
+namespace {
+
+struct Fixture {
+  sim::Scheduler sched;
+  net::Dumbbell net;
+
+  Fixture() : net(sched, make_topo()) {}
+
+  static net::DumbbellConfig make_topo() {
+    net::DumbbellConfig cfg;
+    cfg.bottleneck_bps = 100e6;
+    cfg.bottleneck_buffer_bytes = static_cast<std::size_t>(2 * 100e6 * 0.062 / 8);
+    return cfg;
+  }
+
+  Flow make_flow(net::FlowId id, cca::CcaKind kind, std::uint32_t agg = 1) {
+    FlowConfig fc;
+    fc.id = id;
+    fc.cca = kind;
+    fc.agg = agg;
+    fc.seed = id * 7919;
+    return Flow(sched, net.client(0), net.server(0), fc);
+  }
+};
+
+TEST(Flow, TransfersDataEndToEnd) {
+  Fixture f;
+  Flow flow = f.make_flow(1, cca::CcaKind::kCubic);
+  flow.start();
+  f.sched.run_until(sim::Time::seconds(10));
+  EXPECT_GT(flow.receiver().delivered_units(), 1000u);
+  EXPECT_GT(flow.goodput_bps(sim::Time::seconds(10)), 50e6);
+}
+
+TEST(Flow, GoodputZeroBeforeStart) {
+  Fixture f;
+  Flow flow = f.make_flow(1, cca::CcaKind::kReno);
+  EXPECT_DOUBLE_EQ(flow.goodput_bps(sim::Time::zero()), 0.0);
+  EXPECT_DOUBLE_EQ(flow.goodput_bps(sim::Time::seconds(1)), 0.0);
+}
+
+TEST(Flow, StopHaltsNewData) {
+  Fixture f;
+  Flow flow = f.make_flow(1, cca::CcaKind::kCubic);
+  flow.start();
+  f.sched.run_until(sim::Time::seconds(2));
+  flow.stop();
+  f.sched.run_until(sim::Time::seconds(4));
+  const auto delivered_at_4 = flow.receiver().delivered_units();
+  f.sched.run_until(sim::Time::seconds(8));
+  // Everything in flight at stop() has long landed; no new data flows.
+  EXPECT_EQ(flow.receiver().delivered_units(), delivered_at_4);
+}
+
+TEST(Flow, CcaSelectionIsHonored) {
+  Fixture f;
+  Flow bbr = f.make_flow(1, cca::CcaKind::kBbrV1);
+  Flow reno = f.make_flow(2, cca::CcaKind::kReno);
+  EXPECT_EQ(bbr.sender().cc().name(), "bbr1");
+  EXPECT_EQ(reno.sender().cc().name(), "reno");
+}
+
+TEST(Flow, AggregationAppliesToWirePackets) {
+  Fixture f;
+  Flow flow = f.make_flow(1, cca::CcaKind::kCubic, /*agg=*/4);
+  flow.start();
+  f.sched.run_until(sim::Time::seconds(5));
+  // Receiver counts bytes: all units are agg*mss on the wire.
+  EXPECT_EQ(flow.receiver().delivered_bytes() % (4 * 8900), 0u);
+  EXPECT_GT(flow.receiver().delivered_bytes(), 0u);
+}
+
+TEST(Flow, TwoFlowsShareOneHostPair) {
+  Fixture f;
+  Flow a = f.make_flow(1, cca::CcaKind::kCubic);
+  Flow b = f.make_flow(2, cca::CcaKind::kCubic);
+  a.start();
+  b.start();
+  f.sched.run_until(sim::Time::seconds(20));
+  const double ga = a.goodput_bps(sim::Time::seconds(20));
+  const double gb = b.goodput_bps(sim::Time::seconds(20));
+  EXPECT_GT(ga, 10e6);
+  EXPECT_GT(gb, 10e6);
+  EXPECT_LT(ga + gb, 100e6 * 1.02);
+}
+
+}  // namespace
+}  // namespace elephant::tcp

@@ -1,0 +1,125 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "aqm/fifo.hpp"
+#include "net/port.hpp"
+#include "tcp/tcp_receiver.hpp"
+#include "test_util.hpp"
+
+namespace elephant::tcp {
+namespace {
+
+/// Minimal harness (no NIC timing subtleties needed for interval logic).
+struct Harness {
+  sim::Scheduler sched;
+  net::Host server{5, "server"};
+  struct Capture : net::Node {
+    Capture() : Node(1, "capture") {}
+    void receive(net::Packet&& p) override { acks.push_back(std::move(p)); }
+    std::vector<net::Packet> acks;
+  } capture;
+  std::unique_ptr<net::Port> nic;
+  std::unique_ptr<TcpReceiver> rx;
+
+  Harness() {
+    nic = std::make_unique<net::Port>(sched, std::make_unique<aqm::FifoQueue>(sched, 1 << 24),
+                                      100e9, sim::Time::zero(), "nic");
+    nic->connect(&capture);
+    server.attach_nic(nic.get());
+    rx = std::make_unique<TcpReceiver>(sched, server, 1, 7);
+  }
+  void deliver(std::uint64_t seq) {
+    rx->on_packet(test::make_packet(7, seq));
+    sched.run_until(sched.now() + sim::Time::milliseconds(1));
+  }
+  const net::Packet& last_ack() { return capture.acks.back(); }
+};
+
+TEST(ReceiverIntervals, BridgingMergeJoinsTwoRuns) {
+  Harness h;
+  h.deliver(0);
+  h.deliver(2);
+  h.deliver(4);
+  // Two separate runs {2} and {4}; delivering 3 must bridge them into [2,5).
+  h.deliver(3);
+  const net::Packet& ack = h.last_ack();
+  EXPECT_EQ(ack.n_sacks, 1);
+  EXPECT_EQ(ack.sacks[0].start, 2u);
+  EXPECT_EQ(ack.sacks[0].end, 5u);
+}
+
+TEST(ReceiverIntervals, ExtendDownward) {
+  Harness h;
+  h.deliver(0);
+  h.deliver(5);
+  h.deliver(4);  // extends [5,6) down to [4,6)
+  const net::Packet& ack = h.last_ack();
+  EXPECT_EQ(ack.n_sacks, 1);
+  EXPECT_EQ(ack.sacks[0].start, 4u);
+  EXPECT_EQ(ack.sacks[0].end, 6u);
+}
+
+TEST(ReceiverIntervals, ExtendUpward) {
+  Harness h;
+  h.deliver(0);
+  h.deliver(4);
+  h.deliver(5);  // extends [4,5) up to [4,6)
+  const net::Packet& ack = h.last_ack();
+  EXPECT_EQ(ack.n_sacks, 1);
+  EXPECT_EQ(ack.sacks[0].start, 4u);
+  EXPECT_EQ(ack.sacks[0].end, 6u);
+}
+
+TEST(ReceiverIntervals, DuplicateInsideRunDetected) {
+  Harness h;
+  h.deliver(0);
+  h.deliver(3);
+  h.deliver(4);
+  h.deliver(5);
+  const auto dups_before = h.rx->duplicate_units();
+  h.deliver(4);  // strictly inside [3,6)
+  EXPECT_EQ(h.rx->duplicate_units(), dups_before + 1);
+}
+
+TEST(ReceiverIntervals, ManyRunsKeepThreeNewestSacks) {
+  Harness h;
+  h.deliver(0);
+  for (std::uint64_t base : {10ull, 20ull, 30ull, 40ull, 50ull}) h.deliver(base);
+  const net::Packet& ack = h.last_ack();
+  EXPECT_EQ(ack.n_sacks, 3);
+  // Block 1 is the most recent arrival's run (50); the rest are the highest
+  // distinct runs (duplicates are suppressed).
+  EXPECT_EQ(ack.sacks[0].start, 50u);
+  EXPECT_EQ(ack.sacks[1].start, 40u);
+  EXPECT_EQ(ack.sacks[2].start, 30u);
+}
+
+TEST(ReceiverIntervals, GapFillConsumesExactlyOneInterval) {
+  Harness h;
+  h.deliver(0);
+  h.deliver(2);
+  h.deliver(3);
+  h.deliver(6);
+  h.deliver(1);  // fills 1: contiguous through 3, but 6 still buffered
+  EXPECT_EQ(h.rx->delivered_units(), 4u);
+  const net::Packet& ack = h.last_ack();
+  EXPECT_EQ(ack.ack, 4u);
+  EXPECT_EQ(ack.n_sacks, 1);
+  EXPECT_EQ(ack.sacks[0].start, 6u);
+}
+
+TEST(ReceiverIntervals, MassiveReorderingEventuallyLinearizes) {
+  Harness h;
+  // Deliver 0..63 in a scrambled (deterministic) order.
+  std::vector<std::uint64_t> order;
+  for (std::uint64_t i = 0; i < 64; ++i) order.push_back((i * 37) % 64);
+  for (const std::uint64_t u : order) h.deliver(u);
+  EXPECT_EQ(h.rx->delivered_units(), 64u);
+  EXPECT_EQ(h.last_ack().ack, 64u);
+  EXPECT_EQ(h.last_ack().n_sacks, 0);
+  EXPECT_EQ(h.rx->duplicate_units(), 0u);
+}
+
+}  // namespace
+}  // namespace elephant::tcp

@@ -1,0 +1,157 @@
+#include "tcp/tcp_receiver.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "aqm/fifo.hpp"
+#include "net/port.hpp"
+#include "test_util.hpp"
+
+namespace elephant::tcp {
+namespace {
+
+/// Harness: a receiver on a host whose NIC feeds a capture node, so every
+/// generated ACK is observable with its arrival-order intact.
+struct Harness {
+  sim::Scheduler sched;
+  net::Host server{5, "server"};
+  struct Capture : net::Node {
+    Capture() : Node(1, "capture") {}
+    void receive(net::Packet&& p) override { acks.push_back(std::move(p)); }
+    std::vector<net::Packet> acks;
+  } capture;
+  std::unique_ptr<net::Port> nic;
+  std::unique_ptr<TcpReceiver> rx;
+
+  Harness() {
+    nic = std::make_unique<net::Port>(
+        sched, std::make_unique<aqm::FifoQueue>(sched, 1 << 24), 100e9, sim::Time::zero(),
+        "server-nic");
+    nic->connect(&capture);
+    server.attach_nic(nic.get());
+    rx = std::make_unique<TcpReceiver>(sched, server, /*peer=*/1, /*flow=*/7);
+  }
+
+  void deliver(std::uint64_t seq) {
+    net::Packet p = test::make_packet(7, seq);
+    rx->on_packet(std::move(p));
+    // Flush the ACK through the capture NIC without firing the 40 ms
+    // delayed-ACK timer (sched.run() would drain it and ack every packet).
+    sched.run_until(sched.now() + sim::Time::milliseconds(1));
+  }
+  const net::Packet& last_ack() { return capture.acks.back(); }
+};
+
+TEST(TcpReceiver, InOrderDeliveryAdvancesCumulativeAck) {
+  Harness h;
+  h.deliver(0);
+  h.deliver(1);
+  ASSERT_FALSE(h.capture.acks.empty());
+  EXPECT_EQ(h.last_ack().ack, 2u);
+  EXPECT_EQ(h.rx->delivered_units(), 2u);
+}
+
+TEST(TcpReceiver, DelayedAckEverySecondSegment) {
+  Harness h;
+  h.deliver(0);  // 1st in-order packet: no immediate ack required...
+  const std::size_t after_one = h.capture.acks.size();
+  h.deliver(1);  // ...2nd must trigger one
+  EXPECT_GT(h.capture.acks.size(), after_one);
+  // Over 10 in-order packets, roughly 5 ACKs.
+  Harness h2;
+  for (std::uint64_t i = 0; i < 10; ++i) h2.deliver(i);
+  EXPECT_LE(h2.capture.acks.size(), 6u);
+  EXPECT_GE(h2.capture.acks.size(), 5u);
+}
+
+TEST(TcpReceiver, OutOfOrderTriggersImmediateDupAck) {
+  Harness h;
+  h.deliver(0);
+  h.deliver(1);
+  const std::size_t before = h.capture.acks.size();
+  h.deliver(5);  // gap: 2,3,4 missing
+  ASSERT_GT(h.capture.acks.size(), before);
+  const net::Packet& ack = h.last_ack();
+  EXPECT_EQ(ack.ack, 2u);  // cumulative stays
+  ASSERT_GE(ack.n_sacks, 1);
+  EXPECT_EQ(ack.sacks[0].start, 5u);
+  EXPECT_EQ(ack.sacks[0].end, 6u);
+}
+
+TEST(TcpReceiver, SackBlocksCoverMultipleRuns) {
+  Harness h;
+  h.deliver(0);
+  h.deliver(3);
+  h.deliver(5);
+  h.deliver(7);
+  const net::Packet& ack = h.last_ack();
+  EXPECT_EQ(ack.ack, 1u);
+  EXPECT_EQ(ack.n_sacks, 3);  // runs {7},{5},{3} (most recent first)
+  EXPECT_EQ(ack.sacks[0].start, 7u);
+}
+
+TEST(TcpReceiver, GapFillDrainsOutOfOrderBuffer) {
+  Harness h;
+  h.deliver(0);
+  h.deliver(2);
+  h.deliver(3);
+  EXPECT_EQ(h.rx->delivered_units(), 1u);
+  h.deliver(1);  // fills the hole: 0..3 now contiguous
+  EXPECT_EQ(h.rx->delivered_units(), 4u);
+  EXPECT_EQ(h.last_ack().ack, 4u);
+  EXPECT_EQ(h.last_ack().n_sacks, 0);
+}
+
+TEST(TcpReceiver, DuplicateUnitsCounted) {
+  Harness h;
+  h.deliver(0);
+  h.deliver(0);  // below rcv_next: spurious
+  EXPECT_EQ(h.rx->duplicate_units(), 1u);
+  h.deliver(3);
+  h.deliver(3);  // duplicate in the ooo buffer
+  EXPECT_EQ(h.rx->duplicate_units(), 2u);
+}
+
+TEST(TcpReceiver, EcnEchoSetUntilAcked) {
+  Harness h;
+  net::Packet marked = test::make_packet(7, 0);
+  marked.ecn_marked = true;
+  h.rx->on_packet(std::move(marked));
+  h.sched.run();
+  ASSERT_FALSE(h.capture.acks.empty());
+  EXPECT_TRUE(h.last_ack().ece);
+  // Next unmarked packets produce non-ECE acks.
+  h.deliver(1);
+  h.deliver(2);
+  EXPECT_FALSE(h.last_ack().ece);
+}
+
+TEST(TcpReceiver, CountsDeliveredBytes) {
+  Harness h;
+  h.deliver(0);
+  h.deliver(1);
+  EXPECT_EQ(h.rx->delivered_bytes(), 2u * 8900u);
+}
+
+TEST(TcpReceiver, IgnoresAckPackets) {
+  Harness h;
+  net::Packet ack;
+  ack.flow = 7;
+  ack.is_ack = true;
+  h.rx->on_packet(std::move(ack));
+  EXPECT_EQ(h.rx->received_packets(), 0u);
+}
+
+TEST(TcpReceiver, AckCarriesPeerAddressing) {
+  Harness h;
+  h.deliver(0);
+  h.deliver(1);
+  EXPECT_EQ(h.last_ack().dst, 1u);
+  EXPECT_EQ(h.last_ack().src, 5u);
+  EXPECT_EQ(h.last_ack().flow, 7u);
+  EXPECT_TRUE(h.last_ack().is_ack);
+}
+
+}  // namespace
+}  // namespace elephant::tcp

@@ -1,0 +1,68 @@
+#include "tcp/rtt_estimator.hpp"
+
+#include <gtest/gtest.h>
+
+namespace elephant::tcp {
+namespace {
+
+TEST(RttEstimator, InitialRtoIsOneSecond) {
+  RttEstimator est;
+  EXPECT_EQ(est.rto(), sim::Time::seconds(1.0));
+  EXPECT_FALSE(est.has_sample());
+}
+
+TEST(RttEstimator, FirstSampleInitializes) {
+  RttEstimator est;
+  est.add_sample(sim::Time::milliseconds(62));
+  EXPECT_EQ(est.srtt(), sim::Time::milliseconds(62));
+  EXPECT_EQ(est.rttvar(), sim::Time::milliseconds(31));
+  EXPECT_TRUE(est.has_sample());
+}
+
+TEST(RttEstimator, ConvergesToSteadyRtt) {
+  RttEstimator est;
+  for (int i = 0; i < 100; ++i) est.add_sample(sim::Time::milliseconds(62));
+  EXPECT_NEAR(est.srtt().ms(), 62.0, 0.5);
+  EXPECT_NEAR(est.rttvar().ms(), 0.0, 1.0);
+  // RTO floors at min_rto (200 ms) with tiny variance.
+  EXPECT_EQ(est.rto(), sim::Time::milliseconds(200));
+}
+
+TEST(RttEstimator, RtoGrowsWithVariance) {
+  RttEstimator est;
+  for (int i = 0; i < 50; ++i) {
+    est.add_sample(sim::Time::milliseconds(i % 2 == 0 ? 50 : 250));
+  }
+  EXPECT_GT(est.rto(), sim::Time::milliseconds(250));
+}
+
+TEST(RttEstimator, TracksMinRtt) {
+  RttEstimator est;
+  est.add_sample(sim::Time::milliseconds(80));
+  est.add_sample(sim::Time::milliseconds(62));
+  est.add_sample(sim::Time::milliseconds(100));
+  EXPECT_EQ(est.min_rtt(), sim::Time::milliseconds(62));
+  EXPECT_EQ(est.latest(), sim::Time::milliseconds(100));
+}
+
+TEST(RttEstimator, IgnoresNonPositiveSamples) {
+  RttEstimator est;
+  est.add_sample(sim::Time::zero());
+  est.add_sample(sim::Time::milliseconds(-5));
+  EXPECT_FALSE(est.has_sample());
+}
+
+TEST(RttEstimator, RtoClampedToMax) {
+  RttEstimator est(sim::Time::milliseconds(200), sim::Time::seconds(60));
+  est.add_sample(sim::Time::seconds(100));
+  EXPECT_EQ(est.rto(), sim::Time::seconds(60));
+}
+
+TEST(RttEstimator, CustomMinRto) {
+  RttEstimator est(sim::Time::milliseconds(50));
+  for (int i = 0; i < 100; ++i) est.add_sample(sim::Time::milliseconds(10));
+  EXPECT_EQ(est.rto(), sim::Time::milliseconds(50));
+}
+
+}  // namespace
+}  // namespace elephant::tcp

@@ -1,0 +1,170 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "aqm/fifo.hpp"
+#include "net/port.hpp"
+#include "tcp/tcp_sender.hpp"
+#include "test_util.hpp"
+
+namespace elephant::tcp {
+namespace {
+
+/// Same scaffolding as tcp_sender_test, duplicated deliberately small.
+class StubCca : public cca::CongestionControl {
+ public:
+  explicit StubCca(double cwnd) : CongestionControl(cca::CcaParams{}), cwnd_(cwnd) {}
+  void on_ack(const cca::AckSample& a) override { acks.push_back(a); }
+  void on_loss(const cca::LossSample& l) override { losses.push_back(l); }
+  void on_rto(sim::Time) override { ++rtos; }
+  [[nodiscard]] double cwnd_segments() const override { return cwnd_; }
+  [[nodiscard]] std::string name() const override { return "stub"; }
+  std::vector<cca::AckSample> acks;
+  std::vector<cca::LossSample> losses;
+  int rtos = 0;
+
+ private:
+  double cwnd_;
+};
+
+struct Harness {
+  sim::Scheduler sched;
+  net::Host client{1, "client"};
+  struct Capture : net::Node {
+    Capture() : Node(5, "capture") {}
+    void receive(net::Packet&& p) override { sent.push_back(std::move(p)); }
+    std::vector<net::Packet> sent;
+  } wire;
+  std::unique_ptr<net::Port> nic;
+  std::unique_ptr<TcpSender> tx;
+  StubCca* cc = nullptr;
+
+  explicit Harness(double cwnd, std::uint32_t reorder_units = 3) {
+    nic = std::make_unique<net::Port>(sched,
+                                      std::make_unique<aqm::FifoQueue>(sched, 1 << 28),
+                                      100e9, sim::Time::zero(), "nic");
+    nic->connect(&wire);
+    client.attach_nic(nic.get());
+    TcpSenderConfig cfg;
+    cfg.flow = 7;
+    cfg.src = 1;
+    cfg.dst = 5;
+    cfg.reorder_units = reorder_units;
+    auto stub = std::make_unique<StubCca>(cwnd);
+    cc = stub.get();
+    tx = std::make_unique<TcpSender>(sched, client, cfg, std::move(stub));
+    tx->start();
+    settle();
+  }
+  void settle() { sched.run_until(sched.now() + sim::Time::milliseconds(1)); }
+  void ack_at(sim::Time at, std::uint64_t cum, std::vector<net::SackBlock> sacks = {},
+              bool ece = false) {
+    sched.schedule_at(at, [this, cum, sacks, ece] {
+      net::Packet a;
+      a.flow = 7;
+      a.is_ack = true;
+      a.ack = cum;
+      a.ece = ece;
+      a.n_sacks = static_cast<std::uint8_t>(std::min<std::size_t>(sacks.size(), 3));
+      for (std::uint8_t i = 0; i < a.n_sacks; ++i) a.sacks[i] = sacks[i];
+      tx->on_packet(std::move(a));
+    });
+    sched.run_until(at + sim::Time::milliseconds(1));
+  }
+};
+
+TEST(TcpSenderEdge, MildReorderingDoesNotTriggerLoss) {
+  Harness h(10);
+  // SACKs for units 1,2 (below the dup threshold of 3) then the cumulative
+  // catches up: no loss, no retransmission.
+  h.ack_at(sim::Time::milliseconds(62), 0, {{1, 3}});
+  h.ack_at(sim::Time::milliseconds(63), 3);
+  EXPECT_TRUE(h.cc->losses.empty());
+  EXPECT_EQ(h.tx->stats().retx_units, 0u);
+  EXPECT_EQ(h.tx->stats().lost_units_marked, 0u);
+}
+
+TEST(TcpSenderEdge, ReorderToleranceIsConfigurable) {
+  Harness strict(10, /*reorder_units=*/1);
+  strict.ack_at(sim::Time::milliseconds(62), 0, {{1, 3}});
+  EXPECT_EQ(strict.tx->stats().lost_units_marked, 1u);  // threshold 1: unit 0 lost
+
+  Harness lax(10, /*reorder_units=*/5);
+  lax.ack_at(sim::Time::milliseconds(62), 0, {{1, 5}});
+  EXPECT_EQ(lax.tx->stats().lost_units_marked, 0u);  // only 4 sacked above unit 0
+}
+
+TEST(TcpSenderEdge, EceReachesCca) {
+  Harness h(10);
+  h.ack_at(sim::Time::milliseconds(62), 2, {}, /*ece=*/true);
+  ASSERT_FALSE(h.cc->acks.empty());
+  EXPECT_TRUE(h.cc->acks.back().ece);
+}
+
+TEST(TcpSenderEdge, DuplicateAckWithNoNewsIsQuiet) {
+  Harness h(10);
+  h.ack_at(sim::Time::milliseconds(62), 4);
+  const auto acks_before = h.cc->acks.size();
+  // Same cumulative again, no sacks: nothing delivered; CCA not bothered.
+  h.ack_at(sim::Time::milliseconds(63), 4);
+  EXPECT_EQ(h.cc->acks.size(), acks_before);
+}
+
+TEST(TcpSenderEdge, AckBeyondNextSeqIsClamped) {
+  Harness h(5);
+  h.ack_at(sim::Time::milliseconds(62), 1000);  // bogus cumulative
+  // Clamped to what was actually sent (5 units); the freed window then
+  // releases new data, so the flow continues normally.
+  EXPECT_EQ(h.tx->una(), 5u);
+  EXPECT_GE(h.tx->next_seq(), 10u);
+  h.sched.run_until(sim::Time::milliseconds(100));
+  EXPECT_GT(h.wire.sent.size(), 5u);
+}
+
+TEST(TcpSenderEdge, LostUnitRetransmittedOnlyOnce) {
+  Harness h(10);
+  h.ack_at(sim::Time::milliseconds(62), 0, {{1, 6}});
+  EXPECT_EQ(h.tx->stats().retx_units, 1u);
+  // More sacks in the same episode must not re-retransmit unit 0 (it is
+  // in flight again).
+  h.ack_at(sim::Time::milliseconds(64), 0, {{1, 9}});
+  EXPECT_EQ(h.tx->stats().retx_units, 1u);
+}
+
+TEST(TcpSenderEdge, RetransmissionLostAgainIsRecovered) {
+  Harness h(10);
+  // Episode 1: unit 0 lost, retransmitted at ~62 ms.
+  h.ack_at(sim::Time::milliseconds(62), 0, {{1, 6}});
+  ASSERT_EQ(h.tx->stats().retx_units, 1u);
+  // The retransmission is lost too: newer units (sent after it) get SACKed.
+  // RACK ordering marks it lost again.
+  h.ack_at(sim::Time::milliseconds(130), 0, {{1, 11}});
+  EXPECT_GE(h.tx->stats().retx_units, 2u);
+  // Cumulative finally completes everything sent so far (clamped), which
+  // ends the recovery episode; new data released by the ack is fine.
+  h.ack_at(sim::Time::milliseconds(200), 1'000'000);
+  EXPECT_FALSE(h.tx->in_recovery());
+  EXPECT_EQ(h.tx->stats().lost_units_marked, h.tx->stats().retx_units);
+}
+
+TEST(TcpSenderEdge, PartialAckKeepsRecoveryAlive) {
+  Harness h(20);
+  h.ack_at(sim::Time::milliseconds(62), 0, {{2, 8}});  // 0 and 1 lost
+  ASSERT_TRUE(h.tx->in_recovery());
+  // Cumulative covers unit 0 only: still in recovery (recovery point ahead).
+  h.ack_at(sim::Time::milliseconds(70), 1);
+  EXPECT_TRUE(h.tx->in_recovery());
+}
+
+TEST(TcpSenderEdge, StatsCountersConsistent) {
+  Harness h(10);
+  h.ack_at(sim::Time::milliseconds(62), 0, {{1, 6}});
+  h.ack_at(sim::Time::milliseconds(124), h.tx->next_seq());
+  const auto& st = h.tx->stats();
+  EXPECT_EQ(st.lost_units_marked, st.retx_units);
+  EXPECT_GE(st.units_sent, st.retx_units);
+  EXPECT_GT(st.acks_received, 0u);
+}
+
+}  // namespace
+}  // namespace elephant::tcp

@@ -1,0 +1,245 @@
+#include "tcp/tcp_sender.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "aqm/fifo.hpp"
+#include "net/port.hpp"
+#include "test_util.hpp"
+
+namespace elephant::tcp {
+namespace {
+
+/// Scriptable congestion controller: fixed cwnd, records upcalls.
+class StubCca : public cca::CongestionControl {
+ public:
+  explicit StubCca(double cwnd, double pacing_bps = 0)
+      : CongestionControl(cca::CcaParams{}), cwnd_(cwnd), pacing_bps_(pacing_bps) {}
+
+  void on_ack(const cca::AckSample& ack) override { acks.push_back(ack); }
+  void on_loss(const cca::LossSample& loss) override { losses.push_back(loss); }
+  void on_rto(sim::Time) override { ++rtos; }
+  [[nodiscard]] double cwnd_segments() const override { return cwnd_; }
+  [[nodiscard]] double pacing_rate_bps() const override { return pacing_bps_; }
+  [[nodiscard]] std::string name() const override { return "stub"; }
+
+  void set_cwnd(double c) { cwnd_ = c; }
+  std::vector<cca::AckSample> acks;
+  std::vector<cca::LossSample> losses;
+  int rtos = 0;
+
+ private:
+  double cwnd_;
+  double pacing_bps_;
+};
+
+/// Harness: sender on a host whose NIC feeds a capture node; ACKs are fed
+/// back by hand so tests control the network's behaviour exactly.
+struct Harness {
+  sim::Scheduler sched;
+  net::Host client{1, "client"};
+  struct Capture : net::Node {
+    Capture() : Node(5, "capture") {}
+    void receive(net::Packet&& p) override { sent.push_back(std::move(p)); }
+    std::vector<net::Packet> sent;
+  } wire;
+  std::unique_ptr<net::Port> nic;
+  std::unique_ptr<TcpSender> tx;
+  StubCca* cc = nullptr;
+
+  explicit Harness(double cwnd, double pacing_bps = 0, std::uint32_t agg = 1) {
+    nic = std::make_unique<net::Port>(
+        sched, std::make_unique<aqm::FifoQueue>(sched, std::size_t{1} << 30), 100e9,
+        sim::Time::zero(), "client-nic");
+    nic->connect(&wire);
+    client.attach_nic(nic.get());
+    TcpSenderConfig cfg;
+    cfg.flow = 7;
+    cfg.src = 1;
+    cfg.dst = 5;
+    cfg.agg = agg;
+    auto stub = std::make_unique<StubCca>(cwnd, pacing_bps);
+    cc = stub.get();
+    tx = std::make_unique<TcpSender>(sched, client, cfg, std::move(stub));
+    tx->start();
+    settle();
+  }
+
+  /// Run briefly past `now` so in-flight events (sends, NIC delivery) land —
+  /// never sched.run(): the sender's self-rearming RTO timer keeps the event
+  /// queue populated forever.
+  void settle() { sched.run_until(sched.now() + sim::Time::milliseconds(1)); }
+
+  /// Feed a cumulative ACK (optionally with SACK blocks) at time `at`.
+  void ack_at(sim::Time at, std::uint64_t cum,
+              std::vector<net::SackBlock> sacks = {}) {
+    sched.schedule_at(at, [this, cum, sacks] {
+      net::Packet a;
+      a.flow = 7;
+      a.is_ack = true;
+      a.ack = cum;
+      a.n_sacks = static_cast<std::uint8_t>(std::min<std::size_t>(sacks.size(), 3));
+      for (std::uint8_t i = 0; i < a.n_sacks; ++i) a.sacks[i] = sacks[i];
+      tx->on_packet(std::move(a));
+    });
+    sched.run_until(at + sim::Time::milliseconds(1));
+  }
+};
+
+TEST(TcpSender, SendsInitialWindow) {
+  Harness h(10);
+  EXPECT_EQ(h.wire.sent.size(), 10u);
+  for (std::uint64_t i = 0; i < 10; ++i) EXPECT_EQ(h.wire.sent[i].seq, i);
+  EXPECT_EQ(h.tx->pipe_segments(), 10.0);
+}
+
+TEST(TcpSender, AckAdvancesWindowAndSendsMore) {
+  Harness h(10);
+  h.ack_at(sim::Time::milliseconds(62), 5);
+  EXPECT_EQ(h.tx->una(), 5u);
+  EXPECT_EQ(h.wire.sent.size(), 15u);  // 5 more released
+  EXPECT_EQ(h.tx->pipe_segments(), 10.0);
+}
+
+TEST(TcpSender, RttSampleFedToCca) {
+  Harness h(10);
+  h.ack_at(sim::Time::milliseconds(62), 2);
+  ASSERT_FALSE(h.cc->acks.empty());
+  EXPECT_NEAR(h.cc->acks.back().rtt.ms(), 62.0, 0.5);
+  EXPECT_EQ(h.cc->acks.back().acked_segments, 2.0);
+}
+
+TEST(TcpSender, SackMarksLossAfterThreshold) {
+  Harness h(10);
+  // Unit 0 lost; SACK units 1..5 (≥3 above): 0 must be marked lost and
+  // retransmitted.
+  h.ack_at(sim::Time::milliseconds(62), 0, {{1, 6}});
+  ASSERT_FALSE(h.cc->losses.empty());
+  EXPECT_TRUE(h.cc->losses[0].new_congestion_event);
+  EXPECT_EQ(h.tx->stats().retx_units, 1u);
+  // The retransmission reuses seq 0 (new data may legitimately follow it,
+  // since SACKed units freed congestion-window space).
+  bool saw_retx_of_0 = false;
+  for (const auto& p : h.wire.sent) saw_retx_of_0 |= (p.retx && p.seq == 0);
+  EXPECT_TRUE(saw_retx_of_0);
+}
+
+TEST(TcpSender, NoLossBeforeDupThreshold) {
+  Harness h(10);
+  h.ack_at(sim::Time::milliseconds(62), 0, {{1, 3}});  // only 2 sacked above
+  EXPECT_TRUE(h.cc->losses.empty());
+  EXPECT_EQ(h.tx->stats().retx_units, 0u);
+}
+
+TEST(TcpSender, SingleCongestionEventPerRecoveryEpisode) {
+  Harness h(20);
+  h.ack_at(sim::Time::milliseconds(62), 0, {{2, 8}});   // loss of 0,1
+  h.ack_at(sim::Time::milliseconds(63), 0, {{2, 12}});  // more sacks, same episode
+  std::size_t new_events = 0;
+  for (const auto& l : h.cc->losses) new_events += l.new_congestion_event ? 1 : 0;
+  EXPECT_EQ(new_events, 1u);
+}
+
+TEST(TcpSender, RecoveryExitsWhenRecoveryPointAcked) {
+  Harness h(10);
+  h.ack_at(sim::Time::milliseconds(62), 0, {{1, 6}});
+  EXPECT_TRUE(h.tx->in_recovery());
+  // Cumulative ack past everything sent so far ends the episode.
+  h.ack_at(sim::Time::milliseconds(130), h.tx->next_seq());
+  EXPECT_FALSE(h.tx->in_recovery());
+}
+
+TEST(TcpSender, RtoFiresAndCollapses) {
+  Harness h(10);
+  // No ACKs at all: the 1 s initial RTO must fire and mark everything lost.
+  h.sched.run_until(sim::Time::seconds(1.5));
+  EXPECT_GE(h.cc->rtos, 1);
+  EXPECT_GE(h.tx->stats().rtos, 1u);
+  // Retransmissions of the first units happened.
+  bool saw_retx = false;
+  for (const auto& p : h.wire.sent) saw_retx |= p.retx;
+  EXPECT_TRUE(saw_retx);
+}
+
+TEST(TcpSender, RtoBacksOffExponentially) {
+  Harness h(2);
+  h.sched.run_until(sim::Time::seconds(10));
+  // RTOs at ~1s, 3s (1+2), 7s (3+4): at least 3 within 10 s, not dozens.
+  EXPECT_GE(h.tx->stats().rtos, 3u);
+  EXPECT_LE(h.tx->stats().rtos, 5u);
+}
+
+TEST(TcpSender, SackedUnitCancelsPendingRetransmit) {
+  Harness h(10);
+  // Mark 0 lost via sacks of 1..5...
+  h.ack_at(sim::Time::milliseconds(62), 0, {{1, 6}});
+  const auto retx_before = h.tx->stats().retx_units;
+  EXPECT_EQ(retx_before, 1u);
+  // ...then cumulative covers everything: no further retransmissions.
+  h.ack_at(sim::Time::milliseconds(70), h.tx->next_seq());
+  EXPECT_EQ(h.tx->stats().retx_units, retx_before);
+}
+
+TEST(TcpSender, AggregationMultipliesSegmentAccounting) {
+  Harness h(40, 0, /*agg=*/4);
+  // pipe is in segments: 40/4 = 10 units in flight.
+  EXPECT_EQ(h.tx->pipe_segments(), 40.0);
+  EXPECT_EQ(h.wire.sent.size(), 10u);
+  EXPECT_EQ(h.wire.sent[0].segments, 4u);
+  EXPECT_EQ(h.wire.sent[0].size, 4u * 8900u);
+  h.ack_at(sim::Time::milliseconds(62), 2);
+  EXPECT_EQ(h.cc->acks.back().acked_segments, 8.0);
+  EXPECT_EQ(h.tx->retx_segments(), 0u);
+}
+
+TEST(TcpSender, PacingSpacesTransmissions) {
+  // cwnd 100 but pacing at exactly 1 unit per 10 ms (8900*8 bits / rate).
+  const double rate = 8900.0 * 8.0 / 0.010;
+  Harness h(100, rate);
+  h.sched.run_until(sim::Time::milliseconds(95));
+  // ~1 immediately + one per 10 ms: about 10 by t=95ms, far below 100.
+  EXPECT_GE(h.wire.sent.size(), 8u);
+  EXPECT_LE(h.wire.sent.size(), 12u);
+}
+
+TEST(TcpSender, ZeroWindowStillMakesProgress) {
+  Harness h(0.5);  // cwnd below one segment
+  EXPECT_EQ(h.wire.sent.size(), 1u);  // pipe==0 exemption
+}
+
+TEST(TcpSender, DeliveryRateSampleIsSane) {
+  Harness h(10);
+  // ACK 5 units after one RTT; delivery rate ≈ 5 units / 62 ms ≈ 80/s.
+  h.ack_at(sim::Time::milliseconds(62), 5);
+  ASSERT_FALSE(h.cc->acks.empty());
+  const double rate = h.cc->acks.back().delivery_rate;
+  EXPECT_GT(rate, 20.0);
+  EXPECT_LT(rate, 200.0);
+}
+
+TEST(TcpSender, RoundStartSignaledOncePerRtt) {
+  Harness h(4);
+  h.ack_at(sim::Time::milliseconds(62), 1);
+  h.ack_at(sim::Time::milliseconds(63), 2);
+  h.ack_at(sim::Time::milliseconds(64), 4);
+  // First ack of flow: round start. Subsequent acks for data sent in the
+  // same round: not round starts until data sent after ack #1 is acked.
+  ASSERT_GE(h.cc->acks.size(), 3u);
+  EXPECT_TRUE(h.cc->acks[0].round_start);
+  EXPECT_FALSE(h.cc->acks[1].round_start);
+  // Ack of unit 5 (sent after first ack) begins the next round.
+  h.ack_at(sim::Time::milliseconds(124), 5);
+  EXPECT_TRUE(h.cc->acks.back().round_start);
+}
+
+TEST(TcpSender, StopEndsNewData) {
+  Harness h(10);
+  h.tx->stop();
+  h.ack_at(sim::Time::milliseconds(62), 10);
+  EXPECT_EQ(h.wire.sent.size(), 10u);  // nothing new after stop
+  EXPECT_EQ(h.tx->pipe_segments(), 0.0);
+}
+
+}  // namespace
+}  // namespace elephant::tcp

@@ -1,0 +1,32 @@
+#include "test_util.hpp"
+
+namespace elephant::test {
+
+net::Packet make_packet(net::FlowId flow, std::uint64_t seq, std::uint32_t size) {
+  net::Packet p;
+  p.flow = flow;
+  p.src = 1;
+  p.dst = 5;
+  p.seq = seq;
+  p.size = size;
+  return p;
+}
+
+exp::ExperimentConfig quick_config(cca::CcaKind cca1, cca::CcaKind cca2, aqm::AqmKind aqm,
+                                   double buffer_bdp, double bw, double duration_s) {
+  exp::ExperimentConfig cfg;
+  cfg.cca1 = cca1;
+  cfg.cca2 = cca2;
+  cfg.aqm = aqm;
+  cfg.buffer_bdp = buffer_bdp;
+  cfg.bottleneck_bps = bw;
+  cfg.duration = sim::Time::seconds(duration_s);
+  cfg.seed = 7;
+  return cfg;
+}
+
+exp::ExperimentResult run_uncached(const exp::ExperimentConfig& cfg) {
+  return exp::run_experiment(cfg);
+}
+
+}  // namespace elephant::test

@@ -1,0 +1,26 @@
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "exp/config.hpp"
+#include "exp/runner.hpp"
+#include "net/packet.hpp"
+#include "sim/scheduler.hpp"
+
+namespace elephant::test {
+
+/// A data packet of `size` bytes for queue-disc tests.
+[[nodiscard]] net::Packet make_packet(net::FlowId flow, std::uint64_t seq,
+                                      std::uint32_t size = 8900);
+
+/// A quick, small experiment config for integration tests: low bandwidth so
+/// wall time stays negligible, cache disabled by the caller.
+[[nodiscard]] exp::ExperimentConfig quick_config(cca::CcaKind cca1, cca::CcaKind cca2,
+                                                 aqm::AqmKind aqm, double buffer_bdp = 2.0,
+                                                 double bw = 100e6, double duration_s = 30);
+
+/// run_experiment without touching the global on-disk cache.
+[[nodiscard]] exp::ExperimentResult run_uncached(const exp::ExperimentConfig& cfg);
+
+}  // namespace elephant::test

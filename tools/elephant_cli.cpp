@@ -1,0 +1,153 @@
+// elephant — command-line front end for the experiment harness.
+//
+//   elephant run   [--cca1 K] [--cca2 K] [--aqm A] [--bdp X] [--bw BPS]
+//                  [--flows N] [--duration S] [--seed S] [--rtt MS]
+//                  [--loss P] [--ecn] [--reps N]
+//   elephant sweep [--aqm A] [--bw BPS] [--pairs inter|intra|all] [--reps N]
+//   elephant list  (CCAs, AQMs, and the paper's axis values)
+//
+// `run` prints one row; `sweep` prints a table over all buffer sizes for the
+// selected slice, using (and filling) the shared on-disk result cache.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "exp/config.hpp"
+#include "exp/runner.hpp"
+#include "exp/sweep.hpp"
+
+namespace {
+
+using namespace elephant;
+
+[[noreturn]] void usage() {
+  std::fprintf(stderr,
+               "usage: elephant <run|sweep|list> [options]\n"
+               "  run   --cca1 bbr1 --cca2 cubic --aqm fifo --bdp 2 --bw 1e9\n"
+               "        [--flows N] [--duration S] [--seed S] [--rtt MS]\n"
+               "        [--loss P] [--ecn] [--reps N]\n"
+               "  sweep --aqm fifo --bw 1e9 [--pairs inter|intra|all] [--reps N]\n"
+               "  list\n");
+  std::exit(2);
+}
+
+struct Args {
+  std::string cmd;
+  exp::ExperimentConfig cfg;
+  std::string pairs = "all";
+  int reps = exp::default_repetitions();
+};
+
+Args parse(int argc, char** argv) {
+  if (argc < 2) usage();
+  Args a;
+  a.cmd = argv[1];
+  auto need = [&](int& i) -> const char* {
+    if (i + 1 >= argc) usage();
+    return argv[++i];
+  };
+  for (int i = 2; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (!std::strcmp(arg, "--cca1")) {
+      a.cfg.cca1 = cca::cca_kind_from_string(need(i));
+    } else if (!std::strcmp(arg, "--cca2")) {
+      a.cfg.cca2 = cca::cca_kind_from_string(need(i));
+    } else if (!std::strcmp(arg, "--aqm")) {
+      a.cfg.aqm = aqm::aqm_kind_from_string(need(i));
+    } else if (!std::strcmp(arg, "--bdp")) {
+      a.cfg.buffer_bdp = std::atof(need(i));
+    } else if (!std::strcmp(arg, "--bw")) {
+      a.cfg.bottleneck_bps = std::atof(need(i));
+    } else if (!std::strcmp(arg, "--flows")) {
+      a.cfg.total_flows = static_cast<std::uint32_t>(std::atoi(need(i)));
+    } else if (!std::strcmp(arg, "--duration")) {
+      a.cfg.duration = sim::Time::seconds(std::atof(need(i)));
+    } else if (!std::strcmp(arg, "--seed")) {
+      a.cfg.seed = static_cast<std::uint64_t>(std::atoll(need(i)));
+    } else if (!std::strcmp(arg, "--rtt")) {
+      a.cfg.rtt = sim::Time::milliseconds(std::atoll(need(i)));
+    } else if (!std::strcmp(arg, "--loss")) {
+      a.cfg.random_loss = std::atof(need(i));
+    } else if (!std::strcmp(arg, "--ecn")) {
+      a.cfg.ecn = true;
+    } else if (!std::strcmp(arg, "--reps")) {
+      a.reps = std::atoi(need(i));
+    } else if (!std::strcmp(arg, "--pairs")) {
+      a.pairs = need(i);
+    } else {
+      std::fprintf(stderr, "unknown option: %s\n", arg);
+      usage();
+    }
+  }
+  return a;
+}
+
+void print_row(const exp::AveragedResult& res) {
+  std::printf("%-34s S1=%9.2fM S2=%9.2fM J=%6.3f util=%6.3f retx=%9.0f rtos=%5.0f\n",
+              res.config.label().c_str(), res.sender_bps[0] / 1e6, res.sender_bps[1] / 1e6,
+              res.jain2, res.utilization, res.retx_segments, res.rtos);
+}
+
+int cmd_run(const Args& a) {
+  print_row(exp::run_averaged(a.cfg, a.reps));
+  return 0;
+}
+
+int cmd_sweep(const Args& a) {
+  std::vector<std::pair<cca::CcaKind, cca::CcaKind>> pairs;
+  for (const auto& p : exp::paper_cca_pairs()) {
+    const bool intra = p.first == p.second;
+    if (a.pairs == "all" || (a.pairs == "intra" && intra) ||
+        (a.pairs == "inter" && !intra)) {
+      pairs.push_back(p);
+    }
+  }
+  std::printf("%-18s", "pair \\ buffer");
+  for (const double bdp : exp::paper_buffer_bdps()) std::printf("  %6g BDP", bdp);
+  std::printf("   (Jain index, %s @ %s)\n", aqm::to_string(a.cfg.aqm).c_str(),
+              exp::bw_label(a.cfg.bottleneck_bps).c_str());
+  for (const auto& [c1, c2] : pairs) {
+    std::printf("%-18s", (cca::to_string(c1) + " vs " + cca::to_string(c2)).c_str());
+    for (const double bdp : exp::paper_buffer_bdps()) {
+      exp::ExperimentConfig cfg = a.cfg;
+      cfg.cca1 = c1;
+      cfg.cca2 = c2;
+      cfg.buffer_bdp = bdp;
+      const auto res = exp::run_averaged(cfg, a.reps);
+      std::printf("  %10.3f", res.jain2);
+      std::fflush(stdout);
+    }
+    std::printf("\n");
+  }
+  return 0;
+}
+
+int cmd_list() {
+  std::printf("CCAs: reno cubic htcp bbr1 bbr2\n");
+  std::printf("AQMs: fifo red fq_codel codel red_adaptive pie\n");
+  std::printf("paper bandwidths:");
+  for (const double bw : exp::paper_bandwidths()) {
+    std::printf(" %s", exp::bw_label(bw).c_str());
+  }
+  std::printf("\npaper buffers (BDP):");
+  for (const double bdp : exp::paper_buffer_bdps()) std::printf(" %g", bdp);
+  std::printf("\npaper flow counts:");
+  for (const double bw : exp::paper_bandwidths()) {
+    std::printf(" %u", exp::ExperimentConfig::paper_flows_for(bw));
+  }
+  std::printf("\n");
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Args a = parse(argc, argv);
+  if (a.cmd == "run") return cmd_run(a);
+  if (a.cmd == "sweep") return cmd_sweep(a);
+  if (a.cmd == "list") return cmd_list();
+  usage();
+}
