@@ -18,19 +18,23 @@ bool CodelQueue::enqueue(net::Packet&& p) {
   if (bytes_ + p.size > limit_bytes_) {
     ++stats_.dropped_overflow;
     stats_.bytes_dropped += p.size;
+    trace_drop(p, /*early=*/false);
     return false;
   }
   bytes_ += p.size;
   ++stats_.enqueued;
   stats_.bytes_enqueued += p.size;
   p.enqueue_time = now();
+  trace_enqueue(p);
   queue_.push_back(std::move(p));
   return true;
 }
 
 std::optional<net::Packet> CodelQueue::dequeue() {
   Access access{*this};
-  return codel_dequeue(access, state_, params_, now(), stats_);
+  return tracer() != nullptr
+             ? codel_dequeue<true>(access, state_, params_, now(), stats_, this)
+             : codel_dequeue(access, state_, params_, now(), stats_);
 }
 
 }  // namespace elephant::aqm

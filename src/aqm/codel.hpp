@@ -38,10 +38,14 @@ struct CodelState {
 /// FQ-CoDel's per-flow queues.
 ///
 /// `Q` must provide: empty(), pop_front_packet() -> Packet, byte_length().
-/// Drops are counted into `stats`.
-template <typename Q>
+/// Drops are counted into `stats`. The kTraced instantiation additionally
+/// reports dequeue-time drops and CE marks through `host`'s trace hooks;
+/// hosts select it only while a flight recorder is attached, so the default
+/// instantiation stays free of tracing code entirely.
+template <bool kTraced = false, typename Q>
 std::optional<net::Packet> codel_dequeue(Q& q, CodelState& st, const CodelParams& params,
-                                         sim::Time now, QueueStats& stats) {
+                                         sim::Time now, QueueStats& stats,
+                                         QueueDisc* host = nullptr) {
   auto next_packet = [&]() -> std::optional<net::Packet> {
     if (q.empty()) return std::nullopt;
     return q.pop_front_packet();
@@ -63,10 +67,12 @@ std::optional<net::Packet> codel_dequeue(Q& q, CodelState& st, const CodelParams
     if (params.ecn && p.ecn_capable) {
       p.ecn_marked = true;
       ++stats.ecn_marked;
+      if constexpr (kTraced) host->trace_mark(p);
       return true;
     }
     ++stats.dropped_early;
     stats.bytes_dropped += p.size;
+    if constexpr (kTraced) host->trace_drop(p, /*early=*/true);
     return false;
   };
 

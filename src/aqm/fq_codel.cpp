@@ -33,6 +33,7 @@ void FqCodelQueue::drop_from_fattest() {
   --total_packets_;
   ++stats_.dropped_overflow;
   stats_.bytes_dropped += victim.size;
+  trace_drop(victim, /*early=*/false);
 }
 
 bool FqCodelQueue::enqueue(net::Packet&& p) {
@@ -47,6 +48,7 @@ bool FqCodelQueue::enqueue(net::Packet&& p) {
   ++total_packets_;
   ++stats_.enqueued;
   stats_.bytes_enqueued += size;
+  trace_enqueue(sq.pkts.back());
 
   if (sq.in_list == ListState::kNone) {
     sq.deficit = cfg_.quantum;
@@ -61,6 +63,14 @@ bool FqCodelQueue::enqueue(net::Packet&& p) {
 }
 
 std::optional<net::Packet> FqCodelQueue::dequeue() {
+  // Dispatch once per dequeue; the untraced instantiation carries no tracing
+  // code at all, so the recorder costs nothing while detached.
+  if (tracer() != nullptr) [[unlikely]] return dequeue_impl<true>();
+  return dequeue_impl<false>();
+}
+
+template <bool kTraced>
+std::optional<net::Packet> FqCodelQueue::dequeue_impl() {
   while (true) {
     std::deque<std::uint32_t>* list = nullptr;
     if (!new_flows_.empty()) {
@@ -83,7 +93,7 @@ std::optional<net::Packet> FqCodelQueue::dequeue() {
     }
 
     Access access{*this, sq};
-    auto pkt = codel_dequeue(access, sq.codel, cfg_.codel, now(), stats_);
+    auto pkt = codel_dequeue<kTraced>(access, sq.codel, cfg_.codel, now(), stats_, this);
     if (!pkt) {
       list->pop_front();
       if (list == &new_flows_) {

@@ -61,6 +61,10 @@ class FqCodelQueue : public QueueDisc {
 
   [[nodiscard]] std::uint32_t bucket_of(net::FlowId flow) const;
   void drop_from_fattest();
+  /// DRR loop; instantiated with and without flight-recorder hooks so the
+  /// untraced dequeue path carries no tracing code (see dequeue()).
+  template <bool kTraced>
+  std::optional<net::Packet> dequeue_impl();
 
   FqCodelConfig cfg_;
   std::vector<SubQueue> queues_;

@@ -18,11 +18,19 @@ class LossInjector : public QueueDisc {
                std::uint64_t seed)
       : QueueDisc(sched), inner_(std::move(inner)), loss_rate_(loss_rate), rng_(seed) {}
 
+  /// The interesting queue state lives in the inner qdisc, so hand the
+  /// tracer through; injected drops are reported by the injector itself.
+  void set_tracer(trace::Tracer* tracer) override {
+    QueueDisc::set_tracer(tracer);
+    inner_->set_tracer(tracer);
+  }
+
   bool enqueue(net::Packet&& p) override {
     if (loss_rate_ > 0 && rng_.next_double() < loss_rate_) {
       ++stats_.dropped_early;
       stats_.bytes_dropped += p.size;
       ++injected_drops_;
+      trace_drop(p, /*early=*/true);
       return false;
     }
     const bool ok = inner_->enqueue(std::move(p));

@@ -78,6 +78,7 @@ bool PieQueue::enqueue(net::Packet&& p) {
   if (bytes_ + p.size > cfg_.limit_bytes) {
     ++stats_.dropped_overflow;
     stats_.bytes_dropped += p.size;
+    trace_drop(p, /*early=*/false);
     return false;
   }
 
@@ -89,6 +90,7 @@ bool PieQueue::enqueue(net::Packet&& p) {
       if (cfg_.ecn && p.ecn_capable && prob_ < cfg_.ecn_prob_cap) {
         p.ecn_marked = true;
         ++stats_.ecn_marked;
+        trace_mark(p);
       } else {
         drop = true;
       }
@@ -97,6 +99,7 @@ bool PieQueue::enqueue(net::Packet&& p) {
   if (drop) {
     ++stats_.dropped_early;
     stats_.bytes_dropped += p.size;
+    trace_drop(p, /*early=*/true);
     return false;
   }
 
@@ -104,6 +107,7 @@ bool PieQueue::enqueue(net::Packet&& p) {
   ++stats_.enqueued;
   stats_.bytes_enqueued += p.size;
   p.enqueue_time = now();
+  trace_enqueue(p);
   queue_.push_back(std::move(p));
   return true;
 }

@@ -1,0 +1,19 @@
+#include "aqm/queue_disc.hpp"
+
+#include "trace/trace.hpp"
+
+namespace elephant::aqm {
+
+void QueueDisc::emit(trace::RecordType type, const net::Packet& p, double v2) {
+  trace::TraceRecord r;
+  r.t = now();
+  r.type = type;
+  r.flow = p.flow;
+  r.seq = p.seq;
+  r.v0 = static_cast<double>(byte_length());
+  r.v1 = static_cast<double>(packet_length());
+  r.v2 = v2;
+  tracer_->record(r);
+}
+
+}  // namespace elephant::aqm

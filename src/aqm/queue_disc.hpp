@@ -7,6 +7,7 @@
 
 #include "net/packet.hpp"
 #include "sim/scheduler.hpp"
+#include "trace/trace.hpp"
 
 namespace elephant::aqm {
 
@@ -48,11 +49,35 @@ class QueueDisc {
 
   [[nodiscard]] const QueueStats& stats() const { return stats_; }
 
+  /// Attach a flight recorder (null detaches). Virtual so decorators
+  /// (LossInjector, TBF) can forward to their inner qdisc.
+  virtual void set_tracer(trace::Tracer* tracer) { tracer_ = tracer; }
+  [[nodiscard]] trace::Tracer* tracer() const { return tracer_; }
+
+  /// Trace emitters for implementations; each is a no-op (one predictable
+  /// branch) when no tracer is attached. Public so the shared codel_dequeue
+  /// algorithm can report drops on behalf of its host qdisc.
+  void trace_enqueue(const net::Packet& p) {
+    if (tracer_ != nullptr) [[unlikely]] emit(trace::RecordType::kAqmEnqueue, p, 0);
+  }
+  void trace_drop(const net::Packet& p, bool early) {
+    if (tracer_ != nullptr) [[unlikely]] emit(trace::RecordType::kAqmDrop, p, early ? 1 : 0);
+  }
+  void trace_mark(const net::Packet& p) {
+    if (tracer_ != nullptr) [[unlikely]] emit(trace::RecordType::kAqmMark, p, 0);
+  }
+
  protected:
   [[nodiscard]] sim::Time now() const { return sched_->now(); }
 
   sim::Scheduler* sched_;
   QueueStats stats_;
+  trace::Tracer* tracer_ = nullptr;
+
+ private:
+  /// Out of line on purpose: keeps the tracing-off fast path of every
+  /// enqueue/dequeue at a single null-check with no inlined record build.
+  void emit(trace::RecordType type, const net::Packet& p, double v2);
 };
 
 }  // namespace elephant::aqm

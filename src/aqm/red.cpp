@@ -101,9 +101,11 @@ bool RedQueue::enqueue(net::Packet&& p) {
     if (cfg_.ecn && p.ecn_capable && pb < 1.0) {
       p.ecn_marked = true;
       ++stats_.ecn_marked;
+      trace_mark(p);
     } else {
       ++stats_.dropped_early;
       stats_.bytes_dropped += p.size;
+      trace_drop(p, /*early=*/true);
       return false;
     }
   }
@@ -112,6 +114,7 @@ bool RedQueue::enqueue(net::Packet&& p) {
     ++stats_.dropped_overflow;
     stats_.bytes_dropped += p.size;
     count_ = 0;
+    trace_drop(p, /*early=*/false);
     return false;
   }
 
@@ -119,6 +122,7 @@ bool RedQueue::enqueue(net::Packet&& p) {
   ++stats_.enqueued;
   stats_.bytes_enqueued += p.size;
   p.enqueue_time = now();
+  trace_enqueue(p);
   queue_.push_back(std::move(p));
   return true;
 }

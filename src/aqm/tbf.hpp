@@ -32,6 +32,11 @@ class TbfQueue : public QueueDisc {
       : QueueDisc(sched), inner_(std::move(inner)), cfg_(cfg),
         tokens_(static_cast<double>(cfg.burst_bytes)), last_refill_(now()) {}
 
+  void set_tracer(trace::Tracer* tracer) override {
+    QueueDisc::set_tracer(tracer);
+    inner_->set_tracer(tracer);
+  }
+
   bool enqueue(net::Packet&& p) override {
     const bool ok = inner_->enqueue(std::move(p));
     mirror_stats();

@@ -60,6 +60,7 @@ std::optional<ExperimentResult> ResultCache::load(const ExperimentConfig& cfg) c
   res.utilization = *util;
   res.retx_segments = static_cast<std::uint64_t>(*retx);
   res.rtos = static_cast<std::uint64_t>(get("rtos").value_or(0));
+  res.n_flows = static_cast<std::uint32_t>(get("n_flows").value_or(0));
   res.events_executed = static_cast<std::uint64_t>(get("events").value_or(0));
   res.wall_seconds = get("wall_seconds").value_or(0);
   return res;
@@ -82,6 +83,7 @@ void ResultCache::store(const ExperimentResult& result) {
         << "utilization=" << result.utilization << '\n'
         << "retx_segments=" << result.retx_segments << '\n'
         << "rtos=" << result.rtos << '\n'
+        << "n_flows=" << result.n_flows << '\n'
         << "events=" << result.events_executed << '\n'
         << "wall_seconds=" << result.wall_seconds << '\n';
   }

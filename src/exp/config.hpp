@@ -8,6 +8,10 @@
 #include "cca/congestion_control.hpp"
 #include "sim/time.hpp"
 
+namespace elephant::trace {
+class Tracer;
+}
+
 namespace elephant::exp {
 
 /// One cell of the paper's 810-configuration matrix (Table 1):
@@ -28,6 +32,14 @@ struct ExperimentConfig {
   bool ecn = false;
   bool pace_all = false;            ///< ablation: pace loss-based CCAs too
   double random_loss = 0.0;         ///< Bernoulli loss at the bottleneck (future work)
+
+  /// Optional flight recorder attached to every sender and the bottleneck
+  /// port for the run. Not part of the experiment identity: excluded from
+  /// id(), and run_averaged() bypasses the result cache when set (a cached
+  /// result would produce no trace).
+  trace::Tracer* tracer = nullptr;
+  /// Bottleneck queue-depth sampling period when tracing (kQueueDepth).
+  sim::Time trace_queue_interval = sim::Time::milliseconds(100);
 
   /// BDP in bytes (paper Eq. 1): BW · RTT / 8.
   [[nodiscard]] double bdp_bytes() const { return bottleneck_bps * rtt.sec() / 8.0; }

@@ -41,8 +41,10 @@ ExperimentResult run_experiment(const ExperimentConfig& cfg) {
   }
   net::Dumbbell net(sched, topo);
 
-  const std::uint32_t n_flows = cfg.effective_flows();
-  const std::uint32_t per_sender = std::max<std::uint32_t>(n_flows / 2, 1);
+  const std::uint32_t n_flows = std::max<std::uint32_t>(cfg.effective_flows(), 1);
+  // Split across the two sender nodes; odd counts give the extra flow to
+  // side 0 (cca1) deterministically, instead of silently dropping it.
+  const std::uint32_t per_side[2] = {(n_flows + 1) / 2, n_flows / 2};
   const std::uint32_t agg = cfg.effective_aggregation();
   const sim::Time duration = cfg.effective_duration();
 
@@ -52,11 +54,16 @@ ExperimentResult run_experiment(const ExperimentConfig& cfg) {
     int side;
   };
   std::vector<FlowEnd> ends;
-  ends.reserve(2 * per_sender);
+  ends.reserve(n_flows);
+
+  if (cfg.tracer != nullptr) {
+    net.set_tracer(cfg.tracer);
+    net.bottleneck().start_queue_sampling(cfg.trace_queue_interval);
+  }
 
   for (int side = 0; side < 2; ++side) {
     const cca::CcaKind kind = side == 0 ? cfg.cca1 : cfg.cca2;
-    for (std::uint32_t i = 0; i < per_sender; ++i) {
+    for (std::uint32_t i = 0; i < per_side[side]; ++i) {
       const net::FlowId flow = static_cast<net::FlowId>(ends.size() + 1);
       net::Host& client = net.client(side);
       net::Host& server = net.server(side);
@@ -83,6 +90,7 @@ ExperimentResult run_experiment(const ExperimentConfig& cfg) {
       end.receiver = std::make_unique<tcp::TcpReceiver>(sched, server, client.id(), flow);
       end.sender = std::make_unique<tcp::TcpSender>(sched, client, sc,
                                                     cca::make_cca(kind, cp));
+      if (cfg.tracer != nullptr) end.sender->set_tracer(cfg.tracer);
       client.register_endpoint(flow, end.sender.get());
       server.register_endpoint(flow, end.receiver.get());
       end.sender->start();
@@ -94,6 +102,7 @@ ExperimentResult run_experiment(const ExperimentConfig& cfg) {
 
   ExperimentResult res;
   res.config = cfg;
+  res.n_flows = static_cast<std::uint32_t>(ends.size());
   double side_bps[2] = {0, 0};
   std::vector<double> flow_bps;
   flow_bps.reserve(ends.size());
@@ -102,8 +111,14 @@ ExperimentResult run_experiment(const ExperimentConfig& cfg) {
     fr.flow = end.sender->config().flow;
     fr.sender = end.side;
     fr.cca = end.sender->cc().name();
+    fr.start_s = end.sender->config().start_time.sec();
+    // Measure goodput over the flow's own active window: the staggered
+    // starts (up to 0.5 s) would otherwise bias late starters low.
+    const sim::Time active = duration - end.sender->config().start_time;
     fr.throughput_bps =
-        static_cast<double>(end.receiver->delivered_bytes()) * 8.0 / duration.sec();
+        active > sim::Time::zero()
+            ? static_cast<double>(end.receiver->delivered_bytes()) * 8.0 / active.sec()
+            : 0.0;
     fr.retx_segments = end.sender->retx_segments();
     fr.rtos = end.sender->stats().rtos;
     fr.srtt_ms = end.sender->rtt().srtt().ms();
@@ -121,6 +136,7 @@ ExperimentResult run_experiment(const ExperimentConfig& cfg) {
   res.events_executed = sched.executed_events();
   res.wall_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - wall_start).count();
+  if (cfg.tracer != nullptr) cfg.tracer->flush();
   return res;
 }
 
@@ -149,6 +165,8 @@ AveragedResult average(const ExperimentConfig& cfg, const std::vector<Experiment
 }
 
 AveragedResult run_averaged(const ExperimentConfig& cfg, int reps, bool use_cache) {
+  // A cache hit would skip the simulation and therefore emit no trace.
+  if (cfg.tracer != nullptr) use_cache = false;
   std::vector<ExperimentResult> runs;
   runs.reserve(reps);
   for (int r = 0; r < reps; ++r) {

@@ -14,7 +14,8 @@ struct FlowResult {
   std::uint32_t flow = 0;
   int sender = 0;  ///< 0 = client1/cca1, 1 = client2/cca2
   std::string cca;
-  double throughput_bps = 0;     ///< receiver goodput over the full run
+  double throughput_bps = 0;     ///< receiver goodput over the flow's active window
+  double start_s = 0;            ///< staggered start offset (seconds into the run)
   std::uint64_t retx_segments = 0;
   std::uint64_t rtos = 0;
   double srtt_ms = 0;
@@ -24,6 +25,7 @@ struct FlowResult {
 struct ExperimentResult {
   ExperimentConfig config;
   std::vector<FlowResult> flows;
+  std::uint32_t n_flows = 0;       ///< flows actually instantiated (== flows.size())
 
   double sender_bps[2] = {0, 0};   ///< per-sender aggregate throughput (S1, S2)
   double jain2 = 1.0;              ///< per-sender Jain index (Eq. 2, n = 2)

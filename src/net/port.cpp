@@ -17,6 +17,22 @@ Port::Port(sim::Scheduler& sched, std::unique_ptr<aqm::QueueDisc> qdisc, double 
   assert(rate_bps_ > 0.0);
 }
 
+void Port::start_queue_sampling(sim::Time interval) {
+  if (tracer_ == nullptr || interval <= sim::Time::zero()) return;
+  sched_.schedule_in(interval, [this, interval] { sample_queue_depth(interval); });
+}
+
+void Port::sample_queue_depth(sim::Time interval) {
+  trace::TraceRecord r;
+  r.t = sched_.now();
+  r.type = trace::RecordType::kQueueDepth;
+  r.v0 = static_cast<double>(qdisc_->byte_length());
+  r.v1 = static_cast<double>(qdisc_->packet_length());
+  r.v2 = static_cast<double>(tx_bytes_);
+  tracer_->record(r);
+  sched_.schedule_in(interval, [this, interval] { sample_queue_depth(interval); });
+}
+
 void Port::send(Packet&& p) {
   qdisc_->enqueue(std::move(p));
   try_transmit();

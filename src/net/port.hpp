@@ -30,6 +30,17 @@ class Port {
 
   void connect(Node* peer) { peer_ = peer; }
 
+  /// Attach a flight recorder to this port and its qdisc (null detaches).
+  void set_tracer(trace::Tracer* tracer) {
+    tracer_ = tracer;
+    qdisc_->set_tracer(tracer);
+  }
+
+  /// Record a kQueueDepth sample every `interval`, starting one interval
+  /// from now. The sampling event reschedules itself indefinitely, so drive
+  /// the scheduler with run_until(), not run(). No-op without a tracer.
+  void start_queue_sampling(sim::Time interval);
+
   [[nodiscard]] aqm::QueueDisc& qdisc() { return *qdisc_; }
   [[nodiscard]] const aqm::QueueDisc& qdisc() const { return *qdisc_; }
   [[nodiscard]] double rate_bps() const { return rate_bps_; }
@@ -41,6 +52,7 @@ class Port {
 
  private:
   void try_transmit();
+  void sample_queue_depth(sim::Time interval);
 
   sim::Scheduler& sched_;
   std::unique_ptr<aqm::QueueDisc> qdisc_;
@@ -48,6 +60,7 @@ class Port {
   sim::Time propagation_;
   std::string name_;
   Node* peer_ = nullptr;
+  trace::Tracer* tracer_ = nullptr;
   bool busy_ = false;
 
   std::uint64_t tx_packets_ = 0;

@@ -56,6 +56,10 @@ class Dumbbell {
   [[nodiscard]] Port& bottleneck() { return *bottleneck_; }
   [[nodiscard]] const Port& bottleneck() const { return *bottleneck_; }
 
+  /// Attach a flight recorder to the bottleneck port (the only queue whose
+  /// behaviour the paper's matrix varies); null detaches.
+  void set_tracer(trace::Tracer* tracer) { bottleneck_->set_tracer(tracer); }
+
   [[nodiscard]] const DumbbellConfig& config() const { return cfg_; }
 
   /// End-to-end propagation RTT (no queueing): 2 × (client+trunk+server).

@@ -9,11 +9,22 @@ EventId Scheduler::schedule_at(Time at, Callback cb) {
   assert(at >= now_ && "cannot schedule events in the past");
   const std::uint64_t seq = next_seq_++;
   queue_.push(Entry{at, seq, std::move(cb)});
-  return EventId{seq};
+  return EventId{seq, at, epoch_};
+}
+
+bool Scheduler::pending(EventId id) const {
+  if (!id.valid() || id.epoch != epoch_) return false;
+  if (id.value >= next_seq_) return false;  // never issued (forged id)
+  if (cancelled_.contains(id.value)) return false;
+  // Entries are processed in (at, seq) order and processing an entry sets
+  // now_ to its instant, so anything scheduled before now_ is gone, anything
+  // after is queued, and ties are settled by the seq watermark.
+  if (id.at != now_) return id.at > now_;
+  return id.value > last_processed_seq_;
 }
 
 void Scheduler::cancel(EventId id) {
-  if (id.valid()) cancelled_.insert(id.value);
+  if (pending(id)) cancelled_.insert(id.value);
 }
 
 bool Scheduler::pop_one(Time deadline) {
@@ -21,6 +32,10 @@ bool Scheduler::pop_one(Time deadline) {
     const Entry& top = queue_.top();
     if (top.at > deadline) return false;
     if (auto it = cancelled_.find(top.seq); it != cancelled_.end()) {
+      // Purging counts as processing for the liveness watermark (so a
+      // re-cancel of this id stays a no-op), but not as an executed event.
+      now_ = top.at;
+      last_processed_seq_ = top.seq;
       cancelled_.erase(it);
       queue_.pop();
       continue;
@@ -29,6 +44,7 @@ bool Scheduler::pop_one(Time deadline) {
     Entry entry = std::move(const_cast<Entry&>(top));
     queue_.pop();
     now_ = entry.at;
+    last_processed_seq_ = entry.seq;
     ++executed_;
     entry.cb();
     return true;
@@ -50,6 +66,7 @@ void Scheduler::run_until(Time deadline) {
 void Scheduler::clear() {
   queue_ = {};
   cancelled_.clear();
+  ++epoch_;
 }
 
 }  // namespace elephant::sim

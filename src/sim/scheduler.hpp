@@ -11,8 +11,16 @@
 namespace elephant::sim {
 
 /// Opaque handle to a scheduled event; used to cancel timers.
+///
+/// Carries the scheduled instant and a clear()-epoch so the scheduler can
+/// decide liveness in O(1) without tracking every pending id: events are
+/// processed in (time, seq) order, so an id is dead exactly when its instant
+/// is in the past, or equals now() with a seq at or below the last-processed
+/// watermark, or predates the last clear().
 struct EventId {
   std::uint64_t value = 0;
+  Time at{};
+  std::uint32_t epoch = 0;
   [[nodiscard]] bool valid() const { return value != 0; }
 };
 
@@ -21,7 +29,10 @@ struct EventId {
 /// Events scheduled for the same instant fire in scheduling order (FIFO
 /// tie-break via a monotone sequence number), which keeps runs deterministic.
 /// Cancellation is lazy: cancelled ids are remembered and skipped at pop
-/// time, so cancel() is O(1) and the heap is never restructured.
+/// time, so cancel() is O(1) and the heap is never restructured. cancel()
+/// verifies liveness first, so cancelling an already-fired, already-cancelled,
+/// or forged id is a true no-op and the cancelled set only ever references
+/// entries still in the queue — which keeps pending_events() exact.
 class Scheduler {
  public:
   using Callback = std::function<void()>;
@@ -35,17 +46,23 @@ class Scheduler {
   /// Schedule `cb` after `delay` from now.
   EventId schedule_in(Time delay, Callback cb) { return schedule_at(now_ + delay, cb); }
 
-  /// Cancel a pending event. Cancelling an already-fired or invalid id is a no-op.
+  /// Cancel a pending event. Cancelling an already-fired, already-cancelled,
+  /// or invalid id is a no-op.
   void cancel(EventId id);
+
+  /// True while the event is queued and not cancelled; false once it has
+  /// fired, been cancelled, or been dropped by clear().
+  [[nodiscard]] bool pending(EventId id) const;
 
   /// Run until the queue is empty.
   void run();
 
   /// Run until the queue is empty or simulation time would exceed `deadline`.
-  /// On return now() == min(deadline, time of last event).
+  /// On return now() == min(deadline, time of last processed entry).
   void run_until(Time deadline);
 
   /// Drop every pending event (used when tearing down a run early).
+  /// Outstanding EventIds are invalidated.
   void clear();
 
   [[nodiscard]] std::size_t pending_events() const { return queue_.size() - cancelled_.size(); }
@@ -67,6 +84,10 @@ class Scheduler {
   Time now_ = Time::zero();
   std::uint64_t next_seq_ = 1;
   std::uint64_t executed_ = 0;
+  /// Seq of the most recent entry processed (fired or purged) — its `at` is
+  /// always now_; together they form the liveness watermark for pending().
+  std::uint64_t last_processed_seq_ = 0;
+  std::uint32_t epoch_ = 0;
   std::priority_queue<Entry, std::vector<Entry>, std::greater<>> queue_;
   std::unordered_set<std::uint64_t> cancelled_;
 };

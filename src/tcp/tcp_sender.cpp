@@ -104,6 +104,17 @@ void TcpSender::send_unit(std::uint64_t abs) {
   p.retx = is_retx;
   p.ecn_capable = cfg_.ecn;
   p.sent_time = now;
+  if (tracer_) {
+    trace::TraceRecord r;
+    r.t = now;
+    r.type = is_retx ? trace::RecordType::kPacketRetx : trace::RecordType::kPacketSent;
+    r.flow = cfg_.flow;
+    r.seq = abs;
+    r.v0 = static_cast<double>(p.size);
+    r.v1 = static_cast<double>(pipe_units_);
+    r.v2 = static_cast<double>(u.retx);
+    tracer_->record(r);
+  }
   local_.transmit(std::move(p));
 
   if (is_retx || !rto_armed_ || rto_deadline_ == sim::Time::max()) {
@@ -133,6 +144,22 @@ void TcpSender::rto_timer_fired() {
   do_rto();
 }
 
+void TcpSender::trace_cwnd() {
+  const double cwnd = cc_->cwnd_segments();
+  const double pacing = cc_->pacing_rate_bps();
+  if (cwnd == last_traced_cwnd_ && pacing == last_traced_pacing_) return;
+  last_traced_cwnd_ = cwnd;
+  last_traced_pacing_ = pacing;
+  trace::TraceRecord r;
+  r.t = sched_.now();
+  r.type = trace::RecordType::kCwndUpdate;
+  r.flow = cfg_.flow;
+  r.v0 = cwnd;
+  r.v1 = pacing;
+  r.v2 = rtt_.srtt().ms();
+  tracer_->record(r);
+}
+
 void TcpSender::do_rto() {
   const sim::Time now = sched_.now();
   ++stats_.rtos;
@@ -155,6 +182,18 @@ void TcpSender::do_rto() {
   recovery_point_ = next_seq_;
   ++stats_.congestion_events;
   cc_->on_rto(now);
+  if (tracer_) {
+    trace::TraceRecord r;
+    r.t = now;
+    r.type = trace::RecordType::kRtoFire;
+    r.flow = cfg_.flow;
+    r.seq = una_;
+    r.v0 = static_cast<double>(rto_backoff_);
+    r.v1 = rtt_.rto().ms();
+    r.v2 = static_cast<double>(lost_pending_);
+    tracer_->record(r);
+    trace_cwnd();
+  }
 
   rto_deadline_ = now + rtt_.rto() * static_cast<std::int64_t>(rto_backoff_);
   arm_rto();
@@ -199,6 +238,17 @@ void TcpSender::process_sacks(const net::Packet& ack, std::uint64_t* newly_deliv
       }
       if (u.sent_time > latest_sacked_sent_time_) latest_sacked_sent_time_ = u.sent_time;
       if (abs + 1 > highest_sacked_) highest_sacked_ = abs + 1;
+      if (tracer_) {
+        trace::TraceRecord r;
+        r.t = sched_.now();
+        r.type = trace::RecordType::kSackMark;
+        r.flow = cfg_.flow;
+        r.seq = abs;
+        r.v0 = static_cast<double>(cfg_.agg);
+        r.v1 = static_cast<double>(pipe_units_);
+        r.v2 = static_cast<double>(u.retx);
+        tracer_->record(r);
+      }
     }
   }
 }
@@ -227,6 +277,17 @@ void TcpSender::mark_losses() {
       ++lost_pending_;
       ++stats_.lost_units_marked;
       lost_segments += cfg_.agg;
+      if (tracer_) {
+        trace::TraceRecord r;
+        r.t = sched_.now();
+        r.type = trace::RecordType::kLossMark;
+        r.flow = cfg_.flow;
+        r.seq = abs;
+        r.v0 = static_cast<double>(cfg_.agg);
+        r.v1 = static_cast<double>(pipe_units_);
+        r.v2 = static_cast<double>(u.retx);
+        tracer_->record(r);
+      }
     }
     prefix_resolved = false;
   }
@@ -318,6 +379,7 @@ void TcpSender::on_packet(net::Packet&& p) {
     ack.ece = p.ece;
     cc_->on_ack(ack);
   }
+  if (tracer_) trace_cwnd();
 
   // Finite transfer bookkeeping: record the completion instant once.
   if (completion_time_ == sim::Time::zero() && completed()) completion_time_ = now;

@@ -10,6 +10,7 @@
 #include "net/packet.hpp"
 #include "sim/scheduler.hpp"
 #include "tcp/rtt_estimator.hpp"
+#include "trace/trace.hpp"
 
 namespace elephant::tcp {
 
@@ -61,6 +62,10 @@ class TcpSender : public net::PacketHandler {
   void stop() { stopped_ = true; }
 
   void on_packet(net::Packet&& p) override;  // ACK input
+
+  /// Attach a flight recorder (null detaches). Emits packet send/retx,
+  /// SACK/loss marks, RTO fires, and cwnd/pacing updates.
+  void set_tracer(trace::Tracer* tracer) { tracer_ = tracer; }
 
   [[nodiscard]] const TcpSenderStats& stats() const { return stats_; }
   [[nodiscard]] const cca::CongestionControl& cc() const { return *cc_; }
@@ -130,6 +135,7 @@ class TcpSender : public net::PacketHandler {
   void rto_timer_fired();
   void do_rto();
   void arm_pacing(sim::Time at);
+  void trace_cwnd();
 
   sim::Scheduler& sched_;
   net::Host& local_;
@@ -166,6 +172,11 @@ class TcpSender : public net::PacketHandler {
   bool started_ = false;
   bool stopped_ = false;
   sim::Time completion_time_ = sim::Time::zero();
+
+  // Flight recorder (null = tracing off; hot paths pay one branch).
+  trace::Tracer* tracer_ = nullptr;
+  double last_traced_cwnd_ = -1;
+  double last_traced_pacing_ = -1;
 };
 
 }  // namespace elephant::tcp

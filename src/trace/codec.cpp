@@ -1,0 +1,106 @@
+#include "trace/codec.hpp"
+
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace elephant::trace {
+
+namespace {
+
+/// %.17g round-trips every double; %lld/% llu are exact for the id fields.
+void append_row(const TraceRecord& r, const char* fmt, std::string* out) {
+  char buf[256];
+  const int n = std::snprintf(buf, sizeof(buf), fmt, static_cast<long long>(r.t.ns()),
+                              to_string(r.type), static_cast<unsigned>(r.flow),
+                              static_cast<unsigned long long>(r.seq), r.v0, r.v1, r.v2);
+  if (n > 0) out->append(buf, static_cast<std::size_t>(n));
+}
+
+/// Locate `"key":` in a JSON object line and return the text after the colon
+/// (value may be quoted); nullptr when absent.
+const char* json_value(std::string_view line, const char* key, char* keybuf, std::size_t cap) {
+  std::snprintf(keybuf, cap, "\"%s\":", key);
+  const std::size_t pos = line.find(keybuf);
+  if (pos == std::string_view::npos) return nullptr;
+  return line.data() + pos + std::strlen(keybuf);
+}
+
+}  // namespace
+
+std::string csv_header() { return "t_ns,type,flow,seq,v0,v1,v2"; }
+
+void append_csv(const TraceRecord& r, std::string* out) {
+  append_row(r, "%lld,%s,%u,%llu,%.17g,%.17g,%.17g\n", out);
+}
+
+void append_jsonl(const TraceRecord& r, std::string* out) {
+  append_row(r,
+             "{\"t_ns\":%lld,\"type\":\"%s\",\"flow\":%u,\"seq\":%llu,"
+             "\"v0\":%.17g,\"v1\":%.17g,\"v2\":%.17g}\n",
+             out);
+}
+
+bool parse_csv(std::string_view line_view, TraceRecord* out) {
+  // Copy so the numeric parsers below see a NUL-terminated buffer.
+  const std::string line(line_view);
+  // Split into exactly 7 comma-separated fields; only `type` is non-numeric.
+  const char* fields[7];
+  std::size_t lens[7];
+  std::size_t start = 0;
+  for (int i = 0; i < 7; ++i) {
+    const std::size_t comma = i < 6 ? line.find(',', start) : line.size();
+    if (comma == std::string::npos) return false;
+    fields[i] = line.data() + start;
+    lens[i] = comma - start;
+    start = comma + 1;
+  }
+  RecordType type;
+  if (!record_type_from_string({fields[1], lens[1]}, &type)) return false;
+
+  char* end = nullptr;
+  const long long t_ns = std::strtoll(fields[0], &end, 10);
+  if (end == fields[0]) return false;
+  out->t = sim::Time::nanoseconds(t_ns);
+  out->type = type;
+  out->flow = static_cast<std::uint32_t>(std::strtoul(fields[2], nullptr, 10));
+  out->seq = std::strtoull(fields[3], nullptr, 10);
+  out->v0 = std::strtod(fields[4], nullptr);
+  out->v1 = std::strtod(fields[5], nullptr);
+  out->v2 = std::strtod(fields[6], nullptr);
+  return true;
+}
+
+bool parse_jsonl(std::string_view line_view, TraceRecord* out) {
+  const std::string line(line_view);
+  char key[32];
+  const char* t_ns = json_value(line, "t_ns", key, sizeof(key));
+  const char* type = json_value(line, "type", key, sizeof(key));
+  const char* flow = json_value(line, "flow", key, sizeof(key));
+  const char* seq = json_value(line, "seq", key, sizeof(key));
+  const char* v0 = json_value(line, "v0", key, sizeof(key));
+  const char* v1 = json_value(line, "v1", key, sizeof(key));
+  const char* v2 = json_value(line, "v2", key, sizeof(key));
+  if (!t_ns || !type || !flow || !seq || !v0 || !v1 || !v2) return false;
+
+  if (*type != '"') return false;
+  const char* type_end = std::strchr(type + 1, '"');
+  if (!type_end) return false;
+  RecordType parsed_type;
+  if (!record_type_from_string({type + 1, static_cast<std::size_t>(type_end - type - 1)},
+                               &parsed_type)) {
+    return false;
+  }
+
+  out->t = sim::Time::nanoseconds(std::strtoll(t_ns, nullptr, 10));
+  out->type = parsed_type;
+  out->flow = static_cast<std::uint32_t>(std::strtoul(flow, nullptr, 10));
+  out->seq = std::strtoull(seq, nullptr, 10);
+  out->v0 = std::strtod(v0, nullptr);
+  out->v1 = std::strtod(v1, nullptr);
+  out->v2 = std::strtod(v2, nullptr);
+  return true;
+}
+
+}  // namespace elephant::trace

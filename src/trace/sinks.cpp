@@ -1,0 +1,23 @@
+#include "trace/sinks.hpp"
+
+#include "trace/codec.hpp"
+
+namespace elephant::trace {
+
+CsvSink::CsvSink(std::ostream& out) : out_(out) { out_ << csv_header() << '\n'; }
+
+void CsvSink::write(std::span<const TraceRecord> batch) {
+  std::string buf;
+  buf.reserve(batch.size() * 64);
+  for (const TraceRecord& r : batch) append_csv(r, &buf);
+  out_ << buf;
+}
+
+void JsonlSink::write(std::span<const TraceRecord> batch) {
+  std::string buf;
+  buf.reserve(batch.size() * 96);
+  for (const TraceRecord& r : batch) append_jsonl(r, &buf);
+  out_ << buf;
+}
+
+}  // namespace elephant::trace

@@ -1,0 +1,71 @@
+#pragma once
+
+#include <ostream>
+#include <vector>
+
+#include "trace/trace.hpp"
+
+namespace elephant::trace {
+
+/// Discards everything. Useful for measuring pure recording overhead.
+class NullSink : public TraceSink {
+ public:
+  void write(std::span<const TraceRecord> batch) override { count_ += batch.size(); }
+  [[nodiscard]] std::uint64_t count() const { return count_; }
+
+ private:
+  std::uint64_t count_ = 0;
+};
+
+/// Accumulates records in memory — the sink tests and analysis code use.
+class MemorySink : public TraceSink {
+ public:
+  void write(std::span<const TraceRecord> batch) override {
+    records_.insert(records_.end(), batch.begin(), batch.end());
+  }
+  [[nodiscard]] const std::vector<TraceRecord>& records() const { return records_; }
+  void clear() { records_.clear(); }
+
+ private:
+  std::vector<TraceRecord> records_;
+};
+
+/// Streams records as CSV rows (header first). The caller owns the stream
+/// and must keep it alive for the sink's lifetime.
+class CsvSink : public TraceSink {
+ public:
+  explicit CsvSink(std::ostream& out);
+  void write(std::span<const TraceRecord> batch) override;
+  void flush() override { out_.flush(); }
+
+ private:
+  std::ostream& out_;
+};
+
+/// Streams records as one JSON object per line (JSONL).
+class JsonlSink : public TraceSink {
+ public:
+  explicit JsonlSink(std::ostream& out) : out_(out) {}
+  void write(std::span<const TraceRecord> batch) override;
+  void flush() override { out_.flush(); }
+
+ private:
+  std::ostream& out_;
+};
+
+/// Fans one record stream out to several sinks (e.g. memory + CSV file).
+class TeeSink : public TraceSink {
+ public:
+  explicit TeeSink(std::vector<TraceSink*> sinks) : sinks_(std::move(sinks)) {}
+  void write(std::span<const TraceRecord> batch) override {
+    for (TraceSink* s : sinks_) s->write(batch);
+  }
+  void flush() override {
+    for (TraceSink* s : sinks_) s->flush();
+  }
+
+ private:
+  std::vector<TraceSink*> sinks_;
+};
+
+}  // namespace elephant::trace

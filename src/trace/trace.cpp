@@ -1,0 +1,67 @@
+#include "trace/trace.hpp"
+
+#include <cassert>
+
+namespace elephant::trace {
+
+namespace {
+constexpr const char* kTypeNames[kRecordTypeCount] = {
+    "cwnd_update", "packet_sent", "packet_retx", "sack_mark",   "loss_mark",
+    "rto_fire",    "aqm_enqueue", "aqm_drop",    "aqm_mark",    "queue_depth",
+};
+}  // namespace
+
+const char* to_string(RecordType type) {
+  const auto i = static_cast<std::size_t>(type);
+  assert(i < kRecordTypeCount);
+  return kTypeNames[i];
+}
+
+bool record_type_from_string(std::string_view name, RecordType* out) {
+  for (std::size_t i = 0; i < kRecordTypeCount; ++i) {
+    if (name == kTypeNames[i]) {
+      *out = static_cast<RecordType>(i);
+      return true;
+    }
+  }
+  return false;
+}
+
+Tracer::Tracer(TraceSink& sink, std::size_t capacity, Overflow overflow)
+    : sink_(sink), ring_(capacity == 0 ? 1 : capacity), overflow_(overflow) {}
+
+Tracer::~Tracer() { flush(); }
+
+void Tracer::enable(RecordType type, bool on) {
+  const std::uint32_t bit = 1u << static_cast<unsigned>(type);
+  if (on) {
+    mask_ |= bit;
+  } else {
+    mask_ &= ~bit;
+  }
+}
+
+void Tracer::enable_only(std::initializer_list<RecordType> types) {
+  mask_ = 0;
+  for (const RecordType t : types) mask_ |= 1u << static_cast<unsigned>(t);
+}
+
+void Tracer::drain() {
+  sink_.write({ring_.data(), head_});
+  head_ = 0;
+}
+
+void Tracer::flush() {
+  if (overflow_ == Overflow::kOverwrite && wrapped_) {
+    // Oldest surviving record sits at head_; emit the two spans in order.
+    sink_.write({ring_.data() + head_, ring_.size() - head_});
+    sink_.write({ring_.data(), head_});
+    wrapped_ = false;
+    head_ = 0;
+  } else {
+    drain();
+  }
+  sink_.flush();
+}
+
+}  // namespace elephant::trace

@@ -24,7 +24,7 @@ TEST(CodelEcn, MarksInsteadOfDroppingEctTraffic) {
   for (std::uint64_t i = 0; i < 400; ++i) (void)q.enqueue(ect(1, i));
   std::uint64_t marked_seen = 0;
   for (int step = 0; step < 400; ++step) {
-    sched.schedule_at(sim::Time::milliseconds(10) * (step + 1), [&] {
+    sched.schedule_at(sim::Time::milliseconds(10) * (step + 1), [&, step] {
       auto p = q.dequeue();
       if (p && p->ecn_marked) ++marked_seen;
       (void)q.enqueue(ect(1, 1000 + static_cast<std::uint64_t>(step)));
@@ -43,7 +43,7 @@ TEST(CodelEcn, NonEctStillDropped) {
   CodelQueue q(sched, std::size_t{1} << 26, params);
   for (std::uint64_t i = 0; i < 400; ++i) (void)q.enqueue(make_packet(1, i));
   for (int step = 0; step < 400; ++step) {
-    sched.schedule_at(sim::Time::milliseconds(10) * (step + 1), [&] {
+    sched.schedule_at(sim::Time::milliseconds(10) * (step + 1), [&, step] {
       (void)q.dequeue();
       (void)q.enqueue(make_packet(1, 1000 + static_cast<std::uint64_t>(step)));
     });
@@ -61,7 +61,7 @@ TEST(FqCodelEcn, PerFlowMarking) {
   FqCodelQueue q(sched, cfg);
   for (std::uint64_t i = 0; i < 400; ++i) (void)q.enqueue(ect(1, i));
   for (int step = 0; step < 400; ++step) {
-    sched.schedule_at(sim::Time::milliseconds(10) * (step + 1), [&] {
+    sched.schedule_at(sim::Time::milliseconds(10) * (step + 1), [&, step] {
       (void)q.dequeue();
       (void)q.enqueue(ect(1, 1000 + static_cast<std::uint64_t>(step)));
     });

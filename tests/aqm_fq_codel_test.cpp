@@ -138,7 +138,7 @@ TEST(FqCodel, CodelDropsPerFlowUnderStandingQueue) {
   // eventually drop from it.
   for (std::uint64_t i = 0; i < 500; ++i) (void)q.enqueue(make_packet(1, i));
   for (int step = 0; step < 400; ++step) {
-    sched.schedule_at(sim::Time::milliseconds(10) * (step + 1), [&] {
+    sched.schedule_at(sim::Time::milliseconds(10) * (step + 1), [&, step] {
       (void)q.dequeue();
       (void)q.enqueue(make_packet(1, 1000 + static_cast<std::uint64_t>(step)));
     });

@@ -87,12 +87,39 @@ TEST(Runner, PaceAllSmoothsLossBasedBursts) {
   EXPECT_GT(res_paced.utilization, res.utilization - 0.15);
 }
 
-TEST(Runner, OddFlowCountStillRuns) {
+TEST(Runner, OddFlowCountRunsEveryFlow) {
   auto cfg = test::quick_config(CcaKind::kCubic, CcaKind::kCubic, aqm::AqmKind::kFifo, 2.0,
                                 100e6, 5);
-  cfg.total_flows = 3;  // per-sender max(3/2,1) = 1 each
+  cfg.total_flows = 3;
   const auto res = run_experiment(cfg);
-  EXPECT_EQ(res.flows.size(), 2u);
+  // The seed rounded 3 down to 1-per-side and silently ran 2 flows. The
+  // remainder now goes to side 0: a 2/1 split, with the actual count echoed.
+  ASSERT_EQ(res.flows.size(), 3u);
+  EXPECT_EQ(res.n_flows, 3u);
+  int side0 = 0;
+  int side1 = 0;
+  for (const auto& f : res.flows) (f.sender == 0 ? side0 : side1)++;
+  EXPECT_EQ(side0, 2);
+  EXPECT_EQ(side1, 1);
+}
+
+TEST(Runner, ThroughputWindowExcludesStaggeredStart) {
+  auto cfg = test::quick_config(CcaKind::kCubic, CcaKind::kCubic, aqm::AqmKind::kFifo, 2.0,
+                                100e6, 5);
+  const auto res = run_experiment(cfg);
+  const double dur = cfg.effective_duration().sec();
+  for (const auto& f : res.flows) {
+    EXPECT_GE(f.start_s, 0.0);
+    EXPECT_LT(f.start_s, 0.5);  // starts staggered within half a second
+    // Goodput is measured over (duration - start), so a flow saturating the
+    // link after a late start is not reported below its delivered rate.
+    EXPECT_GT(f.throughput_bps, 0.0);
+    EXPECT_LT(f.throughput_bps, cfg.bottleneck_bps * 1.01);
+    // Reconstructing delivered bytes from the reported window must agree
+    // with a full-duration normalization only when start_s == 0.
+    const double window = dur - f.start_s;
+    EXPECT_GT(window, 0.0);
+  }
 }
 
 }  // namespace

@@ -129,5 +129,100 @@ TEST(Scheduler, PendingCountExcludesCancelled) {
   EXPECT_EQ(s.pending_events(), 1u);
 }
 
+// Regression: cancelling an id whose event already executed must be a no-op.
+// The seed code inserted every cancelled id into the tombstone set without
+// checking liveness, so stale cancels accumulated forever and made
+// pending_events() (queue size minus tombstones, in size_t) wrap to huge
+// values once tombstones outnumbered queued events.
+TEST(Scheduler, CancelAfterExecutionDoesNotCorruptPendingCount) {
+  Scheduler s;
+  const EventId a = s.schedule_at(Time::milliseconds(1), [] {});
+  const EventId b = s.schedule_at(Time::milliseconds(2), [] {});
+  s.run();
+
+  s.cancel(a);  // dead ids: both events already ran
+  s.cancel(b);
+
+  s.schedule_at(Time::milliseconds(3), [] {});
+  EXPECT_EQ(s.pending_events(), 1u);  // seed: 1 - 2 wraps to SIZE_MAX
+}
+
+TEST(Scheduler, RepeatedStaleCancelsDoNotAccumulate) {
+  Scheduler s;
+  for (int round = 0; round < 50; ++round) {
+    const EventId id = s.schedule_in(Time::microseconds(1), [] {});
+    s.run();
+    s.cancel(id);  // always after execution: must never leak a tombstone
+    s.cancel(id);  // double-cancel of the same dead id, for good measure
+  }
+  EXPECT_EQ(s.pending_events(), 0u);
+  s.schedule_in(Time::microseconds(1), [] {});
+  EXPECT_EQ(s.pending_events(), 1u);
+}
+
+TEST(Scheduler, PendingReflectsEventLifecycle) {
+  Scheduler s;
+  const EventId id = s.schedule_at(Time::milliseconds(5), [] {});
+  EXPECT_TRUE(s.pending(id));
+  s.run();
+  EXPECT_FALSE(s.pending(id));
+
+  // A cancelled event stops being pending immediately.
+  const EventId id2 = s.schedule_at(Time::milliseconds(10), [] {});
+  s.cancel(id2);
+  EXPECT_FALSE(s.pending(id2));
+
+  // Ids that were never issued are not pending (and cancelling them is a
+  // no-op even though their sequence numbers may be issued later).
+  EXPECT_FALSE(s.pending(EventId{9999, Time::seconds(99)}));
+  EXPECT_FALSE(s.pending(EventId{}));
+}
+
+TEST(Scheduler, PendingDistinguishesSameInstantEvents) {
+  Scheduler s;
+  // Three events at the same instant; the middle one checks liveness of
+  // its neighbours mid-instant, exercising the seq watermark tie-break.
+  EventId first{}, last{};
+  bool first_pending_mid = true, last_pending_mid = false;
+  first = s.schedule_at(Time::milliseconds(1), [] {});
+  s.schedule_at(Time::milliseconds(1), [&] {
+    first_pending_mid = s.pending(first);
+    last_pending_mid = s.pending(last);
+  });
+  last = s.schedule_at(Time::milliseconds(1), [] {});
+  s.run();
+  EXPECT_FALSE(first_pending_mid);  // already executed at the same instant
+  EXPECT_TRUE(last_pending_mid);    // not yet executed at the same instant
+}
+
+TEST(Scheduler, CancelledEventPurgeAdvancesWatermark) {
+  Scheduler s;
+  // A cancelled event at t=1 is purged (never executed). Ids from that
+  // instant must still read as dead afterwards, and cancelling them again
+  // must not leak tombstones.
+  const EventId a = s.schedule_at(Time::milliseconds(1), [] {});
+  s.schedule_at(Time::milliseconds(2), [] {});
+  s.cancel(a);
+  s.run();
+  EXPECT_FALSE(s.pending(a));
+  s.cancel(a);
+  s.schedule_at(Time::milliseconds(3), [] {});
+  EXPECT_EQ(s.pending_events(), 1u);
+}
+
+TEST(Scheduler, ClearInvalidatesOldIds) {
+  Scheduler s;
+  const EventId id = s.schedule_at(Time::milliseconds(1), [] {});
+  s.clear();
+  EXPECT_FALSE(s.pending(id));
+  // Cancelling a pre-clear id must neither touch post-clear events nor leak
+  // a tombstone (the epoch tag marks it dead outright).
+  bool fired = false;
+  s.schedule_at(Time::milliseconds(1), [&] { fired = true; });
+  s.cancel(id);
+  s.run();
+  EXPECT_TRUE(fired);
+}
+
 }  // namespace
 }  // namespace elephant::sim

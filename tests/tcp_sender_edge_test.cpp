@@ -156,6 +156,51 @@ TEST(TcpSenderEdge, PartialAckKeepsRecoveryAlive) {
   EXPECT_TRUE(h.tx->in_recovery());
 }
 
+// RTO timing scaffolding: one 62 ms RTT sample puts the estimator at its
+// 200 ms floor, so every deadline below is now + 200 ms * backoff.
+
+TEST(TcpSenderEdge, RtoBackoffResetsOnCumulativeProgress) {
+  Harness h(10);
+  // Sample the RTT (rto -> 200 ms floor); the initial 1 s timer stays armed.
+  h.ack_at(sim::Time::milliseconds(62), 1);
+  // No further ACKs: the lazy timer fires at 1000 ms (deadline long past),
+  // then backs off 2x -> next fire at 1400 ms, then 4x -> armed for 2200 ms.
+  h.sched.run_until(sim::Time::milliseconds(1450));
+  ASSERT_EQ(h.tx->stats().rtos, 2u);
+  // Cumulative progress at 1500 ms resets the backoff to 1, pulling the
+  // deadline to 1700 ms. The armed 2200 ms timer finds it expired and fires.
+  // Without the reset the deadline would be 1500 + 800 = 2300 ms and the
+  // timer would re-arm instead of firing.
+  h.ack_at(sim::Time::milliseconds(1500), 6);
+  h.sched.run_until(sim::Time::milliseconds(2250));
+  EXPECT_EQ(h.tx->stats().rtos, 3u);
+}
+
+TEST(TcpSenderEdge, SackOnlyAckRefreshesRtoTimer) {
+  // A/B pair around the initial timer's 1000 ms firing: SACK-only delivery
+  // progress (una pinned at 1) must push the RTO deadline forward exactly
+  // like cumulative progress does, while a no-news duplicate must not.
+  Harness refreshed(10);
+  refreshed.ack_at(sim::Time::milliseconds(62), 1);        // deadline -> 262 ms
+  refreshed.ack_at(sim::Time::milliseconds(900), 1, {{5, 7}});  // SACK-only
+  refreshed.sched.run_until(sim::Time::milliseconds(1300));
+  EXPECT_EQ(refreshed.tx->stats().rtos, 0u);  // 1000 ms firing re-armed
+
+  Harness stalled(10);
+  stalled.ack_at(sim::Time::milliseconds(62), 1);
+  stalled.ack_at(sim::Time::milliseconds(900), 1);  // duplicate: no delivery
+  stalled.sched.run_until(sim::Time::milliseconds(1300));
+  EXPECT_EQ(stalled.tx->stats().rtos, 1u);  // deadline stayed at 262 ms
+}
+
+TEST(TcpSenderEdge, RtoDisarmsWhenNothingOutstanding) {
+  Harness h(5);
+  h.tx->stop();  // no new data after the initial window
+  h.ack_at(sim::Time::milliseconds(62), 5);  // everything delivered
+  h.sched.run_until(sim::Time::seconds(5));
+  EXPECT_EQ(h.tx->stats().rtos, 0u);
+}
+
 TEST(TcpSenderEdge, StatsCountersConsistent) {
   Harness h(10);
   h.ack_at(sim::Time::milliseconds(62), 0, {{1, 6}});
