@@ -27,24 +27,20 @@ class LossInjector : public QueueDisc {
 
   bool enqueue(net::Packet&& p) override {
     if (loss_rate_ > 0 && rng_.next_double() < loss_rate_) {
-      ++stats_.dropped_early;
-      stats_.bytes_dropped += p.size;
       ++injected_drops_;
+      injected_bytes_ += p.size;
       trace_drop(p, /*early=*/true);
+      sync_stats();
       return false;
     }
     const bool ok = inner_->enqueue(std::move(p));
-    // Mirror the inner stats so Port/bench accounting sees one coherent view.
-    stats_.enqueued = inner_->stats().enqueued;
-    stats_.bytes_enqueued = inner_->stats().bytes_enqueued;
-    stats_.dropped_overflow = inner_->stats().dropped_overflow;
-    stats_.ecn_marked = inner_->stats().ecn_marked;
+    sync_stats();
     return ok;
   }
 
   std::optional<net::Packet> dequeue() override {
     auto p = inner_->dequeue();
-    stats_.dequeued = inner_->stats().dequeued;
+    sync_stats();
     return p;
   }
 
@@ -59,10 +55,26 @@ class LossInjector : public QueueDisc {
   [[nodiscard]] const QueueDisc& inner() const { return *inner_; }
 
  private:
+  /// Mirror the inner stats so Port/bench accounting sees one coherent view:
+  /// every inner counter — including dropped_early from a proactive inner
+  /// AQM such as RED — plus our injected drops folded into the early/byte
+  /// totals.
+  void sync_stats() {
+    const QueueStats& in = inner_->stats();
+    stats_.enqueued = in.enqueued;
+    stats_.dequeued = in.dequeued;
+    stats_.dropped_overflow = in.dropped_overflow;
+    stats_.dropped_early = injected_drops_ + in.dropped_early;
+    stats_.ecn_marked = in.ecn_marked;
+    stats_.bytes_enqueued = in.bytes_enqueued;
+    stats_.bytes_dropped = injected_bytes_ + in.bytes_dropped;
+  }
+
   std::unique_ptr<QueueDisc> inner_;
   double loss_rate_;
   sim::Rng rng_;
   std::uint64_t injected_drops_ = 0;
+  std::uint64_t injected_bytes_ = 0;
 };
 
 }  // namespace elephant::aqm

@@ -1,5 +1,6 @@
 #include "exp/cache.hpp"
 
+#include <cmath>
 #include <cstdlib>
 #include <fstream>
 #include <sstream>
@@ -7,6 +8,25 @@
 #include <unordered_map>
 
 namespace elephant::exp {
+
+namespace {
+
+/// Strict double parse: the whole field must be consumed (modulo trailing
+/// whitespace / CR from foreign line endings) and the value finite.
+/// std::atof would silently turn a mangled row into 0.0.
+bool parse_field(const std::string& text, double* out) {
+  const char* s = text.c_str();
+  char* end = nullptr;
+  const double v = std::strtod(s, &end);
+  if (end == s) return false;
+  while (*end == ' ' || *end == '\t' || *end == '\r') ++end;
+  if (*end != '\0') return false;
+  if (!std::isfinite(v)) return false;
+  *out = v;
+  return true;
+}
+
+}  // namespace
 
 ResultCache::ResultCache(std::filesystem::path dir) : dir_(std::move(dir)) {
   std::error_code ec;
@@ -30,7 +50,8 @@ std::filesystem::path ResultCache::path_for(const ExperimentConfig& cfg) const {
 std::optional<ExperimentResult> ResultCache::load(const ExperimentConfig& cfg) const {
   if (!enabled_) return std::nullopt;
   std::lock_guard lock(mu_);
-  std::ifstream in(path_for(cfg));
+  const auto path = path_for(cfg);
+  std::ifstream in(path);
   if (!in) return std::nullopt;
 
   std::unordered_map<std::string, std::string> kv;
@@ -40,10 +61,18 @@ std::optional<ExperimentResult> ResultCache::load(const ExperimentConfig& cfg) c
     if (eq == std::string::npos) continue;
     kv[line.substr(0, eq)] = line.substr(eq + 1);
   }
+  // A present-but-unparseable field (garbage, NaN, Inf) marks the whole
+  // entry corrupt; a *missing* optional field is just an older format.
+  bool corrupt = false;
   auto get = [&](const char* key) -> std::optional<double> {
     auto it = kv.find(key);
     if (it == kv.end()) return std::nullopt;
-    return std::atof(it->second.c_str());
+    double v;
+    if (!parse_field(it->second, &v)) {
+      corrupt = true;
+      return std::nullopt;
+    }
+    return v;
   };
 
   ExperimentResult res;
@@ -53,16 +82,27 @@ std::optional<ExperimentResult> ResultCache::load(const ExperimentConfig& cfg) c
   const auto jain = get("jain2");
   const auto util = get("utilization");
   const auto retx = get("retx_segments");
-  if (!s1 || !s2 || !jain || !util || !retx) return std::nullopt;
+  const auto rtos = get("rtos");
+  const auto n_flows = get("n_flows");
+  const auto events = get("events");
+  const auto wall = get("wall_seconds");
+  if (corrupt || !s1 || !s2 || !jain || !util || !retx) {
+    // Truncated or mangled entry: serving it would turn garbage (atof's
+    // silent 0.0) into a "valid" cached result. Delete so it regenerates.
+    in.close();
+    std::error_code ec;
+    std::filesystem::remove(path, ec);
+    return std::nullopt;
+  }
   res.sender_bps[0] = *s1;
   res.sender_bps[1] = *s2;
   res.jain2 = *jain;
   res.utilization = *util;
   res.retx_segments = static_cast<std::uint64_t>(*retx);
-  res.rtos = static_cast<std::uint64_t>(get("rtos").value_or(0));
-  res.n_flows = static_cast<std::uint32_t>(get("n_flows").value_or(0));
-  res.events_executed = static_cast<std::uint64_t>(get("events").value_or(0));
-  res.wall_seconds = get("wall_seconds").value_or(0);
+  res.rtos = static_cast<std::uint64_t>(rtos.value_or(0));
+  res.n_flows = static_cast<std::uint32_t>(n_flows.value_or(0));
+  res.events_executed = static_cast<std::uint64_t>(events.value_or(0));
+  res.wall_seconds = wall.value_or(0);
   return res;
 }
 

@@ -79,7 +79,14 @@ std::string ExperimentConfig::id() const {
                 rtt.ms(), static_cast<unsigned long long>(seed), ecn ? "-ecn" : "",
                 pace_all ? "-paceall" : "",
                 random_loss > 0 ? ("-loss" + std::to_string(random_loss)).c_str() : "");
-  return buf;
+  std::string out = buf;
+  if (ge_loss.enabled()) {
+    std::snprintf(buf, sizeof(buf), "-ge%g,%g,%g,%g", ge_loss.p_good_to_bad,
+                  ge_loss.p_bad_to_good, ge_loss.loss_good, ge_loss.loss_bad);
+    out += buf;
+  }
+  if (!fault_plan.empty()) out += "-fault" + fault_plan.signature();
+  return out;
 }
 
 std::string ExperimentConfig::label() const {

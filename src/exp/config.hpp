@@ -6,6 +6,7 @@
 
 #include "aqm/factory.hpp"
 #include "cca/congestion_control.hpp"
+#include "fault/fault.hpp"
 #include "sim/time.hpp"
 
 namespace elephant::trace {
@@ -32,6 +33,22 @@ struct ExperimentConfig {
   bool ecn = false;
   bool pace_all = false;            ///< ablation: pace loss-based CCAs too
   double random_loss = 0.0;         ///< Bernoulli loss at the bottleneck (future work)
+
+  /// Bursty two-state loss at the bottleneck (network-anomaly knob, like
+  /// random_loss but with loss memory). Part of the cache identity.
+  fault::GilbertElliottParams ge_loss{};
+  /// Timed network faults (flaps, degradation, reordering, ...) applied to
+  /// the bottleneck during the run. Part of the cache identity.
+  fault::FaultPlan fault_plan{};
+
+  /// Watchdog budgets (0 = unlimited): exceeding either aborts the run with
+  /// exp::RunTimeout instead of hanging a sweep worker. Not part of the
+  /// cache identity — a timed-out run never produces a cacheable result.
+  std::uint64_t max_events = 0;
+  double max_wall_seconds = 0;
+  /// Post-run invariant checks (byte/packet conservation at the bottleneck,
+  /// cwnd floor, finite throughput); violations throw InvariantViolation.
+  bool check_invariants = true;
 
   /// Optional flight recorder attached to every sender and the bottleneck
   /// port for the run. Not part of the experiment identity: excluded from

@@ -1,0 +1,169 @@
+#include "exp/manifest.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+
+namespace elephant::exp {
+
+namespace {
+
+/// JSON string escape for the id/error fields (quotes, backslashes, control
+/// characters); everything else passes through.
+void append_escaped(const std::string& s, std::string* out) {
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        *out += "\\\"";
+        break;
+      case '\\':
+        *out += "\\\\";
+        break;
+      case '\n':
+        *out += "\\n";
+        break;
+      case '\r':
+        *out += "\\r";
+        break;
+      case '\t':
+        *out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          *out += buf;
+        } else {
+          *out += c;
+        }
+    }
+  }
+}
+
+/// Locate `"key":` and return a pointer to the value text; nullptr if absent.
+const char* find_value(const std::string& line, const char* key) {
+  char pat[48];
+  std::snprintf(pat, sizeof(pat), "\"%s\":", key);
+  const std::size_t pos = line.find(pat);
+  if (pos == std::string::npos) return nullptr;
+  return line.c_str() + pos + std::strlen(pat);
+}
+
+bool get_number(const std::string& line, const char* key, double* out) {
+  const char* v = find_value(line, key);
+  if (v == nullptr) return false;
+  char* end = nullptr;
+  const double d = std::strtod(v, &end);
+  if (end == v || !std::isfinite(d)) return false;
+  *out = d;
+  return true;
+}
+
+bool get_string(const std::string& line, const char* key, std::string* out) {
+  const char* v = find_value(line, key);
+  if (v == nullptr || *v != '"') return false;
+  ++v;
+  out->clear();
+  for (; *v != '\0'; ++v) {
+    if (*v == '"') return true;
+    if (*v == '\\' && v[1] != '\0') {
+      ++v;
+      switch (*v) {
+        case 'n':
+          *out += '\n';
+          break;
+        case 'r':
+          *out += '\r';
+          break;
+        case 't':
+          *out += '\t';
+          break;
+        default:
+          *out += *v;  // \" \\ \/ and (lossily) \uXXXX
+      }
+      continue;
+    }
+    *out += *v;
+  }
+  return false;  // unterminated: torn line
+}
+
+}  // namespace
+
+SweepManifest::SweepManifest(std::filesystem::path path) : path_(std::move(path)) {
+  std::error_code ec;
+  if (path_.has_parent_path()) std::filesystem::create_directories(path_.parent_path(), ec);
+  out_.open(path_, std::ios::app);
+}
+
+std::string SweepManifest::format_line(const ManifestEntry& e) {
+  char buf[256];
+  std::string line = "{\"i\":";
+  line += std::to_string(e.index);
+  line += ",\"id\":\"";
+  append_escaped(e.id, &line);
+  line += "\",\"status\":\"";
+  line += to_string(e.status);
+  std::snprintf(buf, sizeof(buf),
+                "\",\"attempts\":%d,\"reps\":%d,\"s1_bps\":%.17g,\"s2_bps\":%.17g,"
+                "\"jain2\":%.17g,\"util\":%.17g,\"retx\":%.17g,\"rtos\":%.17g,\"error\":\"",
+                e.attempts, e.repetitions, e.sender_bps[0], e.sender_bps[1], e.jain2,
+                e.utilization, e.retx_segments, e.rtos);
+  line += buf;
+  append_escaped(e.error, &line);
+  line += "\"}";
+  return line;
+}
+
+bool SweepManifest::parse_line(const std::string& line, ManifestEntry* out) {
+  if (line.empty() || line.front() != '{' || line.back() != '}') return false;
+  ManifestEntry e;
+  std::string status;
+  double idx, attempts, reps, s1, s2, jain, util, retx, rtos;
+  if (!get_string(line, "id", &e.id) || e.id.empty()) return false;
+  if (!get_string(line, "status", &status) ||
+      !run_status_from_string(status, &e.status)) {
+    return false;
+  }
+  if (!get_number(line, "i", &idx) || !get_number(line, "attempts", &attempts) ||
+      !get_number(line, "reps", &reps) || !get_number(line, "s1_bps", &s1) ||
+      !get_number(line, "s2_bps", &s2) || !get_number(line, "jain2", &jain) ||
+      !get_number(line, "util", &util) || !get_number(line, "retx", &retx) ||
+      !get_number(line, "rtos", &rtos)) {
+    return false;
+  }
+  (void)get_string(line, "error", &e.error);  // optional
+  e.index = static_cast<std::size_t>(idx);
+  e.attempts = static_cast<int>(attempts);
+  e.repetitions = static_cast<int>(reps);
+  e.sender_bps[0] = s1;
+  e.sender_bps[1] = s2;
+  e.jain2 = jain;
+  e.utilization = util;
+  e.retx_segments = retx;
+  e.rtos = rtos;
+  *out = std::move(e);
+  return true;
+}
+
+std::unordered_map<std::string, ManifestEntry> SweepManifest::load(
+    const std::filesystem::path& path) {
+  std::unordered_map<std::string, ManifestEntry> entries;
+  std::ifstream in(path);
+  if (!in) return entries;
+  std::string line;
+  while (std::getline(in, line)) {
+    ManifestEntry e;
+    if (parse_line(line, &e)) entries[e.id] = std::move(e);
+  }
+  return entries;
+}
+
+void SweepManifest::append(const ManifestEntry& e) {
+  std::lock_guard lock(mu_);
+  if (!out_.is_open()) return;
+  out_ << format_line(e) << '\n';
+  out_.flush();
+}
+
+}  // namespace elephant::exp

@@ -1,0 +1,61 @@
+#pragma once
+
+#include <filesystem>
+#include <fstream>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "exp/status.hpp"
+
+namespace elephant::exp {
+
+/// One journal line: the recorded outcome of one sweep cell.
+struct ManifestEntry {
+  std::size_t index = 0;  ///< position in the sweep's config vector
+  std::string id;         ///< ExperimentConfig::id() — the resume key
+  RunStatus status = RunStatus::kOk;
+  int attempts = 1;
+  int repetitions = 0;
+  double sender_bps[2] = {0, 0};
+  double jain2 = 0;
+  double utilization = 0;
+  double retx_segments = 0;
+  double rtos = 0;
+  std::string error;  ///< exception message for failed/timed-out cells
+
+  [[nodiscard]] bool success() const { return succeeded(status); }
+};
+
+/// Append-only JSONL journal of a sweep: one line per completed cell,
+/// flushed per append so a crashed or killed sweep loses at most the cell in
+/// flight. `load()` tolerates a torn final line (the crash case) by skipping
+/// anything that does not parse; the latest entry per id wins, so a re-run
+/// of a previously failed cell supersedes the failure.
+class SweepManifest {
+ public:
+  /// Opens `path` for appending (parent directories are created).
+  explicit SweepManifest(std::filesystem::path path);
+
+  /// Parse an existing journal into its latest-entry-per-id view. A missing
+  /// file yields an empty map.
+  [[nodiscard]] static std::unordered_map<std::string, ManifestEntry> load(
+      const std::filesystem::path& path);
+
+  /// Parse one journal line; false on torn/malformed input.
+  [[nodiscard]] static bool parse_line(const std::string& line, ManifestEntry* out);
+  /// Serialize one entry as a single JSON object line (no trailing newline).
+  [[nodiscard]] static std::string format_line(const ManifestEntry& e);
+
+  void append(const ManifestEntry& e);
+
+  [[nodiscard]] const std::filesystem::path& path() const { return path_; }
+  [[nodiscard]] bool ok() const { return out_.is_open(); }
+
+ private:
+  std::filesystem::path path_;
+  std::ofstream out_;
+  std::mutex mu_;
+};
+
+}  // namespace elephant::exp

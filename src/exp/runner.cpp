@@ -1,10 +1,14 @@
 #include "exp/runner.hpp"
 
 #include <chrono>
+#include <cmath>
 #include <cstdlib>
 #include <memory>
+#include <optional>
+#include <string>
 
 #include "exp/cache.hpp"
+#include "exp/status.hpp"
 #include "metrics/fairness.hpp"
 #include "net/topology.hpp"
 #include "sim/random.hpp"
@@ -26,6 +30,7 @@ ExperimentResult run_experiment(const ExperimentConfig& cfg) {
   topo.bottleneck_buffer_bytes = static_cast<std::size_t>(cfg.buffer_bytes());
   topo.aqm_options.ecn = cfg.ecn;
   topo.random_loss = cfg.random_loss;
+  topo.ge_loss = cfg.ge_loss;
   topo.seed = rng.next_u64();
   // Propagation splits to the paper's 62 ms RTT by default; respect a
   // non-default cfg.rtt by scaling the trunk delay.
@@ -34,12 +39,26 @@ ExperimentResult run_experiment(const ExperimentConfig& cfg) {
     const sim::Time edge = topo.client_delay + topo.server_delay;
     topo.trunk_delay = cfg.rtt / 2 - edge;
     if (topo.trunk_delay < sim::Time::microseconds(10)) {
+      // Tiny RTTs: floor the trunk delay and split whatever half-RTT remains
+      // across the edges — clamped so no delay ever goes negative (a
+      // negative propagation would schedule events in the past).
       topo.trunk_delay = sim::Time::microseconds(10);
-      topo.client_delay = topo.server_delay =
-          (cfg.rtt / 2 - topo.trunk_delay) / 2;
+      sim::Time rest = cfg.rtt / 2 - topo.trunk_delay;
+      if (rest < sim::Time::microseconds(2)) rest = sim::Time::microseconds(2);
+      topo.client_delay = topo.server_delay = rest / 2;
     }
   }
   net::Dumbbell net(sched, topo);
+
+  // The injector owns the RNG behind probabilistic link perturbations, so it
+  // must outlive the scheduler run below. Constructed (and the seed stream
+  // consumed) only when a plan exists, keeping fault-free runs bit-identical
+  // to pre-fault-subsystem results.
+  std::optional<fault::FaultInjector> faults;
+  if (!cfg.fault_plan.empty()) {
+    faults.emplace(sched, net.bottleneck(), rng.next_u64(), cfg.tracer);
+    faults->install(cfg.fault_plan);
+  }
 
   const std::uint32_t n_flows = std::max<std::uint32_t>(cfg.effective_flows(), 1);
   // Split across the two sender nodes; odd counts give the extra flow to
@@ -98,7 +117,19 @@ ExperimentResult run_experiment(const ExperimentConfig& cfg) {
     }
   }
 
-  sched.run_until(duration);
+  sim::Scheduler::RunLimits limits;
+  limits.max_events = cfg.max_events;
+  limits.max_wall_seconds = cfg.max_wall_seconds;
+  const auto stop = sched.run_until(duration, limits);
+  if (stop == sim::Scheduler::StopReason::kEventBudget ||
+      stop == sim::Scheduler::StopReason::kWallBudget) {
+    const bool events = stop == sim::Scheduler::StopReason::kEventBudget;
+    throw RunTimeout("run " + cfg.id() + " exceeded its " +
+                     (events ? "event budget (" + std::to_string(cfg.max_events) + " events)"
+                             : "wall budget (" + std::to_string(cfg.max_wall_seconds) +
+                                   " s)") +
+                     " at t=" + sched.now().to_string());
+  }
 
   ExperimentResult res;
   res.config = cfg;
@@ -136,6 +167,53 @@ ExperimentResult run_experiment(const ExperimentConfig& cfg) {
   res.events_executed = sched.executed_events();
   res.wall_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - wall_start).count();
+
+  if (cfg.check_invariants) {
+    auto fail = [&](const std::string& what) {
+      throw InvariantViolation("run " + cfg.id() + ": " + what);
+    };
+    const aqm::QueueStats& qs = res.bottleneck;
+    const auto backlog_pkts = static_cast<std::uint64_t>(net.bottleneck().qdisc().packet_length());
+    const auto backlog_bytes = static_cast<std::uint64_t>(net.bottleneck().qdisc().byte_length());
+    // Packet conservation at the bottleneck: every accepted packet either
+    // left the queue, was dropped after acceptance (CoDel-style dequeue
+    // drops land in dropped_early; FQ-CoDel overflow evicts an already
+    // accepted victim into dropped_overflow), or is still queued.
+    if (qs.enqueued < qs.dequeued + backlog_pkts ||
+        qs.enqueued > qs.dequeued + qs.dropped_early + qs.dropped_overflow + backlog_pkts) {
+      fail("bottleneck packet conservation violated: enqueued=" +
+           std::to_string(qs.enqueued) + " dequeued=" + std::to_string(qs.dequeued) +
+           " early=" + std::to_string(qs.dropped_early) +
+           " overflow=" + std::to_string(qs.dropped_overflow) +
+           " backlog=" + std::to_string(backlog_pkts));
+    }
+    // Byte conservation: bytes handed to the link (the port's tx counter)
+    // plus the backlog never exceed the accepted bytes, and the gap is
+    // bounded by the dropped bytes.
+    const std::uint64_t tx = net.bottleneck().tx_bytes();
+    if (qs.bytes_enqueued < tx + backlog_bytes ||
+        qs.bytes_enqueued > tx + backlog_bytes + qs.bytes_dropped) {
+      fail("bottleneck byte conservation violated: bytes_enqueued=" +
+           std::to_string(qs.bytes_enqueued) + " tx_bytes=" + std::to_string(tx) +
+           " backlog=" + std::to_string(backlog_bytes) +
+           " dropped=" + std::to_string(qs.bytes_dropped));
+    }
+    for (const FlowEnd& end : ends) {
+      const double cwnd = end.sender->cc().cwnd_segments();
+      const double floor = end.sender->cc().params().min_cwnd_segments;
+      if (!(cwnd >= floor - 1e-9) || !std::isfinite(cwnd)) {
+        fail("flow " + std::to_string(end.sender->config().flow) + " cwnd " +
+             std::to_string(cwnd) + " below floor " + std::to_string(floor));
+      }
+    }
+    for (const FlowResult& fr : res.flows) {
+      if (!(fr.throughput_bps >= 0) || !std::isfinite(fr.throughput_bps)) {
+        fail("flow " + std::to_string(fr.flow) + " throughput " +
+             std::to_string(fr.throughput_bps) + " is negative or non-finite");
+      }
+    }
+  }
+
   if (cfg.tracer != nullptr) cfg.tracer->flush();
   return res;
 }

@@ -1,0 +1,62 @@
+#pragma once
+
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+namespace elephant::exp {
+
+/// Outcome of one sweep cell under the resilient engine.
+enum class RunStatus {
+  kOk,        ///< completed on the first attempt
+  kRetried,   ///< completed after one or more reseeded retries
+  kFailed,    ///< every attempt threw (config error, invariant violation, ...)
+  kTimedOut,  ///< every attempt exceeded a watchdog budget
+};
+
+[[nodiscard]] inline const char* to_string(RunStatus s) {
+  switch (s) {
+    case RunStatus::kOk:
+      return "ok";
+    case RunStatus::kRetried:
+      return "retried";
+    case RunStatus::kFailed:
+      return "failed";
+    case RunStatus::kTimedOut:
+      return "timed_out";
+  }
+  return "unknown";
+}
+
+[[nodiscard]] inline bool run_status_from_string(std::string_view name, RunStatus* out) {
+  for (const RunStatus s : {RunStatus::kOk, RunStatus::kRetried, RunStatus::kFailed,
+                            RunStatus::kTimedOut}) {
+    if (name == to_string(s)) {
+      *out = s;
+      return true;
+    }
+  }
+  return false;
+}
+
+/// A run produced a result (ok or after retries).
+[[nodiscard]] inline bool succeeded(RunStatus s) {
+  return s == RunStatus::kOk || s == RunStatus::kRetried;
+}
+
+/// Thrown by run_experiment when a watchdog budget (wall clock or executed
+/// events) is exceeded — the run is killed cleanly instead of hanging its
+/// sweep worker.
+class RunTimeout : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Thrown by the post-run invariant checker so a physically inconsistent run
+/// fails loudly instead of being cached as a valid result.
+class InvariantViolation : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+}  // namespace elephant::exp

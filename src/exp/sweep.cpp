@@ -1,8 +1,12 @@
 #include "exp/sweep.hpp"
 
 #include <atomic>
+#include <exception>
+#include <memory>
 #include <mutex>
 #include <thread>
+#include <unordered_map>
+#include <utility>
 
 namespace elephant::exp {
 
@@ -36,10 +40,104 @@ std::vector<ExperimentConfig> paper_matrix(std::uint64_t seed) {
                      seed);
 }
 
-std::vector<AveragedResult> run_sweep(const std::vector<ExperimentConfig>& configs,
-                                      const SweepOptions& options) {
-  std::vector<AveragedResult> results(configs.size());
-  if (configs.empty()) return results;
+std::size_t SweepReport::count(RunStatus s) const {
+  std::size_t n = 0;
+  for (const RunRecord& r : records) {
+    if (r.status == s) ++n;
+  }
+  return n;
+}
+
+std::size_t SweepReport::completed() const {
+  return count(RunStatus::kOk) + count(RunStatus::kRetried);
+}
+
+std::size_t SweepReport::failed() const {
+  return count(RunStatus::kFailed) + count(RunStatus::kTimedOut);
+}
+
+namespace {
+
+/// Reconstruct the averaged view of a previously journaled cell. Per-flow
+/// detail is not journaled, but the sweep-level aggregates are complete.
+AveragedResult from_manifest(const ExperimentConfig& cfg, const ManifestEntry& e) {
+  AveragedResult avg;
+  avg.config = cfg;
+  avg.repetitions = e.repetitions;
+  avg.sender_bps[0] = e.sender_bps[0];
+  avg.sender_bps[1] = e.sender_bps[1];
+  avg.jain2 = e.jain2;
+  avg.utilization = e.utilization;
+  avg.retx_segments = e.retx_segments;
+  avg.rtos = e.rtos;
+  return avg;
+}
+
+ManifestEntry to_manifest(std::size_t index, const std::string& id, const RunRecord& rec) {
+  ManifestEntry e;
+  e.index = index;
+  e.id = id;
+  e.status = rec.status;
+  e.attempts = rec.attempts;
+  e.repetitions = rec.result.repetitions;
+  e.sender_bps[0] = rec.result.sender_bps[0];
+  e.sender_bps[1] = rec.result.sender_bps[1];
+  e.jain2 = rec.result.jain2;
+  e.utilization = rec.result.utilization;
+  e.retx_segments = rec.result.retx_segments;
+  e.rtos = rec.result.rtos;
+  e.error = rec.error;
+  return e;
+}
+
+/// Execute one cell with isolation: budgets applied, failures caught, up to
+/// `max_retries` reseeded re-attempts for plain failures. Budget trips are
+/// deterministic, so retrying them would just burn the same budget again.
+RunRecord run_cell(const ExperimentConfig& base, const SweepOptions& options) {
+  RunRecord rec;
+  for (int attempt = 0; attempt <= options.max_retries; ++attempt) {
+    ExperimentConfig cfg = base;
+    if (cfg.max_events == 0) cfg.max_events = options.run_event_budget;
+    if (cfg.max_wall_seconds == 0) cfg.max_wall_seconds = options.run_wall_budget_seconds;
+    // Reseed retries: a crash tied to one RNG stream (e.g. a pathological
+    // packet interleaving) should not condemn the cell. The seed is part of
+    // the cache id, so a retry never collides with the failed attempt.
+    cfg.seed = base.seed + static_cast<std::uint64_t>(attempt) * 0x9e3779b97f4a7c15ULL;
+    rec.attempts = attempt + 1;
+    try {
+      rec.result = run_averaged(cfg, options.repetitions, options.use_cache);
+      rec.status = attempt == 0 ? RunStatus::kOk : RunStatus::kRetried;
+      rec.error.clear();
+      return rec;
+    } catch (const RunTimeout& e) {
+      rec.status = RunStatus::kTimedOut;
+      rec.error = e.what();
+      return rec;
+    } catch (const std::exception& e) {
+      rec.status = RunStatus::kFailed;
+      rec.error = e.what();
+    } catch (...) {
+      rec.status = RunStatus::kFailed;
+      rec.error = "unknown exception";
+    }
+  }
+  return rec;
+}
+
+}  // namespace
+
+SweepReport run_sweep_resilient(const std::vector<ExperimentConfig>& configs,
+                                const SweepOptions& options) {
+  SweepReport report;
+  report.records.resize(configs.size());
+  if (configs.empty()) return report;
+
+  std::unique_ptr<SweepManifest> manifest;
+  std::unordered_map<std::string, ManifestEntry> prior;
+  if (!options.manifest_path.empty()) {
+    if (options.resume) prior = SweepManifest::load(options.manifest_path);
+    manifest = std::make_unique<SweepManifest>(options.manifest_path);
+  }
 
   int threads = options.threads;
   if (threads <= 0) {
@@ -56,11 +154,27 @@ std::vector<AveragedResult> run_sweep(const std::vector<ExperimentConfig>& confi
     while (true) {
       const std::size_t i = next.fetch_add(1);
       if (i >= configs.size()) return;
-      results[i] = run_averaged(configs[i], options.repetitions, options.use_cache);
+      RunRecord& rec = report.records[i];
+      const std::string id = configs[i].id();
+
+      // Resume satisfies successful journal entries without re-running;
+      // failed or timed-out entries are re-attempted (latest line wins when
+      // the new outcome is journaled).
+      const auto it = prior.find(id);
+      if (it != prior.end() && it->second.success()) {
+        rec.status = it->second.status;
+        rec.attempts = 0;
+        rec.resumed = true;
+        rec.result = from_manifest(configs[i], it->second);
+      } else {
+        rec = run_cell(configs[i], options);
+        if (manifest) manifest->append(to_manifest(i, id, rec));
+      }
+
       const std::size_t d = done.fetch_add(1) + 1;
       if (options.on_result) {
         std::lock_guard lock(report_mu);
-        options.on_result(results[i], d, configs.size());
+        options.on_result(rec.result, d, configs.size());
       }
     }
   };
@@ -73,6 +187,15 @@ std::vector<AveragedResult> run_sweep(const std::vector<ExperimentConfig>& confi
     for (int t = 0; t < threads; ++t) pool.emplace_back(worker);
     for (std::thread& t : pool) t.join();
   }
+  return report;
+}
+
+std::vector<AveragedResult> run_sweep(const std::vector<ExperimentConfig>& configs,
+                                      const SweepOptions& options) {
+  SweepReport report = run_sweep_resilient(configs, options);
+  std::vector<AveragedResult> results;
+  results.reserve(report.records.size());
+  for (RunRecord& rec : report.records) results.push_back(std::move(rec.result));
   return results;
 }
 

@@ -1,10 +1,14 @@
 #pragma once
 
+#include <filesystem>
 #include <functional>
+#include <string>
 #include <vector>
 
 #include "exp/config.hpp"
+#include "exp/manifest.hpp"
 #include "exp/runner.hpp"
+#include "exp/status.hpp"
 
 namespace elephant::exp {
 
@@ -18,18 +22,57 @@ namespace elephant::exp {
 /// The full paper matrix (9 pairs × 3 AQMs × 6 buffers × 5 bandwidths).
 [[nodiscard]] std::vector<ExperimentConfig> paper_matrix(std::uint64_t seed = 42);
 
+/// Outcome of one sweep cell. `result` is meaningful only when
+/// `succeeded(status)`; otherwise `error` carries the exception text of the
+/// final attempt.
+struct RunRecord {
+  RunStatus status = RunStatus::kOk;
+  int attempts = 0;    ///< simulation attempts actually made (0 if resumed)
+  bool resumed = false;  ///< satisfied from the manifest, not re-run
+  std::string error;
+  AveragedResult result;
+
+  [[nodiscard]] bool success() const { return succeeded(status); }
+};
+
+struct SweepReport {
+  std::vector<RunRecord> records;  ///< one per config, input order
+
+  [[nodiscard]] std::size_t count(RunStatus s) const;
+  [[nodiscard]] std::size_t completed() const;  ///< ok + retried
+  [[nodiscard]] std::size_t failed() const;     ///< failed + timed out
+};
+
 struct SweepOptions {
   int repetitions = 1;
   int threads = 0;  ///< 0 → hardware concurrency
   bool use_cache = true;
-  /// Called after each config completes (from the submitting thread order is
-  /// not guaranteed); `done`/`total` enable progress reporting.
+  /// Extra simulation attempts (with a reseeded RNG) after a failure before
+  /// the cell is recorded as failed. 0 disables retry.
+  int max_retries = 0;
+  /// Per-run watchdog budgets, applied to every cell (0 = unlimited). A run
+  /// that trips either budget is recorded as timed out, never retried.
+  std::uint64_t run_event_budget = 0;
+  double run_wall_budget_seconds = 0;
+  /// Append-only JSONL journal of cell outcomes. Empty path disables it.
+  std::filesystem::path manifest_path;
+  /// Satisfy cells whose id already has a *successful* manifest entry from
+  /// the journal instead of re-running them. Requires manifest_path.
+  bool resume = false;
+  /// Called after each config completes (from the submitting thread; order
+  /// is not guaranteed); `done`/`total` enable progress reporting.
   std::function<void(const AveragedResult&, std::size_t done, std::size_t total)> on_result;
 };
 
 /// Run a batch of configurations, optionally in parallel (each run owns its
-/// scheduler and RNG, so runs are embarrassingly parallel). Results are
-/// returned in input order.
+/// scheduler and RNG, so runs are embarrassingly parallel), with per-cell
+/// fault isolation: a throwing or budget-tripping run marks its own record
+/// and the sweep carries on. Records are returned in input order.
+[[nodiscard]] SweepReport run_sweep_resilient(const std::vector<ExperimentConfig>& configs,
+                                              const SweepOptions& options = {});
+
+/// Legacy strict interface: as run_sweep_resilient, but a failed cell leaves
+/// a default-constructed AveragedResult in its slot. Results in input order.
 [[nodiscard]] std::vector<AveragedResult> run_sweep(const std::vector<ExperimentConfig>& configs,
                                                     const SweepOptions& options = {});
 

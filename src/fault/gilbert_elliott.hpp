@@ -1,0 +1,80 @@
+#pragma once
+
+#include <memory>
+
+#include "aqm/queue_disc.hpp"
+#include "fault/fault.hpp"
+#include "sim/random.hpp"
+
+namespace elephant::fault {
+
+/// Decorator dropping arrivals from a two-state Gilbert–Elliott process —
+/// bursty loss, where the Bernoulli aqm::LossInjector is memoryless. The
+/// chain advances one step per arriving packet; each state drops with its
+/// own probability. Seeded, so runs stay reproducible.
+class GilbertElliottLoss : public aqm::QueueDisc {
+ public:
+  GilbertElliottLoss(sim::Scheduler& sched, std::unique_ptr<aqm::QueueDisc> inner,
+                     const GilbertElliottParams& params, std::uint64_t seed)
+      : QueueDisc(sched), inner_(std::move(inner)), params_(params), rng_(seed) {}
+
+  void set_tracer(trace::Tracer* tracer) override {
+    QueueDisc::set_tracer(tracer);
+    inner_->set_tracer(tracer);
+  }
+
+  bool enqueue(net::Packet&& p) override {
+    // Advance the chain, then apply the (new) state's loss probability.
+    const double flip = rng_.next_double();
+    if (bad_ ? flip < params_.p_bad_to_good : flip < params_.p_good_to_bad) bad_ = !bad_;
+    const double loss = bad_ ? params_.loss_bad : params_.loss_good;
+    if (loss > 0 && rng_.next_double() < loss) {
+      ++injected_drops_;
+      injected_bytes_ += p.size;
+      trace_drop(p, /*early=*/true);
+      sync_stats();
+      return false;
+    }
+    const bool ok = inner_->enqueue(std::move(p));
+    sync_stats();
+    return ok;
+  }
+
+  std::optional<net::Packet> dequeue() override {
+    auto p = inner_->dequeue();
+    sync_stats();
+    return p;
+  }
+
+  [[nodiscard]] std::size_t byte_length() const override { return inner_->byte_length(); }
+  [[nodiscard]] std::size_t packet_length() const override { return inner_->packet_length(); }
+  [[nodiscard]] std::string name() const override { return inner_->name() + "+ge"; }
+
+  [[nodiscard]] std::uint64_t injected_drops() const { return injected_drops_; }
+  [[nodiscard]] bool in_bad_state() const { return bad_; }
+  [[nodiscard]] const GilbertElliottParams& params() const { return params_; }
+  [[nodiscard]] const aqm::QueueDisc& inner() const { return *inner_; }
+
+ private:
+  /// Present one coherent stats view: the inner qdisc's counters plus our
+  /// injected drops folded into the early-drop numbers.
+  void sync_stats() {
+    const aqm::QueueStats& in = inner_->stats();
+    stats_.enqueued = in.enqueued;
+    stats_.dequeued = in.dequeued;
+    stats_.dropped_overflow = in.dropped_overflow;
+    stats_.dropped_early = injected_drops_ + in.dropped_early;
+    stats_.ecn_marked = in.ecn_marked;
+    stats_.bytes_enqueued = in.bytes_enqueued;
+    stats_.bytes_dropped = injected_bytes_ + in.bytes_dropped;
+  }
+
+  std::unique_ptr<aqm::QueueDisc> inner_;
+  GilbertElliottParams params_;
+  sim::Rng rng_;
+  bool bad_ = false;
+  std::uint64_t injected_drops_ = 0;
+  std::uint64_t injected_bytes_ = 0;
+};
+
+}  // namespace elephant::fault

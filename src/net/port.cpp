@@ -38,8 +38,25 @@ void Port::send(Packet&& p) {
   try_transmit();
 }
 
+void Port::set_link_up(bool up) {
+  if (up_ == up) return;
+  up_ = up;
+  if (up_) try_transmit();  // drain whatever queued during the outage
+}
+
+void Port::set_rate_bps(double bps) {
+  rate_bps_ = bps > 1.0 ? bps : 1.0;
+}
+
+void Port::deliver_in(sim::Time delay, Packet&& p) {
+  sched_.schedule_in(delay, [this, pkt = std::move(p)]() mutable {
+    assert(peer_ != nullptr && "port not connected");
+    peer_->receive(std::move(pkt));
+  });
+}
+
 void Port::try_transmit() {
-  if (busy_) return;
+  if (busy_ || !up_) return;
   auto next = qdisc_->dequeue();
   if (!next) return;
 
@@ -54,10 +71,28 @@ void Port::try_transmit() {
     busy_ = false;
     try_transmit();
   });
-  sched_.schedule_in(tx + propagation_, [this, pkt = std::move(*next)]() mutable {
-    assert(peer_ != nullptr && "port not connected");
-    peer_->receive(std::move(pkt));
-  });
+
+  sim::Time extra = sim::Time::zero();
+  if (fault_rng_ != nullptr) [[unlikely]] {
+    // Link-level perturbations act after serialization, like a flaky wire:
+    // the packet occupied the link either way.
+    if (perturb_.loss_prob > 0 && fault_rng_->next_double() < perturb_.loss_prob) {
+      ++fault_lost_;
+      return;  // corrupted in flight
+    }
+    if (perturb_.jitter > sim::Time::zero()) {
+      extra += perturb_.jitter * fault_rng_->next_double();
+    }
+    if (perturb_.reorder_prob > 0 && fault_rng_->next_double() < perturb_.reorder_prob) {
+      extra += perturb_.reorder_delay;
+      ++fault_reordered_;
+    }
+    if (perturb_.duplicate_prob > 0 && fault_rng_->next_double() < perturb_.duplicate_prob) {
+      ++fault_duplicated_;
+      deliver_in(tx + propagation_ + extra, Packet(*next));
+    }
+  }
+  deliver_in(tx + propagation_ + extra, std::move(*next));
 }
 
 }  // namespace elephant::net

@@ -6,6 +6,7 @@
 
 #include "aqm/queue_disc.hpp"
 #include "net/packet.hpp"
+#include "sim/random.hpp"
 #include "sim/scheduler.hpp"
 #include "sim/time.hpp"
 
@@ -50,8 +51,41 @@ class Port {
   [[nodiscard]] std::uint64_t tx_packets() const { return tx_packets_; }
   [[nodiscard]] std::uint64_t tx_bytes() const { return tx_bytes_; }
 
+  // --- fault-injection surface (driven by fault::FaultInjector) ---
+
+  /// Per-packet link misbehaviour applied after serialization, like a flaky
+  /// wire: corruption loss, late (reordered) delivery, duplication, jitter.
+  /// Probabilistic knobs only take effect once a fault RNG is attached.
+  struct LinkPerturb {
+    double loss_prob = 0;       ///< packet vanishes in flight
+    double reorder_prob = 0;    ///< packet lands `reorder_delay` late
+    sim::Time reorder_delay{};
+    double duplicate_prob = 0;  ///< packet is delivered twice
+    sim::Time jitter{};         ///< uniform [0, jitter) extra latency
+  };
+
+  /// Take the link down or up. While down nothing serializes; arrivals keep
+  /// queueing into (or being dropped by) the qdisc. Bringing it up drains.
+  void set_link_up(bool up);
+  [[nodiscard]] bool link_up() const { return up_; }
+
+  /// Change the serialization rate (bandwidth degradation); applies to
+  /// packets dequeued from now on. Clamped to a positive floor.
+  void set_rate_bps(double bps);
+
+  void set_perturb(const LinkPerturb& p) { perturb_ = p; }
+  [[nodiscard]] const LinkPerturb& perturb() const { return perturb_; }
+  /// RNG feeding the probabilistic perturbations; owned by the caller
+  /// (FaultInjector), which must outlive the port's activity.
+  void set_fault_rng(sim::Rng* rng) { fault_rng_ = rng; }
+
+  [[nodiscard]] std::uint64_t fault_lost() const { return fault_lost_; }
+  [[nodiscard]] std::uint64_t fault_reordered() const { return fault_reordered_; }
+  [[nodiscard]] std::uint64_t fault_duplicated() const { return fault_duplicated_; }
+
  private:
   void try_transmit();
+  void deliver_in(sim::Time delay, Packet&& p);
   void sample_queue_depth(sim::Time interval);
 
   sim::Scheduler& sched_;
@@ -62,6 +96,13 @@ class Port {
   Node* peer_ = nullptr;
   trace::Tracer* tracer_ = nullptr;
   bool busy_ = false;
+  bool up_ = true;
+
+  LinkPerturb perturb_{};
+  sim::Rng* fault_rng_ = nullptr;
+  std::uint64_t fault_lost_ = 0;
+  std::uint64_t fault_reordered_ = 0;
+  std::uint64_t fault_duplicated_ = 0;
 
   std::uint64_t tx_packets_ = 0;
   std::uint64_t tx_bytes_ = 0;

@@ -4,6 +4,7 @@
 
 #include "aqm/fifo.hpp"
 #include "aqm/loss_injector.hpp"
+#include "fault/gilbert_elliott.hpp"
 
 namespace elephant::net {
 
@@ -45,6 +46,10 @@ Dumbbell::Dumbbell(sim::Scheduler& sched, const DumbbellConfig& cfg) : sched_(sc
   if (cfg_.random_loss > 0) {
     bottleneck_q = std::make_unique<aqm::LossInjector>(sched_, std::move(bottleneck_q),
                                                        cfg_.random_loss, cfg_.seed ^ 0x1055);
+  }
+  if (cfg_.ge_loss.enabled()) {
+    bottleneck_q = std::make_unique<fault::GilbertElliottLoss>(
+        sched_, std::move(bottleneck_q), cfg_.ge_loss, cfg_.seed ^ 0x6e55);
   }
   bottleneck_ = add_port(std::move(bottleneck_q), cfg_.bottleneck_bps, cfg_.trunk_delay,
                          router2_.get(), "r1->r2(bottleneck)");

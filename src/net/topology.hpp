@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "aqm/factory.hpp"
+#include "fault/fault.hpp"
 #include "net/node.hpp"
 #include "net/port.hpp"
 #include "sim/scheduler.hpp"
@@ -37,6 +38,10 @@ struct DumbbellConfig {
   /// work: "performance under network anomalies, e.g. variable rates of
   /// packet loss"). 0 disables.
   double random_loss = 0.0;
+
+  /// Bursty two-state loss ahead of the bottleneck queue; complements the
+  /// memoryless `random_loss`. Disabled unless the params enable it.
+  fault::GilbertElliottParams ge_loss{};
 
   std::uint64_t seed = 1;
 };

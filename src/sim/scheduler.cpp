@@ -1,6 +1,7 @@
 #include "sim/scheduler.hpp"
 
 #include <cassert>
+#include <chrono>
 #include <utility>
 
 namespace elephant::sim {
@@ -61,6 +62,32 @@ void Scheduler::run_until(Time deadline) {
   while (pop_one(deadline)) {
   }
   if (now_ < deadline) now_ = deadline;
+}
+
+Scheduler::StopReason Scheduler::run_until(Time deadline, const RunLimits& limits) {
+  // Poll the wall clock only once per kWallCheckStride events: a
+  // steady_clock read per event would dominate the scheduler's cost.
+  constexpr std::uint64_t kWallCheckStride = 4096;
+  const bool wall_bounded = limits.max_wall_seconds > 0;
+  const auto wall_deadline =
+      std::chrono::steady_clock::now() +
+      std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+          std::chrono::duration<double>(wall_bounded ? limits.max_wall_seconds : 0));
+  const std::uint64_t event_stop =
+      limits.max_events > 0 ? executed_ + limits.max_events : 0;
+
+  std::uint64_t since_wall_check = 0;
+  while (true) {
+    if (event_stop != 0 && executed_ >= event_stop) return StopReason::kEventBudget;
+    if (wall_bounded && ++since_wall_check >= kWallCheckStride) {
+      since_wall_check = 0;
+      if (std::chrono::steady_clock::now() >= wall_deadline) return StopReason::kWallBudget;
+    }
+    if (!pop_one(deadline)) break;
+  }
+  const bool exhausted = queue_.empty();
+  if (now_ < deadline) now_ = deadline;
+  return exhausted ? StopReason::kQueueExhausted : StopReason::kDeadline;
 }
 
 void Scheduler::clear() {

@@ -61,6 +61,26 @@ class Scheduler {
   /// On return now() == min(deadline, time of last processed entry).
   void run_until(Time deadline);
 
+  /// Watchdog budgets for a bounded run (0 = unlimited). The wall clock is
+  /// polled every few thousand events so the check stays off the hot path.
+  struct RunLimits {
+    std::uint64_t max_events = 0;   ///< executed-event budget for this call
+    double max_wall_seconds = 0;    ///< wall-clock budget for this call
+  };
+
+  /// Why a bounded run returned.
+  enum class StopReason {
+    kQueueExhausted,  ///< no events left
+    kDeadline,        ///< simulated time reached `deadline`
+    kEventBudget,     ///< limits.max_events executed without finishing
+    kWallBudget,      ///< limits.max_wall_seconds elapsed without finishing
+  };
+
+  /// run_until() with watchdog budgets: a runaway simulation (event storm or
+  /// livelock) returns kEventBudget/kWallBudget instead of hanging the
+  /// calling worker. now() is NOT advanced to `deadline` on a budget stop.
+  StopReason run_until(Time deadline, const RunLimits& limits);
+
   /// Drop every pending event (used when tearing down a run early).
   /// Outstanding EventIds are invalidated.
   void clear();

@@ -22,9 +22,10 @@ enum class RecordType : std::uint8_t {
   kAqmDrop,         ///< flow, seq; v0 = backlog bytes, v1 = backlog packets, v2 = 1 early / 0 overflow
   kAqmMark,         ///< flow, seq; v0 = backlog bytes, v1 = backlog packets (ECN CE)
   kQueueDepth,      ///< periodic port sample; v0 = backlog bytes, v1 = packets, v2 = cumulative tx bytes
+  kFault,           ///< fault-injection event; v0 = FaultKind, v1 = magnitude, v2 = 1 apply / 0 revert
 };
 
-inline constexpr std::size_t kRecordTypeCount = 10;
+inline constexpr std::size_t kRecordTypeCount = 11;
 
 [[nodiscard]] const char* to_string(RecordType type);
 /// Parse a name produced by to_string(); returns false on unknown names.

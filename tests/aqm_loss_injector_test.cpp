@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "aqm/fifo.hpp"
+#include "aqm/red.hpp"
 #include "test_util.hpp"
 
 namespace elephant::aqm {
@@ -70,6 +71,30 @@ TEST(LossInjector, InnerOverflowStillCounted) {
   EXPECT_FALSE(q.enqueue(make_packet(1, 2)));
   EXPECT_EQ(q.stats().dropped_overflow, 1u);
   EXPECT_EQ(q.injected_drops(), 0u);
+}
+
+TEST(LossInjector, InnerEarlyDropsMergedIntoStats) {
+  // Regression: the stats merge used to overwrite dropped_early with only the
+  // injector's own count, hiding a proactive inner AQM's early drops (RED)
+  // from Port accounting and the invariant checker.
+  sim::Scheduler sched;
+  RedConfig rc;
+  rc.limit_bytes = 200 * 8900;
+  rc.min_bytes = 2 * 8900;
+  rc.max_bytes = 4 * 8900;
+  rc.max_p = 0.9;
+  rc.weight = 1.0;  // instantaneous average: early drops start immediately
+  LossInjector q(sched, std::make_unique<RedQueue>(sched, rc, 11), 0.1, 7);
+  for (std::uint64_t i = 0; i < 2000; ++i) (void)q.enqueue(make_packet(1, i));
+  const QueueStats& merged = q.stats();
+  const QueueStats& in = q.inner().stats();
+  ASSERT_GT(in.dropped_early, 0u);
+  ASSERT_GT(q.injected_drops(), 0u);
+  EXPECT_EQ(merged.dropped_early, q.injected_drops() + in.dropped_early);
+  EXPECT_EQ(merged.enqueued, in.enqueued);
+  EXPECT_EQ(merged.dropped_overflow, in.dropped_overflow);
+  // Bytes of injected drops are folded in on top of the inner's dropped bytes.
+  EXPECT_EQ(merged.bytes_dropped, q.injected_drops() * 8900 + in.bytes_dropped);
 }
 
 TEST(LossInjector, NameAdvertisesDecoration) {

@@ -84,6 +84,60 @@ TEST_F(CacheTest, CorruptFileIsAMiss) {
   EXPECT_FALSE(cache.load(cfg).has_value());
 }
 
+std::filesystem::path only_file(const std::filesystem::path& dir) {
+  std::filesystem::path file;
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) file = entry.path();
+  return file;
+}
+
+TEST_F(CacheTest, MangledNumericFieldRejectedAndDeleted) {
+  ResultCache cache(dir_);
+  ExperimentConfig cfg;
+  cache.store(fake_result(cfg));
+  const auto file = only_file(dir_);
+  // A bit flip turning a digit into junk used to atof() to 0.0 and be served
+  // as a "valid" result.
+  std::ofstream(file, std::ios::trunc) << "sender1_bps=4.2e8\nsender2_bps=4x8\n"
+                                          "jain2=0.9\nutilization=0.9\nretx_segments=1\n";
+  EXPECT_FALSE(cache.load(cfg).has_value());
+  EXPECT_FALSE(std::filesystem::exists(file)) << "corrupt entry must be evicted";
+}
+
+TEST_F(CacheTest, NonFiniteValuesRejectedAndDeleted) {
+  ResultCache cache(dir_);
+  ExperimentConfig cfg;
+  cache.store(fake_result(cfg));
+  const auto file = only_file(dir_);
+  std::ofstream(file, std::ios::trunc) << "sender1_bps=nan\nsender2_bps=inf\n"
+                                          "jain2=0.9\nutilization=0.9\nretx_segments=1\n";
+  EXPECT_FALSE(cache.load(cfg).has_value());
+  EXPECT_FALSE(std::filesystem::exists(file));
+}
+
+TEST_F(CacheTest, TruncatedEntryRejectedAndDeleted) {
+  ResultCache cache(dir_);
+  ExperimentConfig cfg;
+  cache.store(fake_result(cfg));
+  const auto file = only_file(dir_);
+  // Simulate a crash mid-write (pre-atomic-rename format): required fields
+  // missing entirely.
+  std::ofstream(file, std::ios::trunc) << "sender1_bps=4.2e8\nsender2_bps=5.8e8\n";
+  EXPECT_FALSE(cache.load(cfg).has_value());
+  EXPECT_FALSE(std::filesystem::exists(file));
+}
+
+TEST_F(CacheTest, EvictionThenStoreRegenerates) {
+  ResultCache cache(dir_);
+  ExperimentConfig cfg;
+  cache.store(fake_result(cfg));
+  std::ofstream(only_file(dir_), std::ios::trunc) << "garbage\n";
+  EXPECT_FALSE(cache.load(cfg).has_value());
+  cache.store(fake_result(cfg));
+  const auto loaded = cache.load(cfg);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_DOUBLE_EQ(loaded->jain2, 0.973);
+}
+
 TEST_F(CacheTest, SeedIsPartOfTheKey) {
   ResultCache cache(dir_);
   ExperimentConfig a;

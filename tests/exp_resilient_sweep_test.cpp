@@ -1,0 +1,241 @@
+#include "exp/sweep.hpp"
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "exp/manifest.hpp"
+#include "test_util.hpp"
+
+namespace elephant::exp {
+namespace {
+
+class ResilientSweepTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("elephant_resilient_sweep_" + std::to_string(::getpid()));
+    std::filesystem::remove_all(dir_);
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  [[nodiscard]] std::filesystem::path manifest_path() const { return dir_ / "sweep.jsonl"; }
+
+  std::filesystem::path dir_;
+};
+
+/// `n` quick configs differing only in seed.
+std::vector<ExperimentConfig> quick_batch(int n, double duration_s = 2) {
+  std::vector<ExperimentConfig> configs;
+  for (int i = 0; i < n; ++i) {
+    auto cfg = test::quick_config(cca::CcaKind::kCubic, cca::CcaKind::kCubic,
+                                  aqm::AqmKind::kFifo, 2.0, 100e6, duration_s);
+    cfg.seed = 100 + static_cast<std::uint64_t>(i);
+    configs.push_back(cfg);
+  }
+  return configs;
+}
+
+/// An AQM kind the factory does not know: constructing the dumbbell throws
+/// std::invalid_argument — the "deliberately faulting config".
+ExperimentConfig poisoned_config() {
+  auto cfg = test::quick_config(cca::CcaKind::kCubic, cca::CcaKind::kCubic,
+                                aqm::AqmKind::kFifo, 2.0, 100e6, 2);
+  cfg.aqm = static_cast<aqm::AqmKind>(99);
+  return cfg;
+}
+
+TEST_F(ResilientSweepTest, ThrowingConfigIsIsolated) {
+  auto configs = quick_batch(19, /*duration_s=*/1);
+  configs.insert(configs.begin() + 7, poisoned_config());
+
+  SweepOptions opts;
+  opts.use_cache = false;
+  opts.threads = 2;
+  const SweepReport report = run_sweep_resilient(configs, opts);
+
+  ASSERT_EQ(report.records.size(), 20u);
+  EXPECT_EQ(report.completed(), 19u);
+  EXPECT_EQ(report.failed(), 1u);
+  EXPECT_EQ(report.records[7].status, RunStatus::kFailed);
+  EXPECT_FALSE(report.records[7].error.empty());
+  for (std::size_t i = 0; i < report.records.size(); ++i) {
+    if (i == 7) continue;
+    EXPECT_EQ(report.records[i].status, RunStatus::kOk) << "cell " << i;
+    EXPECT_GT(report.records[i].result.utilization, 0.0) << "cell " << i;
+  }
+}
+
+TEST_F(ResilientSweepTest, EventBudgetRecordsTimeoutWithoutRetry) {
+  SweepOptions opts;
+  opts.use_cache = false;
+  opts.threads = 1;
+  opts.max_retries = 3;     // must NOT be spent on a deterministic budget trip
+  opts.run_event_budget = 500;
+  const SweepReport report = run_sweep_resilient(quick_batch(1), opts);
+  ASSERT_EQ(report.records.size(), 1u);
+  EXPECT_EQ(report.records[0].status, RunStatus::kTimedOut);
+  EXPECT_EQ(report.records[0].attempts, 1);
+  EXPECT_NE(report.records[0].error.find("event budget"), std::string::npos);
+}
+
+TEST_F(ResilientSweepTest, FailuresAreRetriedWithReseed) {
+  SweepOptions opts;
+  opts.use_cache = false;
+  opts.threads = 1;
+  opts.max_retries = 2;
+  const SweepReport report = run_sweep_resilient({poisoned_config()}, opts);
+  ASSERT_EQ(report.records.size(), 1u);
+  EXPECT_EQ(report.records[0].status, RunStatus::kFailed);
+  EXPECT_EQ(report.records[0].attempts, 3);  // initial + 2 retries
+}
+
+TEST_F(ResilientSweepTest, ManifestLineRoundTrips) {
+  ManifestEntry e;
+  e.index = 17;
+  e.id = "cubic_vs_cubic-fifo-bdp2-100M";
+  e.status = RunStatus::kTimedOut;
+  e.attempts = 2;
+  e.repetitions = 3;
+  e.sender_bps[0] = 4.25e7;
+  e.sender_bps[1] = 3.1e7;
+  e.jain2 = 0.987654321;
+  e.utilization = 0.75;
+  e.retx_segments = 12.5;
+  e.rtos = 1;
+  e.error = "budget \"tripped\"\nat t=1.5s \\ again";
+
+  ManifestEntry back;
+  ASSERT_TRUE(SweepManifest::parse_line(SweepManifest::format_line(e), &back));
+  EXPECT_EQ(back.index, e.index);
+  EXPECT_EQ(back.id, e.id);
+  EXPECT_EQ(back.status, e.status);
+  EXPECT_EQ(back.attempts, e.attempts);
+  EXPECT_EQ(back.repetitions, e.repetitions);
+  EXPECT_DOUBLE_EQ(back.sender_bps[0], e.sender_bps[0]);
+  EXPECT_DOUBLE_EQ(back.sender_bps[1], e.sender_bps[1]);
+  EXPECT_DOUBLE_EQ(back.jain2, e.jain2);
+  EXPECT_DOUBLE_EQ(back.utilization, e.utilization);
+  EXPECT_DOUBLE_EQ(back.retx_segments, e.retx_segments);
+  EXPECT_DOUBLE_EQ(back.rtos, e.rtos);
+  EXPECT_EQ(back.error, e.error);
+}
+
+TEST_F(ResilientSweepTest, ManifestLoadToleratesTornTailAndKeepsLatest) {
+  ManifestEntry first;
+  first.index = 0;
+  first.id = "cell-a";
+  first.status = RunStatus::kFailed;
+  ManifestEntry second = first;
+  second.status = RunStatus::kOk;  // later line for the same id supersedes
+  ManifestEntry other;
+  other.index = 1;
+  other.id = "cell-b";
+  other.status = RunStatus::kOk;
+
+  {
+    std::ofstream out(manifest_path());
+    out << SweepManifest::format_line(first) << '\n'
+        << SweepManifest::format_line(other) << '\n'
+        << SweepManifest::format_line(second) << '\n'
+        << R"({"i":2,"id":"cell-c","status":"ok","attempts)";  // torn mid-write
+  }
+  const auto entries = SweepManifest::load(manifest_path());
+  ASSERT_EQ(entries.size(), 2u);
+  EXPECT_EQ(entries.at("cell-a").status, RunStatus::kOk);
+  EXPECT_EQ(entries.at("cell-b").status, RunStatus::kOk);
+  EXPECT_EQ(entries.count("cell-c"), 0u);
+}
+
+TEST_F(ResilientSweepTest, SweepJournalsEveryCell) {
+  auto configs = quick_batch(3);
+  configs.push_back(poisoned_config());
+  SweepOptions opts;
+  opts.use_cache = false;
+  opts.threads = 1;
+  opts.manifest_path = manifest_path();
+  (void)run_sweep_resilient(configs, opts);
+
+  const auto entries = SweepManifest::load(manifest_path());
+  ASSERT_EQ(entries.size(), 4u);
+  int ok = 0;
+  int failed = 0;
+  for (const auto& [id, e] : entries) (e.success() ? ok : failed)++;
+  EXPECT_EQ(ok, 3);
+  EXPECT_EQ(failed, 1);
+}
+
+TEST_F(ResilientSweepTest, ResumeSkipsJournaledCellsAndRerunsFailures) {
+  auto configs = quick_batch(4);
+  SweepOptions opts;
+  opts.use_cache = false;
+  opts.threads = 1;
+  opts.manifest_path = manifest_path();
+  const SweepReport first = run_sweep_resilient(configs, opts);
+  ASSERT_EQ(first.completed(), 4u);
+
+  // Simulate a kill after two cells: keep only their journal lines, and mark
+  // one surviving cell as failed so resume must re-attempt it.
+  auto entries = SweepManifest::load(manifest_path());
+  std::filesystem::remove(manifest_path());
+  {
+    SweepManifest rewritten(manifest_path());
+    ManifestEntry kept_ok = entries.at(configs[0].id());
+    ManifestEntry kept_failed = entries.at(configs[1].id());
+    kept_failed.status = RunStatus::kFailed;
+    kept_failed.error = "killed";
+    rewritten.append(kept_ok);
+    rewritten.append(kept_failed);
+  }
+
+  opts.resume = true;
+  const SweepReport second = run_sweep_resilient(configs, opts);
+  ASSERT_EQ(second.records.size(), 4u);
+  // Cell 0: satisfied from the journal, zero simulation attempts.
+  EXPECT_TRUE(second.records[0].resumed);
+  EXPECT_EQ(second.records[0].attempts, 0);
+  // Cell 1 (journaled as failed) and cells 2-3 (no journal line): re-run.
+  for (std::size_t i = 1; i < 4; ++i) {
+    EXPECT_FALSE(second.records[i].resumed) << "cell " << i;
+    EXPECT_EQ(second.records[i].attempts, 1) << "cell " << i;
+    EXPECT_EQ(second.records[i].status, RunStatus::kOk) << "cell " << i;
+  }
+  // The resumed cell's numbers come back from the journal intact.
+  EXPECT_DOUBLE_EQ(second.records[0].result.utilization,
+                   first.records[0].result.utilization);
+  // And the journal now shows the re-run superseding the failure.
+  const auto after = SweepManifest::load(manifest_path());
+  EXPECT_EQ(after.at(configs[1].id()).status, RunStatus::kOk);
+}
+
+TEST_F(ResilientSweepTest, LegacyRunSweepLeavesDefaultResultForFailedCell) {
+  auto configs = quick_batch(2);
+  configs.push_back(poisoned_config());
+  SweepOptions opts;
+  opts.use_cache = false;
+  opts.threads = 1;
+  const auto results = run_sweep(configs, opts);
+  ASSERT_EQ(results.size(), 3u);
+  EXPECT_GT(results[0].utilization, 0.0);
+  EXPECT_GT(results[1].utilization, 0.0);
+  EXPECT_EQ(results[2].repetitions, 0);  // failed cell: default-constructed
+}
+
+TEST_F(ResilientSweepTest, ReportCountsByStatus) {
+  SweepReport report;
+  report.records.resize(5);
+  report.records[0].status = RunStatus::kOk;
+  report.records[1].status = RunStatus::kRetried;
+  report.records[2].status = RunStatus::kFailed;
+  report.records[3].status = RunStatus::kTimedOut;
+  report.records[4].status = RunStatus::kOk;
+  EXPECT_EQ(report.count(RunStatus::kOk), 2u);
+  EXPECT_EQ(report.completed(), 3u);
+  EXPECT_EQ(report.failed(), 2u);
+}
+
+}  // namespace
+}  // namespace elephant::exp

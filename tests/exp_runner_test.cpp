@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 #include "test_util.hpp"
 
 namespace elephant::exp {
@@ -101,6 +103,38 @@ TEST(Runner, OddFlowCountRunsEveryFlow) {
   for (const auto& f : res.flows) (f.sender == 0 ? side0 : side1)++;
   EXPECT_EQ(side0, 2);
   EXPECT_EQ(side1, 1);
+}
+
+TEST(Runner, TinyRttClampKeepsDelaysPositive) {
+  // Regression: an RTT below the default edge-delay sum used to drive the
+  // client/server propagation negative, scheduling deliveries in the past.
+  auto cfg = test::quick_config(CcaKind::kCubic, CcaKind::kCubic, aqm::AqmKind::kFifo, 2.0,
+                                100e6, 5);
+  for (const std::int64_t rtt_us : {40, 200, 2000}) {
+    cfg.rtt = sim::Time::microseconds(rtt_us);
+    // Pin the buffer to ~5 packets: a BDP-derived buffer at these RTTs would
+    // be smaller than one segment and starve the link regardless of delays.
+    cfg.buffer_bdp = 45000.0 / cfg.bdp_bytes();
+    const auto res = run_experiment(cfg);  // invariant checker on by default
+    EXPECT_GT(res.events_executed, 1000u) << "rtt=" << rtt_us << "us";
+    for (const auto& f : res.flows) {
+      EXPECT_TRUE(std::isfinite(f.throughput_bps));
+      EXPECT_GE(f.throughput_bps, 0.0);
+      // A sub-millisecond path must report a sub-millisecond smoothed RTT,
+      // not the 62 ms default split.
+      if (rtt_us <= 200) EXPECT_LT(f.srtt_ms, 10.0);
+    }
+  }
+}
+
+TEST(Runner, CustomLargeRttIsHonored) {
+  auto cfg = test::quick_config(CcaKind::kCubic, CcaKind::kCubic, aqm::AqmKind::kFifo, 2.0,
+                                100e6, 10);
+  cfg.rtt = sim::Time::milliseconds(120);
+  const auto res = run_experiment(cfg);
+  double srtt_min = 1e9;
+  for (const auto& f : res.flows) srtt_min = std::min(srtt_min, f.srtt_ms);
+  EXPECT_GE(srtt_min, 115.0);  // propagation floor, queueing only adds
 }
 
 TEST(Runner, ThroughputWindowExcludesStaggeredStart) {

@@ -1,0 +1,221 @@
+#include "fault/fault.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "aqm/fifo.hpp"
+#include "fault/gilbert_elliott.hpp"
+#include "test_util.hpp"
+#include "trace/sinks.hpp"
+#include "trace/trace.hpp"
+
+namespace elephant::fault {
+namespace {
+
+using test::make_packet;
+
+TEST(FaultPlan, SignatureIsStableAndSensitive) {
+  const auto a = FaultPlan::link_flap(sim::Time::seconds(5), sim::Time::seconds(1));
+  const auto b = FaultPlan::link_flap(sim::Time::seconds(5), sim::Time::seconds(1));
+  auto c = FaultPlan::link_flap(sim::Time::seconds(5), sim::Time::seconds(2));
+  EXPECT_EQ(a.signature(), b.signature());
+  EXPECT_NE(a.signature(), c.signature());
+  EXPECT_EQ(FaultPlan{}.signature(), "");
+  EXPECT_EQ(a.signature().size(), 16u);
+}
+
+TEST(FaultPlan, LinkFlapBuilderSpacesCycles) {
+  const auto plan = FaultPlan::link_flap(sim::Time::seconds(2), sim::Time::seconds(1),
+                                         /*flaps=*/3);
+  ASSERT_EQ(plan.events.size(), 3u);
+  // Default period: equal down and up intervals → cycles 2 s apart.
+  EXPECT_EQ(plan.events[0].at, sim::Time::seconds(2));
+  EXPECT_EQ(plan.events[1].at, sim::Time::seconds(4));
+  EXPECT_EQ(plan.events[2].at, sim::Time::seconds(6));
+  for (const auto& e : plan.events) {
+    EXPECT_EQ(e.kind, FaultKind::kLinkDown);
+    EXPECT_EQ(e.duration, sim::Time::seconds(1));
+  }
+}
+
+TEST(GilbertElliott, FromLossHitsStationaryTarget) {
+  for (const double target : {0.001, 0.01, 0.05, 0.2}) {
+    const auto p = GilbertElliottParams::from_loss(target, 10);
+    ASSERT_TRUE(p.enabled());
+    EXPECT_NEAR(p.stationary_loss(), target, 1e-12);
+    EXPECT_DOUBLE_EQ(p.p_bad_to_good, 0.1);  // mean burst of 10 packets
+  }
+  EXPECT_FALSE(GilbertElliottParams::from_loss(0, 10).enabled());
+}
+
+TEST(GilbertElliott, EmpiricalLossMatchesStationaryRate) {
+  sim::Scheduler sched;
+  const auto params = GilbertElliottParams::from_loss(0.05, 8);
+  GilbertElliottLoss q(sched, std::make_unique<aqm::FifoQueue>(sched, std::size_t{1} << 40),
+                       params, 42);
+  const int n = 200000;
+  int dropped = 0;
+  for (int i = 0; i < n; ++i) {
+    if (!q.enqueue(make_packet(1, static_cast<std::uint64_t>(i)))) {
+      ++dropped;
+    } else {
+      (void)q.dequeue();  // keep the inner queue empty
+    }
+  }
+  EXPECT_NEAR(static_cast<double>(dropped) / n, 0.05, 0.01);
+  EXPECT_EQ(q.injected_drops(), static_cast<std::uint64_t>(dropped));
+  // The merge folds injected drops into the early-drop counter.
+  EXPECT_EQ(q.stats().dropped_early, q.injected_drops());
+}
+
+TEST(GilbertElliott, LossComesInBursts) {
+  // Same stationary rate, very different texture: mean drop-run length must
+  // reflect the bad-state sojourn, not the ~1.02 a Bernoulli process gives.
+  sim::Scheduler sched;
+  const auto params = GilbertElliottParams::from_loss(0.02, 20);
+  GilbertElliottLoss q(sched, std::make_unique<aqm::FifoQueue>(sched, std::size_t{1} << 40),
+                       params, 7);
+  int runs = 0;
+  int losses = 0;
+  bool in_run = false;
+  for (int i = 0; i < 300000; ++i) {
+    if (!q.enqueue(make_packet(1, static_cast<std::uint64_t>(i)))) {
+      ++losses;
+      if (!in_run) ++runs;
+      in_run = true;
+    } else {
+      (void)q.dequeue();
+      in_run = false;
+    }
+  }
+  ASSERT_GT(runs, 0);
+  const double mean_run = static_cast<double>(losses) / runs;
+  EXPECT_GT(mean_run, 5.0);  // bursty: far above Bernoulli's ≈1
+}
+
+TEST(GilbertElliott, NameAdvertisesDecoration) {
+  sim::Scheduler sched;
+  GilbertElliottLoss q(sched, std::make_unique<aqm::FifoQueue>(sched, std::size_t{1} << 30),
+                       GilbertElliottParams::from_loss(0.01, 4), 1);
+  EXPECT_EQ(q.name(), "fifo+ge");
+}
+
+TEST(FaultConfig, PlanAndGeLossJoinTheExperimentId) {
+  auto base = test::quick_config(cca::CcaKind::kCubic, cca::CcaKind::kCubic,
+                                 aqm::AqmKind::kFifo, 2.0, 100e6, 5);
+  auto flapped = base;
+  flapped.fault_plan = FaultPlan::link_flap(sim::Time::seconds(1), sim::Time::seconds(1));
+  auto bursty = base;
+  bursty.ge_loss = GilbertElliottParams::from_loss(0.01, 10);
+  EXPECT_NE(base.id(), flapped.id());
+  EXPECT_NE(base.id(), bursty.id());
+  EXPECT_NE(flapped.id(), bursty.id());
+}
+
+TEST(FaultScenario, LinkFlapCausesRtosThenRecovers) {
+  auto cfg = test::quick_config(cca::CcaKind::kCubic, cca::CcaKind::kCubic,
+                                aqm::AqmKind::kFifo, 2.0, 100e6, 20);
+  cfg.fault_plan = FaultPlan::link_flap(sim::Time::seconds(5), sim::Time::seconds(2));
+
+  trace::MemorySink sink;
+  trace::Tracer tracer(sink);
+  tracer.enable_only({trace::RecordType::kFault});
+  cfg.tracer = &tracer;
+
+  const auto res = test::run_uncached(cfg);  // invariant checker on by default
+
+  // A 2 s outage at a 62 ms RTT starves every in-flight segment: the
+  // senders must fall back to timeout recovery at least once...
+  EXPECT_GE(res.rtos, 1u);
+  // ...and the 13 s after the link returns are plenty to refill the pipe.
+  EXPECT_GT(res.utilization, 0.5);
+
+  int applies = 0;
+  int reverts = 0;
+  for (const auto& r : sink.records()) {
+    if (r.type != trace::RecordType::kFault) continue;
+    (r.v2 != 0 ? applies : reverts)++;
+    EXPECT_EQ(static_cast<FaultKind>(r.v0), FaultKind::kLinkDown);
+  }
+  EXPECT_EQ(applies, 1);
+  EXPECT_EQ(reverts, 1);
+}
+
+TEST(FaultScenario, RateDegradeReducesThroughput) {
+  auto clean = test::quick_config(cca::CcaKind::kCubic, cca::CcaKind::kCubic,
+                                  aqm::AqmKind::kFifo, 2.0, 100e6, 12);
+  auto degraded = clean;
+  // 20% of nominal for the middle 8 seconds.
+  degraded.fault_plan =
+      FaultPlan::degrade(sim::Time::seconds(2), 0.2, sim::Time::seconds(8));
+  const auto res_clean = test::run_uncached(clean);
+  const auto res_degraded = test::run_uncached(degraded);
+  EXPECT_LT(res_degraded.utilization, res_clean.utilization - 0.2);
+  EXPECT_GT(res_degraded.utilization, 0.05);  // still moving, not wedged
+}
+
+TEST(FaultScenario, MildReorderingCausesNoSpuriousFastRetransmit) {
+  auto cfg = test::quick_config(cca::CcaKind::kCubic, cca::CcaKind::kCubic,
+                                aqm::AqmKind::kFifo, 16.0, 100e6, 10);
+  // 1% of packets land ~1.5 ms late: one or two packets pass each straggler,
+  // below the 3-dupACK fast-retransmit threshold. With a deep (16 BDP)
+  // buffer there is no congestive loss either, so any retransmission would
+  // be a spurious reaction to reordering.
+  FaultEvent e;
+  e.at = sim::Time::seconds(1);
+  e.kind = FaultKind::kReorder;
+  e.value = 0.01;
+  e.delay = sim::Time::microseconds(1500);
+  cfg.fault_plan.add(e);
+  const auto res = test::run_uncached(cfg);
+  EXPECT_EQ(res.retx_segments, 0u);
+  EXPECT_GT(res.utilization, 0.5);
+}
+
+TEST(FaultScenario, DuplicationIsHarmless) {
+  auto cfg = test::quick_config(cca::CcaKind::kCubic, cca::CcaKind::kCubic,
+                                aqm::AqmKind::kFifo, 2.0, 100e6, 10);
+  FaultEvent e;
+  e.at = sim::Time::seconds(1);
+  e.kind = FaultKind::kDuplicate;
+  e.value = 0.05;
+  cfg.fault_plan.add(e);
+  const auto res = test::run_uncached(cfg);
+  EXPECT_GT(res.utilization, 0.5);
+}
+
+TEST(FaultScenario, LossBurstTripsRetransmissions) {
+  auto cfg = test::quick_config(cca::CcaKind::kCubic, cca::CcaKind::kCubic,
+                                aqm::AqmKind::kFifo, 2.0, 100e6, 10);
+  cfg.fault_plan =
+      FaultPlan::loss_burst(sim::Time::seconds(2), 0.3, sim::Time::seconds(2));
+  const auto res = test::run_uncached(cfg);
+  EXPECT_GT(res.retx_segments, 0u);
+}
+
+TEST(FaultScenario, GilbertElliottEndToEndRunsAndLoses) {
+  auto cfg = test::quick_config(cca::CcaKind::kBbrV1, cca::CcaKind::kBbrV1,
+                                aqm::AqmKind::kFifo, 2.0, 100e6, 10);
+  cfg.ge_loss = GilbertElliottParams::from_loss(0.01, 10);
+  const auto res = test::run_uncached(cfg);
+  EXPECT_GT(res.bottleneck.dropped_early, 0u);
+  EXPECT_GT(res.retx_segments, 0u);
+  EXPECT_GT(res.utilization, 0.3);  // BBR shrugs off random loss
+}
+
+TEST(FaultScenario, FaultFreePlanLeavesRunByteIdentical) {
+  // An empty plan must not perturb the RNG stream: results stay identical to
+  // a build that never heard of fault injection (cache compatibility).
+  auto cfg = test::quick_config(cca::CcaKind::kCubic, cca::CcaKind::kCubic,
+                                aqm::AqmKind::kFifo, 2.0, 100e6, 5);
+  const auto a = test::run_uncached(cfg);
+  const auto b = test::run_uncached(cfg);
+  EXPECT_EQ(a.events_executed, b.events_executed);
+  EXPECT_DOUBLE_EQ(a.utilization, b.utilization);
+  EXPECT_DOUBLE_EQ(a.jain2, b.jain2);
+}
+
+}  // namespace
+}  // namespace elephant::fault

@@ -4,10 +4,15 @@
 //                  [--flows N] [--duration S] [--seed S] [--rtt MS]
 //                  [--loss P] [--ecn] [--reps N]
 //   elephant sweep [--aqm A] [--bw BPS] [--pairs inter|intra|all] [--reps N]
+//                  [--threads N] [--retries N] [--event-budget N]
+//                  [--wall-budget S] [--manifest PATH] [--resume]
 //   elephant list  (CCAs, AQMs, and the paper's axis values)
 //
 // `run` prints one row; `sweep` prints a table over all buffer sizes for the
 // selected slice, using (and filling) the shared on-disk result cache.
+// Sweeps run under the resilient engine: a crashing or budget-tripping cell
+// is reported and skipped, --manifest journals every cell to a JSONL file,
+// and --resume re-executes only cells without a successful journal entry.
 
 #include <cstdio>
 #include <cstdlib>
@@ -30,6 +35,8 @@ using namespace elephant;
                "        [--flows N] [--duration S] [--seed S] [--rtt MS]\n"
                "        [--loss P] [--ecn] [--reps N]\n"
                "  sweep --aqm fifo --bw 1e9 [--pairs inter|intra|all] [--reps N]\n"
+               "        [--threads N] [--retries N] [--event-budget N]\n"
+               "        [--wall-budget S] [--manifest PATH] [--resume]\n"
                "  list\n");
   std::exit(2);
 }
@@ -39,6 +46,12 @@ struct Args {
   exp::ExperimentConfig cfg;
   std::string pairs = "all";
   int reps = exp::default_repetitions();
+  int threads = 0;
+  int retries = 0;
+  std::uint64_t event_budget = 0;
+  double wall_budget_s = 0;
+  std::string manifest;
+  bool resume = false;
 };
 
 Args parse(int argc, char** argv) {
@@ -77,6 +90,18 @@ Args parse(int argc, char** argv) {
       a.reps = std::atoi(need(i));
     } else if (!std::strcmp(arg, "--pairs")) {
       a.pairs = need(i);
+    } else if (!std::strcmp(arg, "--threads")) {
+      a.threads = std::atoi(need(i));
+    } else if (!std::strcmp(arg, "--retries")) {
+      a.retries = std::atoi(need(i));
+    } else if (!std::strcmp(arg, "--event-budget")) {
+      a.event_budget = static_cast<std::uint64_t>(std::atoll(need(i)));
+    } else if (!std::strcmp(arg, "--wall-budget")) {
+      a.wall_budget_s = std::atof(need(i));
+    } else if (!std::strcmp(arg, "--manifest")) {
+      a.manifest = need(i);
+    } else if (!std::strcmp(arg, "--resume")) {
+      a.resume = true;
     } else {
       std::fprintf(stderr, "unknown option: %s\n", arg);
       usage();
@@ -105,24 +130,69 @@ int cmd_sweep(const Args& a) {
       pairs.push_back(p);
     }
   }
-  std::printf("%-18s", "pair \\ buffer");
-  for (const double bdp : exp::paper_buffer_bdps()) std::printf("  %6g BDP", bdp);
-  std::printf("   (Jain index, %s @ %s)\n", aqm::to_string(a.cfg.aqm).c_str(),
-              exp::bw_label(a.cfg.bottleneck_bps).c_str());
+  const auto& bdps = exp::paper_buffer_bdps();
+  std::vector<exp::ExperimentConfig> configs;
+  configs.reserve(pairs.size() * bdps.size());
   for (const auto& [c1, c2] : pairs) {
-    std::printf("%-18s", (cca::to_string(c1) + " vs " + cca::to_string(c2)).c_str());
-    for (const double bdp : exp::paper_buffer_bdps()) {
+    for (const double bdp : bdps) {
       exp::ExperimentConfig cfg = a.cfg;
       cfg.cca1 = c1;
       cfg.cca2 = c2;
       cfg.buffer_bdp = bdp;
-      const auto res = exp::run_averaged(cfg, a.reps);
-      std::printf("  %10.3f", res.jain2);
-      std::fflush(stdout);
+      configs.push_back(cfg);
+    }
+  }
+
+  exp::SweepOptions opts;
+  opts.repetitions = a.reps;
+  opts.threads = a.threads;
+  opts.max_retries = a.retries;
+  opts.run_event_budget = a.event_budget;
+  opts.run_wall_budget_seconds = a.wall_budget_s;
+  opts.manifest_path = a.manifest;
+  opts.resume = a.resume;
+  opts.on_result = [](const exp::AveragedResult&, std::size_t done, std::size_t total) {
+    std::fprintf(stderr, "\r%zu/%zu cells", done, total);
+    if (done == total) std::fprintf(stderr, "\n");
+  };
+  const exp::SweepReport report = exp::run_sweep_resilient(configs, opts);
+
+  std::printf("%-18s", "pair \\ buffer");
+  for (const double bdp : bdps) std::printf("  %6g BDP", bdp);
+  std::printf("   (Jain index, %s @ %s)\n", aqm::to_string(a.cfg.aqm).c_str(),
+              exp::bw_label(a.cfg.bottleneck_bps).c_str());
+  std::size_t i = 0;
+  for (const auto& [c1, c2] : pairs) {
+    std::printf("%-18s", (cca::to_string(c1) + " vs " + cca::to_string(c2)).c_str());
+    for (std::size_t b = 0; b < bdps.size(); ++b, ++i) {
+      const exp::RunRecord& rec = report.records[i];
+      if (rec.success()) {
+        std::printf("  %10.3f", rec.result.jain2);
+      } else {
+        std::printf("  %10s", rec.status == exp::RunStatus::kTimedOut ? "t/o" : "fail");
+      }
     }
     std::printf("\n");
   }
-  return 0;
+
+  std::printf("sweep: %zu ok, %zu retried, %zu failed, %zu timed out",
+              report.count(exp::RunStatus::kOk), report.count(exp::RunStatus::kRetried),
+              report.count(exp::RunStatus::kFailed),
+              report.count(exp::RunStatus::kTimedOut));
+  if (a.resume) {
+    std::size_t resumed = 0;
+    for (const auto& rec : report.records) resumed += rec.resumed ? 1 : 0;
+    std::printf(" (%zu resumed from %s)", resumed, a.manifest.c_str());
+  }
+  std::printf("\n");
+  for (std::size_t k = 0; k < report.records.size(); ++k) {
+    const exp::RunRecord& rec = report.records[k];
+    if (!rec.success()) {
+      std::fprintf(stderr, "  cell %zu [%s]: %s\n", k, configs[k].label().c_str(),
+                   rec.error.c_str());
+    }
+  }
+  return report.failed() == 0 ? 0 : 1;
 }
 
 int cmd_list() {
