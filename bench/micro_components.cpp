@@ -5,6 +5,9 @@
 
 #include <benchmark/benchmark.h>
 
+#include <array>
+#include <cstdint>
+
 #include "aqm/fifo.hpp"
 #include "aqm/fq_codel.hpp"
 #include "aqm/red.hpp"
@@ -16,8 +19,20 @@ namespace {
 
 using namespace elephant;
 
+// Steady-state schedule+fire churn against a populated heap. The pre-fix
+// version of this benchmark never let the queue grow past one element, so it
+// measured the trivial empty-heap fast path instead of the O(log n) sift
+// work a real simulation (thousands of pending timers) pays per event.
+// `range(0)` is the standing backlog: 0 reproduces the old measurement,
+// 1k/100k are representative of small and large experiment cells.
 void BM_SchedulerChurn(benchmark::State& state) {
   sim::Scheduler sched;
+  const std::int64_t depth = state.range(0);
+  // Backlog parked far in the future so it stays pending for the whole run.
+  constexpr std::int64_t kFar = std::int64_t{1} << 60;
+  for (std::int64_t i = 0; i < depth; ++i) {
+    sched.schedule_at(sim::Time::nanoseconds(kFar + i), [] {});
+  }
   std::int64_t t = 0;
   for (auto _ : state) {
     sched.schedule_at(sim::Time::nanoseconds(++t), [] {});
@@ -25,7 +40,61 @@ void BM_SchedulerChurn(benchmark::State& state) {
   }
   state.SetItemsProcessed(state.iterations());
 }
-BENCHMARK(BM_SchedulerChurn);
+BENCHMARK(BM_SchedulerChurn)->Arg(0)->Arg(1 << 10)->Arg(100'000);
+
+// Same churn with a capture too large for the inline buffer: exercises the
+// pooled-block fallback (the pre-swap engine heap-allocated every oversized
+// std::function exactly here).
+void BM_SchedulerLargeCapture(benchmark::State& state) {
+  sim::Scheduler sched;
+  std::array<std::uint64_t, 16> payload{};  // 128 B: bigger than the 64 B SBO
+  std::int64_t t = 0;
+  for (auto _ : state) {
+    payload[0] = static_cast<std::uint64_t>(t);
+    sched.schedule_at(sim::Time::nanoseconds(++t),
+                      [payload] { benchmark::DoNotOptimize(payload[0]); });
+    sched.run_until(sim::Time::nanoseconds(t));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SchedulerLargeCapture);
+
+// Schedule-then-cancel churn against a populated heap: the indexed heap
+// removes the entry eagerly; the pre-swap engine grew a tombstone set.
+void BM_SchedulerCancelChurn(benchmark::State& state) {
+  sim::Scheduler sched;
+  constexpr std::int64_t kFar = std::int64_t{1} << 60;
+  for (std::int64_t i = 0; i < 1024; ++i) {
+    sched.schedule_at(sim::Time::nanoseconds(kFar + i), [] {});
+  }
+  std::int64_t t = 0;
+  for (auto _ : state) {
+    const sim::EventId id = sched.schedule_at(sim::Time::nanoseconds(kFar - (++t)), [] {});
+    sched.cancel(id);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SchedulerCancelChurn);
+
+// Re-arm + fire cycle of one TimerHandle against a populated heap — the RTO
+// / pacing / delivery-line pattern. The pre-swap equivalent is a fresh
+// schedule_at per cycle (captured in BM_SchedulerChurn).
+void BM_TimerRearmChurn(benchmark::State& state) {
+  sim::Scheduler sched;
+  constexpr std::int64_t kFar = std::int64_t{1} << 60;
+  for (std::int64_t i = 0; i < 1024; ++i) {
+    sched.schedule_at(sim::Time::nanoseconds(kFar + i), [] {});
+  }
+  sim::TimerHandle timer;
+  timer.init(sched, [] {});
+  std::int64_t t = 0;
+  for (auto _ : state) {
+    timer.rearm(sim::Time::nanoseconds(++t));
+    sched.run_until(sim::Time::nanoseconds(t));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TimerRearmChurn);
 
 net::Packet bench_packet(std::uint64_t i) {
   net::Packet p;
@@ -116,5 +185,28 @@ void BM_EndToEndCell(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_EndToEndCell)->Unit(benchmark::kMillisecond);
+
+void BM_SimSecondsPerWallSecond(benchmark::State& state) {
+  // The capacity planner's number: how many simulated seconds of a paper
+  // cell (CUBIC vs BBRv1, FIFO, 1 BDP, 100 Mbps) one wall-clock second buys.
+  // Reported as the "sim_s_per_wall_s" rate counter.
+  double sim_seconds = 0;
+  for (auto _ : state) {
+    exp::ExperimentConfig cfg;
+    cfg.cca1 = cca::CcaKind::kCubic;
+    cfg.cca2 = cca::CcaKind::kBbrV1;
+    cfg.aqm = aqm::AqmKind::kFifo;
+    cfg.buffer_bdp = 1.0;
+    cfg.bottleneck_bps = 100e6;
+    cfg.duration = sim::Time::seconds(5);
+    cfg.seed = 20240817;
+    const auto res = exp::run_experiment(cfg);
+    benchmark::DoNotOptimize(res.jain2);
+    sim_seconds += cfg.duration.sec();
+  }
+  state.counters["sim_s_per_wall_s"] =
+      benchmark::Counter(sim_seconds, benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_SimSecondsPerWallSecond)->Unit(benchmark::kMillisecond);
 
 }  // namespace

@@ -1,8 +1,7 @@
 #pragma once
 
-#include <deque>
-
 #include "aqm/queue_disc.hpp"
+#include "sim/ring_deque.hpp"
 
 namespace elephant::aqm {
 
@@ -26,7 +25,7 @@ class FifoQueue : public QueueDisc {
  private:
   std::size_t limit_bytes_;
   std::size_t bytes_ = 0;
-  std::deque<net::Packet> queue_;
+  sim::RingDeque<net::Packet> queue_;
 };
 
 }  // namespace elephant::aqm

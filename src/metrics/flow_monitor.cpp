@@ -13,7 +13,7 @@ void FlowMonitor::watch(const tcp::Flow& flow, std::string label) {
 void FlowMonitor::start() {
   if (started_) return;
   started_ = true;
-  sched_.schedule_in(interval_, [this] { sample_all(); });
+  timer_.rearm(sched_.now() + interval_);
 }
 
 void FlowMonitor::sample_all() {
@@ -32,7 +32,7 @@ void FlowMonitor::sample_all() {
     s.rtos = f.sender().stats().rtos;
     series_[i].samples.push_back(s);
   }
-  sched_.schedule_in(interval_, [this] { sample_all(); });
+  timer_.rearm(sched_.now() + interval_);
 }
 
 void FlowMonitor::write_csv(std::ostream& out) const {

@@ -28,7 +28,10 @@ struct FlowSample {
 class FlowMonitor {
  public:
   FlowMonitor(sim::Scheduler& sched, sim::Time interval)
-      : sched_(sched), interval_(interval) {}
+      : sched_(sched), interval_(interval) {
+    // Weak timer: sampling never holds run() open once the flows finish.
+    timer_.init(sched_, [this] { sample_all(); }, /*weak=*/true);
+  }
 
   /// Register a flow. The caller keeps ownership; the flow must outlive the
   /// monitor's sampling (i.e. the scheduler run).
@@ -52,6 +55,7 @@ class FlowMonitor {
 
   sim::Scheduler& sched_;
   sim::Time interval_;
+  sim::TimerHandle timer_;
   std::vector<Series> series_;
   std::vector<double> last_delivered_bytes_;
   bool started_ = false;

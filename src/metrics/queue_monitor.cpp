@@ -7,7 +7,7 @@ namespace elephant::metrics {
 void QueueMonitor::start() {
   if (started_) return;
   started_ = true;
-  sched_.schedule_in(interval_, [this] { sample(); });
+  timer_.rearm(sched_.now() + interval_);
 }
 
 void QueueMonitor::sample() {
@@ -24,7 +24,7 @@ void QueueMonitor::sample() {
   s.utilization = sent * 8.0 / (port_.rate_bps() * interval_.sec());
   last_tx_bytes_ = s.tx_bytes;
   samples_.push_back(s);
-  sched_.schedule_in(interval_, [this] { sample(); });
+  timer_.rearm(sched_.now() + interval_);
 }
 
 std::size_t QueueMonitor::max_backlog_bytes() const {

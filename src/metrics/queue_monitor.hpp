@@ -26,7 +26,10 @@ struct QueueSample {
 class QueueMonitor {
  public:
   QueueMonitor(sim::Scheduler& sched, const net::Port& port, sim::Time interval)
-      : sched_(sched), port_(port), interval_(interval) {}
+      : sched_(sched), port_(port), interval_(interval) {
+    // Weak timer: sampling never holds run() open once the flows finish.
+    timer_.init(sched_, [this] { sample(); }, /*weak=*/true);
+  }
 
   void start();
 
@@ -46,6 +49,7 @@ class QueueMonitor {
   sim::Scheduler& sched_;
   const net::Port& port_;
   sim::Time interval_;
+  sim::TimerHandle timer_;
   std::vector<QueueSample> samples_;
   std::uint64_t last_tx_bytes_ = 0;
   bool started_ = false;

@@ -16,7 +16,13 @@ class TimeSeries {
   using Probe = std::function<double()>;
 
   TimeSeries(sim::Scheduler& sched, sim::Time interval, Probe probe)
-      : sched_(sched), interval_(interval), probe_(std::move(probe)) {}
+      : sched_(sched), interval_(interval), probe_(std::move(probe)) {
+    // Weak timer: sampling never holds run() open once real work drains.
+    timer_.init(sched_, [this] {
+      points_.push_back({sched_.now(), probe_()});
+      arm();
+    }, /*weak=*/true);
+  }
 
   /// Begin sampling; the first sample is taken one interval from now.
   void start() { arm(); }
@@ -40,15 +46,11 @@ class TimeSeries {
   }
 
  private:
-  void arm() {
-    sched_.schedule_in(interval_, [this] {
-      points_.push_back({sched_.now(), probe_()});
-      arm();
-    });
-  }
+  void arm() { timer_.rearm(sched_.now() + interval_); }
 
   sim::Scheduler& sched_;
   sim::Time interval_;
+  sim::TimerHandle timer_;
   Probe probe_;
   std::vector<Point> points_;
 };

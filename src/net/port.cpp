@@ -15,14 +15,17 @@ Port::Port(sim::Scheduler& sched, std::unique_ptr<aqm::QueueDisc> qdisc, double 
       propagation_(propagation),
       name_(std::move(name)) {
   assert(rate_bps_ > 0.0);
+  line_timer_.init(sched_, [this] { deliver_head(); });
+  sampler_timer_.init(sched_, [this] { sample_queue_depth(); }, /*weak=*/true);
 }
 
 void Port::start_queue_sampling(sim::Time interval) {
   if (tracer_ == nullptr || interval <= sim::Time::zero()) return;
-  sched_.schedule_in(interval, [this, interval] { sample_queue_depth(interval); });
+  sample_interval_ = interval;
+  sampler_timer_.rearm(sched_.now() + interval);
 }
 
-void Port::sample_queue_depth(sim::Time interval) {
+void Port::sample_queue_depth() {
   trace::TraceRecord r;
   r.t = sched_.now();
   r.type = trace::RecordType::kQueueDepth;
@@ -30,7 +33,7 @@ void Port::sample_queue_depth(sim::Time interval) {
   r.v1 = static_cast<double>(qdisc_->packet_length());
   r.v2 = static_cast<double>(tx_bytes_);
   tracer_->record(r);
-  sched_.schedule_in(interval, [this, interval] { sample_queue_depth(interval); });
+  sampler_timer_.rearm(sched_.now() + sample_interval_);
 }
 
 void Port::send(Packet&& p) {
@@ -49,10 +52,32 @@ void Port::set_rate_bps(double bps) {
 }
 
 void Port::deliver_in(sim::Time delay, Packet&& p) {
-  sched_.schedule_in(delay, [this, pkt = std::move(p)]() mutable {
-    assert(peer_ != nullptr && "port not connected");
-    peer_->receive(std::move(pkt));
-  });
+  const sim::Time at = sched_.now() + delay;
+  // The delay-line invariant: entries are delivered in push order, so `at`
+  // must be monotone. Serialization end times are strictly increasing and
+  // propagation is constant, so this holds for every unperturbed packet
+  // (rate changes included); only fault lateness lands on the general heap.
+  if (!line_.empty() && at < line_.back().at) {
+    sched_.schedule_in(delay, [this, pkt = std::move(p)]() mutable {
+      assert(peer_ != nullptr && "port not connected");
+      peer_->receive(std::move(pkt));
+    });
+    return;
+  }
+  line_.push_back(InFlight{at, std::move(p)});
+  if (line_.size() == 1) line_timer_.rearm(at);
+}
+
+void Port::deliver_head() {
+  assert(peer_ != nullptr && "port not connected");
+  // Drain everything due now — fault duplication can place two entries at
+  // the same instant; unperturbed traffic delivers exactly one per fire.
+  while (!line_.empty() && line_.front().at <= sched_.now()) {
+    Packet p = std::move(line_.front().pkt);
+    line_.pop_front();
+    peer_->receive(std::move(p));
+  }
+  if (!line_.empty()) line_timer_.rearm(line_.front().at);
 }
 
 void Port::try_transmit() {

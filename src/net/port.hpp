@@ -7,6 +7,7 @@
 #include "aqm/queue_disc.hpp"
 #include "net/packet.hpp"
 #include "sim/random.hpp"
+#include "sim/ring_deque.hpp"
 #include "sim/scheduler.hpp"
 #include "sim/time.hpp"
 
@@ -86,7 +87,14 @@ class Port {
  private:
   void try_transmit();
   void deliver_in(sim::Time delay, Packet&& p);
-  void sample_queue_depth(sim::Time interval);
+  void deliver_head();
+  void sample_queue_depth();
+
+  /// One serialized packet in flight on the wire, due at `at`.
+  struct InFlight {
+    sim::Time at{};
+    Packet pkt{};
+  };
 
   sim::Scheduler& sched_;
   std::unique_ptr<aqm::QueueDisc> qdisc_;
@@ -97,6 +105,17 @@ class Port {
   trace::Tracer* tracer_ = nullptr;
   bool busy_ = false;
   bool up_ = true;
+
+  /// Delay line of unperturbed in-flight packets. Serialization is FIFO and
+  /// propagation fixed, so delivery instants are monotone: one re-armable
+  /// timer pointed at the head replaces a heap event (and a packet-sized
+  /// callback capture) per packet. Perturbed packets (fault jitter/reorder
+  /// lateness) break monotonicity and fall back to the general heap.
+  sim::RingDeque<InFlight> line_;
+  sim::TimerHandle line_timer_;
+
+  sim::TimerHandle sampler_timer_;  ///< weak: never holds a run open
+  sim::Time sample_interval_{};
 
   LinkPerturb perturb_{};
   sim::Rng* fault_rng_ = nullptr;

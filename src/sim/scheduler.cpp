@@ -6,55 +6,201 @@
 
 namespace elephant::sim {
 
+// --- slot management -------------------------------------------------------
+
+std::uint32_t Scheduler::acquire_slot() {
+  if (!free_slots_.empty()) {
+    const std::uint32_t slot = free_slots_.back();
+    free_slots_.pop_back();
+    return slot;
+  }
+  slots_.emplace_back();
+  const auto slot = static_cast<std::uint32_t>(slots_.size() - 1);
+  slots_[slot].gen = 1;  // generation 0 never validates (defeats forged ids)
+  return slot;
+}
+
+void Scheduler::release_slot(std::uint32_t slot) {
+  Slot& s = slots_[slot];
+  s.state = SlotState::kFree;
+  s.heap_pos = kNpos;
+  ++s.gen;  // invalidate outstanding EventIds referencing this use
+  s.cb = Callback{};
+  free_slots_.push_back(slot);
+}
+
+// --- indexed 4-ary min-heap ------------------------------------------------
+//
+// Entries are 4-byte slot ids keyed by the slot's (at, seq); each slot
+// carries its heap position so removal and re-keying are direct. The wider
+// fan-out halves the tree depth of a binary heap and keeps sift loops inside
+// one or two cache lines of the entry array — the classic layout for DES
+// event queues with heavy cancel/re-arm traffic.
+
+void Scheduler::heap_sift_up(std::uint32_t pos) {
+  const std::uint32_t moving = heap_[pos];
+  while (pos > 0) {
+    const std::uint32_t parent = (pos - 1) / 4;
+    if (!heap_less(moving, heap_[parent])) break;
+    heap_[pos] = heap_[parent];
+    slots_[heap_[pos]].heap_pos = pos;
+    pos = parent;
+  }
+  heap_[pos] = moving;
+  slots_[moving].heap_pos = pos;
+}
+
+void Scheduler::heap_sift_down(std::uint32_t pos) {
+  const auto size = static_cast<std::uint32_t>(heap_.size());
+  const std::uint32_t moving = heap_[pos];
+  while (true) {
+    const std::uint32_t first_child = pos * 4 + 1;
+    if (first_child >= size) break;
+    std::uint32_t best = first_child;
+    const std::uint32_t last_child =
+        first_child + 3 < size ? first_child + 3 : size - 1;
+    for (std::uint32_t c = first_child + 1; c <= last_child; ++c) {
+      if (heap_less(heap_[c], heap_[best])) best = c;
+    }
+    if (!heap_less(heap_[best], moving)) break;
+    heap_[pos] = heap_[best];
+    slots_[heap_[pos]].heap_pos = pos;
+    pos = best;
+  }
+  heap_[pos] = moving;
+  slots_[moving].heap_pos = pos;
+}
+
+void Scheduler::heap_update(std::uint32_t pos) {
+  if (pos > 0 && heap_less(heap_[pos], heap_[(pos - 1) / 4])) {
+    heap_sift_up(pos);
+  } else {
+    heap_sift_down(pos);
+  }
+}
+
+void Scheduler::heap_insert(std::uint32_t slot) {
+  heap_.push_back(slot);
+  slots_[slot].heap_pos = static_cast<std::uint32_t>(heap_.size() - 1);
+  heap_sift_up(slots_[slot].heap_pos);
+}
+
+void Scheduler::heap_remove(std::uint32_t pos) {
+  slots_[heap_[pos]].heap_pos = kNpos;
+  const std::uint32_t last = heap_.back();
+  heap_.pop_back();
+  if (pos < heap_.size()) {
+    heap_[pos] = last;
+    slots_[last].heap_pos = pos;
+    heap_update(pos);
+  }
+}
+
+// --- one-shot events -------------------------------------------------------
+
 EventId Scheduler::schedule_at(Time at, Callback cb) {
   assert(at >= now_ && "cannot schedule events in the past");
-  const std::uint64_t seq = next_seq_++;
-  queue_.push(Entry{at, seq, std::move(cb)});
-  return EventId{seq, at, epoch_};
+  const std::uint32_t slot = acquire_slot();
+  Slot& s = slots_[slot];
+  s.at = at;
+  s.seq = next_seq_++;
+  s.state = SlotState::kOneShot;
+  s.weak = false;
+  s.cb = std::move(cb);
+  heap_insert(slot);
+  ++strong_armed_;
+  return EventId{(static_cast<std::uint64_t>(s.gen) << 32) | (slot + 1)};
 }
 
 bool Scheduler::pending(EventId id) const {
-  if (!id.valid() || id.epoch != epoch_) return false;
-  if (id.value >= next_seq_) return false;  // never issued (forged id)
-  if (cancelled_.contains(id.value)) return false;
-  // Entries are processed in (at, seq) order and processing an entry sets
-  // now_ to its instant, so anything scheduled before now_ is gone, anything
-  // after is queued, and ties are settled by the seq watermark.
-  if (id.at != now_) return id.at > now_;
-  return id.value > last_processed_seq_;
+  if (!id.valid()) return false;
+  const std::uint64_t index = (id.value & 0xffffffffull) - 1;
+  if (index >= slots_.size()) return false;
+  const Slot& s = slots_[index];
+  return s.gen == (id.value >> 32) && s.state == SlotState::kOneShot;
 }
 
 void Scheduler::cancel(EventId id) {
-  if (pending(id)) cancelled_.insert(id.value);
+  if (!pending(id)) return;
+  const auto slot = static_cast<std::uint32_t>((id.value & 0xffffffffull) - 1);
+  heap_remove(slots_[slot].heap_pos);
+  --strong_armed_;
+  release_slot(slot);
 }
 
-bool Scheduler::pop_one(Time deadline) {
-  while (!queue_.empty()) {
-    const Entry& top = queue_.top();
-    if (top.at > deadline) return false;
-    if (auto it = cancelled_.find(top.seq); it != cancelled_.end()) {
-      // Purging counts as processing for the liveness watermark (so a
-      // re-cancel of this id stays a no-op), but not as an executed event.
-      now_ = top.at;
-      last_processed_seq_ = top.seq;
-      cancelled_.erase(it);
-      queue_.pop();
-      continue;
-    }
-    // Move the callback out before popping so it may schedule new events.
-    Entry entry = std::move(const_cast<Entry&>(top));
-    queue_.pop();
-    now_ = entry.at;
-    last_processed_seq_ = entry.seq;
-    ++executed_;
-    entry.cb();
-    return true;
+// --- timers ----------------------------------------------------------------
+
+std::uint32_t Scheduler::timer_create(Callback cb, bool weak) {
+  const std::uint32_t slot = acquire_slot();
+  Slot& s = slots_[slot];
+  s.state = SlotState::kTimerIdle;
+  s.weak = weak;
+  s.cb = std::move(cb);
+  return slot;
+}
+
+void Scheduler::timer_destroy(std::uint32_t slot) {
+  timer_disarm(slot);
+  release_slot(slot);
+}
+
+void Scheduler::timer_rearm(std::uint32_t slot, Time at) {
+  assert(at >= now_ && "cannot schedule events in the past");
+  Slot& s = slots_[slot];
+  assert(s.state == SlotState::kTimerArmed || s.state == SlotState::kTimerIdle);
+  s.at = at;
+  s.seq = next_seq_++;  // fresh FIFO rank, exactly as cancel + re-schedule had
+  if (s.state == SlotState::kTimerArmed) {
+    heap_update(s.heap_pos);
+  } else {
+    s.state = SlotState::kTimerArmed;
+    heap_insert(slot);
+    if (!s.weak) ++strong_armed_;
   }
-  return false;
+}
+
+void Scheduler::timer_disarm(std::uint32_t slot) {
+  Slot& s = slots_[slot];
+  if (s.state != SlotState::kTimerArmed) return;
+  heap_remove(s.heap_pos);
+  s.state = SlotState::kTimerIdle;
+  if (!s.weak) --strong_armed_;
+}
+
+// --- run loop --------------------------------------------------------------
+
+bool Scheduler::pop_one(Time deadline) {
+  if (heap_.empty()) return false;
+  const std::uint32_t slot = heap_[0];
+  if (slots_[slot].at > deadline) return false;
+
+  now_ = slots_[slot].at;
+  heap_remove(0);
+  if (!slots_[slot].weak) --strong_armed_;
+  ++executed_;
+
+  if (slots_[slot].state == SlotState::kOneShot) {
+    // Move the callback out and free the slot first, so the callback may
+    // freely schedule new events (which can recycle this very slot or grow
+    // the slot array) while it runs.
+    Callback cb = std::move(slots_[slot].cb);
+    release_slot(slot);
+    cb();
+  } else {
+    // Timer fire: the slot survives for rearm(). The callback is moved to
+    // the stack for the call — slots_ may reallocate underneath us — and
+    // moved back afterwards unless the timer was destroyed mid-call.
+    slots_[slot].state = SlotState::kTimerIdle;
+    const std::uint32_t gen = slots_[slot].gen;
+    Callback cb = std::move(slots_[slot].cb);
+    cb();
+    if (slots_[slot].gen == gen) slots_[slot].cb = std::move(cb);
+  }
+  return true;
 }
 
 void Scheduler::run() {
-  while (pop_one(Time::max())) {
+  while (strong_armed_ > 0 && pop_one(Time::max())) {
   }
 }
 
@@ -85,15 +231,30 @@ Scheduler::StopReason Scheduler::run_until(Time deadline, const RunLimits& limit
     }
     if (!pop_one(deadline)) break;
   }
-  const bool exhausted = queue_.empty();
+  // "Exhausted" means no strong work left; lone weak samplers would
+  // otherwise report an eternal kDeadline.
+  const bool exhausted = strong_armed_ == 0;
   if (now_ < deadline) now_ = deadline;
   return exhausted ? StopReason::kQueueExhausted : StopReason::kDeadline;
 }
 
 void Scheduler::clear() {
-  queue_ = {};
-  cancelled_.clear();
-  ++epoch_;
+  for (std::uint32_t slot = 0; slot < slots_.size(); ++slot) {
+    switch (slots_[slot].state) {
+      case SlotState::kOneShot:
+        release_slot(slot);
+        break;
+      case SlotState::kTimerArmed:
+        slots_[slot].state = SlotState::kTimerIdle;
+        slots_[slot].heap_pos = kNpos;
+        break;
+      case SlotState::kTimerIdle:
+      case SlotState::kFree:
+        break;
+    }
+  }
+  heap_.clear();
+  strong_armed_ = 0;
 }
 
 }  // namespace elephant::sim

@@ -1,41 +1,48 @@
 #pragma once
 
 #include <cstdint>
-#include <functional>
-#include <queue>
-#include <unordered_set>
+#include <utility>
 #include <vector>
 
+#include "sim/callback.hpp"
 #include "sim/time.hpp"
 
 namespace elephant::sim {
 
-/// Opaque handle to a scheduled event; used to cancel timers.
+/// Opaque handle to a scheduled one-shot event; used to cancel it.
 ///
-/// Carries the scheduled instant and a clear()-epoch so the scheduler can
-/// decide liveness in O(1) without tracking every pending id: events are
-/// processed in (time, seq) order, so an id is dead exactly when its instant
-/// is in the past, or equals now() with a seq at or below the last-processed
-/// watermark, or predates the last clear().
+/// Encodes a slot index and that slot's generation. A handle is live exactly
+/// while its slot is armed with a matching generation, so cancelling an
+/// already-fired, already-cancelled, cleared, or forged id is a true no-op
+/// decided in O(1) without any side table.
 struct EventId {
-  std::uint64_t value = 0;
-  Time at{};
-  std::uint32_t epoch = 0;
+  std::uint64_t value = 0;  ///< (generation << 32) | (slot + 1); 0 = invalid
   [[nodiscard]] bool valid() const { return value != 0; }
 };
 
-/// Discrete-event scheduler: a time-ordered queue of callbacks.
+/// Discrete-event scheduler: a time-ordered queue of callbacks, engineered
+/// so the steady-state per-event path never touches the allocator.
+///
+/// - Callbacks are `InplaceCallback`s stored in stable slots recycled
+///   through a free list; the common `[this]`-sized captures live inline.
+/// - The priority queue is an indexed 4-ary min-heap of 4-byte slot ids
+///   with back-pointers, so cancel() removes its entry directly (no
+///   tombstones, no `unordered_set` side table, and pending_events() is just
+///   the heap size).
+/// - Re-armable timers (`TimerHandle`) keep their slot and callback across
+///   fires: re-scheduling updates the slot's key and sifts, instead of
+///   growing the heap with a cancelled entry plus a fresh allocation.
 ///
 /// Events scheduled for the same instant fire in scheduling order (FIFO
-/// tie-break via a monotone sequence number), which keeps runs deterministic.
-/// Cancellation is lazy: cancelled ids are remembered and skipped at pop
-/// time, so cancel() is O(1) and the heap is never restructured. cancel()
-/// verifies liveness first, so cancelling an already-fired, already-cancelled,
-/// or forged id is a true no-op and the cancelled set only ever references
-/// entries still in the queue — which keeps pending_events() exact.
+/// tie-break via a monotone sequence number, re-drawn on every (re)arm),
+/// which keeps runs deterministic.
 class Scheduler {
  public:
-  using Callback = std::function<void()>;
+  using Callback = InplaceCallback;
+
+  Scheduler() = default;
+  Scheduler(const Scheduler&) = delete;
+  Scheduler& operator=(const Scheduler&) = delete;
 
   /// Current simulation time. Advances only inside run()/run_until().
   [[nodiscard]] Time now() const { return now_; }
@@ -44,7 +51,9 @@ class Scheduler {
   EventId schedule_at(Time at, Callback cb);
 
   /// Schedule `cb` after `delay` from now.
-  EventId schedule_in(Time delay, Callback cb) { return schedule_at(now_ + delay, cb); }
+  EventId schedule_in(Time delay, Callback cb) {
+    return schedule_at(now_ + delay, std::move(cb));
+  }
 
   /// Cancel a pending event. Cancelling an already-fired, already-cancelled,
   /// or invalid id is a no-op.
@@ -54,11 +63,14 @@ class Scheduler {
   /// fired, been cancelled, or been dropped by clear().
   [[nodiscard]] bool pending(EventId id) const;
 
-  /// Run until the queue is empty.
+  /// Run until no *strong* events remain. Weak events (periodic samplers)
+  /// fire while strong work exists but do not hold the run open on their
+  /// own, so an instrumented simulation still terminates.
   void run();
 
   /// Run until the queue is empty or simulation time would exceed `deadline`.
-  /// On return now() == min(deadline, time of last processed entry).
+  /// On return now() == min(deadline, time of last processed entry). Weak
+  /// events keep firing here — the deadline already bounds the run.
   void run_until(Time deadline);
 
   /// Watchdog budgets for a bounded run (0 = unlimited). The wall clock is
@@ -70,7 +82,7 @@ class Scheduler {
 
   /// Why a bounded run returned.
   enum class StopReason {
-    kQueueExhausted,  ///< no events left
+    kQueueExhausted,  ///< no strong events left (weak samplers may remain)
     kDeadline,        ///< simulated time reached `deadline`
     kEventBudget,     ///< limits.max_events executed without finishing
     kWallBudget,      ///< limits.max_wall_seconds elapsed without finishing
@@ -82,34 +94,133 @@ class Scheduler {
   StopReason run_until(Time deadline, const RunLimits& limits);
 
   /// Drop every pending event (used when tearing down a run early).
-  /// Outstanding EventIds are invalidated.
+  /// Outstanding EventIds are invalidated; timers are disarmed but stay
+  /// re-armable.
   void clear();
 
-  [[nodiscard]] std::size_t pending_events() const { return queue_.size() - cancelled_.size(); }
+  /// Armed events, weak included (exact: cancellation removes eagerly).
+  [[nodiscard]] std::size_t pending_events() const { return heap_.size(); }
+  /// Armed events that hold a run open (excludes weak samplers).
+  [[nodiscard]] std::size_t strong_pending_events() const { return strong_armed_; }
   [[nodiscard]] std::uint64_t executed_events() const { return executed_; }
 
- private:
-  struct Entry {
-    Time at;
-    std::uint64_t seq;
-    Callback cb;
-    bool operator>(const Entry& rhs) const {
-      if (at != rhs.at) return at > rhs.at;
-      return seq > rhs.seq;
+  /// A re-armable timer owning one scheduler slot for its whole life.
+  ///
+  /// The callback is registered once; rearm() then only rewrites the slot's
+  /// deadline and re-sifts its heap entry — no allocation, no tombstone, no
+  /// callback reconstruction. Used by the RTO, delayed-ACK, pacing,
+  /// delay-line and sampler timers, i.e. everything that re-schedules
+  /// per-packet or per-interval.
+  ///
+  /// Weak timers do not keep run() alive (periodic samplers would otherwise
+  /// hold the queue non-empty forever). A TimerHandle must not outlive its
+  /// scheduler.
+  class TimerHandle {
+   public:
+    TimerHandle() = default;
+    TimerHandle(const TimerHandle&) = delete;
+    TimerHandle& operator=(const TimerHandle&) = delete;
+    ~TimerHandle() { reset(); }
+
+    /// Register the callback and acquire a slot. Call exactly once before
+    /// rearm() (reset() allows re-initialization).
+    void init(Scheduler& sched, Callback cb, bool weak = false) {
+      reset();
+      sched_ = &sched;
+      slot_ = sched.timer_create(std::move(cb), weak);
     }
+
+    /// Release the slot; the handle returns to the uninitialized state.
+    void reset() {
+      if (sched_ != nullptr) {
+        sched_->timer_destroy(slot_);
+        sched_ = nullptr;
+      }
+    }
+
+    /// (Re)schedule the fire time — whether currently idle, pending, or
+    /// firing right now. `at` must not be in the past.
+    void rearm(Time at) { sched_->timer_rearm(slot_, at); }
+
+    /// Unschedule without releasing the slot. No-op when idle.
+    void disarm() {
+      if (sched_ != nullptr) sched_->timer_disarm(slot_);
+    }
+
+    [[nodiscard]] bool armed() const {
+      return sched_ != nullptr && sched_->timer_armed(slot_);
+    }
+    /// Scheduled fire instant; Time::max() when not armed.
+    [[nodiscard]] Time deadline() const {
+      return armed() ? sched_->timer_deadline(slot_) : Time::max();
+    }
+    [[nodiscard]] explicit operator bool() const { return sched_ != nullptr; }
+
+   private:
+    Scheduler* sched_ = nullptr;
+    std::uint32_t slot_ = 0;
   };
+
+ private:
+  friend class TimerHandle;
+
+  static constexpr std::uint32_t kNpos = 0xffffffff;
+
+  enum class SlotState : std::uint8_t {
+    kFree,        ///< on the free list
+    kOneShot,     ///< armed single-fire event; slot freed when it fires
+    kTimerArmed,  ///< timer with a heap entry
+    kTimerIdle,   ///< timer waiting for rearm(); owns no heap entry
+  };
+
+  struct Slot {
+    Time at{};
+    std::uint64_t seq = 0;           ///< FIFO tie-break, fresh per (re)arm
+    std::uint32_t heap_pos = kNpos;  ///< index into heap_, kNpos when absent
+    std::uint32_t gen = 0;           ///< bumped on free; validates EventIds
+    SlotState state = SlotState::kFree;
+    bool weak = false;
+    InplaceCallback cb;
+  };
+
+  // --- timer interface (via TimerHandle) ---
+  std::uint32_t timer_create(Callback cb, bool weak);
+  void timer_destroy(std::uint32_t slot);
+  void timer_rearm(std::uint32_t slot, Time at);
+  void timer_disarm(std::uint32_t slot);
+  [[nodiscard]] bool timer_armed(std::uint32_t slot) const {
+    return slots_[slot].state == SlotState::kTimerArmed;
+  }
+  [[nodiscard]] Time timer_deadline(std::uint32_t slot) const { return slots_[slot].at; }
+
+  // --- slot management ---
+  std::uint32_t acquire_slot();
+  void release_slot(std::uint32_t slot);
+
+  // --- indexed 4-ary min-heap over (at, seq) ---
+  [[nodiscard]] bool heap_less(std::uint32_t a, std::uint32_t b) const {
+    const Slot& sa = slots_[a];
+    const Slot& sb = slots_[b];
+    if (sa.at != sb.at) return sa.at < sb.at;
+    return sa.seq < sb.seq;
+  }
+  void heap_insert(std::uint32_t slot);
+  void heap_remove(std::uint32_t pos);
+  void heap_sift_up(std::uint32_t pos);
+  void heap_sift_down(std::uint32_t pos);
+  void heap_update(std::uint32_t pos);
 
   bool pop_one(Time deadline);
 
   Time now_ = Time::zero();
   std::uint64_t next_seq_ = 1;
   std::uint64_t executed_ = 0;
-  /// Seq of the most recent entry processed (fired or purged) — its `at` is
-  /// always now_; together they form the liveness watermark for pending().
-  std::uint64_t last_processed_seq_ = 0;
-  std::uint32_t epoch_ = 0;
-  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> queue_;
-  std::unordered_set<std::uint64_t> cancelled_;
+  std::size_t strong_armed_ = 0;
+  std::vector<Slot> slots_;
+  std::vector<std::uint32_t> heap_;
+  std::vector<std::uint32_t> free_slots_;
 };
+
+using TimerHandle = Scheduler::TimerHandle;
 
 }  // namespace elephant::sim

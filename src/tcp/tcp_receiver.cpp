@@ -85,10 +85,7 @@ void TcpReceiver::on_packet(net::Packet&& p) {
 void TcpReceiver::arm_delayed_ack() {
   if (ack_timer_armed_) return;
   ack_timer_armed_ = true;
-  sched_.schedule_in(kDelayedAckTimeout, [this] {
-    ack_timer_armed_ = false;
-    if (unacked_count_ > 0) send_ack();
-  });
+  ack_timer_.rearm(sched_.now() + kDelayedAckTimeout);
 }
 
 void TcpReceiver::send_ack() {

@@ -18,7 +18,12 @@ namespace elephant::tcp {
 class TcpReceiver : public net::PacketHandler {
  public:
   TcpReceiver(sim::Scheduler& sched, net::Host& local, net::NodeId peer, net::FlowId flow)
-      : sched_(sched), local_(local), peer_(peer), flow_(flow) {}
+      : sched_(sched), local_(local), peer_(peer), flow_(flow) {
+    ack_timer_.init(sched_, [this] {
+      ack_timer_armed_ = false;
+      if (unacked_count_ > 0) send_ack();
+    });
+  }
 
   void on_packet(net::Packet&& p) override;
 
@@ -58,6 +63,7 @@ class TcpReceiver : public net::PacketHandler {
   std::uint32_t unacked_count_ = 0;   ///< delayed-ACK counter
   bool pending_ce_ = false;           ///< CE seen since last ACK
   bool ack_timer_armed_ = false;
+  sim::TimerHandle ack_timer_;
   bool peer_ecn_ = false;             ///< peer sends ECT packets
 
   std::uint64_t delivered_bytes_ = 0;

@@ -15,6 +15,11 @@ TcpSender::TcpSender(sim::Scheduler& sched, net::Host& local, TcpSenderConfig cf
     : sched_(sched), local_(local), cfg_(cfg), cc_(std::move(cc)), rtt_(cfg.min_rto) {
   assert(cfg_.agg >= 1);
   assert(cc_ != nullptr);
+  rto_timer_.init(sched_, [this] { rto_timer_fired(); });
+  pace_timer_.init(sched_, [this] {
+    pace_armed_ = false;
+    try_send();
+  });
 }
 
 void TcpSender::start() {
@@ -128,7 +133,7 @@ void TcpSender::send_unit(std::uint64_t abs) {
 void TcpSender::arm_rto() {
   if (rto_armed_) return;
   rto_armed_ = true;
-  sched_.schedule_at(rto_deadline_, [this] { rto_timer_fired(); });
+  rto_timer_.rearm(rto_deadline_);
 }
 
 void TcpSender::rto_timer_fired() {
@@ -204,10 +209,7 @@ void TcpSender::do_rto() {
 void TcpSender::arm_pacing(sim::Time at) {
   if (pace_armed_) return;
   pace_armed_ = true;
-  sched_.schedule_at(std::max(at, sched_.now()), [this] {
-    pace_armed_ = false;
-    try_send();
-  });
+  pace_timer_.rearm(std::max(at, sched_.now()));
 }
 
 void TcpSender::process_sacks(const net::Packet& ack, std::uint64_t* newly_delivered_units,

@@ -1,13 +1,13 @@
 #pragma once
 
 #include <cstdint>
-#include <deque>
 #include <memory>
 #include <optional>
 
 #include "cca/congestion_control.hpp"
 #include "net/node.hpp"
 #include "net/packet.hpp"
+#include "sim/ring_deque.hpp"
 #include "sim/scheduler.hpp"
 #include "tcp/rtt_estimator.hpp"
 #include "trace/trace.hpp"
@@ -144,7 +144,7 @@ class TcpSender : public net::PacketHandler {
   RttEstimator rtt_;
   TcpSenderStats stats_;
 
-  std::deque<UnitState> units_;  // scoreboard, index 0 == una_
+  sim::RingDeque<UnitState> units_;  // scoreboard, index 0 == una_
   std::uint64_t una_ = 0;
   std::uint64_t next_seq_ = 0;
   std::uint64_t pipe_units_ = 0;
@@ -160,13 +160,17 @@ class TcpSender : public net::PacketHandler {
 
   std::uint64_t recovery_point_ = 0;
 
-  // RTO machinery (single outstanding lazy timer).
+  // RTO machinery (single outstanding lazy timer in a re-armable slot: ACK
+  // progress only rewrites rto_deadline_; the slot is re-keyed, never
+  // cancelled and re-queued).
   sim::Time rto_deadline_ = sim::Time::max();
+  sim::TimerHandle rto_timer_;
   bool rto_armed_ = false;
   std::uint32_t rto_backoff_ = 1;
 
-  // Pacing machinery.
+  // Pacing machinery (same re-armable slot pattern).
   sim::Time next_pace_time_ = sim::Time::zero();
+  sim::TimerHandle pace_timer_;
   bool pace_armed_ = false;
 
   bool started_ = false;

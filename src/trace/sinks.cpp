@@ -13,6 +13,35 @@ void CsvSink::write(std::span<const TraceRecord> batch) {
   out_ << buf;
 }
 
+std::uint64_t DigestSink::fold(std::uint64_t hash, std::uint64_t word) {
+  for (int i = 0; i < 8; ++i) {
+    hash ^= (word >> (i * 8)) & 0xff;
+    hash *= 1099511628211ull;  // FNV-1a prime
+  }
+  return hash;
+}
+
+void DigestSink::write(std::span<const TraceRecord> batch) {
+  auto bits = [](double d) {
+    std::uint64_t u;
+    static_assert(sizeof(u) == sizeof(d));
+    __builtin_memcpy(&u, &d, sizeof(u));
+    return u;
+  };
+  std::uint64_t h = hash_;
+  for (const TraceRecord& r : batch) {
+    h = fold(h, static_cast<std::uint64_t>(r.t.ns()));
+    h = fold(h, static_cast<std::uint64_t>(r.type));
+    h = fold(h, r.flow);
+    h = fold(h, r.seq);
+    h = fold(h, bits(r.v0));
+    h = fold(h, bits(r.v1));
+    h = fold(h, bits(r.v2));
+  }
+  hash_ = h;
+  count_ += batch.size();
+}
+
 void JsonlSink::write(std::span<const TraceRecord> batch) {
   std::string buf;
   buf.reserve(batch.size() * 96);

@@ -53,6 +53,27 @@ class JsonlSink : public TraceSink {
   std::ostream& out_;
 };
 
+/// Folds every record into a 64-bit FNV-1a digest over a canonical field
+/// encoding (no struct padding, doubles by bit pattern). Two traces digest
+/// equal iff they contain the same records in the same order — the cheap
+/// backbone of the engine-swap determinism regression tests.
+class DigestSink : public TraceSink {
+ public:
+  void write(std::span<const TraceRecord> batch) override;
+
+  /// Digest of everything written so far (order-sensitive).
+  [[nodiscard]] std::uint64_t digest() const { return hash_; }
+  [[nodiscard]] std::uint64_t count() const { return count_; }
+
+  /// Fold an arbitrary extra 64-bit word (e.g. a metric's bit pattern) into
+  /// a hash; exposed so tests can digest final metrics the same way.
+  [[nodiscard]] static std::uint64_t fold(std::uint64_t hash, std::uint64_t word);
+
+ private:
+  std::uint64_t hash_ = 14695981039346656037ull;  // FNV-1a offset basis
+  std::uint64_t count_ = 0;
+};
+
 /// Fans one record stream out to several sinks (e.g. memory + CSV file).
 class TeeSink : public TraceSink {
  public:

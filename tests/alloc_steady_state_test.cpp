@@ -1,0 +1,109 @@
+// Proves the event engine's zero-allocation steady state: after warm-up
+// (slot/heap/ring growth to the high-water mark, callback pool priming), a
+// loss-free paper-style cell must run without a single call to the global
+// allocator. A regression here means some per-packet path regrew a
+// std::function, deque block, or heap node.
+//
+// The hook below replaces global operator new/delete for the whole test
+// binary with counting malloc/free wrappers; every other test runs on it
+// too, which is harmless.
+//
+// The measured scenario is a single BBRv1 flow into a deep FIFO buffer:
+// bounded cwnd, no loss, no reordering — so the known allocating paths that
+// are deliberately out of scope (the receiver's out-of-order interval map,
+// fault-injection captures) stay cold. Loss-path allocations are bounded by
+// episode count, not packet count, and are documented in DESIGN.md.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <memory>
+#include <new>
+
+#include "cca/congestion_control.hpp"
+#include "net/topology.hpp"
+#include "sim/scheduler.hpp"
+#include "tcp/tcp_receiver.hpp"
+#include "tcp/tcp_sender.hpp"
+
+namespace {
+
+std::atomic<std::uint64_t> g_alloc_calls{0};
+
+void* counted_alloc(std::size_t n, std::size_t align) {
+  g_alloc_calls.fetch_add(1, std::memory_order_relaxed);
+  void* p = nullptr;
+  if (align > alignof(std::max_align_t)) {
+    if (posix_memalign(&p, align, n) != 0) throw std::bad_alloc();
+  } else {
+    p = std::malloc(n > 0 ? n : 1);
+    if (p == nullptr) throw std::bad_alloc();
+  }
+  return p;
+}
+
+}  // namespace
+
+void* operator new(std::size_t n) { return counted_alloc(n, 0); }
+void* operator new[](std::size_t n) { return counted_alloc(n, 0); }
+void* operator new(std::size_t n, std::align_val_t a) {
+  return counted_alloc(n, static_cast<std::size_t>(a));
+}
+void* operator new[](std::size_t n, std::align_val_t a) {
+  return counted_alloc(n, static_cast<std::size_t>(a));
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept { std::free(p); }
+
+namespace elephant {
+namespace {
+
+TEST(AllocSteadyState, NoAllocationsAfterWarmup) {
+  sim::Scheduler sched;
+
+  net::DumbbellConfig topo;
+  topo.bottleneck_bps = 100e6;
+  topo.aqm = aqm::AqmKind::kFifo;
+  topo.bottleneck_buffer_bytes = std::size_t{16} << 20;  // deep: no loss
+  net::Dumbbell net(sched, topo);
+
+  cca::CcaParams cp;
+  cp.mss_bytes = 8900;
+  cp.seed = 7;
+  tcp::TcpSenderConfig sc;
+  sc.flow = 1;
+  sc.src = net.client(0).id();
+  sc.dst = net.server(0).id();
+  sc.mss = 8900;
+
+  tcp::TcpReceiver receiver(sched, net.server(0), net.client(0).id(), 1);
+  tcp::TcpSender sender(sched, net.client(0), sc,
+                        cca::make_cca(cca::CcaKind::kBbrV1, cp));
+  net.client(0).register_endpoint(1, &sender);
+  net.server(0).register_endpoint(1, &receiver);
+  sender.start();
+
+  // Warm-up: slow start, BBR STARTUP overshoot, one full ProbeBW gain
+  // cycle — every container reaches its high-water mark.
+  sched.run_until(sim::Time::seconds(2));
+  ASSERT_GT(receiver.delivered_units(), 0u) << "warm-up produced no traffic";
+
+  const std::uint64_t before = g_alloc_calls.load(std::memory_order_relaxed);
+  sched.run_until(sim::Time::seconds(6));
+  const std::uint64_t after = g_alloc_calls.load(std::memory_order_relaxed);
+
+  EXPECT_EQ(after - before, 0u)
+      << "steady state touched the allocator " << (after - before) << " times";
+  EXPECT_EQ(sender.stats().rtos, 0u) << "scenario invalid: RTO fired";
+  EXPECT_EQ(sender.stats().retx_units, 0u) << "scenario invalid: loss occurred";
+}
+
+}  // namespace
+}  // namespace elephant

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <memory>
 #include <vector>
 
 #include "aqm/fifo.hpp"
@@ -30,10 +31,10 @@ class SinkNode : public Node {
   sim::Scheduler& sched_;
 };
 
-Port make_port(sim::Scheduler& sched, double bps, sim::Time delay, Node* to,
+std::unique_ptr<Port> make_port(sim::Scheduler& sched, double bps, sim::Time delay, Node* to,
                std::size_t buf = 1 << 24) {
-  Port p(sched, std::make_unique<aqm::FifoQueue>(sched, buf), bps, delay, "test");
-  p.connect(to);
+  auto p = std::make_unique<Port>(sched, std::make_unique<aqm::FifoQueue>(sched, buf), bps, delay, "test");
+  p->connect(to);
   return p;
 }
 
@@ -41,7 +42,8 @@ TEST(Port, DeliversAfterSerializationPlusPropagation) {
   sim::Scheduler sched;
   SinkNode sink(sched, 2);
   // 1 Mb/s, 10 ms propagation, 12500-byte packet → 100 ms + 10 ms.
-  Port port = make_port(sched, 1e6, sim::Time::milliseconds(10), &sink);
+  auto port_ptr = make_port(sched, 1e6, sim::Time::milliseconds(10), &sink);
+  Port& port = *port_ptr;
   port.send(make_packet(1, 0, 12500));
   sched.run();
   ASSERT_EQ(sink.arrivals.size(), 1u);
@@ -51,7 +53,8 @@ TEST(Port, DeliversAfterSerializationPlusPropagation) {
 TEST(Port, BackToBackPacketsSerialize) {
   sim::Scheduler sched;
   SinkNode sink(sched, 2);
-  Port port = make_port(sched, 1e6, sim::Time::zero(), &sink);
+  auto port_ptr = make_port(sched, 1e6, sim::Time::zero(), &sink);
+  Port& port = *port_ptr;
   port.send(make_packet(1, 0, 12500));  // 100 ms each
   port.send(make_packet(1, 1, 12500));
   port.send(make_packet(1, 2, 12500));
@@ -65,7 +68,8 @@ TEST(Port, BackToBackPacketsSerialize) {
 TEST(Port, PreservesOrder) {
   sim::Scheduler sched;
   SinkNode sink(sched, 2);
-  Port port = make_port(sched, 1e9, sim::Time::milliseconds(1), &sink);
+  auto port_ptr = make_port(sched, 1e9, sim::Time::milliseconds(1), &sink);
+  Port& port = *port_ptr;
   for (std::uint64_t i = 0; i < 50; ++i) port.send(make_packet(1, i, 1500));
   sched.run();
   ASSERT_EQ(sink.arrivals.size(), 50u);
@@ -75,7 +79,8 @@ TEST(Port, PreservesOrder) {
 TEST(Port, CountsTransmitted) {
   sim::Scheduler sched;
   SinkNode sink(sched, 2);
-  Port port = make_port(sched, 1e9, sim::Time::zero(), &sink);
+  auto port_ptr = make_port(sched, 1e9, sim::Time::zero(), &sink);
+  Port& port = *port_ptr;
   port.send(make_packet(1, 0, 1000));
   port.send(make_packet(1, 1, 500));
   sched.run();
@@ -86,7 +91,8 @@ TEST(Port, CountsTransmitted) {
 TEST(Port, DropsDoNotReachPeer) {
   sim::Scheduler sched;
   SinkNode sink(sched, 2);
-  Port port = make_port(sched, 1e3, sim::Time::zero(), &sink, 2 * 8900);  // tiny buffer
+  auto port_ptr = make_port(sched, 1e3, sim::Time::zero(), &sink, 2 * 8900);  // tiny buffer
+  Port& port = *port_ptr;
   for (std::uint64_t i = 0; i < 10; ++i) port.send(make_packet(1, i));
   sched.run();
   // Transmission is slow (1 kb/s) but everything fits or drops; only
@@ -99,7 +105,8 @@ TEST(Port, DropsDoNotReachPeer) {
 TEST(Port, IdleThenBusyRestartsCleanly) {
   sim::Scheduler sched;
   SinkNode sink(sched, 2);
-  Port port = make_port(sched, 1e6, sim::Time::zero(), &sink);
+  auto port_ptr = make_port(sched, 1e6, sim::Time::zero(), &sink);
+  Port& port = *port_ptr;
   port.send(make_packet(1, 0, 12500));
   sched.run();
   // Send another after the line went idle.
@@ -114,8 +121,10 @@ TEST(Router, ForwardsByDestination) {
   SinkNode a(sched, 10);
   SinkNode b(sched, 11);
   Router router(3, "r");
-  Port to_a = make_port(sched, 1e9, sim::Time::zero(), &a);
-  Port to_b = make_port(sched, 1e9, sim::Time::zero(), &b);
+  auto to_a_ptr = make_port(sched, 1e9, sim::Time::zero(), &a);
+  Port& to_a = *to_a_ptr;
+  auto to_b_ptr = make_port(sched, 1e9, sim::Time::zero(), &b);
+  Port& to_b = *to_b_ptr;
   router.set_route(10, &to_a);
   router.set_route(11, &to_b);
 

@@ -173,8 +173,8 @@ TEST(Scheduler, PendingReflectsEventLifecycle) {
   EXPECT_FALSE(s.pending(id2));
 
   // Ids that were never issued are not pending (and cancelling them is a
-  // no-op even though their sequence numbers may be issued later).
-  EXPECT_FALSE(s.pending(EventId{9999, Time::seconds(99)}));
+  // no-op even though their slots may be issued later).
+  EXPECT_FALSE(s.pending(EventId{9999}));
   EXPECT_FALSE(s.pending(EventId{}));
 }
 

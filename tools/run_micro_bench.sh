@@ -1,0 +1,60 @@
+#!/usr/bin/env bash
+# Run the micro-benchmark suite and distill a compact BENCH_micro.json:
+# per-benchmark wall time, items/sec, and rate counters, plus the host
+# context Google Benchmark records. The checked-in copy under results/ is
+# the evidence trail for performance-sensitive PRs.
+#
+# Usage: tools/run_micro_bench.sh [build-dir] [output.json]
+#   BENCH_FILTER     regex passed to --benchmark_filter   (default: all)
+#   BENCH_MIN_TIME   passed to --benchmark_min_time, e.g. "0.01s" for a
+#                    CI smoke run                         (default: unset)
+set -euo pipefail
+
+BUILD_DIR="${1:-build}"
+OUT="${2:-results/BENCH_micro.json}"
+BIN="$BUILD_DIR/bench/micro_components"
+
+if [[ ! -x "$BIN" ]]; then
+  echo "error: $BIN not built (cmake --build $BUILD_DIR --target micro_components)" >&2
+  exit 1
+fi
+
+RAW="$(mktemp)"
+trap 'rm -f "$RAW"' EXIT
+
+args=(--benchmark_out="$RAW" --benchmark_out_format=json)
+[[ -n "${BENCH_FILTER:-}" ]] && args+=(--benchmark_filter="$BENCH_FILTER")
+[[ -n "${BENCH_MIN_TIME:-}" ]] && args+=(--benchmark_min_time="$BENCH_MIN_TIME")
+
+"$BIN" "${args[@]}"
+
+mkdir -p "$(dirname "$OUT")"
+python3 - "$RAW" "$OUT" <<'EOF'
+import json, sys
+
+raw = json.load(open(sys.argv[1]))
+keep_counters = lambda b: {k: v for k, v in b.items()
+                           if k not in ("name", "run_name", "run_type", "repetitions",
+                                        "repetition_index", "threads", "iterations",
+                                        "real_time", "cpu_time", "time_unit",
+                                        "family_index", "per_family_instance_index")}
+out = {
+    "context": {k: raw["context"].get(k) for k in
+                ("date", "host_name", "num_cpus", "mhz_per_cpu", "library_version",
+                 "build_type") if k in raw["context"]},
+    "benchmarks": [
+        {
+            "name": b["name"],
+            "real_time": b["real_time"],
+            "cpu_time": b["cpu_time"],
+            "time_unit": b["time_unit"],
+            "iterations": b["iterations"],
+            **keep_counters(b),
+        }
+        for b in raw["benchmarks"] if b.get("run_type") != "aggregate"
+    ],
+}
+json.dump(out, open(sys.argv[2], "w"), indent=1)
+open(sys.argv[2], "a").write("\n")
+print(f"wrote {sys.argv[2]} ({len(out['benchmarks'])} benchmarks)")
+EOF
