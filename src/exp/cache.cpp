@@ -103,6 +103,47 @@ std::optional<ExperimentResult> ResultCache::load(const ExperimentConfig& cfg) c
   res.n_flows = static_cast<std::uint32_t>(n_flows.value_or(0));
   res.events_executed = static_cast<std::uint64_t>(events.value_or(0));
   res.wall_seconds = wall.value_or(0);
+
+  // Per-class aggregates (workload runs): "classN=name;f1;...;f12". A
+  // workload config whose entry predates the class rows must regenerate —
+  // serving it would silently drop the mice metrics.
+  for (std::size_t ci = 0;; ++ci) {
+    auto it = kv.find("class" + std::to_string(ci));
+    if (it == kv.end()) break;
+    std::vector<std::string> fields;
+    std::stringstream ss(it->second);
+    std::string field;
+    while (std::getline(ss, field, ';')) fields.push_back(field);
+    double v[12];
+    bool ok = fields.size() == 13;
+    for (std::size_t i = 0; ok && i < 12; ++i) ok = parse_field(fields[i + 1], &v[i]);
+    if (!ok) {
+      std::error_code ec;
+      std::filesystem::remove(path, ec);
+      return std::nullopt;
+    }
+    ClassResult cr;
+    cr.name = fields[0];
+    cr.flows = static_cast<std::uint32_t>(v[0]);
+    cr.completed = static_cast<std::uint32_t>(v[1]);
+    cr.throughput_bps = v[2];
+    cr.share = v[3];
+    cr.jain = v[4];
+    cr.fct_p50_s = v[5];
+    cr.fct_p95_s = v[6];
+    cr.fct_p99_s = v[7];
+    cr.fct_mean_s = v[8];
+    cr.slowdown_p50 = v[9];
+    cr.slowdown_p95 = v[10];
+    cr.slowdown_p99 = v[11];
+    res.classes.push_back(std::move(cr));
+  }
+  if (!cfg.workload.is_paper_default() &&
+      res.classes.size() != cfg.workload.classes.size()) {
+    std::error_code ec;
+    std::filesystem::remove(path, ec);
+    return std::nullopt;
+  }
   return res;
 }
 
@@ -126,6 +167,13 @@ void ResultCache::store(const ExperimentResult& result) {
         << "n_flows=" << result.n_flows << '\n'
         << "events=" << result.events_executed << '\n'
         << "wall_seconds=" << result.wall_seconds << '\n';
+    for (std::size_t ci = 0; ci < result.classes.size(); ++ci) {
+      const ClassResult& c = result.classes[ci];
+      out << "class" << ci << '=' << c.name << ';' << c.flows << ';' << c.completed << ';'
+          << c.throughput_bps << ';' << c.share << ';' << c.jain << ';' << c.fct_p50_s
+          << ';' << c.fct_p95_s << ';' << c.fct_p99_s << ';' << c.fct_mean_s << ';'
+          << c.slowdown_p50 << ';' << c.slowdown_p95 << ';' << c.slowdown_p99 << '\n';
+    }
   }
   std::error_code ec;
   std::filesystem::rename(tmp, path, ec);

@@ -86,6 +86,7 @@ std::string ExperimentConfig::id() const {
     out += buf;
   }
   if (!fault_plan.empty()) out += "-fault" + fault_plan.signature();
+  if (!workload.is_paper_default()) out += "-wl[" + workload.signature() + "]";
   return out;
 }
 
@@ -94,7 +95,15 @@ std::string ExperimentConfig::label() const {
   std::snprintf(buf, sizeof(buf), "%s vs %s, %s, %g BDP, %s",
                 cca::to_string(cca1).c_str(), cca::to_string(cca2).c_str(),
                 aqm::to_string(aqm).c_str(), buffer_bdp, bw_label(bottleneck_bps).c_str());
-  return buf;
+  std::string out = buf;
+  if (!workload.is_paper_default()) {
+    out += " +";
+    for (const workload::TrafficClass& c : workload.classes) {
+      if (c.kind == workload::ClassKind::kElephant) continue;
+      out += " " + c.name;
+    }
+  }
+  return out;
 }
 
 const std::vector<double>& paper_bandwidths() {

@@ -8,6 +8,7 @@
 #include "cca/congestion_control.hpp"
 #include "fault/fault.hpp"
 #include "sim/time.hpp"
+#include "workload/workload.hpp"
 
 namespace elephant::trace {
 class Tracer;
@@ -40,6 +41,12 @@ struct ExperimentConfig {
   /// Timed network faults (flaps, degradation, reordering, ...) applied to
   /// the bottleneck during the run. Part of the cache identity.
   fault::FaultPlan fault_plan{};
+
+  /// Traffic mix for the cell. Empty = the paper's elephant-only workload
+  /// (the historical hard-coded setup, bit-identical to pre-workload builds
+  /// and absent from the cache identity). Non-empty workloads are part of
+  /// the cache identity via their signature.
+  workload::WorkloadSpec workload{};
 
   /// Watchdog budgets (0 = unlimited): exceeding either aborts the run with
   /// exp::RunTimeout instead of hanging a sweep worker. Not part of the

@@ -1,0 +1,244 @@
+#include "exp/flow_factory.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "trace/trace.hpp"
+
+namespace elephant::exp {
+
+namespace {
+
+/// Exponential with the given mean; u ∈ [0, 1) so 1−u ∈ (0, 1] keeps the log
+/// finite. Mean 0 (or negative) degenerates to 0.
+double exponential(sim::Rng& rng, double mean) {
+  if (!(mean > 0)) return 0;
+  return -mean * std::log(1.0 - rng.next_double());
+}
+
+/// Hard cap on instantiated flows per run: an over-eager Poisson rate should
+/// degrade into a truncated arrival sequence, not an out-of-memory kill.
+constexpr std::size_t kMaxFlows = 65536;
+
+}  // namespace
+
+FlowFactory::FlowFactory(sim::Scheduler& sched, net::Dumbbell& net,
+                         const ExperimentConfig& cfg, sim::Rng& cell_rng)
+    : sched_(sched), net_(net), cfg_(cfg) {
+  if (cfg_.workload.is_paper_default()) {
+    build_legacy(cell_rng);
+  } else {
+    build_workload();
+  }
+}
+
+void FlowFactory::build_legacy(sim::Rng& rng) {
+  const std::uint32_t n_flows = std::max<std::uint32_t>(cfg_.effective_flows(), 1);
+  // Split across the two sender nodes; odd counts give the extra flow to
+  // side 0 (cca1) deterministically, instead of silently dropping it.
+  const std::uint32_t per_side[2] = {(n_flows + 1) / 2, n_flows / 2};
+  const std::uint32_t agg = cfg_.effective_aggregation();
+  flows_.reserve(n_flows);
+
+  for (int side = 0; side < 2; ++side) {
+    const cca::CcaKind kind = side == 0 ? cfg_.cca1 : cfg_.cca2;
+    for (std::uint32_t i = 0; i < per_side[side]; ++i) {
+      const net::FlowId flow = static_cast<net::FlowId>(flows_.size() + 1);
+      net::Host& client = net_.client(side);
+      net::Host& server = net_.server(side);
+
+      cca::CcaParams cp;
+      cp.mss_bytes = cfg_.mss;
+      cp.initial_cwnd_segments = std::max<double>(10.0, agg);
+      cp.min_cwnd_segments = std::max<double>(2.0, agg);
+      cp.seed = rng.next_u64();
+
+      tcp::TcpSenderConfig sc;
+      sc.flow = flow;
+      sc.src = client.id();
+      sc.dst = server.id();
+      sc.mss = cfg_.mss;
+      sc.agg = agg;
+      sc.ecn = cfg_.ecn;
+      sc.pace_always = cfg_.pace_all;
+      // Stagger starts within half a second, like scripted iperf3 launches.
+      sc.start_time = sim::Time::seconds(0.5 * rng.next_double());
+
+      auto inst = std::make_unique<FlowInstance>();
+      inst->side = side;
+      inst->start_time = sc.start_time;
+      inst->receiver = std::make_unique<tcp::TcpReceiver>(sched_, server, client.id(), flow);
+      inst->sender =
+          std::make_unique<tcp::TcpSender>(sched_, client, sc, cca::make_cca(kind, cp));
+      if (cfg_.tracer != nullptr) inst->sender->set_tracer(cfg_.tracer);
+      client.register_endpoint(flow, inst->sender.get());
+      server.register_endpoint(flow, inst->receiver.get());
+      inst->sender->start();
+      flows_.push_back(std::move(inst));
+    }
+  }
+}
+
+void FlowFactory::build_workload() {
+  for (int ci = 0; ci < static_cast<int>(cfg_.workload.classes.size()); ++ci) {
+    build_class(ci, cfg_.workload.classes[static_cast<std::size_t>(ci)]);
+  }
+}
+
+void FlowFactory::build_class(int ci, const workload::TrafficClass& tc) {
+  using workload::Arrival;
+  using workload::ClassKind;
+
+  // Every class owns a disjoint seed sub-stream of the cell seed: arrivals
+  // and sizes from class_rng, CCA/app seeds from further per-flow streams.
+  const std::uint64_t class_base =
+      sim::derive_seed(cfg_.seed, 0x200000000ULL + static_cast<std::uint64_t>(ci));
+  sim::Rng class_rng(sim::derive_seed(class_base, 1));
+  const sim::Time duration = cfg_.effective_duration();
+
+  auto side_for = [&](std::uint32_t fi, std::uint32_t n) -> int {
+    if (tc.side == 0 || tc.side == 1) return tc.side;
+    if (tc.kind == ClassKind::kElephant) {
+      // Mirror the paper split: the first ceil(n/2) flows on side 0.
+      return fi < (n + 1) / 2 ? 0 : 1;
+    }
+    return static_cast<int>(fi % 2);  // alternate short flows across sides
+  };
+  auto seeds_for = [&](std::uint32_t fi, std::uint64_t* cca_seed, std::uint64_t* app_seed) {
+    *cca_seed = sim::derive_seed(class_base, 0x100000000ULL + fi);
+    *app_seed = sim::derive_seed(class_base, 0x200000000ULL + fi);
+  };
+
+  if (tc.arrival == Arrival::kPoisson) {
+    if (!(tc.arrival_rate_hz > 0)) return;
+    sim::Time t = tc.start_offset;
+    for (std::uint32_t fi = 0; flows_.size() < kMaxFlows; ++fi) {
+      if (tc.count != 0 && fi >= tc.count) break;
+      t += sim::Time::seconds(exponential(class_rng, 1.0 / tc.arrival_rate_hz));
+      if (t >= duration) break;
+      const std::uint64_t bytes =
+          tc.kind == ClassKind::kElephant ? 0 : tc.size.sample(class_rng);
+      std::uint64_t cca_seed = 0;
+      std::uint64_t app_seed = 0;
+      seeds_for(fi, &cca_seed, &app_seed);
+      spawn(ci, tc, side_for(fi, tc.count), t, bytes, cca_seed, app_seed);
+    }
+    return;
+  }
+
+  // Staggered arrivals: a fixed flow count spread uniformly over the window.
+  std::uint32_t n = tc.count;
+  if (n == 0 && tc.kind == ClassKind::kElephant) n = cfg_.effective_flows();
+  for (std::uint32_t fi = 0; fi < n && flows_.size() < kMaxFlows; ++fi) {
+    const sim::Time start =
+        tc.start_offset + sim::Time::seconds(tc.start_window.sec() * class_rng.next_double());
+    const std::uint64_t bytes =
+        tc.kind == ClassKind::kElephant ? 0 : tc.size.sample(class_rng);
+    std::uint64_t cca_seed = 0;
+    std::uint64_t app_seed = 0;
+    seeds_for(fi, &cca_seed, &app_seed);
+    spawn(ci, tc, side_for(fi, n), start, bytes, cca_seed, app_seed);
+  }
+}
+
+FlowInstance& FlowFactory::spawn(int ci, const workload::TrafficClass& tc, int side,
+                                 sim::Time start, std::uint64_t bytes,
+                                 std::uint64_t cca_seed, std::uint64_t app_seed) {
+  using workload::ClassKind;
+  const net::FlowId flow = static_cast<net::FlowId>(flows_.size() + 1);
+  net::Host& client = net_.client(side);
+  net::Host& server = net_.server(side);
+  const std::uint32_t agg = cfg_.effective_aggregation();
+  const cca::CcaKind kind =
+      tc.cca_from_pair ? (side == 0 ? cfg_.cca1 : cfg_.cca2) : tc.cca;
+
+  cca::CcaParams cp;
+  cp.mss_bytes = cfg_.mss;
+  cp.initial_cwnd_segments = std::max<double>(10.0, agg);
+  cp.min_cwnd_segments = std::max<double>(2.0, agg);
+  cp.seed = cca_seed;
+
+  tcp::TcpSenderConfig sc;
+  sc.flow = flow;
+  sc.src = client.id();
+  sc.dst = server.id();
+  sc.mss = cfg_.mss;
+  sc.agg = agg;
+  sc.ecn = cfg_.ecn;
+  sc.pace_always = cfg_.pace_all;
+  sc.start_time = start;
+  if (tc.kind == ClassKind::kFinite) {
+    const std::uint64_t unit_bytes = std::uint64_t{cfg_.mss} * agg;
+    sc.transfer_units = (bytes + unit_bytes - 1) / unit_bytes;
+  } else if (tc.kind == ClassKind::kOnOff) {
+    sc.app_limited = true;
+  }
+
+  auto inst = std::make_unique<FlowInstance>();
+  inst->side = side;
+  inst->cls = ci;
+  inst->kind = tc.kind;
+  inst->transfer_bytes = bytes;
+  inst->start_time = start;
+  inst->app_rng = sim::Rng(app_seed);
+  inst->receiver = std::make_unique<tcp::TcpReceiver>(sched_, server, client.id(), flow);
+  inst->sender = std::make_unique<tcp::TcpSender>(sched_, client, sc, cca::make_cca(kind, cp));
+  if (cfg_.tracer != nullptr) inst->sender->set_tracer(cfg_.tracer);
+  client.register_endpoint(flow, inst->sender.get());
+  server.register_endpoint(flow, inst->receiver.get());
+
+  if (cfg_.tracer != nullptr) {
+    trace::TraceRecord r;
+    r.t = start;
+    r.type = trace::RecordType::kFlowStart;
+    r.flow = flow;
+    r.v0 = ci;
+    r.v1 = static_cast<double>(bytes);
+    r.v2 = side;
+    cfg_.tracer->record(r);
+  }
+
+  flows_.push_back(std::move(inst));
+  FlowInstance& ref = *flows_.back();
+  const std::size_t index = flows_.size() - 1;
+
+  if (tc.kind == ClassKind::kFinite) {
+    ref.sender->set_on_complete([this, index] {
+      const FlowInstance& f = *flows_[index];
+      if (cfg_.tracer == nullptr) return;
+      trace::TraceRecord r;
+      r.t = sched_.now();
+      r.type = trace::RecordType::kFlowEnd;
+      r.flow = f.sender->config().flow;
+      r.v0 = f.cls;
+      r.v1 = static_cast<double>(f.transfer_bytes);
+      r.v2 = (sched_.now() - f.start_time).sec();
+      cfg_.tracer->record(r);
+    });
+  } else if (tc.kind == ClassKind::kOnOff) {
+    arm_on_off(index);
+  }
+
+  ref.sender->start();
+  if (tc.kind == ClassKind::kOnOff) {
+    // First burst; held by the sender until start_time.
+    ref.sender->offer_bytes(bytes);
+  }
+  return ref;
+}
+
+void FlowFactory::arm_on_off(std::size_t index) {
+  FlowInstance& f = *flows_[index];
+  const workload::TrafficClass& tc = cfg_.workload.classes[static_cast<std::size_t>(f.cls)];
+  f.sender->set_on_app_idle([this, index, &tc] {
+    FlowInstance& f2 = *flows_[index];
+    const sim::Time think =
+        sim::Time::seconds(exponential(f2.app_rng, tc.off_mean.sec()));
+    sched_.schedule_in(think, [this, index, &tc] {
+      FlowInstance& f3 = *flows_[index];
+      f3.sender->offer_bytes(tc.size.sample(f3.app_rng));
+    });
+  });
+}
+
+}  // namespace elephant::exp

@@ -1,0 +1,71 @@
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "exp/config.hpp"
+#include "net/topology.hpp"
+#include "sim/random.hpp"
+#include "sim/scheduler.hpp"
+#include "tcp/tcp_receiver.hpp"
+#include "tcp/tcp_sender.hpp"
+#include "workload/workload.hpp"
+
+namespace elephant::exp {
+
+/// One instantiated flow plus the workload bookkeeping the runner needs to
+/// aggregate per-class results after the run.
+struct FlowInstance {
+  std::unique_ptr<tcp::TcpSender> sender;
+  std::unique_ptr<tcp::TcpReceiver> receiver;
+  int side = 0;
+  int cls = -1;  ///< index into WorkloadSpec::classes; -1 in the legacy path
+  workload::ClassKind kind = workload::ClassKind::kElephant;
+  std::uint64_t transfer_bytes = 0;  ///< 0 = unbounded
+  sim::Time start_time = sim::Time::zero();
+  sim::Rng app_rng{1};  ///< on/off think-time and burst-size stream
+};
+
+/// Instantiates every flow of an experiment cell from its WorkloadSpec.
+///
+/// Two construction paths:
+///  - Default (empty) workload: byte-for-byte the historical two-sender
+///    elephant setup — same object construction order and the same draws, in
+///    the same order, from the shared cell RNG, so the golden-digest
+///    determinism tests hold across the refactor.
+///  - Non-default workload: each traffic class draws arrivals, sizes, and
+///    per-flow CCA seeds from its own RNG sub-stream (sim::derive_seed of the
+///    cell seed and the class index), so adding or editing one class never
+///    perturbs another class's randomness. kFlowStart records are emitted per
+///    flow, and finite flows emit kFlowEnd on completion.
+///
+/// The factory must outlive the scheduler run: on/off sources re-arm
+/// themselves through callbacks that point back into it.
+class FlowFactory {
+ public:
+  FlowFactory(sim::Scheduler& sched, net::Dumbbell& net, const ExperimentConfig& cfg,
+              sim::Rng& cell_rng);
+
+  FlowFactory(const FlowFactory&) = delete;
+  FlowFactory& operator=(const FlowFactory&) = delete;
+
+  [[nodiscard]] const std::vector<std::unique_ptr<FlowInstance>>& flows() const {
+    return flows_;
+  }
+  [[nodiscard]] std::size_t size() const { return flows_.size(); }
+
+ private:
+  void build_legacy(sim::Rng& cell_rng);
+  void build_workload();
+  void build_class(int ci, const workload::TrafficClass& tc);
+  FlowInstance& spawn(int ci, const workload::TrafficClass& tc, int side, sim::Time start,
+                      std::uint64_t bytes, std::uint64_t cca_seed, std::uint64_t app_seed);
+  void arm_on_off(std::size_t index);
+
+  sim::Scheduler& sched_;
+  net::Dumbbell& net_;
+  const ExperimentConfig& cfg_;
+  std::vector<std::unique_ptr<FlowInstance>> flows_;
+};
+
+}  // namespace elephant::exp

@@ -106,14 +106,82 @@ std::string SweepManifest::format_line(const ManifestEntry& e) {
   line += to_string(e.status);
   std::snprintf(buf, sizeof(buf),
                 "\",\"attempts\":%d,\"reps\":%d,\"s1_bps\":%.17g,\"s2_bps\":%.17g,"
-                "\"jain2\":%.17g,\"util\":%.17g,\"retx\":%.17g,\"rtos\":%.17g,\"error\":\"",
+                "\"jain2\":%.17g,\"util\":%.17g,\"retx\":%.17g,\"rtos\":%.17g",
                 e.attempts, e.repetitions, e.sender_bps[0], e.sender_bps[1], e.jain2,
                 e.utilization, e.retx_segments, e.rtos);
   line += buf;
+  if (!e.classes.empty()) {
+    // Per-class block only for workload cells, so elephant-only journal
+    // lines stay byte-identical to the pre-workload format.
+    line += ",\"classes\":[";
+    for (std::size_t i = 0; i < e.classes.size(); ++i) {
+      const ClassResult& c = e.classes[i];
+      if (i != 0) line += ',';
+      line += "{\"name\":\"";
+      append_escaped(c.name, &line);
+      std::snprintf(buf, sizeof(buf),
+                    "\",\"flows\":%u,\"done\":%u,\"bps\":%.17g,\"share\":%.17g,"
+                    "\"cjain\":%.17g,\"fct_p50\":%.17g,\"fct_p95\":%.17g,"
+                    "\"fct_p99\":%.17g,\"fct_mean\":%.17g,\"sd_p50\":%.17g,"
+                    "\"sd_p95\":%.17g,\"sd_p99\":%.17g}",
+                    c.flows, c.completed, c.throughput_bps, c.share, c.jain, c.fct_p50_s,
+                    c.fct_p95_s, c.fct_p99_s, c.fct_mean_s, c.slowdown_p50, c.slowdown_p95,
+                    c.slowdown_p99);
+      line += buf;
+    }
+    line += ']';
+  }
+  line += ",\"error\":\"";
   append_escaped(e.error, &line);
   line += "\"}";
   return line;
 }
+
+namespace {
+
+/// Parse the optional `"classes":[{...},...]` block. Torn or malformed
+/// blocks fail the whole line (the caller treats it as a torn journal line).
+bool parse_classes(const std::string& line, std::vector<ClassResult>* out) {
+  const std::size_t key = line.find("\"classes\":[");
+  if (key == std::string::npos) return true;  // pre-workload line: no block
+  std::size_t pos = key + std::strlen("\"classes\":[");
+  while (pos < line.size() && line[pos] != ']') {
+    const std::size_t open = line.find('{', pos);
+    if (open == std::string::npos) return false;
+    const std::size_t close = line.find('}', open);
+    if (close == std::string::npos) return false;
+    const std::string obj = line.substr(open, close - open + 1);
+    ClassResult c;
+    double flows, done, bps, share, jain, p50, p95, p99, mean, sd50, sd95, sd99;
+    if (!get_string(obj, "name", &c.name) || !get_number(obj, "flows", &flows) ||
+        !get_number(obj, "done", &done) || !get_number(obj, "bps", &bps) ||
+        !get_number(obj, "share", &share) || !get_number(obj, "cjain", &jain) ||
+        !get_number(obj, "fct_p50", &p50) || !get_number(obj, "fct_p95", &p95) ||
+        !get_number(obj, "fct_p99", &p99) || !get_number(obj, "fct_mean", &mean) ||
+        !get_number(obj, "sd_p50", &sd50) || !get_number(obj, "sd_p95", &sd95) ||
+        !get_number(obj, "sd_p99", &sd99)) {
+      return false;
+    }
+    c.flows = static_cast<std::uint32_t>(flows);
+    c.completed = static_cast<std::uint32_t>(done);
+    c.throughput_bps = bps;
+    c.share = share;
+    c.jain = jain;
+    c.fct_p50_s = p50;
+    c.fct_p95_s = p95;
+    c.fct_p99_s = p99;
+    c.fct_mean_s = mean;
+    c.slowdown_p50 = sd50;
+    c.slowdown_p95 = sd95;
+    c.slowdown_p99 = sd99;
+    out->push_back(std::move(c));
+    pos = close + 1;
+    if (pos < line.size() && line[pos] == ',') ++pos;
+  }
+  return pos < line.size();  // must have stopped on the closing ']'
+}
+
+}  // namespace
 
 bool SweepManifest::parse_line(const std::string& line, ManifestEntry* out) {
   if (line.empty() || line.front() != '{' || line.back() != '}') return false;
@@ -132,6 +200,7 @@ bool SweepManifest::parse_line(const std::string& line, ManifestEntry* out) {
       !get_number(line, "rtos", &rtos)) {
     return false;
   }
+  if (!parse_classes(line, &e.classes)) return false;
   (void)get_string(line, "error", &e.error);  // optional
   e.index = static_cast<std::size_t>(idx);
   e.attempts = static_cast<int>(attempts);

@@ -6,6 +6,7 @@
 #include <string>
 #include <unordered_map>
 
+#include "exp/runner.hpp"
 #include "exp/status.hpp"
 
 namespace elephant::exp {
@@ -22,6 +23,10 @@ struct ManifestEntry {
   double utilization = 0;
   double retx_segments = 0;
   double rtos = 0;
+  /// Per-traffic-class aggregates for mixed-workload cells (FCT percentiles,
+  /// shares); empty for elephant-only cells, whose journal lines are
+  /// byte-identical to the pre-workload format.
+  std::vector<ClassResult> classes;
   std::string error;  ///< exception message for failed/timed-out cells
 
   [[nodiscard]] bool success() const { return succeeded(status); }

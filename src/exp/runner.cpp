@@ -8,8 +8,10 @@
 #include <string>
 
 #include "exp/cache.hpp"
+#include "exp/flow_factory.hpp"
 #include "exp/status.hpp"
 #include "metrics/fairness.hpp"
+#include "metrics/fct.hpp"
 #include "net/topology.hpp"
 #include "sim/random.hpp"
 #include "sim/scheduler.hpp"
@@ -60,62 +62,16 @@ ExperimentResult run_experiment(const ExperimentConfig& cfg) {
     faults->install(cfg.fault_plan);
   }
 
-  const std::uint32_t n_flows = std::max<std::uint32_t>(cfg.effective_flows(), 1);
-  // Split across the two sender nodes; odd counts give the extra flow to
-  // side 0 (cca1) deterministically, instead of silently dropping it.
-  const std::uint32_t per_side[2] = {(n_flows + 1) / 2, n_flows / 2};
-  const std::uint32_t agg = cfg.effective_aggregation();
   const sim::Time duration = cfg.effective_duration();
-
-  struct FlowEnd {
-    std::unique_ptr<tcp::TcpSender> sender;
-    std::unique_ptr<tcp::TcpReceiver> receiver;
-    int side;
-  };
-  std::vector<FlowEnd> ends;
-  ends.reserve(n_flows);
 
   if (cfg.tracer != nullptr) {
     net.set_tracer(cfg.tracer);
     net.bottleneck().start_queue_sampling(cfg.trace_queue_interval);
   }
 
-  for (int side = 0; side < 2; ++side) {
-    const cca::CcaKind kind = side == 0 ? cfg.cca1 : cfg.cca2;
-    for (std::uint32_t i = 0; i < per_side[side]; ++i) {
-      const net::FlowId flow = static_cast<net::FlowId>(ends.size() + 1);
-      net::Host& client = net.client(side);
-      net::Host& server = net.server(side);
-
-      cca::CcaParams cp;
-      cp.mss_bytes = cfg.mss;
-      cp.initial_cwnd_segments = std::max<double>(10.0, agg);
-      cp.min_cwnd_segments = std::max<double>(2.0, agg);
-      cp.seed = rng.next_u64();
-
-      tcp::TcpSenderConfig sc;
-      sc.flow = flow;
-      sc.src = client.id();
-      sc.dst = server.id();
-      sc.mss = cfg.mss;
-      sc.agg = agg;
-      sc.ecn = cfg.ecn;
-      sc.pace_always = cfg.pace_all;
-      // Stagger starts within half a second, like scripted iperf3 launches.
-      sc.start_time = sim::Time::seconds(0.5 * rng.next_double());
-
-      FlowEnd end;
-      end.side = side;
-      end.receiver = std::make_unique<tcp::TcpReceiver>(sched, server, client.id(), flow);
-      end.sender = std::make_unique<tcp::TcpSender>(sched, client, sc,
-                                                    cca::make_cca(kind, cp));
-      if (cfg.tracer != nullptr) end.sender->set_tracer(cfg.tracer);
-      client.register_endpoint(flow, end.sender.get());
-      server.register_endpoint(flow, end.receiver.get());
-      end.sender->start();
-      ends.push_back(std::move(end));
-    }
-  }
+  // All flows — legacy elephants or a full WorkloadSpec mix — come from the
+  // factory; it must outlive the run (on/off sources call back into it).
+  FlowFactory factory(sched, net, cfg, rng);
 
   sim::Scheduler::RunLimits limits;
   limits.max_events = cfg.max_events;
@@ -133,27 +89,38 @@ ExperimentResult run_experiment(const ExperimentConfig& cfg) {
 
   ExperimentResult res;
   res.config = cfg;
-  res.n_flows = static_cast<std::uint32_t>(ends.size());
+  res.n_flows = static_cast<std::uint32_t>(factory.size());
   double side_bps[2] = {0, 0};
   std::vector<double> flow_bps;
-  flow_bps.reserve(ends.size());
-  for (const FlowEnd& end : ends) {
+  flow_bps.reserve(factory.size());
+  for (const auto& inst : factory.flows()) {
     FlowResult fr;
-    fr.flow = end.sender->config().flow;
-    fr.sender = end.side;
-    fr.cca = end.sender->cc().name();
-    fr.start_s = end.sender->config().start_time.sec();
+    fr.flow = inst->sender->config().flow;
+    fr.sender = inst->side;
+    fr.cca = inst->sender->cc().name();
+    fr.start_s = inst->start_time.sec();
+    if (inst->cls >= 0) {
+      fr.cls = cfg.workload.classes[static_cast<std::size_t>(inst->cls)].name;
+    }
+    fr.transfer_bytes = inst->transfer_bytes;
+    fr.completed = inst->sender->completed();
+    if (fr.completed) {
+      fr.fct_s = (inst->sender->completion_time() - inst->start_time).sec();
+    }
     // Measure goodput over the flow's own active window: the staggered
-    // starts (up to 0.5 s) would otherwise bias late starters low.
-    const sim::Time active = duration - end.sender->config().start_time;
+    // starts (up to 0.5 s) would otherwise bias late starters low. Finite
+    // flows that completed are active only until their last ACK.
+    const sim::Time active =
+        fr.completed ? inst->sender->completion_time() - inst->start_time
+                     : duration - inst->start_time;
     fr.throughput_bps =
         active > sim::Time::zero()
-            ? static_cast<double>(end.receiver->delivered_bytes()) * 8.0 / active.sec()
+            ? static_cast<double>(inst->receiver->delivered_bytes()) * 8.0 / active.sec()
             : 0.0;
-    fr.retx_segments = end.sender->retx_segments();
-    fr.rtos = end.sender->stats().rtos;
-    fr.srtt_ms = end.sender->rtt().srtt().ms();
-    side_bps[end.side] += fr.throughput_bps;
+    fr.retx_segments = inst->sender->retx_segments();
+    fr.rtos = inst->sender->stats().rtos;
+    fr.srtt_ms = inst->sender->rtt().srtt().ms();
+    side_bps[inst->side] += fr.throughput_bps;
     res.retx_segments += fr.retx_segments;
     res.rtos += fr.rtos;
     flow_bps.push_back(fr.throughput_bps);
@@ -167,6 +134,61 @@ ExperimentResult run_experiment(const ExperimentConfig& cfg) {
   res.events_executed = sched.executed_events();
   res.wall_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - wall_start).count();
+
+  if (!cfg.workload.is_paper_default()) {
+    // Per-class aggregation: byte shares over the whole run, Jain across the
+    // class's flow goodputs, FCT/slowdown percentiles over completed finite
+    // flows.
+    double total_bytes = 0;
+    std::vector<double> class_bytes(cfg.workload.classes.size(), 0.0);
+    for (std::size_t i = 0; i < factory.size(); ++i) {
+      const auto& inst = factory.flows()[i];
+      const auto delivered = static_cast<double>(inst->receiver->delivered_bytes());
+      total_bytes += delivered;
+      if (inst->cls >= 0) class_bytes[static_cast<std::size_t>(inst->cls)] += delivered;
+    }
+    // Utilization over per-flow window rates (the legacy definition above)
+    // overcounts when short flows burst and leave; for mixed traffic φ is
+    // total delivered bytes over the link's capacity for the whole run.
+    if (duration > sim::Time::zero() && cfg.bottleneck_bps > 0) {
+      res.utilization = total_bytes * 8.0 / (duration.sec() * cfg.bottleneck_bps);
+    }
+    for (std::size_t ci = 0; ci < cfg.workload.classes.size(); ++ci) {
+      const workload::TrafficClass& tc = cfg.workload.classes[ci];
+      ClassResult cr;
+      cr.name = tc.name;
+      std::vector<double> goodputs;
+      std::vector<double> fcts;
+      std::vector<double> slowdowns;
+      for (std::size_t i = 0; i < factory.size(); ++i) {
+        const auto& inst = factory.flows()[i];
+        if (inst->cls != static_cast<int>(ci)) continue;
+        const FlowResult& fr = res.flows[i];
+        ++cr.flows;
+        goodputs.push_back(fr.throughput_bps);
+        if (fr.completed) {
+          ++cr.completed;
+          fcts.push_back(fr.fct_s);
+          slowdowns.push_back(metrics::fct_slowdown(
+              fr.fct_s, static_cast<double>(fr.transfer_bytes), cfg.bottleneck_bps,
+              cfg.rtt.sec()));
+        }
+      }
+      cr.throughput_bps =
+          duration > sim::Time::zero() ? class_bytes[ci] * 8.0 / duration.sec() : 0.0;
+      cr.share = total_bytes > 0 ? class_bytes[ci] / total_bytes : 0.0;
+      cr.jain = metrics::jain_index(goodputs);
+      const metrics::FctSummary fs = metrics::fct_summary(fcts);
+      cr.fct_mean_s = fs.mean_s;
+      cr.fct_p50_s = fs.p50_s;
+      cr.fct_p95_s = fs.p95_s;
+      cr.fct_p99_s = fs.p99_s;
+      cr.slowdown_p50 = metrics::percentile(slowdowns, 0.50);
+      cr.slowdown_p95 = metrics::percentile(slowdowns, 0.95);
+      cr.slowdown_p99 = metrics::percentile(slowdowns, 0.99);
+      res.classes.push_back(std::move(cr));
+    }
+  }
 
   if (cfg.check_invariants) {
     auto fail = [&](const std::string& what) {
@@ -198,18 +220,32 @@ ExperimentResult run_experiment(const ExperimentConfig& cfg) {
            " backlog=" + std::to_string(backlog_bytes) +
            " dropped=" + std::to_string(qs.bytes_dropped));
     }
-    for (const FlowEnd& end : ends) {
-      const double cwnd = end.sender->cc().cwnd_segments();
-      const double floor = end.sender->cc().params().min_cwnd_segments;
+    for (const auto& inst : factory.flows()) {
+      const double cwnd = inst->sender->cc().cwnd_segments();
+      const double floor = inst->sender->cc().params().min_cwnd_segments;
       if (!(cwnd >= floor - 1e-9) || !std::isfinite(cwnd)) {
-        fail("flow " + std::to_string(end.sender->config().flow) + " cwnd " +
+        fail("flow " + std::to_string(inst->sender->config().flow) + " cwnd " +
              std::to_string(cwnd) + " below floor " + std::to_string(floor));
+      }
+      // A finite flow that reports completion must have delivered the whole
+      // object to its receiver (byte conservation end to end).
+      if (inst->sender->completed() &&
+          inst->receiver->delivered_bytes() <
+              std::uint64_t{inst->sender->config().transfer_units} *
+                  inst->sender->config().mss * inst->sender->config().agg) {
+        fail("flow " + std::to_string(inst->sender->config().flow) +
+             " completed but delivered only " +
+             std::to_string(inst->receiver->delivered_bytes()) + " bytes");
       }
     }
     for (const FlowResult& fr : res.flows) {
       if (!(fr.throughput_bps >= 0) || !std::isfinite(fr.throughput_bps)) {
         fail("flow " + std::to_string(fr.flow) + " throughput " +
              std::to_string(fr.throughput_bps) + " is negative or non-finite");
+      }
+      if (fr.completed && !(fr.fct_s > 0 && std::isfinite(fr.fct_s))) {
+        fail("flow " + std::to_string(fr.flow) + " completed with bad FCT " +
+             std::to_string(fr.fct_s));
       }
     }
   }
@@ -239,6 +275,46 @@ AveragedResult average(const ExperimentConfig& cfg, const std::vector<Experiment
   avg.utilization /= n;
   avg.retx_segments /= n;
   avg.rtos /= n;
+
+  // Per-class means, matched by index (every repetition runs the same
+  // WorkloadSpec and therefore reports the same class list).
+  const std::size_t n_classes = runs.front().classes.size();
+  for (std::size_t ci = 0; ci < n_classes; ++ci) {
+    ClassResult acc;
+    acc.name = runs.front().classes[ci].name;
+    acc.jain = 0;  // accumulator
+    double flows = 0;
+    double completed = 0;
+    for (const ExperimentResult& r : runs) {
+      if (ci >= r.classes.size()) continue;
+      const ClassResult& c = r.classes[ci];
+      flows += c.flows;
+      completed += c.completed;
+      acc.throughput_bps += c.throughput_bps;
+      acc.share += c.share;
+      acc.jain += c.jain;
+      acc.fct_p50_s += c.fct_p50_s;
+      acc.fct_p95_s += c.fct_p95_s;
+      acc.fct_p99_s += c.fct_p99_s;
+      acc.fct_mean_s += c.fct_mean_s;
+      acc.slowdown_p50 += c.slowdown_p50;
+      acc.slowdown_p95 += c.slowdown_p95;
+      acc.slowdown_p99 += c.slowdown_p99;
+    }
+    acc.flows = static_cast<std::uint32_t>(std::llround(flows / n));
+    acc.completed = static_cast<std::uint32_t>(std::llround(completed / n));
+    acc.throughput_bps /= n;
+    acc.share /= n;
+    acc.jain /= n;
+    acc.fct_p50_s /= n;
+    acc.fct_p95_s /= n;
+    acc.fct_p99_s /= n;
+    acc.fct_mean_s /= n;
+    acc.slowdown_p50 /= n;
+    acc.slowdown_p95 /= n;
+    acc.slowdown_p99 /= n;
+    avg.classes.push_back(std::move(acc));
+  }
   return avg;
 }
 
@@ -249,7 +325,9 @@ AveragedResult run_averaged(const ExperimentConfig& cfg, int reps, bool use_cach
   runs.reserve(reps);
   for (int r = 0; r < reps; ++r) {
     ExperimentConfig c = cfg;
-    c.seed = cfg.seed + static_cast<std::uint64_t>(r) * 1000003;
+    // Repetition r runs sub-stream r of the configured seed (stream 0 is the
+    // seed itself, so single-rep results keep their identity).
+    c.seed = sim::derive_seed(cfg.seed, static_cast<std::uint64_t>(r));
     if (use_cache) {
       if (auto cached = ResultCache::global().load(c)) {
         runs.push_back(*std::move(cached));

@@ -19,12 +19,39 @@ struct FlowResult {
   std::uint64_t retx_segments = 0;
   std::uint64_t rtos = 0;
   double srtt_ms = 0;
+
+  // Workload bookkeeping; defaults describe a legacy elephant.
+  std::string cls;                   ///< traffic-class name ("" in the legacy path)
+  std::uint64_t transfer_bytes = 0;  ///< finite transfer size; 0 = unbounded
+  bool completed = false;            ///< finite flow fully acknowledged
+  double fct_s = 0;                  ///< flow-completion time; 0 if not completed
+};
+
+/// Per-traffic-class aggregate of one run; populated only for non-default
+/// workloads (the legacy elephant-only path reports no classes).
+struct ClassResult {
+  std::string name;
+  std::uint32_t flows = 0;      ///< instantiated
+  std::uint32_t completed = 0;  ///< finite flows fully acknowledged
+  double throughput_bps = 0;    ///< Σ delivered bytes · 8 / run duration
+  double share = 0;             ///< fraction of all delivered bytes
+  double jain = 1.0;            ///< Jain index over the class's flow goodputs
+  // FCT distribution over the class's completed finite flows (seconds).
+  double fct_p50_s = 0;
+  double fct_p95_s = 0;
+  double fct_p99_s = 0;
+  double fct_mean_s = 0;
+  // FCT slowdown vs an empty path (bytes·8/BW + RTT); mice-harm headline.
+  double slowdown_p50 = 0;
+  double slowdown_p95 = 0;
+  double slowdown_p99 = 0;
 };
 
 /// Aggregate outcome of one run (one repetition of one configuration).
 struct ExperimentResult {
   ExperimentConfig config;
   std::vector<FlowResult> flows;
+  std::vector<ClassResult> classes;  ///< per-class aggregates (workload runs only)
   std::uint32_t n_flows = 0;       ///< flows actually instantiated (== flows.size())
 
   double sender_bps[2] = {0, 0};   ///< per-sender aggregate throughput (S1, S2)
@@ -47,6 +74,9 @@ struct AveragedResult {
   double utilization = 0;
   double retx_segments = 0;
   double rtos = 0;
+  /// Per-class aggregates averaged across repetitions (matched by index;
+  /// every repetition runs the same WorkloadSpec).
+  std::vector<ClassResult> classes;
 };
 
 /// Execute one configuration once (seed taken from the config).

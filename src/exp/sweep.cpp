@@ -8,6 +8,8 @@
 #include <unordered_map>
 #include <utility>
 
+#include "sim/random.hpp"
+
 namespace elephant::exp {
 
 std::vector<ExperimentConfig> make_matrix(
@@ -70,6 +72,7 @@ AveragedResult from_manifest(const ExperimentConfig& cfg, const ManifestEntry& e
   avg.utilization = e.utilization;
   avg.retx_segments = e.retx_segments;
   avg.rtos = e.rtos;
+  avg.classes = e.classes;
   return avg;
 }
 
@@ -86,6 +89,7 @@ ManifestEntry to_manifest(std::size_t index, const std::string& id, const RunRec
   e.utilization = rec.result.utilization;
   e.retx_segments = rec.result.retx_segments;
   e.rtos = rec.result.rtos;
+  e.classes = rec.result.classes;
   e.error = rec.error;
   return e;
 }
@@ -102,7 +106,12 @@ RunRecord run_cell(const ExperimentConfig& base, const SweepOptions& options) {
     // Reseed retries: a crash tied to one RNG stream (e.g. a pathological
     // packet interleaving) should not condemn the cell. The seed is part of
     // the cache id, so a retry never collides with the failed attempt.
-    cfg.seed = base.seed + static_cast<std::uint64_t>(attempt) * 0x9e3779b97f4a7c15ULL;
+    // Attempt 0 is stream 0 (the configured seed); retries draw from a
+    // dedicated sub-stream block so they can never collide with
+    // run_averaged's repetition streams of the same base seed.
+    cfg.seed = attempt == 0 ? base.seed
+                            : sim::derive_seed(base.seed,
+                                               0x100000000ULL + static_cast<std::uint64_t>(attempt));
     rec.attempts = attempt + 1;
     try {
       rec.result = run_averaged(cfg, options.repetitions, options.use_cache);

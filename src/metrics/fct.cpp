@@ -1,0 +1,39 @@
+#include "metrics/fct.hpp"
+
+#include <algorithm>
+#include <vector>
+
+namespace elephant::metrics {
+
+double percentile(std::span<const double> values, double q) {
+  if (values.empty()) return 0;
+  std::vector<double> sorted(values.begin(), values.end());
+  std::sort(sorted.begin(), sorted.end());
+  q = std::clamp(q, 0.0, 1.0);
+  const double rank = q * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return sorted[lo] + (sorted[hi] - sorted[lo]) * frac;
+}
+
+FctSummary fct_summary(std::span<const double> fct_s) {
+  FctSummary s;
+  s.count = fct_s.size();
+  if (fct_s.empty()) return s;
+  double sum = 0;
+  for (double v : fct_s) sum += v;
+  s.mean_s = sum / static_cast<double>(fct_s.size());
+  s.p50_s = percentile(fct_s, 0.50);
+  s.p95_s = percentile(fct_s, 0.95);
+  s.p99_s = percentile(fct_s, 0.99);
+  return s;
+}
+
+double fct_slowdown(double fct_s, double bytes, double bottleneck_bps, double rtt_s) {
+  if (!(fct_s > 0) || !(bytes > 0) || !(bottleneck_bps > 0)) return 0;
+  const double ideal = bytes * 8.0 / bottleneck_bps + (rtt_s > 0 ? rtt_s : 0);
+  return ideal > 0 ? fct_s / ideal : 0;
+}
+
+}  // namespace elephant::metrics

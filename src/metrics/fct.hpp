@@ -1,0 +1,30 @@
+#pragma once
+
+#include <span>
+
+namespace elephant::metrics {
+
+/// Quantile q ∈ [0, 1] with linear interpolation between order statistics
+/// (the "R-7" rule used by numpy's default percentile). `values` need not be
+/// sorted; a sorted copy is made internally. Returns 0 for an empty span.
+[[nodiscard]] double percentile(std::span<const double> values, double q);
+
+/// p50/p95/p99 of a set of flow-completion times, plus count and mean.
+struct FctSummary {
+  std::size_t count = 0;
+  double mean_s = 0;
+  double p50_s = 0;
+  double p95_s = 0;
+  double p99_s = 0;
+};
+
+[[nodiscard]] FctSummary fct_summary(std::span<const double> fct_s);
+
+/// FCT slowdown: measured FCT over the ideal FCT of an otherwise-empty path,
+/// ideal = bytes · 8 / bottleneck_bps + rtt_s (one serialization + one RTT of
+/// handshake/propagation). ≥ 1 in any sane run; 1 means the transfer saw an
+/// empty bottleneck. Returns 0 for degenerate (non-positive) inputs.
+[[nodiscard]] double fct_slowdown(double fct_s, double bytes, double bottleneck_bps,
+                                  double rtt_s);
+
+}  // namespace elephant::metrics

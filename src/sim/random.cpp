@@ -66,4 +66,14 @@ Rng Rng::split() {
   return Rng(next_u64() ^ 0xA5A5A5A55A5A5A5AULL);
 }
 
+std::uint64_t derive_seed(std::uint64_t base, std::uint64_t stream_id) {
+  if (stream_id == 0) return base;
+  // Advance a SplitMix64 state by the stream id (multiplying by the golden
+  // gamma keeps distinct ids in distinct orbits), then draw one output. Two
+  // draws would be overkill: the finalizer already avalanche-mixes base and
+  // id into every output bit.
+  std::uint64_t x = base + stream_id * 0x9E3779B97F4A7C15ULL;
+  return splitmix64(x);
+}
+
 }  // namespace elephant::sim

@@ -34,4 +34,14 @@ class Rng {
   std::array<std::uint64_t, 4> s_{};
 };
 
+/// Derive the seed of sub-stream `stream_id` from a base seed, SplitMix64
+/// style: statistically independent streams for distinct ids, stable across
+/// platforms and releases (the values are part of the reproducibility
+/// contract — see the golden tests in sim_random_test.cpp).
+///
+/// Stream 0 is the base seed itself, so "the first repetition / the first
+/// retry / the cell's own stream" keeps its historical identity and results
+/// seeded before this helper existed remain addressable.
+[[nodiscard]] std::uint64_t derive_seed(std::uint64_t base, std::uint64_t stream_id);
+
 }  // namespace elephant::sim

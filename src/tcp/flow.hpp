@@ -17,6 +17,7 @@ struct FlowConfig {
   std::uint32_t agg = 1;
   sim::Time start_time = sim::Time::zero();
   std::uint64_t transfer_bytes = 0;  ///< finite transfer size; 0 = unbounded elephant
+  bool app_limited = false;          ///< on/off source: send only offered data
   bool ecn = false;
   bool pace_always = false;
   std::uint64_t seed = 1;

@@ -46,9 +46,22 @@ std::optional<std::uint64_t> TcpSender::pick_unit_to_send() {
     lost_pending_ = 0;  // stale counter; fall through to new data
   }
   const bool more_data =
-      !stopped_ && (cfg_.transfer_units == 0 || next_seq_ < cfg_.transfer_units);
+      !stopped_ && (cfg_.transfer_units == 0 || next_seq_ < cfg_.transfer_units) &&
+      (!cfg_.app_limited || next_seq_ < app_limit_units_);
   if (more_data) return next_seq_;
   return std::nullopt;
+}
+
+void TcpSender::offer_units(std::uint64_t units) {
+  if (!cfg_.app_limited || units == 0) return;
+  app_limit_units_ += units;
+  app_idle_notified_ = false;
+  if (started_ && sched_.now() >= cfg_.start_time) try_send();
+}
+
+void TcpSender::offer_bytes(std::uint64_t bytes) {
+  const std::uint64_t unit_bytes = std::uint64_t{cfg_.mss} * cfg_.agg;
+  offer_units((bytes + unit_bytes - 1) / unit_bytes);
 }
 
 void TcpSender::try_send() {
@@ -383,8 +396,15 @@ void TcpSender::on_packet(net::Packet&& p) {
   }
   if (tracer_) trace_cwnd();
 
-  // Finite transfer bookkeeping: record the completion instant once.
-  if (completion_time_ == sim::Time::zero() && completed()) completion_time_ = now;
+  // Finite transfer bookkeeping: on the completing ACK, record the instant,
+  // release both timers, and notify the owner — a completed connection must
+  // not hold scheduler events open nor send another segment.
+  if (completion_time_ == sim::Time::zero() && completed()) {
+    completion_time_ = now;
+    teardown_after_completion();
+    if (on_complete_) on_complete_();
+    return;
+  }
 
   // 7. RTO refresh. Any delivery progress (cumulative OR SACK) restarts the
   // timer: during SACK recovery in a deep buffer, una can legitimately stall
@@ -398,6 +418,24 @@ void TcpSender::on_packet(net::Packet&& p) {
   }
 
   try_send();
+
+  // App-limited idle detection: everything offered has been sent AND
+  // acknowledged. One upcall per burst; the callback typically schedules the
+  // next offer_units() after a think time.
+  if (cfg_.app_limited && !app_idle_notified_ && una_ == next_seq_ &&
+      next_seq_ == app_limit_units_ && pipe_units_ == 0) {
+    app_idle_notified_ = true;
+    if (on_app_idle_) on_app_idle_();
+  }
+}
+
+void TcpSender::teardown_after_completion() {
+  stopped_ = true;
+  rto_armed_ = false;
+  rto_deadline_ = sim::Time::max();
+  rto_timer_.disarm();
+  pace_armed_ = false;
+  pace_timer_.disarm();
 }
 
 }  // namespace elephant::tcp

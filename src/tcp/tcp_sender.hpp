@@ -1,6 +1,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <optional>
 
@@ -23,6 +24,11 @@ struct TcpSenderConfig {
   std::uint32_t agg = 1;     ///< segments per transmission unit (TSO/GRO analogue)
   sim::Time start_time = sim::Time::zero();
   std::uint64_t transfer_units = 0;  ///< stop after this many units (0 = unbounded elephant)
+  /// Application-limited mode: the sender transmits only data the application
+  /// has offered via offer_units(), idling (pipe drained, timers quiescent)
+  /// in between. Used by on/off workload sources; incompatible with
+  /// transfer_units (a finite transfer is fully available at start).
+  bool app_limited = false;
   bool ecn = false;               ///< mark packets ECT
   bool pace_always = false;       ///< ablation: pace loss-based CCAs at 2*cwnd/srtt
   sim::Time min_rto = sim::Time::milliseconds(200);
@@ -60,6 +66,23 @@ class TcpSender : public net::PacketHandler {
   void start();
   /// Stop offering new data (in-flight data still completes).
   void stop() { stopped_ = true; }
+
+  /// App-limited mode: make `units` more transmission units available and
+  /// (re)start transmission. No-op unless cfg.app_limited.
+  void offer_units(std::uint64_t units);
+  /// Convenience wrapper: bytes rounded up to whole transmission units.
+  void offer_bytes(std::uint64_t bytes);
+  /// Units the application has offered so far (app-limited mode).
+  [[nodiscard]] std::uint64_t offered_units() const { return app_limit_units_; }
+
+  /// Invoked exactly once when a finite transfer completes (every unit
+  /// cumulatively acknowledged). By the time it runs the sender has torn
+  /// itself down: both timers are disarmed, so a completed flow holds no
+  /// scheduler events open.
+  void set_on_complete(std::function<void()> cb) { on_complete_ = std::move(cb); }
+  /// Invoked each time an app-limited sender drains everything offered
+  /// (once per offer_units() burst). Drives on/off sources' think time.
+  void set_on_app_idle(std::function<void()> cb) { on_app_idle_ = std::move(cb); }
 
   void on_packet(net::Packet&& p) override;  // ACK input
 
@@ -127,6 +150,7 @@ class TcpSender : public net::PacketHandler {
 
   void try_send();
   void send_unit(std::uint64_t abs);
+  void teardown_after_completion();
   void process_sacks(const net::Packet& ack, std::uint64_t* newly_delivered_units,
                      SampleRef* newest);
   void mark_losses();
@@ -176,6 +200,12 @@ class TcpSender : public net::PacketHandler {
   bool started_ = false;
   bool stopped_ = false;
   sim::Time completion_time_ = sim::Time::zero();
+
+  // Application-limited (on/off) machinery.
+  std::uint64_t app_limit_units_ = 0;  ///< units offered by the application
+  bool app_idle_notified_ = false;     ///< one idle upcall per offered burst
+  std::function<void()> on_complete_;
+  std::function<void()> on_app_idle_;
 
   // Flight recorder (null = tracing off; hot paths pay one branch).
   trace::Tracer* tracer_ = nullptr;

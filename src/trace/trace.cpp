@@ -8,7 +8,7 @@ namespace {
 constexpr const char* kTypeNames[kRecordTypeCount] = {
     "cwnd_update", "packet_sent", "packet_retx", "sack_mark",   "loss_mark",
     "rto_fire",    "aqm_enqueue", "aqm_drop",    "aqm_mark",    "queue_depth",
-    "fault",
+    "fault",       "flow_start",  "flow_end",
 };
 }  // namespace
 

@@ -23,9 +23,11 @@ enum class RecordType : std::uint8_t {
   kAqmMark,         ///< flow, seq; v0 = backlog bytes, v1 = backlog packets (ECN CE)
   kQueueDepth,      ///< periodic port sample; v0 = backlog bytes, v1 = packets, v2 = cumulative tx bytes
   kFault,           ///< fault-injection event; v0 = FaultKind, v1 = magnitude, v2 = 1 apply / 0 revert
+  kFlowStart,       ///< workload flow instantiated; v0 = traffic-class index, v1 = transfer bytes (0 = elephant), v2 = dumbbell side
+  kFlowEnd,         ///< finite flow completed; v0 = traffic-class index, v1 = transfer bytes, v2 = FCT seconds
 };
 
-inline constexpr std::size_t kRecordTypeCount = 11;
+inline constexpr std::size_t kRecordTypeCount = 13;
 
 [[nodiscard]] const char* to_string(RecordType type);
 /// Parse a name produced by to_string(); returns false on unknown names.

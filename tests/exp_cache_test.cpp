@@ -6,6 +6,8 @@
 #include <filesystem>
 #include <fstream>
 
+#include "workload/workload.hpp"
+
 namespace elephant::exp {
 namespace {
 
@@ -147,6 +149,91 @@ TEST_F(CacheTest, SeedIsPartOfTheKey) {
   cache.store(fake_result(a));
   EXPECT_TRUE(cache.load(a).has_value());
   EXPECT_FALSE(cache.load(b).has_value());
+}
+
+ExperimentResult fake_workload_result(const ExperimentConfig& cfg) {
+  ExperimentResult r = fake_result(cfg);
+  ClassResult elephants;
+  elephants.name = "elephants";
+  elephants.flows = 2;
+  elephants.throughput_bps = 9e7;
+  elephants.share = 0.9;
+  elephants.jain = 0.98;
+  ClassResult mice;
+  mice.name = "mice";
+  mice.flows = 40;
+  mice.completed = 38;
+  mice.throughput_bps = 1e7;
+  mice.share = 0.1;
+  mice.jain = 0.6;
+  mice.fct_p50_s = 0.12;
+  mice.fct_p95_s = 0.9;
+  mice.fct_p99_s = 1.7;
+  mice.fct_mean_s = 0.3;
+  mice.slowdown_p50 = 2.5;
+  mice.slowdown_p95 = 11.0;
+  mice.slowdown_p99 = 19.0;
+  r.classes = {elephants, mice};
+  return r;
+}
+
+TEST_F(CacheTest, WorkloadIsPartOfTheKey) {
+  ResultCache cache(dir_);
+  ExperimentConfig paper;                                         // default workload
+  ExperimentConfig mice = paper;
+  mice.workload = workload::WorkloadSpec::mice_elephants();
+  ExperimentConfig web = paper;
+  web.workload = workload::WorkloadSpec::poisson_web();
+
+  cache.store(fake_result(paper));
+  EXPECT_TRUE(cache.load(paper).has_value());
+  EXPECT_FALSE(cache.load(mice).has_value());
+  EXPECT_FALSE(cache.load(web).has_value());
+
+  cache.store(fake_workload_result(mice));
+  EXPECT_TRUE(cache.load(mice).has_value());
+  EXPECT_FALSE(cache.load(web).has_value());
+  // The elephant-only entry must be untouched by the workload store.
+  EXPECT_TRUE(cache.load(paper).has_value());
+
+  // Same preset but one knob turned → different key.
+  ExperimentConfig more_mice = mice;
+  more_mice.workload.classes[1].count += 1;
+  EXPECT_FALSE(cache.load(more_mice).has_value());
+}
+
+TEST_F(CacheTest, ClassRowsRoundTrip) {
+  ResultCache cache(dir_);
+  ExperimentConfig cfg;
+  cfg.workload = workload::WorkloadSpec::mice_elephants();
+  cache.store(fake_workload_result(cfg));
+  const auto loaded = cache.load(cfg);
+  ASSERT_TRUE(loaded.has_value());
+  ASSERT_EQ(loaded->classes.size(), 2u);
+  EXPECT_EQ(loaded->classes[0].name, "elephants");
+  EXPECT_DOUBLE_EQ(loaded->classes[0].jain, 0.98);
+  EXPECT_EQ(loaded->classes[1].name, "mice");
+  EXPECT_EQ(loaded->classes[1].flows, 40u);
+  EXPECT_EQ(loaded->classes[1].completed, 38u);
+  EXPECT_DOUBLE_EQ(loaded->classes[1].fct_p50_s, 0.12);
+  EXPECT_DOUBLE_EQ(loaded->classes[1].fct_p99_s, 1.7);
+  EXPECT_DOUBLE_EQ(loaded->classes[1].slowdown_p95, 11.0);
+}
+
+TEST_F(CacheTest, WorkloadEntryWithoutClassRowsIsEvicted) {
+  ResultCache cache(dir_);
+  ExperimentConfig cfg;
+  cfg.workload = workload::WorkloadSpec::mice_elephants();
+  cache.store(fake_workload_result(cfg));
+  const auto file = only_file(dir_);
+  // An entry written before the workload feature existed: all the scalar
+  // fields are present but the classN rows are not. Serving it would hand a
+  // mixed-traffic caller an elephant-shaped result.
+  std::ofstream(file, std::ios::trunc)
+      << "sender1_bps=4.2e8\nsender2_bps=5.8e8\njain2=0.9\nutilization=0.9\n"
+         "retx_segments=1\nrtos=0\nn_flows=2\n";
+  EXPECT_FALSE(cache.load(cfg).has_value());
+  EXPECT_FALSE(std::filesystem::exists(file)) << "stale pre-workload entry must be evicted";
 }
 
 }  // namespace

@@ -124,6 +124,63 @@ TEST_F(ResilientSweepTest, ManifestLineRoundTrips) {
   EXPECT_EQ(back.error, e.error);
 }
 
+TEST_F(ResilientSweepTest, ManifestClassBlockRoundTrips) {
+  ManifestEntry e;
+  e.index = 3;
+  e.id = "cubic_vs_bbr-fifo-bdp1-100M-wl[mice]";
+  e.status = RunStatus::kOk;
+  e.attempts = 1;
+  e.repetitions = 1;
+  ClassResult elephants;
+  elephants.name = "elephants";
+  elephants.flows = 2;
+  elephants.throughput_bps = 9.1e7;
+  elephants.share = 0.91;
+  elephants.jain = 0.97;
+  ClassResult mice;
+  mice.name = "mice";
+  mice.flows = 40;
+  mice.completed = 39;
+  mice.throughput_bps = 8.2e6;
+  mice.share = 0.09;
+  mice.jain = 0.55;
+  mice.fct_p50_s = 0.125;
+  mice.fct_p95_s = 0.75;
+  mice.fct_p99_s = 1.5;
+  mice.fct_mean_s = 0.25;
+  mice.slowdown_p50 = 2.25;
+  mice.slowdown_p95 = 8.5;
+  mice.slowdown_p99 = 17.0;
+  e.classes = {elephants, mice};
+
+  ManifestEntry back;
+  ASSERT_TRUE(SweepManifest::parse_line(SweepManifest::format_line(e), &back));
+  ASSERT_EQ(back.classes.size(), 2u);
+  EXPECT_EQ(back.classes[0].name, "elephants");
+  EXPECT_DOUBLE_EQ(back.classes[0].jain, 0.97);
+  EXPECT_EQ(back.classes[1].name, "mice");
+  EXPECT_EQ(back.classes[1].flows, 40u);
+  EXPECT_EQ(back.classes[1].completed, 39u);
+  EXPECT_DOUBLE_EQ(back.classes[1].throughput_bps, 8.2e6);
+  EXPECT_DOUBLE_EQ(back.classes[1].share, 0.09);
+  EXPECT_DOUBLE_EQ(back.classes[1].fct_p50_s, 0.125);
+  EXPECT_DOUBLE_EQ(back.classes[1].fct_p95_s, 0.75);
+  EXPECT_DOUBLE_EQ(back.classes[1].fct_p99_s, 1.5);
+  EXPECT_DOUBLE_EQ(back.classes[1].fct_mean_s, 0.25);
+  EXPECT_DOUBLE_EQ(back.classes[1].slowdown_p50, 2.25);
+  EXPECT_DOUBLE_EQ(back.classes[1].slowdown_p99, 17.0);
+}
+
+TEST_F(ResilientSweepTest, ElephantOnlyManifestLineHasNoClassesBlock) {
+  // Elephant-only cells must keep the exact pre-workload journal format so
+  // old manifests stay resumable and diffs stay trivial.
+  ManifestEntry e;
+  e.index = 0;
+  e.id = "cell-a";
+  e.status = RunStatus::kOk;
+  EXPECT_EQ(SweepManifest::format_line(e).find("classes"), std::string::npos);
+}
+
 TEST_F(ResilientSweepTest, ManifestLoadToleratesTornTailAndKeepsLatest) {
   ManifestEntry first;
   first.index = 0;

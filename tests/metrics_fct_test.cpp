@@ -1,0 +1,104 @@
+#include "metrics/fct.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "metrics/fairness.hpp"
+
+namespace elephant::metrics {
+namespace {
+
+TEST(Percentile, EmptyIsZero) {
+  EXPECT_DOUBLE_EQ(percentile({}, 0.5), 0.0);
+}
+
+TEST(Percentile, SingleElementIsThatElementAtEveryQuantile) {
+  const std::vector<double> v = {3.5};
+  EXPECT_DOUBLE_EQ(percentile(v, 0.0), 3.5);
+  EXPECT_DOUBLE_EQ(percentile(v, 0.5), 3.5);
+  EXPECT_DOUBLE_EQ(percentile(v, 0.99), 3.5);
+  EXPECT_DOUBLE_EQ(percentile(v, 1.0), 3.5);
+}
+
+TEST(Percentile, EndpointsAreMinAndMax) {
+  const std::vector<double> v = {9.0, 1.0, 5.0, 3.0};
+  EXPECT_DOUBLE_EQ(percentile(v, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 1.0), 9.0);
+}
+
+TEST(Percentile, LinearInterpolationMatchesR7) {
+  // R-7 on {1,2,3,4}: rank = q·(n−1); p50 → 2.5, p25 → 1.75.
+  const std::vector<double> v = {4.0, 2.0, 1.0, 3.0};  // unsorted on purpose
+  EXPECT_DOUBLE_EQ(percentile(v, 0.5), 2.5);
+  EXPECT_DOUBLE_EQ(percentile(v, 0.25), 1.75);
+  EXPECT_DOUBLE_EQ(percentile(v, 0.75), 3.25);
+}
+
+TEST(Percentile, ExactOrderStatisticNeedsNoInterpolation) {
+  const std::vector<double> v = {10.0, 20.0, 30.0};
+  EXPECT_DOUBLE_EQ(percentile(v, 0.5), 20.0);
+}
+
+TEST(FctSummary, EmptyIsAllZero) {
+  const FctSummary s = fct_summary({});
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_DOUBLE_EQ(s.mean_s, 0.0);
+  EXPECT_DOUBLE_EQ(s.p99_s, 0.0);
+}
+
+TEST(FctSummary, PercentilesAreOrdered) {
+  std::vector<double> fct;
+  for (int i = 1; i <= 100; ++i) fct.push_back(0.01 * i);
+  const FctSummary s = fct_summary(fct);
+  EXPECT_EQ(s.count, 100u);
+  EXPECT_NEAR(s.mean_s, 0.505, 1e-12);
+  EXPECT_LE(s.p50_s, s.p95_s);
+  EXPECT_LE(s.p95_s, s.p99_s);
+  EXPECT_NEAR(s.p50_s, 0.505, 1e-12);
+}
+
+TEST(FctSlowdown, IdealTransferHasSlowdownOne) {
+  // 1 MB at 100 Mbps = 80 ms serialization; +20 ms RTT → ideal 0.1 s.
+  EXPECT_DOUBLE_EQ(fct_slowdown(0.1, 1e6, 100e6, 0.02), 1.0);
+  EXPECT_DOUBLE_EQ(fct_slowdown(0.3, 1e6, 100e6, 0.02), 3.0);
+}
+
+TEST(FctSlowdown, DegenerateInputsAreZero) {
+  EXPECT_DOUBLE_EQ(fct_slowdown(0.0, 1e6, 100e6, 0.02), 0.0);
+  EXPECT_DOUBLE_EQ(fct_slowdown(0.1, 0.0, 100e6, 0.02), 0.0);
+  EXPECT_DOUBLE_EQ(fct_slowdown(0.1, 1e6, 0.0, 0.02), 0.0);
+  EXPECT_DOUBLE_EQ(fct_slowdown(-1.0, 1e6, 100e6, 0.02), 0.0);
+}
+
+// Asymmetric-population Jain cases that matter once mice share the link with
+// elephants: tiny flows beside huge ones, idle flows beside busy ones.
+TEST(JainAsymmetric, SingleFlowIsPerfectlyFair) {
+  const std::vector<double> one = {42e6};
+  EXPECT_DOUBLE_EQ(jain_index(one), 1.0);
+}
+
+TEST(JainAsymmetric, ZeroShareAmongNonzeroDragsTheIndexDown) {
+  // {x, 0, 0}: J = x² / (3·x²) = 1/3, the floor for n = 3.
+  const std::vector<double> v = {5e6, 0.0, 0.0};
+  EXPECT_NEAR(jain_index(v), 1.0 / 3.0, 1e-12);
+}
+
+TEST(JainAsymmetric, MiceBesideAnElephantApproachTheFloor) {
+  // One elephant at 90 Mbps and nine 100 kbps mice: J ≈ (Σ)²/(n·Σx²).
+  std::vector<double> v = {90e6};
+  for (int i = 0; i < 9; ++i) v.push_back(100e3);
+  const double sum = 90e6 + 9 * 100e3;
+  const double sumsq = 90e6 * 90e6 + 9 * 100e3 * 100e3;
+  EXPECT_NEAR(jain_index(v), sum * sum / (10 * sumsq), 1e-12);
+  EXPECT_LT(jain_index(v), 0.11);  // barely above the 1/n floor
+}
+
+TEST(JainAsymmetric, ScaleInvariant) {
+  const std::vector<double> a = {1.0, 2.0, 3.0};
+  const std::vector<double> b = {1e9, 2e9, 3e9};
+  EXPECT_NEAR(jain_index(a), jain_index(b), 1e-12);
+}
+
+}  // namespace
+}  // namespace elephant::metrics

@@ -73,6 +73,41 @@ TEST(Rng, ExponentialNonNegative) {
   for (int i = 0; i < 1000; ++i) EXPECT_GE(rng.next_exponential(1.0), 0.0);
 }
 
+TEST(DeriveSeed, StreamZeroIsTheBaseSeed) {
+  EXPECT_EQ(derive_seed(42, 0), 42u);
+  EXPECT_EQ(derive_seed(0xDEADBEEF, 0), 0xDEADBEEFu);
+}
+
+TEST(DeriveSeed, DistinctStreamsDistinctSeeds) {
+  std::set<std::uint64_t> seen;
+  for (std::uint64_t id = 0; id < 4096; ++id) seen.insert(derive_seed(42, id));
+  EXPECT_EQ(seen.size(), 4096u);
+}
+
+TEST(DeriveSeed, StreamsAreIndependent) {
+  // The generators seeded from adjacent streams must not be correlated: no
+  // output collisions over a short horizon, unlike the additive ad-hoc
+  // `seed + i` scheme this helper replaced (where close seeds can yield
+  // overlapping splitmix orbits).
+  Rng a(derive_seed(7, 1));
+  Rng b(derive_seed(7, 2));
+  int equal = 0;
+  for (int i = 0; i < 256; ++i) {
+    if (a.next_u64() == b.next_u64()) ++equal;
+  }
+  EXPECT_LT(equal, 2);
+}
+
+TEST(DeriveSeed, StableAcrossReleases) {
+  // Bit-for-bit golden values, captured at introduction. These are part of
+  // the reproducibility contract: a change here silently re-maps every
+  // previously journaled repetition/retry seed.
+  EXPECT_EQ(derive_seed(42, 1), 0x28efe333b266f103ull);
+  EXPECT_EQ(derive_seed(42, 2), 0x47526757130f9f52ull);
+  EXPECT_EQ(derive_seed(43, 1), 0x9cde98852e60034bull);
+  EXPECT_EQ(derive_seed(20240817, 7), 0x97e562b797350ab3ull);
+}
+
 TEST(Rng, SplitStreamsAreIndependent) {
   Rng parent(29);
   Rng child = parent.split();

@@ -87,6 +87,83 @@ TEST(FiniteTransfer, CompletesDespiteLosses) {
   EXPECT_TRUE(mouse.completed());
 }
 
+TEST(FiniteTransfer, CompletionCallbackFiresOnceAndReleasesTimers) {
+  Fixture f;
+  Flow mouse = f.flow(1, 890'000);
+  int completions = 0;
+  sim::Time completed_at;
+  mouse.sender().set_on_complete([&] {
+    ++completions;
+    completed_at = f.sched.now();
+  });
+  mouse.start();
+  // Unbounded run: terminates only when no strong events remain. A dangling
+  // RTO timer (>= 200 ms min RTO) would hold the run open well past the
+  // completion instant; the delayed-ACK timer accounts for at most 40 ms.
+  f.sched.run();
+  ASSERT_TRUE(mouse.completed());
+  EXPECT_EQ(completions, 1);
+  EXPECT_EQ(completed_at, mouse.sender().completion_time());
+  EXPECT_LE(f.sched.now(), mouse.sender().completion_time() + sim::Time::milliseconds(100));
+  EXPECT_EQ(f.sched.strong_pending_events(), 0u);
+}
+
+TEST(AppLimited, SendsOnlyOfferedData) {
+  Fixture f;
+  FlowConfig fc;
+  fc.id = 1;
+  fc.cca = cca::CcaKind::kCubic;
+  fc.app_limited = true;
+  fc.seed = 1;
+  Flow flow(f.sched, f.net.client(0), f.net.server(0), fc);
+  flow.start();
+  flow.sender().offer_units(10);
+  f.sched.run_until(sim::Time::seconds(5));
+  EXPECT_EQ(flow.receiver().delivered_units(), 10u);
+  EXPECT_FALSE(flow.completed());  // app-limited flows are unbounded
+}
+
+TEST(AppLimited, IdleCallbackDrivesNextBurst) {
+  Fixture f;
+  FlowConfig fc;
+  fc.id = 1;
+  fc.cca = cca::CcaKind::kCubic;
+  fc.app_limited = true;
+  fc.seed = 1;
+  Flow flow(f.sched, f.net.client(0), f.net.server(0), fc);
+  int idles = 0;
+  flow.sender().set_on_app_idle([&] {
+    ++idles;
+    // Think for 500 ms, then offer the next burst (three bursts total).
+    if (idles < 3) {
+      f.sched.schedule_in(sim::Time::milliseconds(500),
+                          [&] { flow.sender().offer_units(5); });
+    }
+  });
+  flow.start();
+  flow.sender().offer_units(5);
+  f.sched.run_until(sim::Time::seconds(20));
+  EXPECT_EQ(idles, 3);
+  EXPECT_EQ(flow.receiver().delivered_units(), 15u);
+}
+
+TEST(AppLimited, OfferBeforeStartIsHeldUntilStartTime) {
+  Fixture f;
+  FlowConfig fc;
+  fc.id = 1;
+  fc.cca = cca::CcaKind::kCubic;
+  fc.app_limited = true;
+  fc.start_time = sim::Time::seconds(2);
+  fc.seed = 1;
+  Flow flow(f.sched, f.net.client(0), f.net.server(0), fc);
+  flow.start();
+  flow.sender().offer_units(4);
+  f.sched.run_until(sim::Time::seconds(1));
+  EXPECT_EQ(flow.receiver().delivered_units(), 0u);
+  f.sched.run_until(sim::Time::seconds(5));
+  EXPECT_EQ(flow.receiver().delivered_units(), 4u);
+}
+
 TEST(FiniteTransfer, FctWorsensBehindBufferbloat) {
   // A mouse behind a CUBIC elephant in a deep FIFO waits out the standing
   // queue; the same mouse alone is far faster.

@@ -121,6 +121,8 @@ TEST(Codec, CsvRoundTripIsLossless) {
       make_record(123456789, RecordType::kAqmDrop, 4294967295u, 18446744073709551615ull,
                   -1.5e-300, 3.14159265358979312, 1.0),
       make_record(7, RecordType::kQueueDepth, 0, 0, 0.0, 0.1, 1e308),
+      make_record(5000000, RecordType::kFlowStart, 12, 0, 1.0, 450000.0, 1.0),
+      make_record(5480000, RecordType::kFlowEnd, 12, 0, 1.0, 450000.0, 0.48),
   };
   for (const TraceRecord& r : records) {
     std::string line;

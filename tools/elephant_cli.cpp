@@ -3,10 +3,18 @@
 //   elephant run   [--cca1 K] [--cca2 K] [--aqm A] [--bdp X] [--bw BPS]
 //                  [--flows N] [--duration S] [--seed S] [--rtt MS]
 //                  [--loss P] [--ecn] [--reps N]
+//                  [--workload PRESET] [--workload-cdf FILE]
 //   elephant sweep [--aqm A] [--bw BPS] [--pairs inter|intra|all] [--reps N]
 //                  [--threads N] [--retries N] [--event-budget N]
 //                  [--wall-budget S] [--manifest PATH] [--resume]
-//   elephant list  (CCAs, AQMs, and the paper's axis values)
+//                  [--workload PRESET] [--workload-cdf FILE]
+//   elephant list  (CCAs, AQMs, workload presets, and the paper's axis values)
+//
+// --workload mixes extra traffic classes (mice, Poisson web transfers, on/off
+// sources) in with the paper's elephants; per-class FCT percentiles and byte
+// shares are printed under the main row. --workload-cdf replaces the finite
+// classes' size distribution with an empirical CDF file of
+// "<bytes> <cum_prob>" lines.
 //
 // `run` prints one row; `sweep` prints a table over all buffer sizes for the
 // selected slice, using (and filling) the shared on-disk result cache.
@@ -34,9 +42,12 @@ using namespace elephant;
                "  run   --cca1 bbr1 --cca2 cubic --aqm fifo --bdp 2 --bw 1e9\n"
                "        [--flows N] [--duration S] [--seed S] [--rtt MS]\n"
                "        [--loss P] [--ecn] [--reps N]\n"
+               "        [--workload paper|mice-elephants|poisson-web|onoff]\n"
+               "        [--workload-cdf FILE]\n"
                "  sweep --aqm fifo --bw 1e9 [--pairs inter|intra|all] [--reps N]\n"
                "        [--threads N] [--retries N] [--event-budget N]\n"
                "        [--wall-budget S] [--manifest PATH] [--resume]\n"
+               "        [--workload PRESET] [--workload-cdf FILE]\n"
                "  list\n");
   std::exit(2);
 }
@@ -102,6 +113,37 @@ Args parse(int argc, char** argv) {
       a.manifest = need(i);
     } else if (!std::strcmp(arg, "--resume")) {
       a.resume = true;
+    } else if (!std::strcmp(arg, "--workload")) {
+      const char* name = need(i);
+      if (!workload::WorkloadSpec::from_name(name, &a.cfg.workload)) {
+        std::fprintf(stderr, "unknown workload preset: %s (try:", name);
+        for (const std::string& p : workload::WorkloadSpec::preset_names()) {
+          std::fprintf(stderr, " %s", p.c_str());
+        }
+        std::fprintf(stderr, ")\n");
+        std::exit(2);
+      }
+    } else if (!std::strcmp(arg, "--workload-cdf")) {
+      const char* path = need(i);
+      workload::SizeSpec spec;
+      std::string error;
+      if (!workload::SizeSpec::load_cdf_file(path, &spec, &error)) {
+        std::fprintf(stderr, "--workload-cdf: %s\n", error.c_str());
+        std::exit(2);
+      }
+      bool applied = false;
+      for (workload::TrafficClass& c : a.cfg.workload.classes) {
+        if (c.kind != workload::ClassKind::kElephant) {
+          c.size = spec;
+          applied = true;
+        }
+      }
+      if (!applied) {
+        std::fprintf(stderr,
+                     "--workload-cdf: no finite/on-off class to apply it to "
+                     "(pass --workload first)\n");
+        std::exit(2);
+      }
     } else {
       std::fprintf(stderr, "unknown option: %s\n", arg);
       usage();
@@ -114,6 +156,17 @@ void print_row(const exp::AveragedResult& res) {
   std::printf("%-34s S1=%9.2fM S2=%9.2fM J=%6.3f util=%6.3f retx=%9.0f rtos=%5.0f\n",
               res.config.label().c_str(), res.sender_bps[0] / 1e6, res.sender_bps[1] / 1e6,
               res.jain2, res.utilization, res.retx_segments, res.rtos);
+  for (const exp::ClassResult& c : res.classes) {
+    std::printf("  class %-12s flows=%u done=%u share=%5.3f jain=%5.3f bps=%9.2fM",
+                c.name.c_str(), c.flows, c.completed, c.share, c.jain,
+                c.throughput_bps / 1e6);
+    if (c.completed > 0) {
+      std::printf(" fct_p50=%.1fms p95=%.1fms p99=%.1fms slowdown_p50=%.2f p99=%.2f",
+                  c.fct_p50_s * 1e3, c.fct_p95_s * 1e3, c.fct_p99_s * 1e3, c.slowdown_p50,
+                  c.slowdown_p99);
+    }
+    std::printf("\n");
+  }
 }
 
 int cmd_run(const Args& a) {
@@ -207,6 +260,10 @@ int cmd_list() {
   std::printf("\npaper flow counts:");
   for (const double bw : exp::paper_bandwidths()) {
     std::printf(" %u", exp::ExperimentConfig::paper_flows_for(bw));
+  }
+  std::printf("\nworkload presets:");
+  for (const std::string& p : workload::WorkloadSpec::preset_names()) {
+    std::printf(" %s", p.c_str());
   }
   std::printf("\n");
   return 0;
