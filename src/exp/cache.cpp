@@ -48,6 +48,12 @@ std::filesystem::path ResultCache::path_for(const ExperimentConfig& cfg) const {
 }
 
 std::optional<ExperimentResult> ResultCache::load(const ExperimentConfig& cfg) const {
+  auto res = load_impl(cfg);
+  (res ? hits_ : misses_).fetch_add(1, std::memory_order_relaxed);
+  return res;
+}
+
+std::optional<ExperimentResult> ResultCache::load_impl(const ExperimentConfig& cfg) const {
   if (!enabled_) return std::nullopt;
   std::lock_guard lock(mu_);
   const auto path = path_for(cfg);

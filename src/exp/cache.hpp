@@ -1,5 +1,6 @@
 #pragma once
 
+#include <atomic>
 #include <filesystem>
 #include <mutex>
 #include <optional>
@@ -29,12 +30,21 @@ class ResultCache {
   void set_enabled(bool enabled) { enabled_ = enabled; }
   [[nodiscard]] bool enabled() const { return enabled_; }
 
+  /// Lifetime load() outcomes (telemetry; relaxed counters, any thread).
+  [[nodiscard]] std::uint64_t hits() const { return hits_.load(std::memory_order_relaxed); }
+  [[nodiscard]] std::uint64_t misses() const {
+    return misses_.load(std::memory_order_relaxed);
+  }
+
  private:
   [[nodiscard]] std::filesystem::path path_for(const ExperimentConfig& cfg) const;
+  [[nodiscard]] std::optional<ExperimentResult> load_impl(const ExperimentConfig& cfg) const;
 
   std::filesystem::path dir_;
   bool enabled_ = true;
   mutable std::mutex mu_;
+  mutable std::atomic<std::uint64_t> hits_{0};
+  mutable std::atomic<std::uint64_t> misses_{0};
 };
 
 }  // namespace elephant::exp

@@ -14,6 +14,10 @@ namespace elephant::trace {
 class Tracer;
 }
 
+namespace elephant::obs {
+class MetricsRegistry;
+}
+
 namespace elephant::exp {
 
 /// One cell of the paper's 810-configuration matrix (Table 1):
@@ -64,6 +68,15 @@ struct ExperimentConfig {
   trace::Tracer* tracer = nullptr;
   /// Bottleneck queue-depth sampling period when tracing (kQueueDepth).
   sim::Time trace_queue_interval = sim::Time::milliseconds(100);
+
+  /// Optional telemetry registry the run publishes into (see obs/metrics.hpp):
+  /// scheduler gauges, bottleneck sojourn histogram, TCP srtt/cwnd, and
+  /// run-boundary counters from the existing stats structs. Pure observation
+  /// like the tracer and likewise excluded from id(); unlike the tracer it
+  /// does NOT disable the result cache — a cache hit simply contributes no
+  /// samples. Histograms are written lock-free by the simulation thread, so
+  /// each concurrently running cell needs its own registry (merge afterwards).
+  obs::MetricsRegistry* metrics = nullptr;
 
   /// BDP in bytes (paper Eq. 1): BW · RTT / 8.
   [[nodiscard]] double bdp_bytes() const { return bottleneck_bps * rtt.sec() / 8.0; }

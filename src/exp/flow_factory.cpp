@@ -23,8 +23,9 @@ constexpr std::size_t kMaxFlows = 65536;
 }  // namespace
 
 FlowFactory::FlowFactory(sim::Scheduler& sched, net::Dumbbell& net,
-                         const ExperimentConfig& cfg, sim::Rng& cell_rng)
-    : sched_(sched), net_(net), cfg_(cfg) {
+                         const ExperimentConfig& cfg, sim::Rng& cell_rng,
+                         const obs::TcpMetrics* metrics)
+    : sched_(sched), net_(net), cfg_(cfg), metrics_(metrics) {
   if (cfg_.workload.is_paper_default()) {
     build_legacy(cell_rng);
   } else {
@@ -71,6 +72,7 @@ void FlowFactory::build_legacy(sim::Rng& rng) {
       inst->sender =
           std::make_unique<tcp::TcpSender>(sched_, client, sc, cca::make_cca(kind, cp));
       if (cfg_.tracer != nullptr) inst->sender->set_tracer(cfg_.tracer);
+      if (metrics_ != nullptr) inst->sender->set_metrics(metrics_);
       client.register_endpoint(flow, inst->sender.get());
       server.register_endpoint(flow, inst->receiver.get());
       inst->sender->start();
@@ -184,6 +186,7 @@ FlowInstance& FlowFactory::spawn(int ci, const workload::TrafficClass& tc, int s
   inst->receiver = std::make_unique<tcp::TcpReceiver>(sched_, server, client.id(), flow);
   inst->sender = std::make_unique<tcp::TcpSender>(sched_, client, sc, cca::make_cca(kind, cp));
   if (cfg_.tracer != nullptr) inst->sender->set_tracer(cfg_.tracer);
+  if (metrics_ != nullptr) inst->sender->set_metrics(metrics_);
   client.register_endpoint(flow, inst->sender.get());
   server.register_endpoint(flow, inst->receiver.get());
 

@@ -11,6 +11,10 @@
 #include "tcp/tcp_sender.hpp"
 #include "workload/workload.hpp"
 
+namespace elephant::obs {
+struct TcpMetrics;
+}  // namespace elephant::obs
+
 namespace elephant::exp {
 
 /// One instantiated flow plus the workload bookkeeping the runner needs to
@@ -43,8 +47,10 @@ struct FlowInstance {
 /// themselves through callbacks that point back into it.
 class FlowFactory {
  public:
+  /// `metrics` (optional) is attached to every sender — including flows
+  /// spawned lazily by Poisson arrivals mid-run — and must outlive the run.
   FlowFactory(sim::Scheduler& sched, net::Dumbbell& net, const ExperimentConfig& cfg,
-              sim::Rng& cell_rng);
+              sim::Rng& cell_rng, const obs::TcpMetrics* metrics = nullptr);
 
   FlowFactory(const FlowFactory&) = delete;
   FlowFactory& operator=(const FlowFactory&) = delete;
@@ -65,6 +71,7 @@ class FlowFactory {
   sim::Scheduler& sched_;
   net::Dumbbell& net_;
   const ExperimentConfig& cfg_;
+  const obs::TcpMetrics* metrics_ = nullptr;
   std::vector<std::unique_ptr<FlowInstance>> flows_;
 };
 

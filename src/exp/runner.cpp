@@ -13,6 +13,7 @@
 #include "metrics/fairness.hpp"
 #include "metrics/fct.hpp"
 #include "net/topology.hpp"
+#include "obs/metrics.hpp"
 #include "sim/random.hpp"
 #include "sim/scheduler.hpp"
 #include "tcp/tcp_receiver.hpp"
@@ -69,9 +70,28 @@ ExperimentResult run_experiment(const ExperimentConfig& cfg) {
     net.bottleneck().start_queue_sampling(cfg.trace_queue_interval);
   }
 
+  // Telemetry wiring: register the run's handles once (this may allocate),
+  // then hand the components raw pointers so steady-state updates never
+  // touch the registry. The bundles live on this frame for the whole run.
+  obs::SchedulerMetrics sched_metrics;
+  obs::QueueMetrics queue_metrics;
+  obs::TcpMetrics tcp_metrics;
+  if (cfg.metrics != nullptr) {
+    obs::MetricsRegistry& reg = *cfg.metrics;
+    sched_metrics.events_executed = &reg.gauge("sim.events_executed");
+    sched_metrics.heap_depth = &reg.gauge("sim.heap_depth");
+    sched_metrics.heap_peak = &reg.gauge("sim.heap_peak");
+    sched.set_metrics(&sched_metrics);
+    queue_metrics.sojourn_s = &reg.histogram("queue.sojourn_s");
+    net.bottleneck().set_metrics(&queue_metrics);
+    tcp_metrics.cwnd_segments = &reg.gauge("tcp.cwnd_segments");
+    tcp_metrics.srtt_s = &reg.histogram("tcp.srtt_s");
+  }
+
   // All flows — legacy elephants or a full WorkloadSpec mix — come from the
   // factory; it must outlive the run (on/off sources call back into it).
-  FlowFactory factory(sched, net, cfg, rng);
+  FlowFactory factory(sched, net, cfg, rng,
+                      cfg.metrics != nullptr ? &tcp_metrics : nullptr);
 
   sim::Scheduler::RunLimits limits;
   limits.max_events = cfg.max_events;
@@ -134,6 +154,33 @@ ExperimentResult run_experiment(const ExperimentConfig& cfg) {
   res.events_executed = sched.executed_events();
   res.wall_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - wall_start).count();
+
+  if (cfg.metrics != nullptr) {
+    // Run-boundary publication: counters ride the stats the components
+    // already keep, so the hot paths paid nothing for them.
+    obs::MetricsRegistry& reg = *cfg.metrics;
+    const aqm::QueueStats& qs = res.bottleneck;
+    reg.counter("queue.enqueued").add(qs.enqueued);
+    reg.counter("queue.dequeued").add(qs.dequeued);
+    reg.counter("queue.dropped_overflow").add(qs.dropped_overflow);
+    reg.counter("queue.dropped_early").add(qs.dropped_early);
+    reg.counter("queue.ecn_marked").add(qs.ecn_marked);
+    std::uint64_t acks = 0;
+    std::uint64_t congestion_events = 0;
+    for (const auto& inst : factory.flows()) {
+      acks += inst->sender->stats().acks_received;
+      congestion_events += inst->sender->stats().congestion_events;
+    }
+    reg.counter("tcp.acks_received").add(acks);
+    reg.counter("tcp.congestion_events").add(congestion_events);
+    reg.counter("tcp.retx_segments").add(res.retx_segments);
+    reg.counter("tcp.rtos").add(res.rtos);
+    reg.counter("sim.events").add(res.events_executed);
+    reg.counter("runs.completed").add(1);
+    if (res.wall_seconds > 0) {
+      reg.gauge("sim.sim_s_per_wall_s").set(duration.sec() / res.wall_seconds);
+    }
+  }
 
   if (!cfg.workload.is_paper_default()) {
     // Per-class aggregation: byte shares over the whole run, Jain across the

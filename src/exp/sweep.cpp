@@ -1,13 +1,21 @@
 #include "exp/sweep.hpp"
 
 #include <atomic>
+#include <chrono>
+#include <cinttypes>
+#include <cstdio>
 #include <exception>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <thread>
 #include <unordered_map>
 #include <utility>
 
+#include "exp/cache.hpp"
+#include "obs/export.hpp"
+#include "obs/heartbeat.hpp"
+#include "obs/metrics.hpp"
 #include "sim/random.hpp"
 
 namespace elephant::exp {
@@ -97,10 +105,12 @@ ManifestEntry to_manifest(std::size_t index, const std::string& id, const RunRec
 /// Execute one cell with isolation: budgets applied, failures caught, up to
 /// `max_retries` reseeded re-attempts for plain failures. Budget trips are
 /// deterministic, so retrying them would just burn the same budget again.
-RunRecord run_cell(const ExperimentConfig& base, const SweepOptions& options) {
+RunRecord run_cell(const ExperimentConfig& base, const SweepOptions& options,
+                   obs::MetricsRegistry* cell_metrics) {
   RunRecord rec;
   for (int attempt = 0; attempt <= options.max_retries; ++attempt) {
     ExperimentConfig cfg = base;
+    cfg.metrics = cell_metrics;
     if (cfg.max_events == 0) cfg.max_events = options.run_event_budget;
     if (cfg.max_wall_seconds == 0) cfg.max_wall_seconds = options.run_wall_budget_seconds;
     // Reseed retries: a crash tied to one RNG stream (e.g. a pathological
@@ -159,12 +169,83 @@ SweepReport run_sweep_resilient(const std::vector<ExperimentConfig>& configs,
   std::atomic<std::size_t> done{0};
   std::mutex report_mu;
 
+  // Sweep telemetry: a caller-supplied shared registry, or an internal one
+  // when only the heartbeat asked for it. Cells simulate into thread-local
+  // registries merged here at cell boundaries.
+  std::optional<obs::MetricsRegistry> owned_registry;
+  obs::MetricsRegistry* reg = options.metrics;
+  if (reg == nullptr && options.stats_interval_s > 0) {
+    owned_registry.emplace();
+    reg = &*owned_registry;
+  }
+  const std::uint64_t cache_hits0 = ResultCache::global().hits();
+  const std::uint64_t cache_misses0 = ResultCache::global().misses();
+  std::mutex status_mu;
+  std::string current_label;
+  obs::Counter* events_total = nullptr;
+  if (reg != nullptr) {
+    reg->gauge("sweep.cells_total").set(static_cast<double>(configs.size()));
+    events_total = &reg->counter("sim.events");
+  }
+
+  const auto sweep_start = std::chrono::steady_clock::now();
+  std::optional<obs::Heartbeat> heartbeat;
+  if (options.stats_interval_s > 0) {
+    obs::Heartbeat::Options hb;
+    hb.interval_s = options.stats_interval_s;
+    hb.jsonl_path = options.metrics_path;
+    if (hb.jsonl_path.empty()) {
+      hb.jsonl_path = options.manifest_path.empty()
+                          ? std::filesystem::path("metrics.jsonl")
+                          : options.manifest_path.parent_path() / "metrics.jsonl";
+    }
+    // Shared-registry histograms change only under merge_from's lock, so
+    // live ticks may include them.
+    hb.histograms_in_ticks = true;
+    heartbeat.emplace(
+        *reg, hb,
+        [&, total = configs.size()](std::string* fields, std::string* line) {
+          const std::size_t d = done.load();
+          const double elapsed =
+              std::chrono::duration<double>(std::chrono::steady_clock::now() - sweep_start)
+                  .count();
+          const double eta = d > 0 ? elapsed * static_cast<double>(total - d) /
+                                         static_cast<double>(d)
+                                   : 0;
+          const std::uint64_t events = events_total->value();
+          const double rate = elapsed > 0 ? static_cast<double>(events) / elapsed : 0;
+          std::string cell;
+          {
+            std::lock_guard lock(status_mu);
+            cell = current_label;
+          }
+          char buf[256];
+          std::snprintf(buf, sizeof(buf),
+                        "\"cells_done\":%zu,\"cells_total\":%zu,\"eta_s\":%.1f,"
+                        "\"event_rate\":%.3g,\"cache_hits\":%" PRIu64 ",\"cell\":\"",
+                        d, total, eta, rate,
+                        ResultCache::global().hits() - cache_hits0);
+          *fields += buf;
+          obs::append_json_escaped(cell, fields);
+          *fields += "\",";
+          std::snprintf(buf, sizeof(buf),
+                        "[sweep] %zu/%zu cells, eta %.0fs, %.3g ev/s, running: %s", d,
+                        total, eta, rate, cell.c_str());
+          *line = buf;
+        });
+    heartbeat->start();
+  }
+
   auto worker = [&] {
     while (true) {
       const std::size_t i = next.fetch_add(1);
       if (i >= configs.size()) return;
       RunRecord& rec = report.records[i];
       const std::string id = configs[i].id();
+      if (reg != nullptr) {
+        std::lock_guard lock(status_mu);
+        current_label = configs[i].label();
+      }
 
       // Resume satisfies successful journal entries without re-running;
       // failed or timed-out entries are re-attempted (latest line wins when
@@ -175,12 +256,28 @@ SweepReport run_sweep_resilient(const std::vector<ExperimentConfig>& configs,
         rec.attempts = 0;
         rec.resumed = true;
         rec.result = from_manifest(configs[i], it->second);
+        if (reg != nullptr) reg->counter("sweep.cells_resumed").add(1);
+      } else if (reg != nullptr) {
+        // This cell's simulation writes a private registry (histograms are
+        // single-writer); fold it into the shared one when the cell is done.
+        obs::MetricsRegistry local;
+        const auto cell_start = std::chrono::steady_clock::now();
+        rec = run_cell(configs[i], options, &local);
+        local.histogram("sweep.cell_wall_s")
+            .record(std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                                  cell_start)
+                        .count());
+        reg->merge_from(local);
+        if (rec.attempts > 1) reg->counter("sweep.retries").add(rec.attempts - 1);
+        if (!rec.success()) reg->counter("sweep.cells_failed").add(1);
+        if (manifest) manifest->append(to_manifest(i, id, rec));
       } else {
-        rec = run_cell(configs[i], options);
+        rec = run_cell(configs[i], options, nullptr);
         if (manifest) manifest->append(to_manifest(i, id, rec));
       }
 
       const std::size_t d = done.fetch_add(1) + 1;
+      if (reg != nullptr) reg->counter("sweep.cells_done").add(1);
       if (options.on_result) {
         std::lock_guard lock(report_mu);
         options.on_result(rec.result, d, configs.size());
@@ -196,6 +293,15 @@ SweepReport run_sweep_resilient(const std::vector<ExperimentConfig>& configs,
     for (int t = 0; t < threads; ++t) pool.emplace_back(worker);
     for (std::thread& t : pool) t.join();
   }
+
+  if (reg != nullptr) {
+    reg->counter("sweep.cache_hits").add(ResultCache::global().hits() - cache_hits0);
+    reg->counter("sweep.cache_misses").add(ResultCache::global().misses() - cache_misses0);
+  }
+  // The final heartbeat snapshot (histograms included) sees the finished
+  // counters above; ~Heartbeat would emit it anyway, but stop explicitly so
+  // the ordering is visible.
+  if (heartbeat) heartbeat->stop();
   return report;
 }
 

@@ -10,6 +10,10 @@
 #include "exp/runner.hpp"
 #include "exp/status.hpp"
 
+namespace elephant::obs {
+class MetricsRegistry;
+}
+
 namespace elephant::exp {
 
 /// Cartesian experiment matrix builder. With the paper's axes this yields
@@ -62,6 +66,23 @@ struct SweepOptions {
   /// Called after each config completes (from the submitting thread; order
   /// is not guaranteed); `done`/`total` enable progress reporting.
   std::function<void(const AveragedResult&, std::size_t done, std::size_t total)> on_result;
+
+  /// Shared telemetry registry for the whole sweep (see obs/metrics.hpp).
+  /// Each cell simulates against its own thread-local registry, merged into
+  /// this one when the cell finishes — workers never contend and histograms
+  /// stay single-writer. On top of the per-run metrics the sweep adds
+  /// sweep.cells_{done,failed,resumed}, sweep.retries, sweep.cache_{hits,
+  /// misses}, and a sweep.cell_wall_s histogram. Null with stats_interval_s
+  /// > 0 provisions an internal registry for the heartbeat's lifetime.
+  obs::MetricsRegistry* metrics = nullptr;
+  /// Wall-clock self-profiling period: > 0 runs a heartbeat thread that
+  /// appends one JSON snapshot per tick to `metrics_path` and prints
+  /// progress (cells done/total, ETA, current cell, event rate) to stderr.
+  /// 0 (default) disables the heartbeat.
+  double stats_interval_s = 0;
+  /// Heartbeat JSONL destination. Empty → "metrics.jsonl" next to the
+  /// manifest, or in the working directory when there is no manifest.
+  std::filesystem::path metrics_path;
 };
 
 /// Run a batch of configurations, optionally in parallel (each run owns its

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <vector>
 
+#include "obs/histogram.hpp"
+
 namespace elephant::metrics {
 
 double percentile(std::span<const double> values, double q) {
@@ -27,6 +29,17 @@ FctSummary fct_summary(std::span<const double> fct_s) {
   s.p50_s = percentile(fct_s, 0.50);
   s.p95_s = percentile(fct_s, 0.95);
   s.p99_s = percentile(fct_s, 0.99);
+  return s;
+}
+
+FctSummary fct_summary(const obs::LogLinHistogram& fct_s) {
+  FctSummary s;
+  s.count = static_cast<std::size_t>(fct_s.count());
+  if (s.count == 0) return s;
+  s.mean_s = fct_s.mean();
+  s.p50_s = fct_s.quantile(0.50);
+  s.p95_s = fct_s.quantile(0.95);
+  s.p99_s = fct_s.quantile(0.99);
   return s;
 }
 

@@ -2,6 +2,10 @@
 
 #include <span>
 
+namespace elephant::obs {
+class LogLinHistogram;
+}
+
 namespace elephant::metrics {
 
 /// Quantile q ∈ [0, 1] with linear interpolation between order statistics
@@ -19,6 +23,12 @@ struct FctSummary {
 };
 
 [[nodiscard]] FctSummary fct_summary(std::span<const double> fct_s);
+
+/// Same summary from a log-linear histogram of completion times: O(1) memory
+/// in the number of flows, with percentiles accurate to the histogram's
+/// advertised relative error (≤1%) instead of exact order statistics. The
+/// exact-span overload stays the default for the paper cells.
+[[nodiscard]] FctSummary fct_summary(const obs::LogLinHistogram& fct_s);
 
 /// FCT slowdown: measured FCT over the ideal FCT of an otherwise-empty path,
 /// ideal = bytes · 8 / bottleneck_bps + rtt_s (one serialization + one RTT of

@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "net/node.hpp"
+#include "obs/metrics.hpp"
 
 namespace elephant::net {
 
@@ -89,6 +90,9 @@ void Port::try_transmit() {
   const sim::Time tx = sim::transmission_time(next->size, rate_bps_);
   ++tx_packets_;
   tx_bytes_ += next->size;
+  if (metrics_ != nullptr && metrics_->sojourn_s != nullptr) [[unlikely]] {
+    metrics_->sojourn_s->record((sched_.now() - next->enqueue_time).sec());
+  }
 
   // The link frees after serialization; the packet lands after serialization
   // plus propagation. Two events, both relative to now.

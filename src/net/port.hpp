@@ -11,6 +11,10 @@
 #include "sim/scheduler.hpp"
 #include "sim/time.hpp"
 
+namespace elephant::obs {
+struct QueueMetrics;
+}  // namespace elephant::obs
+
 namespace elephant::net {
 
 class Node;
@@ -37,6 +41,12 @@ class Port {
     tracer_ = tracer;
     qdisc_->set_tracer(tracer);
   }
+
+  /// Attach telemetry handles (null detaches). Adds one per-dequeue
+  /// histogram record of the packet's queue sojourn time; the enqueue/drop
+  /// counters ride the qdisc's existing QueueStats, published by the run
+  /// harness at run end, so the default path stays a single untaken branch.
+  void set_metrics(const obs::QueueMetrics* metrics) { metrics_ = metrics; }
 
   /// Record a kQueueDepth sample every `interval`, starting one interval
   /// from now. The sampling event reschedules itself indefinitely, so drive
@@ -103,6 +113,7 @@ class Port {
   std::string name_;
   Node* peer_ = nullptr;
   trace::Tracer* tracer_ = nullptr;
+  const obs::QueueMetrics* metrics_ = nullptr;
   bool busy_ = false;
   bool up_ = true;
 

@@ -1,0 +1,150 @@
+#include "obs/export.hpp"
+
+#include <cctype>
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
+#include <mutex>
+
+namespace elephant::obs {
+
+namespace {
+
+std::string prom_name(std::string_view name) {
+  std::string out;
+  out.reserve(name.size());
+  for (const char c : name) {
+    const bool ok = std::isalnum(static_cast<unsigned char>(c)) || c == '_' || c == ':';
+    out.push_back(ok ? c : '_');
+  }
+  if (!out.empty() && std::isdigit(static_cast<unsigned char>(out.front()))) {
+    out.insert(out.begin(), '_');
+  }
+  return out;
+}
+
+void append_double(double v, std::string* out) {
+  if (!std::isfinite(v)) v = 0;  // JSON has no Inf/NaN literals
+  char buf[32];
+  const int n = std::snprintf(buf, sizeof(buf), "%.17g", v);
+  if (n > 0) out->append(buf, static_cast<std::size_t>(n));
+}
+
+void append_u64(std::uint64_t v, std::string* out) {
+  char buf[24];
+  const int n = std::snprintf(buf, sizeof(buf), "%" PRIu64, v);
+  if (n > 0) out->append(buf, static_cast<std::size_t>(n));
+}
+
+}  // namespace
+
+void append_json_escaped(std::string_view s, std::string* out) {
+  for (const char c : s) {
+    switch (c) {
+      case '"': *out += "\\\""; break;
+      case '\\': *out += "\\\\"; break;
+      case '\n': *out += "\\n"; break;
+      case '\r': *out += "\\r"; break;
+      case '\t': *out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          *out += buf;
+        } else {
+          out->push_back(c);
+        }
+    }
+  }
+}
+
+void write_prometheus(const MetricsRegistry& reg, std::string* out) {
+  std::lock_guard lock(reg.mutex());
+  reg.for_each_counter([&](const std::string& name, const Counter& c) {
+    const std::string n = prom_name(name);
+    *out += "# TYPE " + n + " counter\n" + n + " ";
+    append_u64(c.value(), out);
+    *out += '\n';
+  });
+  reg.for_each_gauge([&](const std::string& name, const Gauge& g) {
+    const std::string n = prom_name(name);
+    *out += "# TYPE " + n + " gauge\n" + n + " ";
+    append_double(g.value(), out);
+    *out += '\n';
+  });
+  reg.for_each_histogram([&](const std::string& name, const LogLinHistogram& h) {
+    const std::string n = prom_name(name);
+    *out += "# TYPE " + n + " summary\n";
+    for (const auto& [q, label] :
+         {std::pair{0.5, "0.5"}, std::pair{0.95, "0.95"}, std::pair{0.99, "0.99"}}) {
+      *out += n + "{quantile=\"" + label + "\"} ";
+      append_double(h.quantile(q), out);
+      *out += '\n';
+    }
+    *out += n + "_sum ";
+    append_double(h.sum(), out);
+    *out += '\n' + n + "_count ";
+    append_u64(h.count(), out);
+    *out += '\n' + n + "_min ";
+    append_double(h.min(), out);
+    *out += '\n' + n + "_max ";
+    append_double(h.max(), out);
+    *out += '\n';
+  });
+}
+
+void append_json(const MetricsRegistry& reg, std::string* out, bool include_histograms) {
+  std::lock_guard lock(reg.mutex());
+  *out += "{\"counters\":{";
+  bool first = true;
+  reg.for_each_counter([&](const std::string& name, const Counter& c) {
+    if (!first) *out += ',';
+    first = false;
+    *out += '"';
+    append_json_escaped(name, out);
+    *out += "\":";
+    append_u64(c.value(), out);
+  });
+  *out += "},\"gauges\":{";
+  first = true;
+  reg.for_each_gauge([&](const std::string& name, const Gauge& g) {
+    if (!first) *out += ',';
+    first = false;
+    *out += '"';
+    append_json_escaped(name, out);
+    *out += "\":";
+    append_double(g.value(), out);
+  });
+  *out += '}';
+  if (include_histograms) {
+    *out += ",\"histograms\":{";
+    first = true;
+    reg.for_each_histogram([&](const std::string& name, const LogLinHistogram& h) {
+      if (!first) *out += ',';
+      first = false;
+      *out += '"';
+      append_json_escaped(name, out);
+      *out += "\":{\"count\":";
+      append_u64(h.count(), out);
+      *out += ",\"sum\":";
+      append_double(h.sum(), out);
+      *out += ",\"min\":";
+      append_double(h.min(), out);
+      *out += ",\"max\":";
+      append_double(h.max(), out);
+      *out += ",\"mean\":";
+      append_double(h.mean(), out);
+      *out += ",\"p50\":";
+      append_double(h.quantile(0.5), out);
+      *out += ",\"p95\":";
+      append_double(h.quantile(0.95), out);
+      *out += ",\"p99\":";
+      append_double(h.quantile(0.99), out);
+      *out += '}';
+    });
+    *out += '}';
+  }
+  *out += '}';
+}
+
+}  // namespace elephant::obs

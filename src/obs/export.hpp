@@ -1,0 +1,28 @@
+#pragma once
+
+#include <string>
+
+#include "obs/metrics.hpp"
+
+namespace elephant::obs {
+
+/// Append a Prometheus text-format snapshot of the registry: counters as
+/// `counter`, gauges as `gauge`, histograms as `summary` (p50/p95/p99 plus
+/// _sum/_count/_min/_max). Metric names are sanitized to [a-zA-Z0-9_:]
+/// (dots become underscores). Takes the registry mutex.
+void write_prometheus(const MetricsRegistry& reg, std::string* out);
+
+/// Append one JSON object (no trailing newline) with the registry contents:
+///   {"counters":{...},"gauges":{...},"histograms":{"name":{"count":..,
+///    "sum":..,"min":..,"max":..,"mean":..,"p50":..,"p95":..,"p99":..}}}
+/// With include_histograms=false the histograms key is omitted — the
+/// heartbeat uses this for live ticks against a registry whose histograms a
+/// running simulation is still writing lock-free. Takes the registry mutex.
+void append_json(const MetricsRegistry& reg, std::string* out,
+                 bool include_histograms = true);
+
+/// JSON string escaping for the writers above and the heartbeat's status
+/// fields (quotes, backslashes, control characters).
+void append_json_escaped(std::string_view s, std::string* out);
+
+}  // namespace elephant::obs

@@ -1,0 +1,47 @@
+#include "obs/histogram.hpp"
+
+#include <algorithm>
+
+namespace elephant::obs {
+
+double LogLinHistogram::bucket_midpoint(std::size_t index) {
+  const auto octave = static_cast<int>(index) / kSubBuckets + kMinExp;
+  const auto sub = static_cast<int>(index) % kSubBuckets;
+  const double width = std::ldexp(1.0, octave) / kSubBuckets;
+  const double low = std::ldexp(1.0, octave) + width * sub;
+  return low + width / 2.0;
+}
+
+double LogLinHistogram::quantile(double q) const {
+  if (count_ == 0) return 0;
+  if (q <= 0) return min();
+  if (q >= 1) return max();
+  // Rank of the target observation, 1-based: the smallest bucket whose
+  // cumulative count reaches it holds the quantile.
+  const auto rank = static_cast<std::uint64_t>(std::ceil(q * static_cast<double>(count_)));
+  std::uint64_t cum = 0;
+  for (std::size_t i = 0; i < kBucketCount; ++i) {
+    cum += buckets_[i];
+    if (cum >= rank && buckets_[i] > 0) {
+      return std::clamp(bucket_midpoint(i), min_, max_);
+    }
+  }
+  return max();  // unreachable while count_ is consistent with the buckets
+}
+
+void LogLinHistogram::merge(const LogLinHistogram& other) {
+  if (other.count_ == 0) return;
+  for (std::size_t i = 0; i < kBucketCount; ++i) buckets_[i] += other.buckets_[i];
+  if (count_ == 0 || other.min_ < min_) min_ = other.min_;
+  if (count_ == 0 || other.max_ > max_) max_ = other.max_;
+  count_ += other.count_;
+  sum_ += other.sum_;
+}
+
+void LogLinHistogram::reset() {
+  std::fill(buckets_.begin(), buckets_.end(), 0);
+  count_ = 0;
+  sum_ = min_ = max_ = 0;
+}
+
+}  // namespace elephant::obs

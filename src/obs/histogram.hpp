@@ -1,0 +1,105 @@
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+namespace elephant::obs {
+
+/// Bounded-memory log-linear histogram (HdrHistogram-style) for non-negative
+/// values spanning many orders of magnitude: queue sojourn times in
+/// microseconds next to cell wall times in minutes.
+///
+/// Each power-of-two octave in [2^kMinExp, 2^kMaxExp) is split into
+/// kSubBuckets linear buckets, so a recorded value lands in a bucket whose
+/// width is at most value/kSubBuckets. quantile() reports the bucket
+/// midpoint, bounding the relative error by 1/(2·kSubBuckets) ≈ 0.78% —
+/// advertised as kMaxRelativeError (1%). Values outside the range clamp to
+/// the edge buckets; exact min/max/sum are tracked on the side so the edges
+/// and the mean stay exact.
+///
+/// The footprint is fixed at construction (kBucketCount · 8 B ≈ 32 KiB) and
+/// record() is a frexp, a handful of integer ops, and one store — it never
+/// allocates, which is what lets the telemetry layer stay on during full
+/// sweeps. Histograms merge by bucket-wise addition, so per-run (per-thread)
+/// instances combine into sweep-level aggregates associatively and without
+/// error amplification.
+///
+/// Thread contract: single writer (or external synchronization). Counters
+/// and gauges in the registry are atomic; histograms deliberately are not,
+/// so the per-packet record path stays a plain increment. Cross-thread
+/// aggregation goes through MetricsRegistry::merge_from(), which locks the
+/// destination.
+class LogLinHistogram {
+ public:
+  static constexpr int kSubBucketBits = 6;
+  static constexpr int kSubBuckets = 1 << kSubBucketBits;  // 64 per octave
+  static constexpr int kMinExp = -30;  ///< lowest octave: [2^-30, 2^-29) ≈ 1 ns as seconds
+  static constexpr int kMaxExp = 34;   ///< clamp ceiling: 2^34 ≈ 1.7e10
+  static constexpr int kOctaves = kMaxExp - kMinExp;
+  static constexpr std::size_t kBucketCount =
+      static_cast<std::size_t>(kOctaves) * kSubBuckets;
+  static constexpr double kMaxRelativeError = 1.0 / 100.0;  ///< advertised bound
+
+  LogLinHistogram() : buckets_(kBucketCount, 0) {}
+
+  /// Record one observation. Non-finite values are dropped; v ≤ 0 counts
+  /// into the lowest bucket (exact min_ still remembers the true value).
+  void record(double v) { record_n(v, 1); }
+
+  void record_n(double v, std::uint64_t n) {
+    if (n == 0 || std::isnan(v)) return;
+    buckets_[bucket_index(v)] += n;
+    count_ += n;
+    sum_ += v * static_cast<double>(n);
+    if (v < min_ || count_ == n) min_ = v;
+    if (v > max_ || count_ == n) max_ = v;
+  }
+
+  [[nodiscard]] std::uint64_t count() const { return count_; }
+  [[nodiscard]] double sum() const { return sum_; }
+  [[nodiscard]] double min() const { return count_ > 0 ? min_ : 0; }
+  [[nodiscard]] double max() const { return count_ > 0 ? max_ : 0; }
+  [[nodiscard]] double mean() const {
+    return count_ > 0 ? sum_ / static_cast<double>(count_) : 0;
+  }
+
+  /// Quantile q ∈ [0, 1]: midpoint of the bucket holding the ⌈q·count⌉-th
+  /// observation, clamped to the exact [min, max]. Returns 0 when empty.
+  [[nodiscard]] double quantile(double q) const;
+
+  /// Bucket-wise addition; associative and commutative, so per-thread and
+  /// per-cell histograms aggregate in any order to the same result.
+  void merge(const LogLinHistogram& other);
+
+  void reset();
+
+  /// The value a whole bucket reports (its midpoint) — exposed for tests.
+  [[nodiscard]] static double bucket_midpoint(std::size_t index);
+  [[nodiscard]] static std::size_t bucket_index(double v) {
+    if (!(v >= kMinValue())) return 0;  // ≤ 0, sub-range, or NaN-guarded
+    if (v >= kMaxValue()) return kBucketCount - 1;
+    int exp = 0;
+    const double frac = std::frexp(v, &exp);  // v = frac·2^exp, frac ∈ [0.5, 1)
+    const int octave = exp - 1 - kMinExp;     // v ∈ [2^(exp-1), 2^exp)
+    const auto sub = static_cast<int>((frac * 2.0 - 1.0) * kSubBuckets);
+    return static_cast<std::size_t>(octave) * kSubBuckets +
+           static_cast<std::size_t>(sub < kSubBuckets ? sub : kSubBuckets - 1);
+  }
+
+  [[nodiscard]] static constexpr double kMinValue() {
+    return 1.0 / (1ull << -kMinExp);  // 2^kMinExp
+  }
+  [[nodiscard]] static constexpr double kMaxValue() {
+    return static_cast<double>(1ull << kMaxExp);  // 2^kMaxExp
+  }
+
+ private:
+  std::vector<std::uint64_t> buckets_;
+  std::uint64_t count_ = 0;
+  double sum_ = 0;
+  double min_ = 0;
+  double max_ = 0;
+};
+
+}  // namespace elephant::obs

@@ -4,6 +4,8 @@
 #include <chrono>
 #include <utility>
 
+#include "obs/metrics.hpp"
+
 namespace elephant::sim {
 
 // --- slot management -------------------------------------------------------
@@ -81,6 +83,7 @@ void Scheduler::heap_update(std::uint32_t pos) {
 
 void Scheduler::heap_insert(std::uint32_t slot) {
   heap_.push_back(slot);
+  if (heap_.size() > heap_peak_) heap_peak_ = heap_.size();
   slots_[slot].heap_pos = static_cast<std::uint32_t>(heap_.size() - 1);
   heap_sift_up(slots_[slot].heap_pos);
 }
@@ -199,15 +202,24 @@ bool Scheduler::pop_one(Time deadline) {
   return true;
 }
 
+void Scheduler::publish_metrics() const {
+  // metrics_ is checked non-null by the callers; three relaxed stores.
+  metrics_->events_executed->set(static_cast<double>(executed_));
+  metrics_->heap_depth->set(static_cast<double>(heap_.size()));
+  metrics_->heap_peak->set(static_cast<double>(heap_peak_));
+}
+
 void Scheduler::run() {
   while (strong_armed_ > 0 && pop_one(Time::max())) {
   }
+  if (metrics_ != nullptr) publish_metrics();
 }
 
 void Scheduler::run_until(Time deadline) {
   while (pop_one(deadline)) {
   }
   if (now_ < deadline) now_ = deadline;
+  if (metrics_ != nullptr) publish_metrics();
 }
 
 Scheduler::StopReason Scheduler::run_until(Time deadline, const RunLimits& limits) {
@@ -223,19 +235,29 @@ Scheduler::StopReason Scheduler::run_until(Time deadline, const RunLimits& limit
       limits.max_events > 0 ? executed_ + limits.max_events : 0;
 
   std::uint64_t since_wall_check = 0;
+  StopReason reason = StopReason::kDeadline;
   while (true) {
-    if (event_stop != 0 && executed_ >= event_stop) return StopReason::kEventBudget;
+    if (event_stop != 0 && executed_ >= event_stop) {
+      reason = StopReason::kEventBudget;
+      break;
+    }
     if (wall_bounded && ++since_wall_check >= kWallCheckStride) {
       since_wall_check = 0;
-      if (std::chrono::steady_clock::now() >= wall_deadline) return StopReason::kWallBudget;
+      if (std::chrono::steady_clock::now() >= wall_deadline) {
+        reason = StopReason::kWallBudget;
+        break;
+      }
     }
-    if (!pop_one(deadline)) break;
+    if (!pop_one(deadline)) {
+      // "Exhausted" means no strong work left; lone weak samplers would
+      // otherwise report an eternal kDeadline.
+      reason = strong_armed_ == 0 ? StopReason::kQueueExhausted : StopReason::kDeadline;
+      if (now_ < deadline) now_ = deadline;
+      break;
+    }
   }
-  // "Exhausted" means no strong work left; lone weak samplers would
-  // otherwise report an eternal kDeadline.
-  const bool exhausted = strong_armed_ == 0;
-  if (now_ < deadline) now_ = deadline;
-  return exhausted ? StopReason::kQueueExhausted : StopReason::kDeadline;
+  if (metrics_ != nullptr) publish_metrics();
+  return reason;
 }
 
 void Scheduler::clear() {

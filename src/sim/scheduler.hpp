@@ -7,6 +7,10 @@
 #include "sim/callback.hpp"
 #include "sim/time.hpp"
 
+namespace elephant::obs {
+struct SchedulerMetrics;
+}  // namespace elephant::obs
+
 namespace elephant::sim {
 
 /// Opaque handle to a scheduled one-shot event; used to cancel it.
@@ -103,6 +107,14 @@ class Scheduler {
   /// Armed events that hold a run open (excludes weak samplers).
   [[nodiscard]] std::size_t strong_pending_events() const { return strong_armed_; }
   [[nodiscard]] std::uint64_t executed_events() const { return executed_; }
+  /// High-water mark of the event heap over the scheduler's life.
+  [[nodiscard]] std::size_t peak_pending_events() const { return heap_peak_; }
+
+  /// Attach telemetry gauges, published each time a run()/run_until() call
+  /// returns (pull instrumentation — the per-event path is untouched). The
+  /// pointed-to handles must outlive the scheduler or be detached with
+  /// nullptr. Null (the default) costs one untaken branch per run-loop exit.
+  void set_metrics(const obs::SchedulerMetrics* metrics) { metrics_ = metrics; }
 
   /// A re-armable timer owning one scheduler slot for its whole life.
   ///
@@ -211,11 +223,14 @@ class Scheduler {
   void heap_update(std::uint32_t pos);
 
   bool pop_one(Time deadline);
+  void publish_metrics() const;
 
   Time now_ = Time::zero();
   std::uint64_t next_seq_ = 1;
   std::uint64_t executed_ = 0;
   std::size_t strong_armed_ = 0;
+  std::size_t heap_peak_ = 0;
+  const obs::SchedulerMetrics* metrics_ = nullptr;
   std::vector<Slot> slots_;
   std::vector<std::uint32_t> heap_;
   std::vector<std::uint32_t> free_slots_;

@@ -4,6 +4,8 @@
 #include <cassert>
 #include <utility>
 
+#include "obs/metrics.hpp"
+
 namespace elephant::tcp {
 
 namespace {
@@ -361,6 +363,9 @@ void TcpSender::on_packet(net::Packet&& p) {
     const sim::Time rtt_sample = now - newest.sent_time;
     rtt_.add_sample(rtt_sample);
     ack.rtt = rtt_sample;
+    if (metrics_ != nullptr && metrics_->srtt_s != nullptr) [[unlikely]] {
+      metrics_->srtt_s->record(rtt_.srtt().sec());
+    }
   }
 
   // 4. Delivery bookkeeping, rate sample, and packet-timed round tracking.
@@ -395,6 +400,9 @@ void TcpSender::on_packet(net::Packet&& p) {
     cc_->on_ack(ack);
   }
   if (tracer_) trace_cwnd();
+  if (metrics_ != nullptr && metrics_->cwnd_segments != nullptr) [[unlikely]] {
+    metrics_->cwnd_segments->set(cc_->cwnd_segments());
+  }
 
   // Finite transfer bookkeeping: on the completing ACK, record the instant,
   // release both timers, and notify the owner — a completed connection must

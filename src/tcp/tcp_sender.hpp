@@ -13,6 +13,10 @@
 #include "tcp/rtt_estimator.hpp"
 #include "trace/trace.hpp"
 
+namespace elephant::obs {
+struct TcpMetrics;
+}  // namespace elephant::obs
+
 namespace elephant::tcp {
 
 /// Per-flow sender configuration.
@@ -89,6 +93,12 @@ class TcpSender : public net::PacketHandler {
   /// Attach a flight recorder (null detaches). Emits packet send/retx,
   /// SACK/loss marks, RTO fires, and cwnd/pacing updates.
   void set_tracer(trace::Tracer* tracer) { tracer_ = tracer; }
+
+  /// Attach telemetry handles, typically shared by every sender of a run
+  /// (null detaches). Per ACK with an RTT sample: one histogram record of
+  /// the smoothed RTT and one cwnd gauge store. Retransmit/RTO counters ride
+  /// the existing TcpSenderStats, published by the run harness at run end.
+  void set_metrics(const obs::TcpMetrics* metrics) { metrics_ = metrics; }
 
   [[nodiscard]] const TcpSenderStats& stats() const { return stats_; }
   [[nodiscard]] const cca::CongestionControl& cc() const { return *cc_; }
@@ -209,6 +219,8 @@ class TcpSender : public net::PacketHandler {
 
   // Flight recorder (null = tracing off; hot paths pay one branch).
   trace::Tracer* tracer_ = nullptr;
+  // Telemetry handles (null = metrics off; ACK path pays one branch).
+  const obs::TcpMetrics* metrics_ = nullptr;
   double last_traced_cwnd_ = -1;
   double last_traced_pacing_ = -1;
 };

@@ -17,6 +17,7 @@
 
 #include "exp/runner.hpp"
 #include "fault/fault.hpp"
+#include "obs/metrics.hpp"
 #include "trace/sinks.hpp"
 #include "trace/trace.hpp"
 
@@ -36,10 +37,12 @@ std::uint64_t bits(double d) {
   return u;
 }
 
-CellDigest run_cell(exp::ExperimentConfig cfg) {
+CellDigest run_cell(exp::ExperimentConfig cfg,
+                    obs::MetricsRegistry* metrics = nullptr) {
   trace::DigestSink sink;
   trace::Tracer tracer(sink, /*capacity=*/4096);
   cfg.tracer = &tracer;
+  cfg.metrics = metrics;
   const exp::ExperimentResult res = exp::run_experiment(cfg);
 
   CellDigest d;
@@ -140,6 +143,19 @@ TEST(DeterminismDigest, PaperCellMatchesPreSwapEngine) {
 
 TEST(DeterminismDigest, FaultCellMatchesGolden) {
   check("kGoldenFaultCell", run_cell(fault_cell()), kGoldenFaultCell);
+}
+
+// Telemetry is pure observation: attaching a metrics registry to the paper
+// cell must leave the flight-recorder trace and final metrics bit-identical
+// to the uninstrumented golden run. Any drift means an instrumentation hook
+// leaked into simulation behaviour (extra events, RNG draws, reordering).
+TEST(DeterminismDigest, PaperCellUnchangedWithTelemetryAttached) {
+  obs::MetricsRegistry reg;
+  check("kGoldenPaperCell", run_cell(paper_cell(), &reg), kGoldenPaperCell);
+  // And the observation itself was live, not silently disabled.
+  EXPECT_GT(reg.counter("sim.events").value(), 0u);
+  EXPECT_GT(reg.histogram("queue.sojourn_s").count(), 0u);
+  EXPECT_GT(reg.histogram("tcp.srtt_s").count(), 0u);
 }
 
 // Two runs of the same seeded cell in one process must digest identically —

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <span>
 #include <vector>
 
 #include "metrics/fairness.hpp"
@@ -41,7 +42,7 @@ TEST(Percentile, ExactOrderStatisticNeedsNoInterpolation) {
 }
 
 TEST(FctSummary, EmptyIsAllZero) {
-  const FctSummary s = fct_summary({});
+  const FctSummary s = fct_summary(std::span<const double>{});
   EXPECT_EQ(s.count, 0u);
   EXPECT_DOUBLE_EQ(s.mean_s, 0.0);
   EXPECT_DOUBLE_EQ(s.p99_s, 0.0);

@@ -1,0 +1,233 @@
+#include "obs/histogram.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <random>
+#include <vector>
+
+#include "metrics/fct.hpp"
+
+namespace elephant::obs {
+namespace {
+
+using Hist = LogLinHistogram;
+
+// Accuracy harness: a histogram quantile must agree with the exact
+// order-statistic percentile to within the advertised relative error. The
+// histogram reports bucket midpoints and uses a ceil-rank rule while the
+// exact path interpolates (R-7), so allow the bound plus a whisker of
+// rank-convention slack on a 100k-sample population.
+void expect_quantiles_match(const std::vector<double>& samples, const Hist& h) {
+  for (const double q : {0.01, 0.10, 0.25, 0.50, 0.75, 0.90, 0.95, 0.99}) {
+    const double exact = metrics::percentile(samples, q);
+    const double approx = h.quantile(q);
+    const double tol = Hist::kMaxRelativeError * exact + 1e-12;
+    EXPECT_NEAR(approx, exact, tol) << "q=" << q;
+  }
+}
+
+TEST(LogLinHistogram, UniformQuantilesWithinAdvertisedError) {
+  std::mt19937_64 rng(1);
+  std::uniform_real_distribution<double> dist(0.001, 10.0);
+  Hist h;
+  std::vector<double> samples;
+  samples.reserve(100000);
+  for (int i = 0; i < 100000; ++i) {
+    const double v = dist(rng);
+    samples.push_back(v);
+    h.record(v);
+  }
+  expect_quantiles_match(samples, h);
+}
+
+TEST(LogLinHistogram, LognormalQuantilesWithinAdvertisedError) {
+  std::mt19937_64 rng(2);
+  std::lognormal_distribution<double> dist(-3.0, 1.5);  // sojourn-time-like
+  Hist h;
+  std::vector<double> samples;
+  samples.reserve(100000);
+  for (int i = 0; i < 100000; ++i) {
+    const double v = dist(rng);
+    samples.push_back(v);
+    h.record(v);
+  }
+  expect_quantiles_match(samples, h);
+}
+
+TEST(LogLinHistogram, ParetoQuantilesWithinAdvertisedError) {
+  std::mt19937_64 rng(3);
+  std::uniform_real_distribution<double> u(0.0, 1.0);
+  Hist h;
+  std::vector<double> samples;
+  samples.reserve(100000);
+  for (int i = 0; i < 100000; ++i) {
+    // Pareto(xm = 1e-3, alpha = 1.2) by inversion — heavy tail spanning
+    // several octaves, the workload FCT shape.
+    const double v = 1e-3 / std::pow(1.0 - u(rng), 1.0 / 1.2);
+    samples.push_back(v);
+    h.record(v);
+  }
+  expect_quantiles_match(samples, h);
+}
+
+TEST(LogLinHistogram, MeanMinMaxAreExact) {
+  Hist h;
+  h.record(0.5);
+  h.record(1.5);
+  h.record(4.0);
+  EXPECT_EQ(h.count(), 3u);
+  EXPECT_DOUBLE_EQ(h.sum(), 6.0);
+  EXPECT_DOUBLE_EQ(h.mean(), 2.0);
+  EXPECT_DOUBLE_EQ(h.min(), 0.5);
+  EXPECT_DOUBLE_EQ(h.max(), 4.0);
+}
+
+TEST(LogLinHistogram, MergeMatchesSingleHistogram) {
+  std::mt19937_64 rng(4);
+  std::lognormal_distribution<double> dist(0.0, 1.0);
+  Hist all;
+  Hist parts[3];
+  for (int i = 0; i < 30000; ++i) {
+    const double v = dist(rng);
+    all.record(v);
+    parts[i % 3].record(v);
+  }
+  Hist merged;
+  for (const Hist& p : parts) merged.merge(p);
+  EXPECT_EQ(merged.count(), all.count());
+  EXPECT_DOUBLE_EQ(merged.min(), all.min());
+  EXPECT_DOUBLE_EQ(merged.max(), all.max());
+  EXPECT_NEAR(merged.sum(), all.sum(), 1e-9 * all.sum());  // summation order differs
+  for (const double q : {0.01, 0.50, 0.99}) {
+    EXPECT_DOUBLE_EQ(merged.quantile(q), all.quantile(q)) << "q=" << q;
+  }
+}
+
+TEST(LogLinHistogram, MergeIsAssociative) {
+  Hist a;
+  Hist b;
+  Hist c;
+  std::mt19937_64 rng(5);
+  std::uniform_real_distribution<double> dist(1e-6, 1e3);
+  for (int i = 0; i < 1000; ++i) a.record(dist(rng));
+  for (int i = 0; i < 2000; ++i) b.record(dist(rng));
+  for (int i = 0; i < 500; ++i) c.record(dist(rng));
+
+  Hist ab_c;  // (a ⊕ b) ⊕ c
+  ab_c.merge(a);
+  ab_c.merge(b);
+  ab_c.merge(c);
+  Hist bc;  // a ⊕ (b ⊕ c)
+  bc.merge(b);
+  bc.merge(c);
+  Hist a_bc;
+  a_bc.merge(a);
+  a_bc.merge(bc);
+
+  EXPECT_EQ(ab_c.count(), a_bc.count());
+  EXPECT_DOUBLE_EQ(ab_c.min(), a_bc.min());
+  EXPECT_DOUBLE_EQ(ab_c.max(), a_bc.max());
+  for (const double q : {0.0, 0.1, 0.5, 0.9, 0.99, 1.0}) {
+    EXPECT_DOUBLE_EQ(ab_c.quantile(q), a_bc.quantile(q)) << "q=" << q;
+  }
+}
+
+TEST(LogLinHistogram, EmptyHistogramReportsZeros) {
+  const Hist h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_DOUBLE_EQ(h.min(), 0.0);
+  EXPECT_DOUBLE_EQ(h.max(), 0.0);
+  EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 0.0);
+}
+
+TEST(LogLinHistogram, MergeWithEmptyIsIdentity) {
+  Hist h;
+  h.record(3.0);
+  Hist empty;
+  h.merge(empty);
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 3.0);  // clamped to exact min == max
+  empty.merge(h);
+  EXPECT_EQ(empty.count(), 1u);
+  EXPECT_DOUBLE_EQ(empty.quantile(0.5), 3.0);
+}
+
+TEST(LogLinHistogram, SingleValueEveryQuantileIsThatValue) {
+  Hist h;
+  h.record(0.0621);
+  for (const double q : {0.0, 0.25, 0.5, 0.99, 1.0}) {
+    EXPECT_DOUBLE_EQ(h.quantile(q), 0.0621) << "q=" << q;
+  }
+}
+
+TEST(LogLinHistogram, OutOfRangeValuesClampButStayExactAtEdges) {
+  Hist h;
+  h.record(0.0);                       // ≤ 0 → lowest bucket
+  h.record(-5.0);                      // negative → lowest bucket
+  h.record(Hist::kMaxValue() * 100);   // above range → top bucket
+  EXPECT_EQ(h.count(), 3u);
+  EXPECT_DOUBLE_EQ(h.min(), -5.0);                       // exact side-channel
+  EXPECT_DOUBLE_EQ(h.max(), Hist::kMaxValue() * 100);
+  // Quantiles clamp to the exact extremes, not the bucket midpoints.
+  EXPECT_DOUBLE_EQ(h.quantile(0.0), -5.0);
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), Hist::kMaxValue() * 100);
+}
+
+TEST(LogLinHistogram, NanIsDroppedAndZeroWeightIsNoop) {
+  Hist h;
+  h.record(std::nan(""));
+  h.record_n(1.0, 0);
+  EXPECT_EQ(h.count(), 0u);
+  h.record_n(2.0, 5);
+  EXPECT_EQ(h.count(), 5u);
+  EXPECT_DOUBLE_EQ(h.sum(), 10.0);
+}
+
+TEST(LogLinHistogram, ResetClears) {
+  Hist h;
+  h.record(1.0);
+  h.reset();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 0.0);
+  h.record(2.0);  // usable after reset
+  EXPECT_EQ(h.count(), 1u);
+}
+
+TEST(LogLinHistogram, BucketIndexIsMonotoneAndMidpointConsistent) {
+  // Walk several octaves: indices must be non-decreasing in v, and every
+  // value must land in a bucket whose midpoint is within the error bound.
+  double prev_index = 0;
+  for (double v = 1e-7; v < 1e6; v *= 1.03) {
+    const std::size_t idx = Hist::bucket_index(v);
+    EXPECT_GE(idx, prev_index) << "v=" << v;
+    prev_index = static_cast<double>(idx);
+    const double mid = Hist::bucket_midpoint(idx);
+    EXPECT_NEAR(mid, v, Hist::kMaxRelativeError * v) << "v=" << v;
+  }
+}
+
+TEST(LogLinHistogram, FctSummaryOverHistogramMatchesExact) {
+  std::mt19937_64 rng(6);
+  std::lognormal_distribution<double> dist(-1.0, 0.8);
+  Hist h;
+  std::vector<double> fcts;
+  for (int i = 0; i < 50000; ++i) {
+    const double v = dist(rng);
+    fcts.push_back(v);
+    h.record(v);
+  }
+  const metrics::FctSummary exact = metrics::fct_summary(fcts);
+  const metrics::FctSummary approx = metrics::fct_summary(h);
+  EXPECT_EQ(approx.count, exact.count);
+  EXPECT_NEAR(approx.mean_s, exact.mean_s, 1e-9);  // mean is exact (side sum)
+  EXPECT_NEAR(approx.p50_s, exact.p50_s, Hist::kMaxRelativeError * exact.p50_s + 1e-12);
+  EXPECT_NEAR(approx.p95_s, exact.p95_s, Hist::kMaxRelativeError * exact.p95_s + 1e-12);
+  EXPECT_NEAR(approx.p99_s, exact.p99_s, Hist::kMaxRelativeError * exact.p99_s + 1e-12);
+}
+
+}  // namespace
+}  // namespace elephant::obs

@@ -1,0 +1,151 @@
+#include "obs/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/export.hpp"
+
+namespace elephant::obs {
+namespace {
+
+TEST(MetricsRegistry, FindOrCreateReturnsStableIdentity) {
+  MetricsRegistry reg;
+  Counter& c1 = reg.counter("sim.events");
+  Counter& c2 = reg.counter("sim.events");
+  EXPECT_EQ(&c1, &c2);
+  Gauge& g1 = reg.gauge("sim.heap_depth");
+  Gauge& g2 = reg.gauge("sim.heap_depth");
+  EXPECT_EQ(&g1, &g2);
+  LogLinHistogram& h1 = reg.histogram("queue.sojourn_s");
+  LogLinHistogram& h2 = reg.histogram("queue.sojourn_s");
+  EXPECT_EQ(&h1, &h2);
+
+  // References stay valid after further registrations (node stability).
+  for (int i = 0; i < 100; ++i) {
+    (void)reg.counter("filler." + std::to_string(i));
+  }
+  c1.add(7);
+  EXPECT_EQ(reg.counter("sim.events").value(), 7u);
+}
+
+TEST(MetricsRegistry, NamespacesAreIndependent) {
+  MetricsRegistry reg;
+  reg.counter("x").add(1);
+  reg.gauge("x").set(2.5);
+  reg.histogram("x").record(3.0);
+  EXPECT_EQ(reg.counter("x").value(), 1u);
+  EXPECT_DOUBLE_EQ(reg.gauge("x").value(), 2.5);
+  EXPECT_EQ(reg.histogram("x").count(), 1u);
+}
+
+TEST(MetricsRegistry, CounterIsSafeUnderConcurrentWriters) {
+  MetricsRegistry reg;
+  Counter& c = reg.counter("hits");
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&c] {
+      for (int i = 0; i < 10000; ++i) c.add();
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(c.value(), 40000u);
+}
+
+TEST(MetricsRegistry, MergeFromAddsCountersOverwritesGaugesMergesHistograms) {
+  MetricsRegistry dst;
+  dst.counter("sim.events").add(10);
+  dst.gauge("tcp.cwnd_segments").set(4.0);
+  dst.histogram("tcp.srtt_s").record(0.010);
+
+  MetricsRegistry src;
+  src.counter("sim.events").add(5);
+  src.counter("runs.completed").add(1);  // new name appears in dst
+  src.gauge("tcp.cwnd_segments").set(9.0);
+  src.histogram("tcp.srtt_s").record(0.030);
+
+  dst.merge_from(src);
+  EXPECT_EQ(dst.counter("sim.events").value(), 15u);
+  EXPECT_EQ(dst.counter("runs.completed").value(), 1u);
+  EXPECT_DOUBLE_EQ(dst.gauge("tcp.cwnd_segments").value(), 9.0);
+  EXPECT_EQ(dst.histogram("tcp.srtt_s").count(), 2u);
+  EXPECT_DOUBLE_EQ(dst.histogram("tcp.srtt_s").min(), 0.010);
+  EXPECT_DOUBLE_EQ(dst.histogram("tcp.srtt_s").max(), 0.030);
+  // Source is untouched.
+  EXPECT_EQ(src.counter("sim.events").value(), 5u);
+}
+
+TEST(ScopedTimer, RecordsOneSampleAndNullIsInert) {
+  LogLinHistogram h;
+  {
+    ScopedTimer t(&h);
+  }
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_GE(h.min(), 0.0);
+  {
+    ScopedTimer t(nullptr);  // must not crash or record anywhere
+  }
+  EXPECT_EQ(h.count(), 1u);
+}
+
+TEST(Export, PrometheusTextHasTypedSanitizedMetrics) {
+  MetricsRegistry reg;
+  reg.counter("queue.dropped_overflow").add(3);
+  reg.gauge("sim.heap_depth").set(12);
+  LogLinHistogram& h = reg.histogram("queue.sojourn_s");
+  for (int i = 1; i <= 100; ++i) h.record(0.001 * i);
+
+  std::string out;
+  write_prometheus(reg, &out);
+
+  // Dots sanitized, types declared, quantiles present.
+  EXPECT_NE(out.find("# TYPE queue_dropped_overflow counter"), std::string::npos);
+  EXPECT_NE(out.find("queue_dropped_overflow 3"), std::string::npos);
+  EXPECT_NE(out.find("# TYPE sim_heap_depth gauge"), std::string::npos);
+  EXPECT_NE(out.find("# TYPE queue_sojourn_s summary"), std::string::npos);
+  EXPECT_NE(out.find("queue_sojourn_s{quantile=\"0.5\"}"), std::string::npos);
+  EXPECT_NE(out.find("queue_sojourn_s{quantile=\"0.99\"}"), std::string::npos);
+  EXPECT_NE(out.find("queue_sojourn_s_count 100"), std::string::npos);
+  EXPECT_EQ(out.find("queue.sojourn_s"), std::string::npos);  // no raw dots
+}
+
+TEST(Export, JsonSnapshotHasAllSectionsAndOmitsHistogramsOnRequest) {
+  MetricsRegistry reg;
+  reg.counter("sim.events").add(42);
+  reg.gauge("sim.sim_s_per_wall_s").set(123.5);
+  reg.histogram("sweep.cell_wall_s").record(1.5);
+
+  std::string full;
+  append_json(reg, &full, /*include_histograms=*/true);
+  EXPECT_EQ(full.front(), '{');
+  EXPECT_EQ(full.back(), '}');
+  EXPECT_NE(full.find("\"counters\":{\"sim.events\":42}"), std::string::npos);
+  EXPECT_NE(full.find("\"sim.sim_s_per_wall_s\":123.5"), std::string::npos);
+  EXPECT_NE(full.find("\"sweep.cell_wall_s\":{\"count\":1"), std::string::npos);
+
+  std::string lean;
+  append_json(reg, &lean, /*include_histograms=*/false);
+  EXPECT_EQ(lean.find("histograms"), std::string::npos);
+  EXPECT_NE(lean.find("\"counters\""), std::string::npos);
+}
+
+TEST(Export, JsonEscapingHandlesQuotesBackslashesAndControls) {
+  std::string out;
+  append_json_escaped("a\"b\\c\n\t\x01", &out);
+  EXPECT_EQ(out, "a\\\"b\\\\c\\n\\t\\u0001");
+}
+
+TEST(Export, EmptyRegistrySnapshotsAreWellFormed) {
+  MetricsRegistry reg;
+  std::string json;
+  append_json(reg, &json);
+  EXPECT_EQ(json, "{\"counters\":{},\"gauges\":{},\"histograms\":{}}");
+  std::string prom;
+  write_prometheus(reg, &prom);
+  EXPECT_TRUE(prom.empty());
+}
+
+}  // namespace
+}  // namespace elephant::obs

@@ -1,0 +1,79 @@
+#!/usr/bin/env python3
+"""Validate a telemetry heartbeat journal (metrics.jsonl).
+
+CI's metrics-smoke gate: every line must be a standalone JSON object of the
+shape the heartbeat writes, the last line must be the final snapshot, and the
+named counters must be nonzero — a structurally valid journal whose event
+counters are all zero means the instrumentation silently fell off the wire.
+
+Usage:
+  tools/check_metrics_jsonl.py metrics.jsonl
+  tools/check_metrics_jsonl.py metrics.jsonl --require sim.events --require sweep.cells_done
+"""
+
+import argparse
+import json
+import sys
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__,
+                                 formatter_class=argparse.RawDescriptionHelpFormatter)
+    ap.add_argument("journal")
+    ap.add_argument("--require", action="append", default=[],
+                    help="counter that must be nonzero in the final snapshot "
+                         "(default: sim.events)")
+    args = ap.parse_args()
+    required = args.require or ["sim.events"]
+
+    with open(args.journal) as f:
+        lines = [line for line in (l.rstrip("\n") for l in f) if line]
+    if not lines:
+        print(f"error: {args.journal} is empty")
+        return 1
+
+    snapshots = []
+    for i, line in enumerate(lines, 1):
+        try:
+            obj = json.loads(line)
+        except json.JSONDecodeError as e:
+            print(f"error: line {i} is not valid JSON: {e}\n  {line[:200]}")
+            return 1
+        if not isinstance(obj, dict):
+            print(f"error: line {i} is not a JSON object")
+            return 1
+        for key in ("elapsed_s", "final", "counters", "gauges"):
+            if key not in obj:
+                print(f"error: line {i} missing {key!r}")
+                return 1
+        snapshots.append(obj)
+
+    final = snapshots[-1]
+    if final["final"] is not True:
+        print("error: last line is not the final snapshot (final != true)")
+        return 1
+    if any(s["final"] for s in snapshots[:-1]):
+        print("error: a non-last line claims to be the final snapshot")
+        return 1
+    if "histograms" not in final:
+        print("error: final snapshot omits histograms")
+        return 1
+
+    failures = []
+    for name in required:
+        value = final["counters"].get(name, 0)
+        status = "ok" if value > 0 else "FAIL"
+        print(f"  [{status}] {name} = {value}")
+        if value <= 0:
+            failures.append(name)
+    if failures:
+        print(f"\nerror: zero/missing counters in final snapshot: {failures}")
+        return 1
+
+    print(f"\n{args.journal}: {len(snapshots)} valid snapshot(s), "
+          f"final at t={final['elapsed_s']}s")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -4,10 +4,12 @@
 //                  [--flows N] [--duration S] [--seed S] [--rtt MS]
 //                  [--loss P] [--ecn] [--reps N]
 //                  [--workload PRESET] [--workload-cdf FILE]
+//                  [--stats-interval S] [--metrics FILE]
 //   elephant sweep [--aqm A] [--bw BPS] [--pairs inter|intra|all] [--reps N]
 //                  [--threads N] [--retries N] [--event-budget N]
 //                  [--wall-budget S] [--manifest PATH] [--resume]
 //                  [--workload PRESET] [--workload-cdf FILE]
+//                  [--stats-interval S] [--metrics FILE]
 //   elephant list  (CCAs, AQMs, workload presets, and the paper's axis values)
 //
 // --workload mixes extra traffic classes (mice, Poisson web transfers, on/off
@@ -21,6 +23,12 @@
 // Sweeps run under the resilient engine: a crashing or budget-tripping cell
 // is reported and skipped, --manifest journals every cell to a JSONL file,
 // and --resume re-executes only cells without a successful journal entry.
+//
+// --stats-interval S enables the self-profiling heartbeat: every S seconds
+// of wall time one JSON snapshot of the runtime metrics (event counts, queue
+// sojourn/srtt histograms, sweep progress and ETA) is appended to the
+// --metrics file (default metrics.jsonl, next to the manifest for sweeps)
+// and a progress line is printed to stderr.
 
 #include <cstdio>
 #include <cstdlib>
@@ -31,6 +39,8 @@
 #include "exp/config.hpp"
 #include "exp/runner.hpp"
 #include "exp/sweep.hpp"
+#include "obs/heartbeat.hpp"
+#include "obs/metrics.hpp"
 
 namespace {
 
@@ -44,10 +54,12 @@ using namespace elephant;
                "        [--loss P] [--ecn] [--reps N]\n"
                "        [--workload paper|mice-elephants|poisson-web|onoff]\n"
                "        [--workload-cdf FILE]\n"
+               "        [--stats-interval S] [--metrics FILE]\n"
                "  sweep --aqm fifo --bw 1e9 [--pairs inter|intra|all] [--reps N]\n"
                "        [--threads N] [--retries N] [--event-budget N]\n"
                "        [--wall-budget S] [--manifest PATH] [--resume]\n"
                "        [--workload PRESET] [--workload-cdf FILE]\n"
+               "        [--stats-interval S] [--metrics FILE]\n"
                "  list\n");
   std::exit(2);
 }
@@ -63,6 +75,8 @@ struct Args {
   double wall_budget_s = 0;
   std::string manifest;
   bool resume = false;
+  double stats_interval_s = 0;
+  std::string metrics_path;
 };
 
 Args parse(int argc, char** argv) {
@@ -113,6 +127,10 @@ Args parse(int argc, char** argv) {
       a.manifest = need(i);
     } else if (!std::strcmp(arg, "--resume")) {
       a.resume = true;
+    } else if (!std::strcmp(arg, "--stats-interval")) {
+      a.stats_interval_s = std::atof(need(i));
+    } else if (!std::strcmp(arg, "--metrics")) {
+      a.metrics_path = need(i);
     } else if (!std::strcmp(arg, "--workload")) {
       const char* name = need(i);
       if (!workload::WorkloadSpec::from_name(name, &a.cfg.workload)) {
@@ -170,7 +188,24 @@ void print_row(const exp::AveragedResult& res) {
 }
 
 int cmd_run(const Args& a) {
-  print_row(exp::run_averaged(a.cfg, a.reps));
+  if (a.stats_interval_s <= 0) {
+    print_row(exp::run_averaged(a.cfg, a.reps));
+    return 0;
+  }
+  // Heartbeat for a single run: counters/gauges are atomics, safe to
+  // snapshot while the simulation thread runs; histograms are written
+  // lock-free by that thread, so live ticks exclude them (the final
+  // snapshot after the run includes everything).
+  obs::MetricsRegistry reg;
+  exp::ExperimentConfig cfg = a.cfg;
+  cfg.metrics = &reg;
+  obs::Heartbeat::Options hb;
+  hb.interval_s = a.stats_interval_s;
+  hb.jsonl_path = a.metrics_path.empty() ? "metrics.jsonl" : a.metrics_path;
+  obs::Heartbeat heartbeat(reg, hb);
+  heartbeat.start();
+  print_row(exp::run_averaged(cfg, a.reps));
+  heartbeat.stop();
   return 0;
 }
 
@@ -204,10 +239,16 @@ int cmd_sweep(const Args& a) {
   opts.run_wall_budget_seconds = a.wall_budget_s;
   opts.manifest_path = a.manifest;
   opts.resume = a.resume;
-  opts.on_result = [](const exp::AveragedResult&, std::size_t done, std::size_t total) {
-    std::fprintf(stderr, "\r%zu/%zu cells", done, total);
-    if (done == total) std::fprintf(stderr, "\n");
-  };
+  opts.stats_interval_s = a.stats_interval_s;
+  opts.metrics_path = a.metrics_path;
+  // The heartbeat's own progress lines replace the carriage-return ticker
+  // (interleaving the two garbles the terminal).
+  if (a.stats_interval_s <= 0) {
+    opts.on_result = [](const exp::AveragedResult&, std::size_t done, std::size_t total) {
+      std::fprintf(stderr, "\r%zu/%zu cells", done, total);
+      if (done == total) std::fprintf(stderr, "\n");
+    };
+  }
   const exp::SweepReport report = exp::run_sweep_resilient(configs, opts);
 
   std::printf("%-18s", "pair \\ buffer");
