@@ -249,6 +249,41 @@ void BM_EndToEndCell(benchmark::State& state) {
 }
 BENCHMARK(BM_EndToEndCell)->Unit(benchmark::kMillisecond);
 
+void BM_ShardedCell(benchmark::State& state) {
+  // The ISSUE's scaling cell: a many-flow paper cell run through the
+  // flow-sharded engine at Arg(0) shards (1 = the legacy single-threaded
+  // path). A short window of a high-flow-count 1G cell keeps one iteration
+  // in the hundreds of milliseconds while still giving every lane real
+  // work. Items = executed events, so items/s is comparable across shard
+  // counts; speedup is this benchmark at N shards vs Arg(1).
+  const auto shards = static_cast<std::uint32_t>(state.range(0));
+  for (auto _ : state) {
+    exp::ExperimentConfig cfg;
+    cfg.cca1 = cca::CcaKind::kCubic;
+    cfg.cca2 = cca::CcaKind::kBbrV1;
+    cfg.aqm = aqm::AqmKind::kFifo;
+    cfg.buffer_bdp = 1.0;
+    cfg.bottleneck_bps = 1e9;
+    cfg.total_flows = 40;
+    cfg.duration = sim::Time::seconds(2);
+    cfg.seed = 20240817;
+    cfg.shards = shards;
+    const auto res = exp::run_experiment(cfg);
+    state.SetItemsProcessed(state.items_processed() +
+                            static_cast<std::int64_t>(res.events_executed));
+  }
+}
+// Real time is the speedup headline (wall clock per cell); process CPU time
+// is what the perf gate compares — it sums all lanes' work, so it is stable
+// across core counts where main-thread CPU would be meaningless.
+BENCHMARK(BM_ShardedCell)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->MeasureProcessCPUTime()
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
+
 void BM_SimSecondsPerWallSecond(benchmark::State& state) {
   // The capacity planner's number: how many simulated seconds of a paper
   // cell (CUBIC vs BBRv1, FIFO, 1 BDP, 100 Mbps) one wall-clock second buys.

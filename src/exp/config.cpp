@@ -87,6 +87,7 @@ std::string ExperimentConfig::id() const {
   }
   if (!fault_plan.empty()) out += "-fault" + fault_plan.signature();
   if (!workload.is_paper_default()) out += "-wl[" + workload.signature() + "]";
+  if (shards > 1) out += "-sh" + std::to_string(shards);
   return out;
 }
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <utility>
 
 #include "trace/trace.hpp"
 
@@ -25,12 +26,26 @@ constexpr std::size_t kMaxFlows = 65536;
 FlowFactory::FlowFactory(sim::Scheduler& sched, net::Dumbbell& net,
                          const ExperimentConfig& cfg, sim::Rng& cell_rng,
                          const obs::TcpMetrics* metrics)
-    : sched_(sched), net_(net), cfg_(cfg), metrics_(metrics) {
+    : sched_(&sched), net_(&net), cfg_(cfg), metrics_(metrics) {
+  build(cell_rng);
+}
+
+FlowFactory::FlowFactory(FlowPlacer placer, const ExperimentConfig& cfg, sim::Rng& cell_rng)
+    : placer_(std::move(placer)), cfg_(cfg) {
+  build(cell_rng);
+}
+
+void FlowFactory::build(sim::Rng& cell_rng) {
   if (cfg_.workload.is_paper_default()) {
     build_legacy(cell_rng);
   } else {
     build_workload();
   }
+}
+
+FlowSite FlowFactory::site_for(std::size_t flow_index, int side) {
+  if (placer_) return placer_(flow_index, side);
+  return FlowSite{sched_, &net_->client(side), &net_->server(side), metrics_};
 }
 
 void FlowFactory::build_legacy(sim::Rng& rng) {
@@ -45,8 +60,9 @@ void FlowFactory::build_legacy(sim::Rng& rng) {
     const cca::CcaKind kind = side == 0 ? cfg_.cca1 : cfg_.cca2;
     for (std::uint32_t i = 0; i < per_side[side]; ++i) {
       const net::FlowId flow = static_cast<net::FlowId>(flows_.size() + 1);
-      net::Host& client = net_.client(side);
-      net::Host& server = net_.server(side);
+      const FlowSite site = site_for(flows_.size(), side);
+      net::Host& client = *site.client;
+      net::Host& server = *site.server;
 
       cca::CcaParams cp;
       cp.mss_bytes = cfg_.mss;
@@ -68,11 +84,13 @@ void FlowFactory::build_legacy(sim::Rng& rng) {
       auto inst = std::make_unique<FlowInstance>();
       inst->side = side;
       inst->start_time = sc.start_time;
-      inst->receiver = std::make_unique<tcp::TcpReceiver>(sched_, server, client.id(), flow);
+      inst->lane = site.sched;
+      inst->receiver =
+          std::make_unique<tcp::TcpReceiver>(*site.sched, server, client.id(), flow);
       inst->sender =
-          std::make_unique<tcp::TcpSender>(sched_, client, sc, cca::make_cca(kind, cp));
+          std::make_unique<tcp::TcpSender>(*site.sched, client, sc, cca::make_cca(kind, cp));
       if (cfg_.tracer != nullptr) inst->sender->set_tracer(cfg_.tracer);
-      if (metrics_ != nullptr) inst->sender->set_metrics(metrics_);
+      if (site.metrics != nullptr) inst->sender->set_metrics(site.metrics);
       client.register_endpoint(flow, inst->sender.get());
       server.register_endpoint(flow, inst->receiver.get());
       inst->sender->start();
@@ -148,8 +166,9 @@ FlowInstance& FlowFactory::spawn(int ci, const workload::TrafficClass& tc, int s
                                  std::uint64_t cca_seed, std::uint64_t app_seed) {
   using workload::ClassKind;
   const net::FlowId flow = static_cast<net::FlowId>(flows_.size() + 1);
-  net::Host& client = net_.client(side);
-  net::Host& server = net_.server(side);
+  const FlowSite site = site_for(flows_.size(), side);
+  net::Host& client = *site.client;
+  net::Host& server = *site.server;
   const std::uint32_t agg = cfg_.effective_aggregation();
   const cca::CcaKind kind =
       tc.cca_from_pair ? (side == 0 ? cfg_.cca1 : cfg_.cca2) : tc.cca;
@@ -183,10 +202,12 @@ FlowInstance& FlowFactory::spawn(int ci, const workload::TrafficClass& tc, int s
   inst->transfer_bytes = bytes;
   inst->start_time = start;
   inst->app_rng = sim::Rng(app_seed);
-  inst->receiver = std::make_unique<tcp::TcpReceiver>(sched_, server, client.id(), flow);
-  inst->sender = std::make_unique<tcp::TcpSender>(sched_, client, sc, cca::make_cca(kind, cp));
+  inst->lane = site.sched;
+  inst->receiver = std::make_unique<tcp::TcpReceiver>(*site.sched, server, client.id(), flow);
+  inst->sender =
+      std::make_unique<tcp::TcpSender>(*site.sched, client, sc, cca::make_cca(kind, cp));
   if (cfg_.tracer != nullptr) inst->sender->set_tracer(cfg_.tracer);
-  if (metrics_ != nullptr) inst->sender->set_metrics(metrics_);
+  if (site.metrics != nullptr) inst->sender->set_metrics(site.metrics);
   client.register_endpoint(flow, inst->sender.get());
   server.register_endpoint(flow, inst->receiver.get());
 
@@ -210,12 +231,12 @@ FlowInstance& FlowFactory::spawn(int ci, const workload::TrafficClass& tc, int s
       const FlowInstance& f = *flows_[index];
       if (cfg_.tracer == nullptr) return;
       trace::TraceRecord r;
-      r.t = sched_.now();
+      r.t = f.lane->now();
       r.type = trace::RecordType::kFlowEnd;
       r.flow = f.sender->config().flow;
       r.v0 = f.cls;
       r.v1 = static_cast<double>(f.transfer_bytes);
-      r.v2 = (sched_.now() - f.start_time).sec();
+      r.v2 = (f.lane->now() - f.start_time).sec();
       cfg_.tracer->record(r);
     });
   } else if (tc.kind == ClassKind::kOnOff) {
@@ -237,7 +258,8 @@ void FlowFactory::arm_on_off(std::size_t index) {
     FlowInstance& f2 = *flows_[index];
     const sim::Time think =
         sim::Time::seconds(exponential(f2.app_rng, tc.off_mean.sec()));
-    sched_.schedule_in(think, [this, index, &tc] {
+    // Think-time wakeups are flow events: they belong to the flow's lane.
+    f2.lane->schedule_in(think, [this, index, &tc] {
       FlowInstance& f3 = *flows_[index];
       f3.sender->offer_bytes(tc.size.sample(f3.app_rng));
     });

@@ -1,6 +1,8 @@
 #include "exp/manifest.hpp"
 
 #include <cmath>
+#include <cstdarg>
+#include <cstdint>
 #include <cstdio>
 #include <cstring>
 
@@ -59,6 +61,47 @@ bool get_number(const std::string& line, const char* key, double* out) {
   return true;
 }
 
+/// Parse exactly four hex digits at `p` into `*out`. Returns false on any
+/// non-hex character (including an early NUL from a torn line).
+bool parse_hex4(const char* p, std::uint32_t* out) {
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    const char c = p[i];
+    std::uint32_t d;
+    if (c >= '0' && c <= '9') {
+      d = static_cast<std::uint32_t>(c - '0');
+    } else if (c >= 'a' && c <= 'f') {
+      d = static_cast<std::uint32_t>(c - 'a') + 10;
+    } else if (c >= 'A' && c <= 'F') {
+      d = static_cast<std::uint32_t>(c - 'A') + 10;
+    } else {
+      return false;
+    }
+    v = (v << 4) | d;
+  }
+  *out = v;
+  return true;
+}
+
+/// UTF-8 encode one code point (caller guarantees a valid scalar value).
+void append_utf8(std::uint32_t cp, std::string* out) {
+  if (cp < 0x80) {
+    *out += static_cast<char>(cp);
+  } else if (cp < 0x800) {
+    *out += static_cast<char>(0xC0 | (cp >> 6));
+    *out += static_cast<char>(0x80 | (cp & 0x3F));
+  } else if (cp < 0x10000) {
+    *out += static_cast<char>(0xE0 | (cp >> 12));
+    *out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+    *out += static_cast<char>(0x80 | (cp & 0x3F));
+  } else {
+    *out += static_cast<char>(0xF0 | (cp >> 18));
+    *out += static_cast<char>(0x80 | ((cp >> 12) & 0x3F));
+    *out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+    *out += static_cast<char>(0x80 | (cp & 0x3F));
+  }
+}
+
 bool get_string(const std::string& line, const char* key, std::string* out) {
   const char* v = find_value(line, key);
   if (v == nullptr || *v != '"') return false;
@@ -78,14 +121,61 @@ bool get_string(const std::string& line, const char* key, std::string* out) {
         case 't':
           *out += '\t';
           break;
+        case 'u': {
+          // \uXXXX escapes decode to UTF-8 so ids round-trip through
+          // --resume byte-identically. A lone or malformed surrogate half
+          // has no UTF-8 spelling; fail the line rather than corrupt the id.
+          std::uint32_t cp;
+          if (!parse_hex4(v + 1, &cp)) return false;
+          v += 4;
+          if (cp >= 0xDC00 && cp <= 0xDFFF) return false;  // stray low half
+          if (cp >= 0xD800 && cp <= 0xDBFF) {
+            std::uint32_t lo;
+            if (v[1] != '\\' || v[2] != 'u' || !parse_hex4(v + 3, &lo) ||
+                lo < 0xDC00 || lo > 0xDFFF) {
+              return false;  // high half without a matching low half
+            }
+            v += 6;
+            cp = 0x10000 + ((cp - 0xD800) << 10) + (lo - 0xDC00);
+          }
+          append_utf8(cp, out);
+          break;
+        }
         default:
-          *out += *v;  // \" \\ \/ and (lossily) \uXXXX
+          *out += *v;  // \" \\ \/
       }
       continue;
     }
     *out += *v;
   }
   return false;  // unterminated: torn line
+}
+
+/// printf onto the end of `*line`, growing the buffer to whatever the format
+/// needs. A truncated manifest line is unparseable on --resume, so truncation
+/// must be impossible rather than merely unlikely: vsnprintf reports the
+/// required length and the append retries with an exact-size buffer whenever
+/// the stack buffer is too small.
+#if defined(__GNUC__)
+__attribute__((format(printf, 2, 3)))
+#endif
+void appendf(std::string* line, const char* fmt, ...) {
+  char buf[512];
+  va_list args;
+  va_start(args, fmt);
+  const int n = std::vsnprintf(buf, sizeof(buf), fmt, args);
+  va_end(args);
+  if (n < 0) return;  // encoding error: nothing sane to append
+  if (static_cast<std::size_t>(n) < sizeof(buf)) {
+    line->append(buf, static_cast<std::size_t>(n));
+    return;
+  }
+  std::string big(static_cast<std::size_t>(n) + 1, '\0');
+  va_start(args, fmt);
+  std::vsnprintf(big.data(), big.size(), fmt, args);
+  va_end(args);
+  big.resize(static_cast<std::size_t>(n));
+  *line += big;
 }
 
 }  // namespace
@@ -97,19 +187,17 @@ SweepManifest::SweepManifest(std::filesystem::path path) : path_(std::move(path)
 }
 
 std::string SweepManifest::format_line(const ManifestEntry& e) {
-  char buf[256];
   std::string line = "{\"i\":";
   line += std::to_string(e.index);
   line += ",\"id\":\"";
   append_escaped(e.id, &line);
   line += "\",\"status\":\"";
   line += to_string(e.status);
-  std::snprintf(buf, sizeof(buf),
-                "\",\"attempts\":%d,\"reps\":%d,\"s1_bps\":%.17g,\"s2_bps\":%.17g,"
-                "\"jain2\":%.17g,\"util\":%.17g,\"retx\":%.17g,\"rtos\":%.17g",
-                e.attempts, e.repetitions, e.sender_bps[0], e.sender_bps[1], e.jain2,
-                e.utilization, e.retx_segments, e.rtos);
-  line += buf;
+  appendf(&line,
+          "\",\"attempts\":%d,\"reps\":%d,\"s1_bps\":%.17g,\"s2_bps\":%.17g,"
+          "\"jain2\":%.17g,\"util\":%.17g,\"retx\":%.17g,\"rtos\":%.17g",
+          e.attempts, e.repetitions, e.sender_bps[0], e.sender_bps[1], e.jain2,
+          e.utilization, e.retx_segments, e.rtos);
   if (!e.classes.empty()) {
     // Per-class block only for workload cells, so elephant-only journal
     // lines stay byte-identical to the pre-workload format.
@@ -119,15 +207,14 @@ std::string SweepManifest::format_line(const ManifestEntry& e) {
       if (i != 0) line += ',';
       line += "{\"name\":\"";
       append_escaped(c.name, &line);
-      std::snprintf(buf, sizeof(buf),
-                    "\",\"flows\":%u,\"done\":%u,\"bps\":%.17g,\"share\":%.17g,"
-                    "\"cjain\":%.17g,\"fct_p50\":%.17g,\"fct_p95\":%.17g,"
-                    "\"fct_p99\":%.17g,\"fct_mean\":%.17g,\"sd_p50\":%.17g,"
-                    "\"sd_p95\":%.17g,\"sd_p99\":%.17g}",
-                    c.flows, c.completed, c.throughput_bps, c.share, c.jain, c.fct_p50_s,
-                    c.fct_p95_s, c.fct_p99_s, c.fct_mean_s, c.slowdown_p50, c.slowdown_p95,
-                    c.slowdown_p99);
-      line += buf;
+      appendf(&line,
+              "\",\"flows\":%u,\"done\":%u,\"bps\":%.17g,\"share\":%.17g,"
+              "\"cjain\":%.17g,\"fct_p50\":%.17g,\"fct_p95\":%.17g,"
+              "\"fct_p99\":%.17g,\"fct_mean\":%.17g,\"sd_p50\":%.17g,"
+              "\"sd_p95\":%.17g,\"sd_p99\":%.17g}",
+              c.flows, c.completed, c.throughput_bps, c.share, c.jain, c.fct_p50_s,
+              c.fct_p95_s, c.fct_p99_s, c.fct_mean_s, c.slowdown_p50, c.slowdown_p95,
+              c.slowdown_p99);
     }
     line += ']';
   }

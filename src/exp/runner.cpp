@@ -9,6 +9,7 @@
 
 #include "exp/cache.hpp"
 #include "exp/flow_factory.hpp"
+#include "exp/runner_internal.hpp"
 #include "exp/status.hpp"
 #include "metrics/fairness.hpp"
 #include "metrics/fct.hpp"
@@ -21,12 +22,9 @@
 
 namespace elephant::exp {
 
-ExperimentResult run_experiment(const ExperimentConfig& cfg) {
-  const auto wall_start = std::chrono::steady_clock::now();
+namespace detail {
 
-  sim::Scheduler sched;
-  sim::Rng rng(cfg.seed);
-
+net::DumbbellConfig make_dumbbell_config(const ExperimentConfig& cfg, sim::Rng& rng) {
   net::DumbbellConfig topo;
   topo.bottleneck_bps = cfg.bottleneck_bps;
   topo.aqm = cfg.aqm;
@@ -51,62 +49,13 @@ ExperimentResult run_experiment(const ExperimentConfig& cfg) {
       topo.client_delay = topo.server_delay = rest / 2;
     }
   }
-  net::Dumbbell net(sched, topo);
+  return topo;
+}
 
-  // The injector owns the RNG behind probabilistic link perturbations, so it
-  // must outlive the scheduler run below. Constructed (and the seed stream
-  // consumed) only when a plan exists, keeping fault-free runs bit-identical
-  // to pre-fault-subsystem results.
-  std::optional<fault::FaultInjector> faults;
-  if (!cfg.fault_plan.empty()) {
-    faults.emplace(sched, net.bottleneck(), rng.next_u64(), cfg.tracer);
-    faults->install(cfg.fault_plan);
-  }
-
-  const sim::Time duration = cfg.effective_duration();
-
-  if (cfg.tracer != nullptr) {
-    net.set_tracer(cfg.tracer);
-    net.bottleneck().start_queue_sampling(cfg.trace_queue_interval);
-  }
-
-  // Telemetry wiring: register the run's handles once (this may allocate),
-  // then hand the components raw pointers so steady-state updates never
-  // touch the registry. The bundles live on this frame for the whole run.
-  obs::SchedulerMetrics sched_metrics;
-  obs::QueueMetrics queue_metrics;
-  obs::TcpMetrics tcp_metrics;
-  if (cfg.metrics != nullptr) {
-    obs::MetricsRegistry& reg = *cfg.metrics;
-    sched_metrics.events_executed = &reg.gauge("sim.events_executed");
-    sched_metrics.heap_depth = &reg.gauge("sim.heap_depth");
-    sched_metrics.heap_peak = &reg.gauge("sim.heap_peak");
-    sched.set_metrics(&sched_metrics);
-    queue_metrics.sojourn_s = &reg.histogram("queue.sojourn_s");
-    net.bottleneck().set_metrics(&queue_metrics);
-    tcp_metrics.cwnd_segments = &reg.gauge("tcp.cwnd_segments");
-    tcp_metrics.srtt_s = &reg.histogram("tcp.srtt_s");
-  }
-
-  // All flows — legacy elephants or a full WorkloadSpec mix — come from the
-  // factory; it must outlive the run (on/off sources call back into it).
-  FlowFactory factory(sched, net, cfg, rng,
-                      cfg.metrics != nullptr ? &tcp_metrics : nullptr);
-
-  sim::Scheduler::RunLimits limits;
-  limits.max_events = cfg.max_events;
-  limits.max_wall_seconds = cfg.max_wall_seconds;
-  const auto stop = sched.run_until(duration, limits);
-  if (stop == sim::Scheduler::StopReason::kEventBudget ||
-      stop == sim::Scheduler::StopReason::kWallBudget) {
-    const bool events = stop == sim::Scheduler::StopReason::kEventBudget;
-    throw RunTimeout("run " + cfg.id() + " exceeded its " +
-                     (events ? "event budget (" + std::to_string(cfg.max_events) + " events)"
-                             : "wall budget (" + std::to_string(cfg.max_wall_seconds) +
-                                   " s)") +
-                     " at t=" + sched.now().to_string());
-  }
-
+ExperimentResult finalize_experiment(const ExperimentConfig& cfg, sim::Time duration,
+                                     FlowFactory& factory, net::Port& bottleneck,
+                                     std::uint64_t events_executed,
+                                     std::chrono::steady_clock::time_point wall_start) {
   ExperimentResult res;
   res.config = cfg;
   res.n_flows = static_cast<std::uint32_t>(factory.size());
@@ -150,8 +99,8 @@ ExperimentResult run_experiment(const ExperimentConfig& cfg) {
   res.sender_bps[1] = side_bps[1];
   res.jain2 = metrics::jain_index(std::span<const double>(side_bps, 2));
   res.utilization = metrics::link_utilization(flow_bps, cfg.bottleneck_bps);
-  res.bottleneck = net.bottleneck().qdisc().stats();
-  res.events_executed = sched.executed_events();
+  res.bottleneck = bottleneck.qdisc().stats();
+  res.events_executed = events_executed;
   res.wall_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - wall_start).count();
 
@@ -216,9 +165,13 @@ ExperimentResult run_experiment(const ExperimentConfig& cfg) {
         if (fr.completed) {
           ++cr.completed;
           fcts.push_back(fr.fct_s);
-          slowdowns.push_back(metrics::fct_slowdown(
-              fr.fct_s, static_cast<double>(fr.transfer_bytes), cfg.bottleneck_bps,
-              cfg.rtt.sec()));
+          // fct_slowdown reports degenerate inputs (zero-byte transfers,
+          // unset bottleneck) as NaN; a NaN in the percentile input would
+          // poison the sort, so drop those samples here.
+          const double sd = metrics::fct_slowdown(fr.fct_s,
+                                                  static_cast<double>(fr.transfer_bytes),
+                                                  cfg.bottleneck_bps, cfg.rtt.sec());
+          if (std::isfinite(sd)) slowdowns.push_back(sd);
         }
       }
       cr.throughput_bps =
@@ -242,8 +195,8 @@ ExperimentResult run_experiment(const ExperimentConfig& cfg) {
       throw InvariantViolation("run " + cfg.id() + ": " + what);
     };
     const aqm::QueueStats& qs = res.bottleneck;
-    const auto backlog_pkts = static_cast<std::uint64_t>(net.bottleneck().qdisc().packet_length());
-    const auto backlog_bytes = static_cast<std::uint64_t>(net.bottleneck().qdisc().byte_length());
+    const auto backlog_pkts = static_cast<std::uint64_t>(bottleneck.qdisc().packet_length());
+    const auto backlog_bytes = static_cast<std::uint64_t>(bottleneck.qdisc().byte_length());
     // Packet conservation at the bottleneck: every accepted packet either
     // left the queue, was dropped after acceptance (CoDel-style dequeue
     // drops land in dropped_early; FQ-CoDel overflow evicts an already
@@ -259,7 +212,7 @@ ExperimentResult run_experiment(const ExperimentConfig& cfg) {
     // Byte conservation: bytes handed to the link (the port's tx counter)
     // plus the backlog never exceed the accepted bytes, and the gap is
     // bounded by the dropped bytes.
-    const std::uint64_t tx = net.bottleneck().tx_bytes();
+    const std::uint64_t tx = bottleneck.tx_bytes();
     if (qs.bytes_enqueued < tx + backlog_bytes ||
         qs.bytes_enqueued > tx + backlog_bytes + qs.bytes_dropped) {
       fail("bottleneck byte conservation violated: bytes_enqueued=" +
@@ -299,6 +252,77 @@ ExperimentResult run_experiment(const ExperimentConfig& cfg) {
 
   if (cfg.tracer != nullptr) cfg.tracer->flush();
   return res;
+}
+
+}  // namespace detail
+
+ExperimentResult run_experiment(const ExperimentConfig& cfg) {
+  if (cfg.shards > 1) return detail::run_sharded_experiment(cfg);
+
+  const auto wall_start = std::chrono::steady_clock::now();
+
+  sim::Scheduler sched;
+  sim::Rng rng(cfg.seed);
+
+  const net::DumbbellConfig topo = detail::make_dumbbell_config(cfg, rng);
+  net::Dumbbell net(sched, topo);
+
+  // The injector owns the RNG behind probabilistic link perturbations, so it
+  // must outlive the scheduler run below. Constructed (and the seed stream
+  // consumed) only when a plan exists, keeping fault-free runs bit-identical
+  // to pre-fault-subsystem results.
+  std::optional<fault::FaultInjector> faults;
+  if (!cfg.fault_plan.empty()) {
+    faults.emplace(sched, net.bottleneck(), rng.next_u64(), cfg.tracer);
+    faults->install(cfg.fault_plan);
+  }
+
+  const sim::Time duration = cfg.effective_duration();
+
+  if (cfg.tracer != nullptr) {
+    net.set_tracer(cfg.tracer);
+    net.bottleneck().start_queue_sampling(cfg.trace_queue_interval);
+  }
+
+  // Telemetry wiring: register the run's handles once (this may allocate),
+  // then hand the components raw pointers so steady-state updates never
+  // touch the registry. The bundles live on this frame for the whole run.
+  obs::SchedulerMetrics sched_metrics;
+  obs::QueueMetrics queue_metrics;
+  obs::TcpMetrics tcp_metrics;
+  if (cfg.metrics != nullptr) {
+    obs::MetricsRegistry& reg = *cfg.metrics;
+    sched_metrics.events_executed = &reg.gauge("sim.events_executed");
+    sched_metrics.heap_depth = &reg.gauge("sim.heap_depth");
+    sched_metrics.heap_peak = &reg.gauge("sim.heap_peak");
+    sched.set_metrics(&sched_metrics);
+    queue_metrics.sojourn_s = &reg.histogram("queue.sojourn_s");
+    net.bottleneck().set_metrics(&queue_metrics);
+    tcp_metrics.cwnd_segments = &reg.gauge("tcp.cwnd_segments");
+    tcp_metrics.srtt_s = &reg.histogram("tcp.srtt_s");
+  }
+
+  // All flows — legacy elephants or a full WorkloadSpec mix — come from the
+  // factory; it must outlive the run (on/off sources call back into it).
+  FlowFactory factory(sched, net, cfg, rng,
+                      cfg.metrics != nullptr ? &tcp_metrics : nullptr);
+
+  sim::Scheduler::RunLimits limits;
+  limits.max_events = cfg.max_events;
+  limits.max_wall_seconds = cfg.max_wall_seconds;
+  const auto stop = sched.run_until(duration, limits);
+  if (stop == sim::Scheduler::StopReason::kEventBudget ||
+      stop == sim::Scheduler::StopReason::kWallBudget) {
+    const bool events = stop == sim::Scheduler::StopReason::kEventBudget;
+    throw RunTimeout("run " + cfg.id() + " exceeded its " +
+                     (events ? "event budget (" + std::to_string(cfg.max_events) + " events)"
+                             : "wall budget (" + std::to_string(cfg.max_wall_seconds) +
+                                   " s)") +
+                     " at t=" + sched.now().to_string());
+  }
+
+  return detail::finalize_experiment(cfg, duration, factory, net.bottleneck(),
+                                     sched.executed_events(), wall_start);
 }
 
 AveragedResult average(const ExperimentConfig& cfg, const std::vector<ExperimentResult>& runs) {

@@ -1,0 +1,45 @@
+#pragma once
+
+// Pieces shared between the single-threaded runner (runner.cpp) and the
+// sharded runner (sharded_runner.cpp). Internal to src/exp.
+
+#include <chrono>
+#include <cstdint>
+
+#include "exp/config.hpp"
+#include "exp/runner.hpp"
+#include "net/topology.hpp"
+#include "sim/random.hpp"
+#include "sim/time.hpp"
+
+namespace elephant::net {
+class Port;
+}
+
+namespace elephant::exp {
+
+class FlowFactory;
+
+namespace detail {
+
+/// Dumbbell parameters for one cell: the bottleneck knobs plus the RTT
+/// rescaling rules, and the topology seed — the first (and only) draw this
+/// helper takes from the cell RNG, in both engines, so the draw order is
+/// preserved across the refactor.
+[[nodiscard]] net::DumbbellConfig make_dumbbell_config(const ExperimentConfig& cfg,
+                                                       sim::Rng& rng);
+
+/// Everything after the event loop, shared verbatim by both engines:
+/// per-flow results, fairness/utilization, telemetry publication, per-class
+/// aggregation, and the post-run invariant checks.
+[[nodiscard]] ExperimentResult finalize_experiment(
+    const ExperimentConfig& cfg, sim::Time duration, FlowFactory& factory,
+    net::Port& bottleneck, std::uint64_t events_executed,
+    std::chrono::steady_clock::time_point wall_start);
+
+/// The bounded-lag parallel engine behind run_experiment when cfg.shards > 1
+/// (sharded_runner.cpp).
+[[nodiscard]] ExperimentResult run_sharded_experiment(const ExperimentConfig& cfg);
+
+}  // namespace detail
+}  // namespace elephant::exp

@@ -1,0 +1,135 @@
+// run_experiment for cfg.shards > 1: the bounded-lag parallel engine.
+//
+// Layout: worker lanes 0..N-1 each own ~1/N of the TCP senders/receivers
+// (flow i lives on lane i mod N) with private access links; lane N is the
+// network lane owning both routers, the shaped bottleneck, and the reverse
+// trunk, so AQM state and its RNG stay single-threaded. The bounded-lag
+// window is the minimum access propagation delay; cross-lane packets travel
+// through SPSC mailboxes drained at window boundaries (see
+// sim/sharded_engine.hpp for the barrier protocol).
+//
+// Determinism: all construction (and every RNG draw) happens on one thread
+// in the same order as the single-threaded engine; each lane is sequential;
+// mailboxes drain in construction order. A fixed shard count is therefore
+// bit-reproducible run to run. Different shard counts are distinct
+// experiments (per-worker access links change the edge physics), which is
+// why the shard count is part of the cache identity.
+
+#include <chrono>
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "exp/flow_factory.hpp"
+#include "exp/runner.hpp"
+#include "exp/runner_internal.hpp"
+#include "exp/status.hpp"
+#include "net/sharded_topology.hpp"
+#include "obs/metrics.hpp"
+#include "sim/random.hpp"
+#include "sim/scheduler.hpp"
+#include "sim/sharded_engine.hpp"
+#include "tcp/tcp_receiver.hpp"
+#include "tcp/tcp_sender.hpp"
+
+namespace elephant::exp::detail {
+
+ExperimentResult run_sharded_experiment(const ExperimentConfig& cfg) {
+  const auto wall_start = std::chrono::steady_clock::now();
+
+  const std::size_t workers = cfg.shards;
+  sim::ShardedEngine engine(workers + 1);
+  const std::size_t net_lane = workers;
+  sim::Scheduler& net_sched = engine.lane(net_lane);
+
+  sim::Rng rng(cfg.seed);
+  const net::DumbbellConfig topo = make_dumbbell_config(cfg, rng);
+  net::ShardedDumbbell net(engine, topo, workers);
+
+  // Faults target the bottleneck, which lives in the network lane; the
+  // injector's timers must run there too. Seed draw order matches the
+  // single-threaded runner.
+  std::optional<fault::FaultInjector> faults;
+  if (!cfg.fault_plan.empty()) {
+    faults.emplace(net_sched, net.bottleneck(), rng.next_u64(), cfg.tracer);
+    faults->install(cfg.fault_plan);
+  }
+
+  const sim::Time duration = cfg.effective_duration();
+
+  // Tracing in a sharded run covers the bottleneck only: the tracer is a
+  // single-writer ring, and the bottleneck (plus the fault injector) is the
+  // one component confined to a single lane. Per-sender records would be
+  // written from every worker thread, so they are disabled below by handing
+  // the factory a tracer-less config.
+  if (cfg.tracer != nullptr) {
+    net.set_tracer(cfg.tracer);
+    net.bottleneck().start_queue_sampling(cfg.trace_queue_interval);
+  }
+
+  // Telemetry: histograms are single-writer, so every lane records into its
+  // own registry, merged into cfg.metrics after the lanes join.
+  std::deque<obs::MetricsRegistry> lane_regs;
+  std::vector<obs::TcpMetrics> lane_tcp(workers);
+  obs::QueueMetrics queue_metrics;
+  if (cfg.metrics != nullptr) {
+    for (std::size_t i = 0; i < workers + 1; ++i) lane_regs.emplace_back();
+    for (std::size_t w = 0; w < workers; ++w) {
+      lane_tcp[w].cwnd_segments = &lane_regs[w].gauge("tcp.cwnd_segments");
+      lane_tcp[w].srtt_s = &lane_regs[w].histogram("tcp.srtt_s");
+    }
+    queue_metrics.sojourn_s = &lane_regs[net_lane].histogram("queue.sojourn_s");
+    net.bottleneck().set_metrics(&queue_metrics);
+  }
+
+  ExperimentConfig factory_cfg = cfg;
+  factory_cfg.tracer = nullptr;  // per-sender tracing is single-thread only
+
+  FlowFactory factory(
+      [&](std::size_t index, int side) {
+        const std::size_t w = index % workers;
+        FlowSite site;
+        site.sched = &engine.lane(w);
+        site.client = &net.client(w, side);
+        site.server = &net.server(w, side);
+        site.metrics = cfg.metrics != nullptr ? &lane_tcp[w] : nullptr;
+        return site;
+      },
+      factory_cfg, rng);
+
+  sim::Scheduler::RunLimits limits;
+  limits.max_events = cfg.max_events;
+  limits.max_wall_seconds = cfg.max_wall_seconds;
+  const auto stop = engine.run_windows(
+      duration, net.lookahead(), limits,
+      [&](std::size_t lane) { net.drain_lane(lane, engine.lane(lane)); });
+  if (stop == sim::Scheduler::StopReason::kEventBudget ||
+      stop == sim::Scheduler::StopReason::kWallBudget) {
+    const bool events = stop == sim::Scheduler::StopReason::kEventBudget;
+    throw RunTimeout("run " + cfg.id() + " exceeded its " +
+                     (events ? "event budget (" + std::to_string(cfg.max_events) + " events)"
+                             : "wall budget (" + std::to_string(cfg.max_wall_seconds) +
+                                   " s)") +
+                     " at t=" + net_sched.now().to_string());
+  }
+
+  if (cfg.metrics != nullptr) {
+    obs::MetricsRegistry& reg = *cfg.metrics;
+    for (const obs::MetricsRegistry& local : lane_regs) reg.merge_from(local);
+    // Scheduler gauges, published here instead of per run-loop exit (each
+    // lane exits run_until once per window): totals over all lanes.
+    reg.gauge("sim.events_executed")
+        .set(static_cast<double>(engine.total_executed_events()));
+    std::size_t depth = 0;
+    for (std::size_t i = 0; i < engine.lanes(); ++i) depth += engine.lane(i).pending_events();
+    reg.gauge("sim.heap_depth").set(static_cast<double>(depth));
+    reg.gauge("sim.heap_peak").set(static_cast<double>(engine.total_peak_pending_events()));
+  }
+
+  return finalize_experiment(cfg, duration, factory, net.bottleneck(),
+                             engine.total_executed_events(), wall_start);
+}
+
+}  // namespace elephant::exp::detail

@@ -1,6 +1,7 @@
 #include "metrics/fct.hpp"
 
 #include <algorithm>
+#include <limits>
 #include <vector>
 
 #include "obs/histogram.hpp"
@@ -44,9 +45,10 @@ FctSummary fct_summary(const obs::LogLinHistogram& fct_s) {
 }
 
 double fct_slowdown(double fct_s, double bytes, double bottleneck_bps, double rtt_s) {
-  if (!(fct_s > 0) || !(bytes > 0) || !(bottleneck_bps > 0)) return 0;
+  constexpr double kNaN = std::numeric_limits<double>::quiet_NaN();
+  if (!(fct_s > 0) || !(bytes > 0) || !(bottleneck_bps > 0)) return kNaN;
   const double ideal = bytes * 8.0 / bottleneck_bps + (rtt_s > 0 ? rtt_s : 0);
-  return ideal > 0 ? fct_s / ideal : 0;
+  return ideal > 0 ? fct_s / ideal : kNaN;
 }
 
 }  // namespace elephant::metrics

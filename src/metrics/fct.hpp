@@ -33,7 +33,9 @@ struct FctSummary {
 /// FCT slowdown: measured FCT over the ideal FCT of an otherwise-empty path,
 /// ideal = bytes · 8 / bottleneck_bps + rtt_s (one serialization + one RTT of
 /// handshake/propagation). ≥ 1 in any sane run; 1 means the transfer saw an
-/// empty bottleneck. Returns 0 for degenerate (non-positive) inputs.
+/// empty bottleneck. Returns quiet NaN for degenerate (non-positive) inputs —
+/// a 0 would read as "infinitely fast" and drag aggregated percentiles toward
+/// zero, so callers must drop non-finite values before aggregating.
 [[nodiscard]] double fct_slowdown(double fct_s, double bytes, double bottleneck_bps,
                                   double rtt_s);
 

@@ -1,0 +1,63 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "net/node.hpp"
+#include "net/packet.hpp"
+#include "net/port.hpp"
+#include "sim/scheduler.hpp"
+#include "sim/time.hpp"
+
+namespace elephant::net {
+
+/// Single-producer/single-consumer handoff for one cross-shard link
+/// direction, addressed to one destination node.
+///
+/// No atomics, no locks: correctness comes entirely from the bounded-lag
+/// engine's phase discipline. The producing lane posts during the run phase;
+/// barrier A then establishes a happens-before edge to the consuming lane,
+/// which drains during the drain phase; barrier B orders the drain before
+/// the producer's next run phase reuses the buffer. Under TSan this is clean
+/// because the std::barrier arrivals synchronize every access pair.
+///
+/// Packets are posted in the producer's delivery order, which for a FIFO
+/// link with fixed propagation is nondecreasing in `due`; drain_into
+/// preserves that order via the destination scheduler's FIFO tie-break, so
+/// a fixed drain order across mailboxes makes the whole run deterministic.
+class PacketMailbox final : public PacketSink {
+ public:
+  explicit PacketMailbox(Node* dest) : dest_(dest) {}
+
+  /// Producer side (run phase): record a delivery due at `due`.
+  void accept(sim::Time due, Packet&& p) override {
+    buf_.push_back(Item{due, std::move(p)});
+  }
+
+  /// Consumer side (drain phase): schedule every recorded delivery into the
+  /// destination lane. Every `due` is at or after the lane's window
+  /// boundary, i.e. never in the consumer's past.
+  void drain_into(sim::Scheduler& sched) {
+    for (Item& it : buf_) {
+      sched.schedule_at(it.due, [dest = dest_, pkt = std::move(it.pkt)]() mutable {
+        dest->receive(std::move(pkt));
+      });
+    }
+    buf_.clear();
+  }
+
+  [[nodiscard]] Node* dest() const { return dest_; }
+  [[nodiscard]] std::size_t pending() const { return buf_.size(); }
+
+ private:
+  struct Item {
+    sim::Time due{};
+    Packet pkt{};
+  };
+
+  Node* dest_;
+  std::vector<Item> buf_;
+};
+
+}  // namespace elephant::net

@@ -1,0 +1,114 @@
+#include "net/sharded_topology.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <string>
+#include <utility>
+
+#include "aqm/factory.hpp"
+#include "aqm/fifo.hpp"
+#include "aqm/loss_injector.hpp"
+#include "fault/gilbert_elliott.hpp"
+
+namespace elephant::net {
+
+Port* ShardedDumbbell::add_port(sim::Scheduler& sched, std::unique_ptr<aqm::QueueDisc> q,
+                                double bps, sim::Time delay, std::string name) {
+  ports_.push_back(std::make_unique<Port>(sched, std::move(q), bps, delay, std::move(name)));
+  return ports_.back().get();
+}
+
+PacketMailbox* ShardedDumbbell::add_mailbox(std::size_t lane, Node* dest) {
+  mailboxes_.push_back(std::make_unique<PacketMailbox>(dest));
+  PacketMailbox* mb = mailboxes_.back().get();
+  inbound_[lane].push_back(mb);
+  return mb;
+}
+
+ShardedDumbbell::ShardedDumbbell(sim::ShardedEngine& engine, const DumbbellConfig& cfg,
+                                 std::size_t workers)
+    : engine_(engine), cfg_(cfg), workers_(workers) {
+  assert(workers_ >= 1);
+  assert(engine_.lanes() == workers_ + 1);
+  inbound_.resize(workers_ + 1);
+  sim::Scheduler& net_sched = engine_.lane(net_lane());
+
+  // The shared middle, all in the network lane. Router ids stay 3/4 as in
+  // the single-threaded dumbbell.
+  router1_ = std::make_unique<Router>(3, "router1-wash");
+  router2_ = std::make_unique<Router>(4, "router2-ncsa");
+
+  auto fifo = [&](sim::Scheduler& s) {
+    return std::make_unique<aqm::FifoQueue>(s, cfg_.access_buffer_bytes);
+  };
+
+  auto bottleneck_q = aqm::make_queue_disc(cfg_.aqm, net_sched, cfg_.bottleneck_buffer_bytes,
+                                           cfg_.seed, cfg_.aqm_options);
+  if (cfg_.random_loss > 0) {
+    bottleneck_q = std::make_unique<aqm::LossInjector>(net_sched, std::move(bottleneck_q),
+                                                       cfg_.random_loss, cfg_.seed ^ 0x1055);
+  }
+  if (cfg_.ge_loss.enabled()) {
+    bottleneck_q = std::make_unique<fault::GilbertElliottLoss>(
+        net_sched, std::move(bottleneck_q), cfg_.ge_loss, cfg_.seed ^ 0x6e55);
+  }
+  bottleneck_ = add_port(net_sched, std::move(bottleneck_q), cfg_.bottleneck_bps,
+                         cfg_.trunk_delay, "r1->r2(bottleneck)");
+  bottleneck_->connect(router2_.get());
+  Port* r2_r1 = add_port(net_sched, fifo(net_sched), cfg_.trunk_bps, cfg_.trunk_delay,
+                         "r2->r1");
+  r2_r1->connect(router1_.get());
+
+  // Per-worker edge: private hosts and access links, every one of which
+  // crosses a lane boundary through a mailbox. Node ids 10+ keep clear of
+  // the routers' 3/4.
+  clients_.resize(workers_ * 2);
+  servers_.resize(workers_ * 2);
+  for (std::size_t w = 0; w < workers_; ++w) {
+    sim::Scheduler& ws = engine_.lane(w);
+    for (int side = 0; side < 2; ++side) {
+      const auto idx = w * 2 + static_cast<std::size_t>(side);
+      const NodeId client_id = static_cast<NodeId>(10 + 4 * w) + static_cast<NodeId>(side);
+      const NodeId server_id = client_id + 2;
+      const std::string tag = "w" + std::to_string(w) + "s" + std::to_string(side);
+
+      clients_[idx] = std::make_unique<Host>(client_id, "client-" + tag);
+      servers_[idx] = std::make_unique<Host>(server_id, "server-" + tag);
+      Host* c = clients_[idx].get();
+      Host* v = servers_[idx].get();
+
+      // Uplinks live in the worker lane and post into the network lane.
+      Port* c_up = add_port(ws, fifo(ws), cfg_.access_bps, cfg_.client_delay,
+                            "c(" + tag + ")->r1");
+      c_up->set_remote_sink(add_mailbox(net_lane(), router1_.get()));
+      c->attach_nic(c_up);
+      Port* v_up = add_port(ws, fifo(ws), cfg_.access_bps, cfg_.server_delay,
+                            "s(" + tag + ")->r2");
+      v_up->set_remote_sink(add_mailbox(net_lane(), router2_.get()));
+      v->attach_nic(v_up);
+
+      // Downlinks live in the network lane and post back into the worker.
+      Port* c_down = add_port(net_sched, fifo(net_sched), cfg_.access_bps,
+                              cfg_.client_delay, "r1->c(" + tag + ")");
+      c_down->set_remote_sink(add_mailbox(w, c));
+      Port* v_down = add_port(net_sched, fifo(net_sched), cfg_.access_bps,
+                              cfg_.server_delay, "r2->s(" + tag + ")");
+      v_down->set_remote_sink(add_mailbox(w, v));
+
+      router1_->set_route(client_id, c_down);
+      router1_->set_route(server_id, bottleneck_);
+      router2_->set_route(server_id, v_down);
+      router2_->set_route(client_id, r2_r1);
+    }
+  }
+}
+
+sim::Time ShardedDumbbell::lookahead() const {
+  return std::min(cfg_.client_delay, cfg_.server_delay);
+}
+
+void ShardedDumbbell::drain_lane(std::size_t lane, sim::Scheduler& sched) {
+  for (PacketMailbox* mb : inbound_[lane]) mb->drain_into(sched);
+}
+
+}  // namespace elephant::net

@@ -1,0 +1,88 @@
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "net/mailbox.hpp"
+#include "net/node.hpp"
+#include "net/port.hpp"
+#include "net/topology.hpp"
+#include "sim/sharded_engine.hpp"
+#include "sim/time.hpp"
+
+namespace elephant::net {
+
+/// The paper dumbbell laid out across the lanes of a ShardedEngine.
+///
+/// The shared middle — both routers, the shaped bottleneck port, and the
+/// reverse trunk — lives alone in the last ("network") lane, so the AQM and
+/// its RNG stay strictly single-threaded. Each worker lane w gets its own
+/// pair of client/server hosts per side, with private access links up to the
+/// routers; every access link crosses a lane boundary and therefore delivers
+/// through a PacketMailbox. The engine's bounded-lag window is lookahead():
+/// the smaller of the client and server one-way delays, the minimum
+/// propagation any cross-lane packet experiences.
+///
+/// Versus the single-threaded Dumbbell, per-worker access links replace the
+/// two shared 25G NICs; the bottleneck (the experiment's subject) is
+/// unchanged. Sharded cells are therefore their own cache identity
+/// (ExperimentConfig::id() carries the shard count) rather than bit-identical
+/// replicas of the shards=1 topology.
+class ShardedDumbbell {
+ public:
+  /// `engine` must have exactly workers+1 lanes; lane `workers` is the
+  /// network lane.
+  ShardedDumbbell(sim::ShardedEngine& engine, const DumbbellConfig& cfg,
+                  std::size_t workers);
+
+  [[nodiscard]] std::size_t workers() const { return workers_; }
+  [[nodiscard]] std::size_t net_lane() const { return workers_; }
+
+  [[nodiscard]] Host& client(std::size_t worker, int side) {
+    return *clients_[worker * 2 + static_cast<std::size_t>(side)];
+  }
+  [[nodiscard]] Host& server(std::size_t worker, int side) {
+    return *servers_[worker * 2 + static_cast<std::size_t>(side)];
+  }
+  [[nodiscard]] Port& bottleneck() { return *bottleneck_; }
+  [[nodiscard]] const Port& bottleneck() const { return *bottleneck_; }
+
+  /// Largest safe bounded-lag window: the minimum propagation delay over all
+  /// cross-lane links.
+  [[nodiscard]] sim::Time lookahead() const;
+
+  /// Drain every mailbox inbound to `lane`, in construction order, into that
+  /// lane's scheduler. Called by the engine's drain phase.
+  void drain_lane(std::size_t lane, sim::Scheduler& sched);
+
+  /// Attach a flight recorder to the bottleneck port only (it lives in the
+  /// single-threaded network lane, keeping the tracer single-writer).
+  void set_tracer(trace::Tracer* tracer) { bottleneck_->set_tracer(tracer); }
+
+  [[nodiscard]] const DumbbellConfig& config() const { return cfg_; }
+  [[nodiscard]] sim::Time base_rtt() const {
+    return 2 * (cfg_.client_delay + cfg_.trunk_delay + cfg_.server_delay);
+  }
+
+ private:
+  Port* add_port(sim::Scheduler& sched, std::unique_ptr<aqm::QueueDisc> q, double bps,
+                 sim::Time delay, std::string name);
+  /// A mailbox carrying packets into `lane`, registered in drain order.
+  PacketMailbox* add_mailbox(std::size_t lane, Node* dest);
+
+  sim::ShardedEngine& engine_;
+  DumbbellConfig cfg_;
+  std::size_t workers_;
+
+  std::vector<std::unique_ptr<Host>> clients_;  ///< [worker * 2 + side]
+  std::vector<std::unique_ptr<Host>> servers_;  ///< [worker * 2 + side]
+  std::unique_ptr<Router> router1_;
+  std::unique_ptr<Router> router2_;
+  std::vector<std::unique_ptr<Port>> ports_;
+  std::vector<std::unique_ptr<PacketMailbox>> mailboxes_;
+  std::vector<std::vector<PacketMailbox*>> inbound_;  ///< per lane, drain order
+  Port* bottleneck_ = nullptr;
+};
+
+}  // namespace elephant::net

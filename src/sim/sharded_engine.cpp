@@ -1,0 +1,142 @@
+#include "sim/sharded_engine.hpp"
+
+#include <algorithm>
+#include <barrier>
+#include <thread>
+
+namespace elephant::sim {
+
+namespace {
+
+double elapsed_seconds(std::chrono::steady_clock::time_point since) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - since).count();
+}
+
+}  // namespace
+
+ShardedEngine::ShardedEngine(std::size_t lanes) {
+  if (lanes == 0) lanes = 1;
+  lanes_.reserve(lanes);
+  for (std::size_t i = 0; i < lanes; ++i) {
+    lanes_.push_back(std::make_unique<Scheduler>());
+  }
+  lane_stops_.assign(lanes, Scheduler::StopReason::kQueueExhausted);
+}
+
+std::uint64_t ShardedEngine::total_executed_events() const {
+  std::uint64_t total = 0;
+  for (const auto& l : lanes_) total += l->executed_events();
+  return total;
+}
+
+std::size_t ShardedEngine::total_peak_pending_events() const {
+  std::size_t total = 0;
+  for (const auto& l : lanes_) total += l->peak_pending_events();
+  return total;
+}
+
+Scheduler::RunLimits ShardedEngine::lane_limits() const {
+  // Per-window watchdogs handed to each lane: whatever remains of the global
+  // budget. A single lane may consume the whole remainder before the next
+  // boundary check, so the collective total can overshoot by up to lanes-1
+  // windows' worth — acceptable for a watchdog whose job is to stop runaway
+  // runs, not to meter them exactly.
+  Scheduler::RunLimits l;
+  if (limits_.max_events != 0) {
+    const std::uint64_t total = total_executed_events();
+    l.max_events = limits_.max_events > total ? limits_.max_events - total : 1;
+  }
+  if (limits_.max_wall_seconds > 0) {
+    const double rest = limits_.max_wall_seconds - elapsed_seconds(wall_start_);
+    l.max_wall_seconds = std::max(rest, 0.01);
+  }
+  return l;
+}
+
+void ShardedEngine::on_window_boundary() noexcept {
+  using SR = Scheduler::StopReason;
+  for (const SR s : lane_stops_) {
+    if (s == SR::kEventBudget || s == SR::kWallBudget) {
+      stop_ = s;
+      done_ = true;
+      return;
+    }
+  }
+  const std::uint64_t total = total_executed_events();
+  if (limits_.max_events != 0 && total >= limits_.max_events) {
+    stop_ = SR::kEventBudget;
+    done_ = true;
+    return;
+  }
+  if (limits_.max_wall_seconds > 0 &&
+      elapsed_seconds(wall_start_) >= limits_.max_wall_seconds) {
+    stop_ = SR::kWallBudget;
+    done_ = true;
+    return;
+  }
+  std::size_t strong = 0;
+  for (const auto& l : lanes_) strong += l->strong_pending_events();
+  if (strong == 0) {
+    // Nothing anywhere can generate further work (drains already ran, so
+    // in-flight cross-lane packets are counted). Mirrors the single-threaded
+    // run_until returning early on an exhausted queue.
+    stop_ = SR::kQueueExhausted;
+    done_ = true;
+    return;
+  }
+  if (window_end_ >= deadline_) {
+    stop_ = SR::kDeadline;
+    done_ = true;
+    return;
+  }
+  window_end_ = std::min(window_end_ + window_, deadline_);
+  per_lane_limits_ = lane_limits();
+}
+
+Scheduler::StopReason ShardedEngine::run_windows(Time deadline, Time window,
+                                                 const Scheduler::RunLimits& limits,
+                                                 const DrainFn& drain) {
+  if (window <= Time::zero()) window = deadline - lane(0).now();
+  deadline_ = deadline;
+  window_ = window;
+  window_end_ = std::min(lane(0).now() + window, deadline);
+  limits_ = limits;
+  wall_start_ = std::chrono::steady_clock::now();
+  done_ = false;
+  stop_ = Scheduler::StopReason::kQueueExhausted;
+  per_lane_limits_ = lane_limits();
+  std::fill(lane_stops_.begin(), lane_stops_.end(),
+            Scheduler::StopReason::kQueueExhausted);
+
+  // Barrier-B completion runs on exactly one (unspecified) thread while all
+  // lanes are parked in arrive_and_wait, which is what lets it read every
+  // scheduler and rewrite the shared window state without locks.
+  struct Boundary {
+    ShardedEngine* engine;
+    void operator()() noexcept { engine->on_window_boundary(); }
+  };
+  const auto n = static_cast<std::ptrdiff_t>(lanes());
+  std::barrier<> run_done(n);
+  std::barrier<Boundary> window_done(n, Boundary{this});
+
+  auto loop = [&](std::size_t i) {
+    for (;;) {
+      lane_stops_[i] = lanes_[i]->run_until(window_end_, per_lane_limits_);
+      run_done.arrive_and_wait();  // every producer is done with this window
+      drain(i);                    // pull this lane's inbound handoffs
+      window_done.arrive_and_wait();
+      if (done_) return;
+    }
+  };
+
+  std::vector<std::thread> threads;
+  threads.reserve(lanes() - 1);
+  for (std::size_t i = 1; i < lanes(); ++i) {
+    threads.emplace_back(loop, i);
+  }
+  loop(0);
+  for (std::thread& t : threads) t.join();
+  return stop_;
+}
+
+}  // namespace elephant::sim

@@ -1,0 +1,92 @@
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "sim/scheduler.hpp"
+#include "sim/time.hpp"
+
+namespace elephant::sim {
+
+/// Conservative bounded-lag parallel driver over K independent Schedulers.
+///
+/// Each lane (logical process) owns one Scheduler and runs on its own thread.
+/// Simulated time advances in fixed windows no longer than the minimum
+/// cross-lane propagation delay (the lookahead), so an event produced in lane
+/// A during window W can only be due in lane B at or after the end of W.
+/// That makes the protocol safe with two barriers per window:
+///
+///   run phase:    every lane runs its queue to the window end
+///   barrier A:    all cross-lane handoffs for this window are now complete
+///   drain phase:  every lane schedules its inbound handoffs locally
+///   barrier B:    one thread (the barrier completion) decides whether to
+///                 open the next window, and with what budgets
+///
+/// The barriers carry all synchronization: producers write plain (unlocked)
+/// mailboxes during the run phase and consumers read them in the drain
+/// phase, with barrier A providing the happens-before edge. Determinism
+/// follows from each lane being sequential, the drain order being fixed by
+/// the caller, and each Scheduler's FIFO tie-break being local.
+class ShardedEngine {
+ public:
+  /// `lanes` independent schedulers, indexed 0..lanes-1. By convention the
+  /// caller dedicates one lane to shared network state (the bottleneck).
+  explicit ShardedEngine(std::size_t lanes);
+
+  ShardedEngine(const ShardedEngine&) = delete;
+  ShardedEngine& operator=(const ShardedEngine&) = delete;
+
+  [[nodiscard]] std::size_t lanes() const { return lanes_.size(); }
+  [[nodiscard]] Scheduler& lane(std::size_t i) { return *lanes_[i]; }
+  [[nodiscard]] const Scheduler& lane(std::size_t i) const { return *lanes_[i]; }
+
+  /// Called once per lane per window, between the barriers: schedule every
+  /// packet posted to this lane's inbound mailboxes during the run phase.
+  using DrainFn = std::function<void(std::size_t lane)>;
+
+  /// Drive all lanes to `deadline` in windows of `window` (clamped to the
+  /// deadline). `limits` are watchdog budgets with the same semantics as the
+  /// single-threaded Scheduler::run_until: the event budget counts executed
+  /// events summed over all lanes and both budgets are re-checked at every
+  /// window boundary, so a stop is detected within one window (plus at most
+  /// one lane's in-window overshoot). Returns the collective stop reason;
+  /// on kDeadline/kQueueExhausted every lane's now() has been advanced to
+  /// its last completed window end.
+  Scheduler::StopReason run_windows(Time deadline, Time window,
+                                    const Scheduler::RunLimits& limits,
+                                    const DrainFn& drain);
+
+  /// Sum of executed events over all lanes (call only while no run is
+  /// active).
+  [[nodiscard]] std::uint64_t total_executed_events() const;
+  /// Sum of heap high-water marks over all lanes.
+  [[nodiscard]] std::size_t total_peak_pending_events() const;
+
+ private:
+  /// Barrier-B completion: runs on exactly one thread while every lane is
+  /// parked, so it may touch all schedulers and the shared window state.
+  void on_window_boundary() noexcept;
+  void lane_loop(std::size_t i, const DrainFn& drain);
+  [[nodiscard]] Scheduler::RunLimits lane_limits() const;
+
+  std::vector<std::unique_ptr<Scheduler>> lanes_;
+
+  // Shared window state: written only by on_window_boundary() (all lanes
+  // parked) or before the lane threads start; read by lanes after the
+  // barrier releases them. The barrier supplies the happens-before edges,
+  // so none of this needs atomics.
+  Time deadline_{};
+  Time window_{};
+  Time window_end_{};
+  Scheduler::RunLimits limits_{};
+  Scheduler::RunLimits per_lane_limits_{};
+  std::vector<Scheduler::StopReason> lane_stops_;
+  Scheduler::StopReason stop_ = Scheduler::StopReason::kQueueExhausted;
+  bool done_ = false;
+  std::chrono::steady_clock::time_point wall_start_{};
+};
+
+}  // namespace elephant::sim

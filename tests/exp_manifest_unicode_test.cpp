@@ -1,0 +1,186 @@
+#include <gtest/gtest.h>
+
+#include <cfloat>
+#include <string>
+
+#include "exp/manifest.hpp"
+
+namespace elephant::exp {
+namespace {
+
+/// A minimal parseable manifest line with the given escaped id text spliced
+/// into the "id" field. The id value is inserted verbatim (already escaped),
+/// so tests can exercise \uXXXX sequences an external tool may have written.
+std::string line_with_id(const std::string& escaped_id) {
+  return "{\"i\":0,\"id\":\"" + escaped_id +
+         "\",\"status\":\"ok\",\"attempts\":1,\"reps\":1,\"s1_bps\":1,"
+         "\"s2_bps\":1,\"jain2\":1,\"util\":0.5,\"retx\":0,\"rtos\":0,"
+         "\"error\":\"\"}";
+}
+
+TEST(ManifestUnicode, TwoByteBmpEscapeDecodesToUtf8) {
+  ManifestEntry e;
+  ASSERT_TRUE(SweepManifest::parse_line(line_with_id("caf\\u00e9"), &e));
+  EXPECT_EQ(e.id, "caf\xc3\xa9");  // é = U+00E9
+}
+
+TEST(ManifestUnicode, ThreeByteBmpEscapeDecodesToUtf8) {
+  ManifestEntry e;
+  ASSERT_TRUE(SweepManifest::parse_line(line_with_id("cost\\u20ac5"), &e));
+  EXPECT_EQ(e.id, "cost\xe2\x82\xac" "5");  // € = U+20AC
+}
+
+TEST(ManifestUnicode, AsciiEscapeStaysAscii) {
+  ManifestEntry e;
+  ASSERT_TRUE(SweepManifest::parse_line(line_with_id("a\\u0041b"), &e));
+  EXPECT_EQ(e.id, "aAb");
+}
+
+TEST(ManifestUnicode, SurrogatePairDecodesToFourByteUtf8) {
+  ManifestEntry e;
+  // U+1F600 as the 😀 pair.
+  ASSERT_TRUE(SweepManifest::parse_line(line_with_id("x\\ud83d\\ude00y"), &e));
+  EXPECT_EQ(e.id, "x\xf0\x9f\x98\x80y");
+}
+
+TEST(ManifestUnicode, LoneHighSurrogateFailsTheLine) {
+  ManifestEntry e;
+  EXPECT_FALSE(SweepManifest::parse_line(line_with_id("x\\ud83dy"), &e));
+}
+
+TEST(ManifestUnicode, LoneLowSurrogateFailsTheLine) {
+  ManifestEntry e;
+  EXPECT_FALSE(SweepManifest::parse_line(line_with_id("x\\ude00y"), &e));
+}
+
+TEST(ManifestUnicode, HighSurrogateFollowedByNonSurrogateFailsTheLine) {
+  ManifestEntry e;
+  EXPECT_FALSE(SweepManifest::parse_line(line_with_id("x\\ud83d\\u0041y"), &e));
+}
+
+TEST(ManifestUnicode, TruncatedHexDigitsFailTheLine) {
+  ManifestEntry e;
+  EXPECT_FALSE(SweepManifest::parse_line(line_with_id("x\\u00gqy"), &e));
+}
+
+TEST(ManifestUnicode, RawUtf8IdRoundTripsThroughFormatAndParse) {
+  ManifestEntry e;
+  e.index = 4;
+  e.id = "caf\xc3\xa9-\xe2\x82\xac-\xf0\x9f\x90\x98";  // café-€-🐘
+  e.status = RunStatus::kOk;
+  e.attempts = 1;
+  e.repetitions = 1;
+  ManifestEntry back;
+  ASSERT_TRUE(SweepManifest::parse_line(SweepManifest::format_line(e), &back));
+  EXPECT_EQ(back.id, e.id);
+}
+
+TEST(ManifestUnicode, ControlCharacterEscapesRoundTrip) {
+  // append_escaped writes control chars as \u00XX; the parser must decode
+  // them back to the identical bytes.
+  ManifestEntry e;
+  e.index = 1;
+  e.id = "id";
+  e.status = RunStatus::kFailed;
+  e.error = std::string("bell\x07null-ish\x01tab\tend");
+  ManifestEntry back;
+  ASSERT_TRUE(SweepManifest::parse_line(SweepManifest::format_line(e), &back));
+  EXPECT_EQ(back.error, e.error);
+}
+
+TEST(ManifestTornLine, EveryStrictPrefixIsRejected) {
+  ManifestEntry e;
+  e.index = 12;
+  e.id = "cubic_vs_bbr1-fifo-bdp2-1G";
+  e.status = RunStatus::kOk;
+  e.attempts = 1;
+  e.repetitions = 3;
+  e.sender_bps[0] = 4.2e8;
+  e.sender_bps[1] = 3.9e8;
+  e.jain2 = 0.998;
+  e.utilization = 0.81;
+  e.error = "torn mid-write";
+  const std::string line = SweepManifest::format_line(e);
+  for (std::size_t len = 0; len < line.size(); ++len) {
+    ManifestEntry out;
+    EXPECT_FALSE(SweepManifest::parse_line(line.substr(0, len), &out))
+        << "prefix of length " << len << " parsed";
+  }
+  ManifestEntry out;
+  EXPECT_TRUE(SweepManifest::parse_line(line, &out));
+}
+
+TEST(ManifestTornLine, TruncationInsideClassBlockIsRejected) {
+  ManifestEntry e;
+  e.index = 2;
+  e.id = "workload-cell";
+  e.status = RunStatus::kOk;
+  ClassResult c;
+  c.name = "mice";
+  c.flows = 40;
+  c.completed = 39;
+  c.throughput_bps = 1.5e6;
+  e.classes.push_back(c);
+  c.name = "elephants";
+  e.classes.push_back(c);
+  const std::string line = SweepManifest::format_line(e);
+  // Cut right after the first class object's closing brace: the line then
+  // ends in '}' (passing the cheap brace check) but the class array has no
+  // terminator, which must fail the whole line rather than yield one class.
+  const std::size_t first_close = line.find("},", line.find("\"classes\":["));
+  ASSERT_NE(first_close, std::string::npos);
+  ManifestEntry out;
+  EXPECT_FALSE(SweepManifest::parse_line(line.substr(0, first_close + 1), &out));
+}
+
+TEST(ManifestFormat, ExtremeValuesRoundTripWithoutTruncation) {
+  // Worst-case field widths: every double at full %.17g width, saturated
+  // counters, and a long per-class list. A fixed-size formatting buffer
+  // would truncate this line; the append path must grow instead.
+  ManifestEntry e;
+  e.index = 18446744073709551615ull % 1000000;
+  e.id = std::string(64, 'x');
+  e.status = RunStatus::kOk;
+  e.attempts = 2147483647;
+  e.repetitions = 2147483647;
+  e.sender_bps[0] = -1.7976931348623157e308;
+  e.sender_bps[1] = 2.2250738585072014e-308;
+  e.jain2 = 0.12345678901234567;
+  e.utilization = 0.98765432109876543;
+  e.retx_segments = 1.2345678901234567e300;
+  e.rtos = -2.3456789012345678e-300;
+  for (int i = 0; i < 24; ++i) {
+    ClassResult c;
+    c.name = "class-with-a-deliberately-long-name-" + std::to_string(i);
+    c.flows = 4294967295u;
+    c.completed = 4294967294u;
+    c.throughput_bps = 1.7976931348623157e308;
+    c.share = 1.2345678901234567e-5;
+    c.jain = 0.99999999999999989;
+    c.fct_p50_s = 1.1111111111111111e-3;
+    c.fct_p95_s = 2.2222222222222222e-3;
+    c.fct_p99_s = 3.3333333333333333e-3;
+    c.fct_mean_s = 4.4444444444444444e-3;
+    c.slowdown_p50 = 5.5555555555555555e5;
+    c.slowdown_p95 = 6.6666666666666666e5;
+    c.slowdown_p99 = 7.7777777777777777e5;
+    e.classes.push_back(std::move(c));
+  }
+  ManifestEntry back;
+  ASSERT_TRUE(SweepManifest::parse_line(SweepManifest::format_line(e), &back));
+  EXPECT_EQ(back.id, e.id);
+  ASSERT_EQ(back.classes.size(), e.classes.size());
+  for (std::size_t i = 0; i < e.classes.size(); ++i) {
+    EXPECT_EQ(back.classes[i].name, e.classes[i].name);
+    EXPECT_EQ(back.classes[i].flows, e.classes[i].flows);
+    EXPECT_DOUBLE_EQ(back.classes[i].throughput_bps, e.classes[i].throughput_bps);
+    EXPECT_DOUBLE_EQ(back.classes[i].slowdown_p99, e.classes[i].slowdown_p99);
+  }
+  EXPECT_DOUBLE_EQ(back.sender_bps[0], e.sender_bps[0]);
+  EXPECT_DOUBLE_EQ(back.sender_bps[1], e.sender_bps[1]);
+  EXPECT_DOUBLE_EQ(back.retx_segments, e.retx_segments);
+  EXPECT_DOUBLE_EQ(back.rtos, e.rtos);
+}
+
+}  // namespace
+}  // namespace elephant::exp

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <span>
 #include <vector>
 
@@ -65,11 +66,13 @@ TEST(FctSlowdown, IdealTransferHasSlowdownOne) {
   EXPECT_DOUBLE_EQ(fct_slowdown(0.3, 1e6, 100e6, 0.02), 3.0);
 }
 
-TEST(FctSlowdown, DegenerateInputsAreZero) {
-  EXPECT_DOUBLE_EQ(fct_slowdown(0.0, 1e6, 100e6, 0.02), 0.0);
-  EXPECT_DOUBLE_EQ(fct_slowdown(0.1, 0.0, 100e6, 0.02), 0.0);
-  EXPECT_DOUBLE_EQ(fct_slowdown(0.1, 1e6, 0.0, 0.02), 0.0);
-  EXPECT_DOUBLE_EQ(fct_slowdown(-1.0, 1e6, 100e6, 0.02), 0.0);
+TEST(FctSlowdown, DegenerateInputsAreNaN) {
+  // A 0 slowdown would read as "infinitely fast" and pull aggregated
+  // percentiles toward zero; NaN forces callers to drop the sample.
+  EXPECT_TRUE(std::isnan(fct_slowdown(0.0, 1e6, 100e6, 0.02)));
+  EXPECT_TRUE(std::isnan(fct_slowdown(0.1, 0.0, 100e6, 0.02)));
+  EXPECT_TRUE(std::isnan(fct_slowdown(0.1, 1e6, 0.0, 0.02)));
+  EXPECT_TRUE(std::isnan(fct_slowdown(-1.0, 1e6, 100e6, 0.02)));
 }
 
 // Asymmetric-population Jain cases that matter once mice share the link with
