@@ -1,15 +1,32 @@
 #include "exp/cache.hpp"
 
+#include <unistd.h>
+
 #include <cmath>
+#include <cstdio>
 #include <cstdlib>
 #include <fstream>
+#include <iterator>
 #include <sstream>
 #include <string>
+#include <string_view>
 #include <unordered_map>
 
 namespace elephant::exp {
 
 namespace {
+
+/// FNV-1a 64-bit over the entry body. Not cryptographic — it guards against
+/// torn writes, disk bit rot, and concurrent-writer interleaving, all of
+/// which it catches with overwhelming probability.
+std::uint64_t fnv1a(std::string_view s) {
+  std::uint64_t h = 1469598103934665603ULL;
+  for (const unsigned char c : s) {
+    h ^= c;
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
 
 /// Strict double parse: the whole field must be consumed (modulo trailing
 /// whitespace / CR from foreign line endings) and the value finite.
@@ -53,14 +70,42 @@ std::optional<ExperimentResult> ResultCache::load(const ExperimentConfig& cfg) c
   return res;
 }
 
+void ResultCache::quarantine(const std::filesystem::path& path) const {
+  std::error_code ec;
+  std::filesystem::rename(path, path.string() + ".corrupt", ec);
+  if (ec) std::filesystem::remove(path, ec);
+  quarantined_.fetch_add(1, std::memory_order_relaxed);
+  std::fprintf(stderr, "[cache] corrupt entry quarantined: %s\n", path.c_str());
+}
+
 std::optional<ExperimentResult> ResultCache::load_impl(const ExperimentConfig& cfg) const {
   if (!enabled_) return std::nullopt;
   std::lock_guard lock(mu_);
   const auto path = path_for(cfg);
-  std::ifstream in(path);
-  if (!in) return std::nullopt;
+  std::string content;
+  {
+    std::ifstream in(path, std::ios::binary);
+    if (!in) return std::nullopt;
+    content.assign(std::istreambuf_iterator<char>(in), std::istreambuf_iterator<char>());
+  }
+
+  // Verify the trailing checksum when present (entries from before the sum
+  // line are accepted as-is — their field-level validation still applies).
+  const auto sum_pos = content.rfind("sum=");
+  if (sum_pos != std::string::npos && (sum_pos == 0 || content[sum_pos - 1] == '\n')) {
+    const char* s = content.c_str() + sum_pos + 4;
+    char* end = nullptr;
+    const std::uint64_t recorded = std::strtoull(s, &end, 16);
+    const bool parsed = end != s && (*end == '\n' || *end == '\0');
+    if (!parsed || recorded != fnv1a(std::string_view(content).substr(0, sum_pos))) {
+      quarantine(path);
+      return std::nullopt;
+    }
+    content.erase(sum_pos);  // body only from here on
+  }
 
   std::unordered_map<std::string, std::string> kv;
+  std::istringstream in(content);
   std::string line;
   while (std::getline(in, line)) {
     const auto eq = line.find('=');
@@ -94,10 +139,9 @@ std::optional<ExperimentResult> ResultCache::load_impl(const ExperimentConfig& c
   const auto wall = get("wall_seconds");
   if (corrupt || !s1 || !s2 || !jain || !util || !retx) {
     // Truncated or mangled entry: serving it would turn garbage (atof's
-    // silent 0.0) into a "valid" cached result. Delete so it regenerates.
-    in.close();
-    std::error_code ec;
-    std::filesystem::remove(path, ec);
+    // silent 0.0) into a "valid" cached result. Quarantine so it regenerates
+    // and the damaged bytes stay inspectable.
+    quarantine(path);
     return std::nullopt;
   }
   res.sender_bps[0] = *s1;
@@ -124,8 +168,7 @@ std::optional<ExperimentResult> ResultCache::load_impl(const ExperimentConfig& c
     bool ok = fields.size() == 13;
     for (std::size_t i = 0; ok && i < 12; ++i) ok = parse_field(fields[i + 1], &v[i]);
     if (!ok) {
-      std::error_code ec;
-      std::filesystem::remove(path, ec);
+      quarantine(path);
       return std::nullopt;
     }
     ClassResult cr;
@@ -157,32 +200,63 @@ void ResultCache::store(const ExperimentResult& result) {
   if (!enabled_) return;
   std::lock_guard lock(mu_);
   const auto path = path_for(result.config);
-  const auto tmp = path.string() + ".tmp";
+  // Unique per-(process, store) tmp name: concurrent sweep workers caching
+  // the same cell must never interleave writes into one shared tmp file.
+  // Each writes its own tmp, and the rename-over races are benign — results
+  // are deterministic, so last-writer-wins installs identical bytes.
+  const auto tmp = path.string() + ".tmp." + std::to_string(::getpid()) + "." +
+                   std::to_string(tmp_seq_.fetch_add(1, std::memory_order_relaxed));
+
+  std::ostringstream body;
+  body.precision(17);
+  body << "id=" << result.config.id() << '\n'
+       << "label=" << result.config.label() << '\n'
+       << "sender1_bps=" << result.sender_bps[0] << '\n'
+       << "sender2_bps=" << result.sender_bps[1] << '\n'
+       << "jain2=" << result.jain2 << '\n'
+       << "utilization=" << result.utilization << '\n'
+       << "retx_segments=" << result.retx_segments << '\n'
+       << "rtos=" << result.rtos << '\n'
+       << "n_flows=" << result.n_flows << '\n'
+       << "events=" << result.events_executed << '\n'
+       << "wall_seconds=" << result.wall_seconds << '\n';
+  for (std::size_t ci = 0; ci < result.classes.size(); ++ci) {
+    const ClassResult& c = result.classes[ci];
+    body << "class" << ci << '=' << c.name << ';' << c.flows << ';' << c.completed << ';'
+         << c.throughput_bps << ';' << c.share << ';' << c.jain << ';' << c.fct_p50_s
+         << ';' << c.fct_p95_s << ';' << c.fct_p99_s << ';' << c.fct_mean_s << ';'
+         << c.slowdown_p50 << ';' << c.slowdown_p95 << ';' << c.slowdown_p99 << '\n';
+  }
+  const std::string text = body.str();
+  char sum[32];
+  std::snprintf(sum, sizeof(sum), "sum=%016llx\n",
+                static_cast<unsigned long long>(fnv1a(text)));
+
+  bool written = false;
   {
-    std::ofstream out(tmp, std::ios::trunc);
-    if (!out) return;
-    out.precision(17);
-    out << "id=" << result.config.id() << '\n'
-        << "label=" << result.config.label() << '\n'
-        << "sender1_bps=" << result.sender_bps[0] << '\n'
-        << "sender2_bps=" << result.sender_bps[1] << '\n'
-        << "jain2=" << result.jain2 << '\n'
-        << "utilization=" << result.utilization << '\n'
-        << "retx_segments=" << result.retx_segments << '\n'
-        << "rtos=" << result.rtos << '\n'
-        << "n_flows=" << result.n_flows << '\n'
-        << "events=" << result.events_executed << '\n'
-        << "wall_seconds=" << result.wall_seconds << '\n';
-    for (std::size_t ci = 0; ci < result.classes.size(); ++ci) {
-      const ClassResult& c = result.classes[ci];
-      out << "class" << ci << '=' << c.name << ';' << c.flows << ';' << c.completed << ';'
-          << c.throughput_bps << ';' << c.share << ';' << c.jain << ';' << c.fct_p50_s
-          << ';' << c.fct_p95_s << ';' << c.fct_p99_s << ';' << c.fct_mean_s << ';'
-          << c.slowdown_p50 << ';' << c.slowdown_p95 << ';' << c.slowdown_p99 << '\n';
+    std::ofstream out(tmp, std::ios::trunc | std::ios::binary);
+    if (out) {
+      out << text << sum;
+      out.flush();
+      written = out.good();
     }
   }
   std::error_code ec;
+  if (!written) {
+    store_failures_.fetch_add(1, std::memory_order_relaxed);
+    std::fprintf(stderr, "[cache] store failed (write error): %s\n", tmp.c_str());
+    std::filesystem::remove(tmp, ec);
+    return;
+  }
   std::filesystem::rename(tmp, path, ec);
+  if (ec) {
+    // A failed rename means the result was NOT cached — saying nothing here
+    // would turn every future hit into a silent re-simulation.
+    store_failures_.fetch_add(1, std::memory_order_relaxed);
+    std::fprintf(stderr, "[cache] store failed (rename: %s): %s\n",
+                 ec.message().c_str(), path.c_str());
+    std::filesystem::remove(tmp, ec);
+  }
 }
 
 }  // namespace elephant::exp

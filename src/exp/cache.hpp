@@ -35,16 +35,31 @@ class ResultCache {
   [[nodiscard]] std::uint64_t misses() const {
     return misses_.load(std::memory_order_relaxed);
   }
+  /// Entries found corrupt (checksum mismatch or mangled fields) and moved
+  /// aside to `<entry>.corrupt` for post-mortem instead of silently deleted.
+  [[nodiscard]] std::uint64_t quarantined() const {
+    return quarantined_.load(std::memory_order_relaxed);
+  }
+  /// store() attempts that failed to persist (write error or rename failure).
+  [[nodiscard]] std::uint64_t store_failures() const {
+    return store_failures_.load(std::memory_order_relaxed);
+  }
 
  private:
   [[nodiscard]] std::filesystem::path path_for(const ExperimentConfig& cfg) const;
   [[nodiscard]] std::optional<ExperimentResult> load_impl(const ExperimentConfig& cfg) const;
+  /// Move a corrupt entry to `<path>.corrupt` (best effort: plain remove if
+  /// the rename fails) so the cell regenerates while the evidence survives.
+  void quarantine(const std::filesystem::path& path) const;
 
   std::filesystem::path dir_;
   bool enabled_ = true;
   mutable std::mutex mu_;
   mutable std::atomic<std::uint64_t> hits_{0};
   mutable std::atomic<std::uint64_t> misses_{0};
+  mutable std::atomic<std::uint64_t> quarantined_{0};
+  mutable std::atomic<std::uint64_t> store_failures_{0};
+  std::atomic<std::uint64_t> tmp_seq_{0};  ///< unique per-store tmp suffix
 };
 
 }  // namespace elephant::exp

@@ -1,5 +1,11 @@
 #include "exp/manifest.hpp"
 
+#include <fcntl.h>
+#include <sys/file.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
 #include <cmath>
 #include <cstdarg>
 #include <cstdint>
@@ -183,7 +189,99 @@ void appendf(std::string* line, const char* fmt, ...) {
 SweepManifest::SweepManifest(std::filesystem::path path) : path_(std::move(path)) {
   std::error_code ec;
   if (path_.has_parent_path()) std::filesystem::create_directories(path_.parent_path(), ec);
-  out_.open(path_, std::ios::app);
+  // Raw O_APPEND fd instead of an ofstream: every append is one write(2)
+  // whose return value we can check (an ofstream swallows short writes into
+  // badbit long after the fact), and the fd doubles as the flock handle that
+  // serializes appends across worker processes.
+  // O_RDWR, not O_WRONLY: the work queue folds journal lines back through
+  // this fd (pread), and tail repair peeks at the last byte before appending.
+  fd_ = ::open(path_.c_str(), O_RDWR | O_APPEND | O_CREAT | O_CLOEXEC, 0644);
+  if (fd_ < 0) fail(std::string("open failed: ") + std::strerror(errno));
+}
+
+SweepManifest::~SweepManifest() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+SweepManifest::ScopedLock::ScopedLock(SweepManifest& m) : m_(m) {
+  m_.mu_.lock();
+  if (m_.fd_ >= 0) {
+    while (::flock(m_.fd_, LOCK_EX) != 0 && errno == EINTR) {
+    }
+  }
+}
+
+SweepManifest::ScopedLock::~ScopedLock() {
+  if (m_.fd_ >= 0) ::flock(m_.fd_, LOCK_UN);
+  m_.mu_.unlock();
+}
+
+void SweepManifest::fail(const std::string& what) {
+  if (!failed_) error_ = what;  // keep the first failure; later ones are noise
+  failed_ = true;
+}
+
+bool SweepManifest::ok() const {
+  std::lock_guard lock(mu_);
+  return fd_ >= 0 && !failed_;
+}
+
+std::string SweepManifest::last_error() const {
+  std::lock_guard lock(mu_);
+  return error_;
+}
+
+namespace {
+
+/// write(2) the whole buffer, retrying short writes and EINTR.
+bool write_all(int fd, const char* data, std::size_t n) {
+  while (n > 0) {
+    const ssize_t w = ::write(fd, data, n);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    data += w;
+    n -= static_cast<std::size_t>(w);
+  }
+  return true;
+}
+
+}  // namespace
+
+bool SweepManifest::append_locked(const ManifestEntry& e) {
+  if (fd_ < 0) {
+    fail("manifest not open");
+    return false;
+  }
+  // Tail repair: a writer SIGKILLed mid-write leaves a partial line with no
+  // newline. Appending after it would merge our line into the fragment and
+  // parse_line could then stitch fields from both — terminate the fragment
+  // first so it becomes one clean, unparseable (skipped) line of its own.
+  struct stat st;
+  if (::fstat(fd_, &st) == 0 && st.st_size > 0) {
+    char last = '\n';
+    if (::pread(fd_, &last, 1, st.st_size - 1) == 1 && last != '\n') {
+      if (!write_all(fd_, "\n", 1)) {
+        fail(std::string("tail repair write failed: ") + std::strerror(errno));
+        return false;
+      }
+    }
+  }
+  std::string line = format_line(e);
+  line += '\n';
+  if (!write_all(fd_, line.data(), line.size())) {
+    fail(std::string("append failed: ") + std::strerror(errno));
+    return false;
+  }
+  // fsync per line: the lease protocol's correctness leans on "a journaled
+  // completion survives the writer's death". One fsync per cell (seconds of
+  // simulation) is noise.
+  if (::fsync(fd_) != 0) {
+    fail(std::string("fsync failed: ") + std::strerror(errno));
+    return false;
+  }
+  return true;
 }
 
 std::string SweepManifest::format_line(const ManifestEntry& e) {
@@ -198,6 +296,13 @@ std::string SweepManifest::format_line(const ManifestEntry& e) {
           "\"jain2\":%.17g,\"util\":%.17g,\"retx\":%.17g,\"rtos\":%.17g",
           e.attempts, e.repetitions, e.sender_bps[0], e.sender_bps[1], e.jain2,
           e.utilization, e.retx_segments, e.rtos);
+  if (e.status == RunStatus::kClaimed) {
+    // Lease fields ride only on claim lines so every completion line stays
+    // byte-identical to the pre-lease journal format.
+    line += ",\"worker\":\"";
+    append_escaped(e.worker, &line);
+    appendf(&line, "\",\"lease_until\":%.3f", e.lease_until_unix_s);
+  }
   if (!e.classes.empty()) {
     // Per-class block only for workload cells, so elephant-only journal
     // lines stay byte-identical to the pre-workload format.
@@ -287,6 +392,14 @@ bool SweepManifest::parse_line(const std::string& line, ManifestEntry* out) {
       !get_number(line, "rtos", &rtos)) {
     return false;
   }
+  if (e.status == RunStatus::kClaimed) {
+    // A claim without its lease fields is a torn line, not an old format:
+    // claims and the fields were introduced together.
+    if (!get_string(line, "worker", &e.worker) ||
+        !get_number(line, "lease_until", &e.lease_until_unix_s)) {
+      return false;
+    }
+  }
   if (!parse_classes(line, &e.classes)) return false;
   (void)get_string(line, "error", &e.error);  // optional
   e.index = static_cast<std::size_t>(idx);
@@ -310,16 +423,22 @@ std::unordered_map<std::string, ManifestEntry> SweepManifest::load(
   std::string line;
   while (std::getline(in, line)) {
     ManifestEntry e;
-    if (parse_line(line, &e)) entries[e.id] = std::move(e);
+    if (!parse_line(line, &e)) continue;
+    if (e.status == RunStatus::kClaimed) {
+      // Success is terminal: a stale claim (a worker that raced a finished
+      // cell, or a steal journaled just before the victim's completion
+      // landed) must not hide a recorded result from --resume.
+      const auto it = entries.find(e.id);
+      if (it != entries.end() && it->second.success()) continue;
+    }
+    entries[e.id] = std::move(e);
   }
   return entries;
 }
 
 void SweepManifest::append(const ManifestEntry& e) {
-  std::lock_guard lock(mu_);
-  if (!out_.is_open()) return;
-  out_ << format_line(e) << '\n';
-  out_.flush();
+  ScopedLock lock(*this);
+  (void)append_locked(e);  // failure is latched; callers poll ok()
 }
 
 }  // namespace elephant::exp

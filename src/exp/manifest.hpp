@@ -11,7 +11,9 @@
 
 namespace elephant::exp {
 
-/// One journal line: the recorded outcome of one sweep cell.
+/// One journal line: the recorded outcome of one sweep cell, or — when
+/// `status == RunStatus::kClaimed` — a worker's lease on a cell it is about
+/// to run (see work_queue.hpp for the lease protocol).
 struct ManifestEntry {
   std::size_t index = 0;  ///< position in the sweep's config vector
   std::string id;         ///< ExperimentConfig::id() — the resume key
@@ -29,21 +31,42 @@ struct ManifestEntry {
   std::vector<ClassResult> classes;
   std::string error;  ///< exception message for failed/timed-out cells
 
+  // Lease fields, serialized only on kClaimed lines so completion lines keep
+  // their exact pre-lease format. `lease_until_unix_s` is wall-clock time
+  // (system_clock seconds): leases arbitrate between processes on one host,
+  // so a shared clock is exactly what expiry must be measured against.
+  std::string worker;              ///< claiming worker's id
+  double lease_until_unix_s = 0;   ///< lease expiry; <= now means stealable
+
   [[nodiscard]] bool success() const { return succeeded(status); }
+  [[nodiscard]] bool terminal() const { return status != RunStatus::kClaimed; }
 };
 
-/// Append-only JSONL journal of a sweep: one line per completed cell,
-/// flushed per append so a crashed or killed sweep loses at most the cell in
-/// flight. `load()` tolerates a torn final line (the crash case) by skipping
-/// anything that does not parse; the latest entry per id wins, so a re-run
-/// of a previously failed cell supersedes the failure.
+/// Append-only JSONL journal of a sweep: one line per claim or completed
+/// cell. Appends go through a raw O_APPEND fd under an flock + fsync, so
+/// multiple worker *processes* can interleave whole lines on one journal and
+/// a crashed or killed worker loses at most the line in flight. `load()`
+/// tolerates a torn final line (the crash case) by skipping anything that
+/// does not parse; the latest entry per id wins, except that a claim never
+/// supersedes a recorded success — success is terminal, so a stale claim
+/// racing a completion cannot resurrect a finished cell.
+///
+/// Unlike the pre-lease implementation, write failures are detected: a
+/// failed append (disk full, journal unlinked, ...) latches ok() to false
+/// and keeps the first error message, so the sweep can fail loudly instead
+/// of recording ghost completions.
 class SweepManifest {
  public:
   /// Opens `path` for appending (parent directories are created).
   explicit SweepManifest(std::filesystem::path path);
+  ~SweepManifest();
 
-  /// Parse an existing journal into its latest-entry-per-id view. A missing
-  /// file yields an empty map.
+  SweepManifest(const SweepManifest&) = delete;
+  SweepManifest& operator=(const SweepManifest&) = delete;
+
+  /// Parse an existing journal into its latest-entry-per-id view (claims
+  /// folded under the success-is-terminal rule). A missing file yields an
+  /// empty map.
   [[nodiscard]] static std::unordered_map<std::string, ManifestEntry> load(
       const std::filesystem::path& path);
 
@@ -52,15 +75,44 @@ class SweepManifest {
   /// Serialize one entry as a single JSON object line (no trailing newline).
   [[nodiscard]] static std::string format_line(const ManifestEntry& e);
 
+  /// Cross-process critical section: in-process mutex + flock(LOCK_EX) on
+  /// the journal fd. Used by the work queue to make read-tail + append-claim
+  /// atomic against concurrent workers; plain append() takes it internally.
+  class ScopedLock {
+   public:
+    explicit ScopedLock(SweepManifest& m);
+    ~ScopedLock();
+    ScopedLock(const ScopedLock&) = delete;
+    ScopedLock& operator=(const ScopedLock&) = delete;
+
+   private:
+    SweepManifest& m_;
+  };
+
+  /// Append one entry (lock taken internally). Failure latches ok() false.
   void append(const ManifestEntry& e);
+  /// As append(), but the caller already holds a ScopedLock. Returns false
+  /// on write failure. Repairs a torn tail (a crashed writer's partial line
+  /// gets a terminating newline) before writing, so journal lines can never
+  /// merge across crashes.
+  bool append_locked(const ManifestEntry& e);
 
   [[nodiscard]] const std::filesystem::path& path() const { return path_; }
-  [[nodiscard]] bool ok() const { return out_.is_open(); }
+  /// True while the journal is open and no append has failed.
+  [[nodiscard]] bool ok() const;
+  /// First failure message ("" while ok()).
+  [[nodiscard]] std::string last_error() const;
+  /// Underlying fd for readers that must share the flock (work queue).
+  [[nodiscard]] int fd() const { return fd_; }
 
  private:
+  void fail(const std::string& what);
+
   std::filesystem::path path_;
-  std::ofstream out_;
-  std::mutex mu_;
+  int fd_ = -1;
+  mutable std::mutex mu_;
+  bool failed_ = false;
+  std::string error_;
 };
 
 }  // namespace elephant::exp

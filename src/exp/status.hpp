@@ -6,12 +6,17 @@
 
 namespace elephant::exp {
 
-/// Outcome of one sweep cell under the resilient engine.
+/// Outcome of one sweep cell under the resilient engine. kClaimed is not an
+/// outcome but a lease record in the journal: a worker announcing it owns the
+/// cell until the lease expires (see work_queue.hpp). kSkipped never reaches
+/// the journal; it marks report slots for cells a drained sweep left behind.
 enum class RunStatus {
   kOk,        ///< completed on the first attempt
   kRetried,   ///< completed after one or more reseeded retries
   kFailed,    ///< every attempt threw (config error, invariant violation, ...)
   kTimedOut,  ///< every attempt exceeded a watchdog budget
+  kClaimed,   ///< journal only: leased by a worker, result pending
+  kSkipped,   ///< report only: never attempted (graceful drain)
 };
 
 [[nodiscard]] inline const char* to_string(RunStatus s) {
@@ -24,13 +29,17 @@ enum class RunStatus {
       return "failed";
     case RunStatus::kTimedOut:
       return "timed_out";
+    case RunStatus::kClaimed:
+      return "claimed";
+    case RunStatus::kSkipped:
+      return "skipped";
   }
   return "unknown";
 }
 
 [[nodiscard]] inline bool run_status_from_string(std::string_view name, RunStatus* out) {
   for (const RunStatus s : {RunStatus::kOk, RunStatus::kRetried, RunStatus::kFailed,
-                            RunStatus::kTimedOut}) {
+                            RunStatus::kTimedOut, RunStatus::kClaimed}) {
     if (name == to_string(s)) {
       *out = s;
       return true;

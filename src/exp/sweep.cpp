@@ -1,18 +1,24 @@
 #include "exp/sweep.hpp"
 
+#include <unistd.h>
+
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cinttypes>
+#include <cmath>
 #include <cstdio>
 #include <exception>
 #include <memory>
 #include <mutex>
 #include <optional>
+#include <stdexcept>
 #include <thread>
 #include <unordered_map>
 #include <utility>
 
 #include "exp/cache.hpp"
+#include "exp/work_queue.hpp"
 #include "obs/export.hpp"
 #include "obs/heartbeat.hpp"
 #include "obs/metrics.hpp"
@@ -66,7 +72,38 @@ std::size_t SweepReport::failed() const {
   return count(RunStatus::kFailed) + count(RunStatus::kTimedOut);
 }
 
+std::size_t SweepReport::skipped() const { return count(RunStatus::kSkipped); }
+
+double retry_backoff_s(std::uint64_t seed, int attempt, double base_s) {
+  if (base_s <= 0 || attempt <= 0) return 0;
+  // Cap the exponent: past 2^20 the sweep has bigger problems than jitter.
+  const double expo = base_s * std::ldexp(1.0, std::min(attempt - 1, 20));
+  const std::uint64_t r =
+      sim::derive_seed(seed, 0x300000000ULL + static_cast<std::uint64_t>(attempt));
+  const double u = static_cast<double>(r >> 11) * 0x1.0p-53;  // uniform [0, 1)
+  return expo * (0.5 + u);
+}
+
 namespace {
+
+bool cancelled(const SweepOptions& options) {
+  return options.cancel != nullptr && options.cancel->load(std::memory_order_relaxed);
+}
+
+/// Sleep for `delay_s`, waking early (returning false) if the sweep is
+/// draining. 50 ms slices keep drain latency human-imperceptible.
+bool interruptible_sleep(double delay_s, const SweepOptions& options) {
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::duration<double>(delay_s);
+  while (std::chrono::steady_clock::now() < deadline) {
+    if (cancelled(options)) return false;
+    const std::chrono::duration<double> remaining =
+        deadline - std::chrono::steady_clock::now();
+    std::this_thread::sleep_for(std::min<std::chrono::duration<double>>(
+        remaining, std::chrono::milliseconds(50)));
+  }
+  return !cancelled(options);
+}
 
 /// Reconstruct the averaged view of a previously journaled cell. Per-flow
 /// detail is not journaled, but the sweep-level aggregates are complete.
@@ -103,12 +140,20 @@ ManifestEntry to_manifest(std::size_t index, const std::string& id, const RunRec
 }
 
 /// Execute one cell with isolation: budgets applied, failures caught, up to
-/// `max_retries` reseeded re-attempts for plain failures. Budget trips are
+/// `max_retries` reseeded re-attempts for plain failures, each preceded by
+/// exponential backoff with deterministic jitter (a crash from transient
+/// host pressure — OOM, disk stall — deserves breathing room, and jitter
+/// decorrelates workers retrying neighboring cells). Budget trips are
 /// deterministic, so retrying them would just burn the same budget again.
 RunRecord run_cell(const ExperimentConfig& base, const SweepOptions& options,
                    obs::MetricsRegistry* cell_metrics) {
   RunRecord rec;
   for (int attempt = 0; attempt <= options.max_retries; ++attempt) {
+    if (attempt > 0 &&
+        !interruptible_sleep(retry_backoff_s(base.seed, attempt, options.backoff_base_s),
+                             options)) {
+      return rec;  // drained mid-backoff: report the last failure as-is
+    }
     ExperimentConfig cfg = base;
     cfg.metrics = cell_metrics;
     if (cfg.max_events == 0) cfg.max_events = options.run_event_budget;
@@ -151,11 +196,48 @@ SweepReport run_sweep_resilient(const std::vector<ExperimentConfig>& configs,
   report.records.resize(configs.size());
   if (configs.empty()) return report;
 
-  std::unique_ptr<SweepManifest> manifest;
+  std::vector<std::string> ids;
+  ids.reserve(configs.size());
+  for (const ExperimentConfig& cfg : configs) ids.push_back(cfg.id());
+
+  const std::string worker_id =
+      options.worker_id.empty() ? "pid" + std::to_string(::getpid()) : options.worker_id;
+  const bool queue_mode = !options.manifest_path.empty() && options.lease_s > 0;
+
+  // Sweep telemetry registry is provisioned below; the queue wants it at
+  // construction, so resolve it first.
+  std::optional<obs::MetricsRegistry> owned_registry;
+  obs::MetricsRegistry* reg = options.metrics;
+  if (reg == nullptr && options.stats_interval_s > 0) {
+    owned_registry.emplace();
+    reg = &*owned_registry;
+  }
+
+  std::unique_ptr<SweepManifest> manifest;   // journal-only path (lease_s <= 0)
+  std::unique_ptr<LeasedWorkQueue> queue;    // multi-worker lease path
   std::unordered_map<std::string, ManifestEntry> prior;
-  if (!options.manifest_path.empty()) {
+  if (queue_mode) {
+    std::vector<std::pair<std::size_t, std::string>> cells;
+    cells.reserve(configs.size());
+    for (std::size_t i = 0; i < configs.size(); ++i) cells.emplace_back(i, ids[i]);
+    LeasedWorkQueue::Options qopt;
+    qopt.worker_id = worker_id;
+    qopt.lease_s = options.lease_s;
+    qopt.resume = options.resume;
+    qopt.metrics = reg;
+    queue = std::make_unique<LeasedWorkQueue>(options.manifest_path, std::move(cells),
+                                              std::move(qopt));
+  } else if (!options.manifest_path.empty()) {
     if (options.resume) prior = SweepManifest::load(options.manifest_path);
     manifest = std::make_unique<SweepManifest>(options.manifest_path);
+  }
+  SweepManifest* journal = queue ? &queue->manifest() : manifest.get();
+  if (journal != nullptr && !journal->ok()) {
+    // An unusable journal means no durable record of anything this sweep
+    // does — fail now, loudly, instead of simulating for hours into a void.
+    throw std::runtime_error("sweep manifest unusable (" +
+                             options.manifest_path.string() +
+                             "): " + journal->last_error());
   }
 
   int threads = options.threads;
@@ -168,16 +250,12 @@ SweepReport run_sweep_resilient(const std::vector<ExperimentConfig>& configs,
   std::atomic<std::size_t> next{0};
   std::atomic<std::size_t> done{0};
   std::mutex report_mu;
+  // Cells resolved by this worker's own threads; set before the pool joins,
+  // read after — the join is the happens-before edge. Everything still false
+  // after the run is filled from the journal (other workers / resume) or
+  // marked kSkipped (drain).
+  std::vector<char> touched(configs.size(), 0);
 
-  // Sweep telemetry: a caller-supplied shared registry, or an internal one
-  // when only the heartbeat asked for it. Cells simulate into thread-local
-  // registries merged here at cell boundaries.
-  std::optional<obs::MetricsRegistry> owned_registry;
-  obs::MetricsRegistry* reg = options.metrics;
-  if (reg == nullptr && options.stats_interval_s > 0) {
-    owned_registry.emplace();
-    reg = &*owned_registry;
-  }
   const std::uint64_t cache_hits0 = ResultCache::global().hits();
   const std::uint64_t cache_misses0 = ResultCache::global().misses();
   std::mutex status_mu;
@@ -195,10 +273,16 @@ SweepReport run_sweep_resilient(const std::vector<ExperimentConfig>& configs,
     hb.interval_s = options.stats_interval_s;
     hb.jsonl_path = options.metrics_path;
     if (hb.jsonl_path.empty()) {
+      // Per-worker journals when an explicit worker id is in play: N worker
+      // processes appending one shared metrics.jsonl would interleave lines.
+      const std::string name = options.worker_id.empty()
+                                   ? "metrics.jsonl"
+                                   : "metrics-" + options.worker_id + ".jsonl";
       hb.jsonl_path = options.manifest_path.empty()
-                          ? std::filesystem::path("metrics.jsonl")
-                          : options.manifest_path.parent_path() / "metrics.jsonl";
+                          ? std::filesystem::path(name)
+                          : options.manifest_path.parent_path() / name;
     }
+    if (queue_mode) hb.worker_tag = worker_id;
     // Shared-registry histograms change only under merge_from's lock, so
     // live ticks may include them.
     hb.histograms_in_ticks = true;
@@ -236,54 +320,94 @@ SweepReport run_sweep_resilient(const std::vector<ExperimentConfig>& configs,
     heartbeat->start();
   }
 
-  auto worker = [&] {
+  // Simulate one cell into a private registry (histograms are single-writer)
+  // and fold the telemetry into the shared one at the cell boundary.
+  auto execute_cell = [&](std::size_t i) -> RunRecord {
+    if (reg != nullptr) {
+      std::lock_guard lock(status_mu);
+      current_label = configs[i].label();
+    }
+    RunRecord rec;
+    if (reg != nullptr) {
+      obs::MetricsRegistry local;
+      const auto cell_start = std::chrono::steady_clock::now();
+      rec = run_cell(configs[i], options, &local);
+      local.histogram("sweep.cell_wall_s")
+          .record(std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                                cell_start)
+                      .count());
+      reg->merge_from(local);
+      if (rec.attempts > 1) reg->counter("sweep.retries").add(rec.attempts - 1);
+      if (!rec.success()) reg->counter("sweep.cells_failed").add(1);
+    } else {
+      rec = run_cell(configs[i], options, nullptr);
+    }
+    return rec;
+  };
+
+  auto publish = [&](std::size_t i, const RunRecord& rec) {
+    touched[i] = 1;
+    const std::size_t d = done.fetch_add(1) + 1;
+    if (reg != nullptr) reg->counter("sweep.cells_done").add(1);
+    if (options.on_result) {
+      std::lock_guard lock(report_mu);
+      options.on_result(rec.result, d, configs.size());
+    }
+  };
+
+  // Lease-coordinated worker: cells come from the shared journal queue, so
+  // any number of processes (and this process's threads) interleave safely.
+  auto queue_worker = [&] {
     while (true) {
+      if (cancelled(options)) return;       // drain: claim nothing further
+      if (!queue->healthy()) return;        // journal write failed: abort
+      std::size_t i = 0;
+      const LeasedWorkQueue::Claim claim = queue->try_claim(&i);
+      if (claim == LeasedWorkQueue::Claim::kAllDone) return;
+      if (claim == LeasedWorkQueue::Claim::kWaitLeased) {
+        // Other workers hold every remaining cell; poll for steals or
+        // completions at a fraction of the lease so takeover is prompt.
+        if (!interruptible_sleep(std::clamp(options.lease_s / 4.0, 0.05, 0.5), options)) {
+          return;
+        }
+        continue;
+      }
+      RunRecord& rec = report.records[i];
+      rec = execute_cell(i);
+      queue->complete(to_manifest(i, ids[i], rec));
+      publish(i, rec);
+    }
+  };
+
+  // Journal-only worker (lease_s <= 0 or no manifest): today's atomic-counter
+  // scan, plus drain and write-failure checks.
+  auto plain_worker = [&] {
+    while (true) {
+      if (cancelled(options)) return;
+      if (manifest && !manifest->ok()) return;
       const std::size_t i = next.fetch_add(1);
       if (i >= configs.size()) return;
       RunRecord& rec = report.records[i];
-      const std::string id = configs[i].id();
-      if (reg != nullptr) {
-        std::lock_guard lock(status_mu);
-        current_label = configs[i].label();
-      }
 
       // Resume satisfies successful journal entries without re-running;
       // failed or timed-out entries are re-attempted (latest line wins when
       // the new outcome is journaled).
-      const auto it = prior.find(id);
+      const auto it = prior.find(ids[i]);
       if (it != prior.end() && it->second.success()) {
         rec.status = it->second.status;
         rec.attempts = 0;
         rec.resumed = true;
         rec.result = from_manifest(configs[i], it->second);
         if (reg != nullptr) reg->counter("sweep.cells_resumed").add(1);
-      } else if (reg != nullptr) {
-        // This cell's simulation writes a private registry (histograms are
-        // single-writer); fold it into the shared one when the cell is done.
-        obs::MetricsRegistry local;
-        const auto cell_start = std::chrono::steady_clock::now();
-        rec = run_cell(configs[i], options, &local);
-        local.histogram("sweep.cell_wall_s")
-            .record(std::chrono::duration<double>(std::chrono::steady_clock::now() -
-                                                  cell_start)
-                        .count());
-        reg->merge_from(local);
-        if (rec.attempts > 1) reg->counter("sweep.retries").add(rec.attempts - 1);
-        if (!rec.success()) reg->counter("sweep.cells_failed").add(1);
-        if (manifest) manifest->append(to_manifest(i, id, rec));
       } else {
-        rec = run_cell(configs[i], options, nullptr);
-        if (manifest) manifest->append(to_manifest(i, id, rec));
+        rec = execute_cell(i);
+        if (manifest) manifest->append(to_manifest(i, ids[i], rec));
       }
-
-      const std::size_t d = done.fetch_add(1) + 1;
-      if (reg != nullptr) reg->counter("sweep.cells_done").add(1);
-      if (options.on_result) {
-        std::lock_guard lock(report_mu);
-        options.on_result(rec.result, d, configs.size());
-      }
+      publish(i, rec);
     }
   };
+
+  auto worker = [&] { queue ? queue_worker() : plain_worker(); };
 
   if (threads == 1) {
     worker();
@@ -294,6 +418,34 @@ SweepReport run_sweep_resilient(const std::vector<ExperimentConfig>& configs,
     for (std::thread& t : pool) t.join();
   }
 
+  // Fill report slots this worker never ran: from the journal when another
+  // worker (or a prior resumed run) produced a terminal outcome, else mark
+  // kSkipped — a drained sweep must not let default-constructed records
+  // masquerade as successes.
+  if (queue) queue->refresh();
+  for (std::size_t i = 0; i < configs.size(); ++i) {
+    if (touched[i]) continue;
+    RunRecord& rec = report.records[i];
+    std::optional<ManifestEntry> e;
+    if (queue) {
+      e = queue->latest(ids[i]);
+    } else {
+      const auto it = prior.find(ids[i]);
+      if (it != prior.end()) e = it->second;
+    }
+    if (e && e->terminal()) {
+      rec.status = e->status;
+      rec.attempts = 0;
+      rec.resumed = true;
+      rec.error = e->error;
+      if (e->success()) rec.result = from_manifest(configs[i], *e);
+      if (reg != nullptr) reg->counter("sweep.cells_resumed").add(1);
+    } else {
+      rec.status = RunStatus::kSkipped;
+      rec.error = "not attempted (sweep drained)";
+    }
+  }
+
   if (reg != nullptr) {
     reg->counter("sweep.cache_hits").add(ResultCache::global().hits() - cache_hits0);
     reg->counter("sweep.cache_misses").add(ResultCache::global().misses() - cache_misses0);
@@ -302,6 +454,15 @@ SweepReport run_sweep_resilient(const std::vector<ExperimentConfig>& configs,
   // counters above; ~Heartbeat would emit it anyway, but stop explicitly so
   // the ordering is visible.
   if (heartbeat) heartbeat->stop();
+
+  // Ghost completions are worse than a dead sweep: if any journal write
+  // failed (disk full, unlinked manifest), surface it as an error rather
+  // than returning a report whose durable record is silently incomplete.
+  if (journal != nullptr && !journal->ok()) {
+    throw std::runtime_error("sweep aborted: manifest write failed (" +
+                             options.manifest_path.string() +
+                             "): " + journal->last_error());
+  }
   return report;
 }
 

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <atomic>
 #include <filesystem>
 #include <functional>
 #include <string>
@@ -45,7 +46,15 @@ struct SweepReport {
   [[nodiscard]] std::size_t count(RunStatus s) const;
   [[nodiscard]] std::size_t completed() const;  ///< ok + retried
   [[nodiscard]] std::size_t failed() const;     ///< failed + timed out
+  [[nodiscard]] std::size_t skipped() const;    ///< never attempted (drained)
 };
+
+/// Deterministic retry backoff: base · 2^(attempt-1) · U with U ∈ [0.5, 1.5)
+/// derived from sim::derive_seed(seed, 0x300000000 + attempt) — the jitter is
+/// a pure function of (cell seed, attempt), so re-running a sweep reproduces
+/// its retry schedule exactly while distinct cells still decorrelate.
+/// `attempt` is 1-based (the first retry); returns 0 when base_s <= 0.
+[[nodiscard]] double retry_backoff_s(std::uint64_t seed, int attempt, double base_s);
 
 struct SweepOptions {
   int repetitions = 1;
@@ -63,6 +72,26 @@ struct SweepOptions {
   /// Satisfy cells whose id already has a *successful* manifest entry from
   /// the journal instead of re-running them. Requires manifest_path.
   bool resume = false;
+
+  // Multi-worker lease coordination (see work_queue.hpp). Active whenever a
+  // manifest is configured and lease_s > 0: cells are claimed through the
+  // journal, so any number of sweep processes can share one manifest and a
+  // killed worker costs at most its in-flight cells (stolen after lease_s).
+  // A single worker with leases enabled produces byte-identical result
+  // artifacts to the lease-free path — claims add journal lines but never
+  // perturb execution order, seeds, or completion-line formats.
+  /// Unique id of this worker process; "" derives "pid<pid>".
+  std::string worker_id;
+  /// Lease duration in seconds; <= 0 disables claim coordination and keeps
+  /// the journal-only single-process path.
+  double lease_s = 60;
+  /// First-retry backoff delay (doubles per further attempt, with
+  /// deterministic jitter — see retry_backoff_s). 0 retries immediately.
+  double backoff_base_s = 0.25;
+  /// Graceful drain flag (e.g. set from a SIGTERM handler): when it becomes
+  /// true, workers finish and journal their in-flight cells, claim nothing
+  /// further, and return; unattempted cells are reported as kSkipped.
+  const std::atomic<bool>* cancel = nullptr;
   /// Called after each config completes (from the submitting thread; order
   /// is not guaranteed); `done`/`total` enable progress reporting.
   std::function<void(const AveragedResult&, std::size_t done, std::size_t total)> on_result;

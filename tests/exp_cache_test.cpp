@@ -236,5 +236,74 @@ TEST_F(CacheTest, WorkloadEntryWithoutClassRowsIsEvicted) {
   EXPECT_FALSE(std::filesystem::exists(file)) << "stale pre-workload entry must be evicted";
 }
 
+TEST_F(CacheTest, StoreLeavesNoTmpFilesAndWritesChecksum) {
+  ResultCache cache(dir_);
+  ExperimentConfig cfg;
+  cache.store(fake_result(cfg));
+  int results = 0;
+  for (const auto& entry : std::filesystem::directory_iterator(dir_)) {
+    EXPECT_EQ(entry.path().extension(), ".result")
+        << "stray file after store: " << entry.path();
+    ++results;
+  }
+  EXPECT_EQ(results, 1);
+  std::ifstream in(only_file(dir_));
+  std::string line;
+  std::string last;
+  while (std::getline(in, line)) last = line;
+  EXPECT_EQ(last.rfind("sum=", 0), 0u) << "entry must end with its checksum";
+  EXPECT_EQ(cache.store_failures(), 0u);
+}
+
+TEST_F(CacheTest, ChecksumMismatchQuarantinesEntry) {
+  ResultCache cache(dir_);
+  ExperimentConfig cfg;
+  cache.store(fake_result(cfg));
+  const auto file = only_file(dir_);
+  // Flip one digit of a value. Every field still parses — only the checksum
+  // can catch this kind of silent corruption.
+  std::string content;
+  {
+    std::ifstream in(file, std::ios::binary);
+    content.assign(std::istreambuf_iterator<char>(in), std::istreambuf_iterator<char>());
+  }
+  const auto pos = content.find("jain2=");
+  ASSERT_NE(pos, std::string::npos);
+  content[pos + 6] = content[pos + 6] == '9' ? '8' : '9';  // flip leading digit
+  std::ofstream(file, std::ios::trunc | std::ios::binary) << content;
+
+  EXPECT_FALSE(cache.load(cfg).has_value());
+  EXPECT_FALSE(std::filesystem::exists(file));
+  EXPECT_TRUE(std::filesystem::exists(file.string() + ".corrupt"))
+      << "corrupt entry must be preserved for post-mortem";
+  EXPECT_EQ(cache.quarantined(), 1u);
+
+  // Quarantine does not wedge the cell: a fresh store serves again.
+  cache.store(fake_result(cfg));
+  EXPECT_TRUE(cache.load(cfg).has_value());
+}
+
+TEST_F(CacheTest, LegacyEntryWithoutChecksumStillLoads) {
+  ResultCache cache(dir_);
+  ExperimentConfig cfg;
+  cache.store(fake_result(cfg));
+  // Strip the sum line, emulating an entry written before checksums existed.
+  const auto file = only_file(dir_);
+  std::string content;
+  {
+    std::ifstream in(file, std::ios::binary);
+    content.assign(std::istreambuf_iterator<char>(in), std::istreambuf_iterator<char>());
+  }
+  const auto pos = content.rfind("sum=");
+  ASSERT_NE(pos, std::string::npos);
+  content.erase(pos);
+  std::ofstream(file, std::ios::trunc | std::ios::binary) << content;
+
+  const auto loaded = cache.load(cfg);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_DOUBLE_EQ(loaded->jain2, 0.973);
+  EXPECT_EQ(cache.quarantined(), 0u);
+}
+
 }  // namespace
 }  // namespace elephant::exp

@@ -3,8 +3,11 @@
 #include <gtest/gtest.h>
 #include <unistd.h>
 
+#include <atomic>
 #include <filesystem>
 #include <fstream>
+#include <stdexcept>
+#include <thread>
 
 #include "exp/manifest.hpp"
 #include "test_util.hpp"
@@ -279,6 +282,141 @@ TEST_F(ResilientSweepTest, LegacyRunSweepLeavesDefaultResultForFailedCell) {
   EXPECT_GT(results[0].utilization, 0.0);
   EXPECT_GT(results[1].utilization, 0.0);
   EXPECT_EQ(results[2].repetitions, 0);  // failed cell: default-constructed
+}
+
+TEST_F(ResilientSweepTest, BackoffIsDeterministicJitteredAndExponential) {
+  // Same (seed, attempt) → same delay, always within [0.5, 1.5)·base·2^(k-1).
+  const double d1 = retry_backoff_s(42, 1, 0.25);
+  EXPECT_DOUBLE_EQ(d1, retry_backoff_s(42, 1, 0.25));
+  EXPECT_GE(d1, 0.125);
+  EXPECT_LT(d1, 0.375);
+  const double d2 = retry_backoff_s(42, 2, 0.25);
+  EXPECT_GE(d2, 0.25);
+  EXPECT_LT(d2, 0.75);
+  // Different seeds decorrelate, and the degenerate inputs cost nothing.
+  EXPECT_NE(retry_backoff_s(42, 1, 0.25), retry_backoff_s(43, 1, 0.25));
+  EXPECT_EQ(retry_backoff_s(42, 0, 0.25), 0.0);
+  EXPECT_EQ(retry_backoff_s(42, 1, 0.0), 0.0);
+}
+
+TEST_F(ResilientSweepTest, UnusableManifestFailsLoudly) {
+  // A regular file where the manifest's parent directory should be: both
+  // create_directories and open fail, and the sweep must refuse to start.
+  std::ofstream(dir_ / "blocker") << "not a directory";
+  SweepOptions opts;
+  opts.use_cache = false;
+  opts.threads = 1;
+  opts.manifest_path = dir_ / "blocker" / "m.jsonl";
+  EXPECT_THROW((void)run_sweep_resilient(quick_batch(1), opts), std::runtime_error);
+}
+
+TEST_F(ResilientSweepTest, AppendRepairsTornTailBeforeWriting) {
+  // A crashed writer leaves an unterminated fragment. The next append must
+  // terminate it first — otherwise the two lines merge and both are lost.
+  {
+    std::ofstream out(manifest_path());
+    out << R"({"i":0,"id":"torn","status":"ok","atte)";  // no newline
+  }
+  {
+    SweepManifest m(manifest_path());
+    ManifestEntry e;
+    e.index = 1;
+    e.id = "cell-b";
+    e.status = RunStatus::kOk;
+    m.append(e);
+    ASSERT_TRUE(m.ok());
+  }
+  const auto entries = SweepManifest::load(manifest_path());
+  ASSERT_EQ(entries.size(), 1u);
+  EXPECT_EQ(entries.count("cell-b"), 1u);  // survived the torn neighbor
+}
+
+TEST_F(ResilientSweepTest, PreSetCancelSkipsEveryCell) {
+  std::atomic<bool> cancel{true};
+  SweepOptions opts;
+  opts.use_cache = false;
+  opts.threads = 2;
+  opts.cancel = &cancel;
+  const SweepReport report = run_sweep_resilient(quick_batch(3), opts);
+  ASSERT_EQ(report.records.size(), 3u);
+  EXPECT_EQ(report.skipped(), 3u);
+  for (const RunRecord& rec : report.records) {
+    EXPECT_EQ(rec.status, RunStatus::kSkipped);
+    EXPECT_FALSE(rec.success());
+    EXPECT_NE(rec.error.find("not attempted"), std::string::npos);
+  }
+}
+
+TEST_F(ResilientSweepTest, LeasedSweepMatchesPlainSweepResults) {
+  // The lease machinery must be invisible to a single worker: identical
+  // simulation outcomes, and a journal whose folded view is the same.
+  auto configs = quick_batch(3);
+  SweepOptions plain;
+  plain.use_cache = false;
+  plain.threads = 1;
+  plain.lease_s = 0;  // journal-only path
+  plain.manifest_path = dir_ / "plain.jsonl";
+  const SweepReport a = run_sweep_resilient(configs, plain);
+
+  SweepOptions leased = plain;
+  leased.lease_s = 60;
+  leased.worker_id = "w0";
+  leased.manifest_path = dir_ / "leased.jsonl";
+  const SweepReport b = run_sweep_resilient(configs, leased);
+
+  ASSERT_EQ(a.records.size(), b.records.size());
+  for (std::size_t i = 0; i < a.records.size(); ++i) {
+    EXPECT_EQ(a.records[i].status, b.records[i].status) << i;
+    EXPECT_DOUBLE_EQ(a.records[i].result.jain2, b.records[i].result.jain2) << i;
+    EXPECT_DOUBLE_EQ(a.records[i].result.utilization, b.records[i].result.utilization)
+        << i;
+  }
+  const auto fa = SweepManifest::load(plain.manifest_path);
+  const auto fb = SweepManifest::load(leased.manifest_path);
+  ASSERT_EQ(fa.size(), fb.size());
+  for (const auto& [id, ea] : fa) {
+    EXPECT_DOUBLE_EQ(ea.jain2, fb.at(id).jain2) << id;
+    EXPECT_EQ(fb.at(id).status, RunStatus::kOk) << id;
+  }
+}
+
+TEST_F(ResilientSweepTest, TwoInProcessWorkersShareOneManifest) {
+  // Two run_sweep_resilient calls (distinct worker ids) attacking the same
+  // manifest concurrently: every cell exactly once across the union.
+  auto configs = quick_batch(6, /*duration_s=*/1);
+  auto run_worker = [&](const std::string& id, SweepReport* out) {
+    SweepOptions opts;
+    opts.use_cache = false;
+    opts.threads = 1;
+    opts.manifest_path = manifest_path();
+    opts.resume = true;
+    opts.worker_id = id;
+    opts.lease_s = 60;
+    *out = run_sweep_resilient(configs, opts);
+  };
+  SweepReport ra;
+  SweepReport rb;
+  std::thread ta(run_worker, "wa", &ra);
+  std::thread tb(run_worker, "wb", &rb);
+  ta.join();
+  tb.join();
+
+  // Both reports must surface every cell as a success (own run or folded
+  // from the journal), and the journal exactly one completion per cell.
+  for (const SweepReport* r : {&ra, &rb}) {
+    ASSERT_EQ(r->records.size(), 6u);
+    EXPECT_EQ(r->completed() , 6u);
+  }
+  std::size_t ran_a = 0;
+  std::size_t ran_b = 0;
+  for (std::size_t i = 0; i < 6; ++i) {
+    ran_a += ra.records[i].resumed ? 0 : 1;
+    ran_b += rb.records[i].resumed ? 0 : 1;
+  }
+  EXPECT_EQ(ran_a + ran_b, 6u);
+  const auto entries = SweepManifest::load(manifest_path());
+  ASSERT_EQ(entries.size(), 6u);
+  for (const auto& [id, e] : entries) EXPECT_TRUE(e.success()) << id;
 }
 
 TEST_F(ResilientSweepTest, ReportCountsByStatus) {

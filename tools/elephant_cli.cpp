@@ -8,6 +8,7 @@
 //   elephant sweep [--aqm A] [--bw BPS] [--pairs inter|intra|all] [--reps N]
 //                  [--threads N] [--retries N] [--event-budget N]
 //                  [--wall-budget S] [--manifest PATH] [--resume]
+//                  [--worker-id ID] [--lease-s S] [--backoff S]
 //                  [--workload PRESET] [--workload-cdf FILE]
 //                  [--stats-interval S] [--metrics FILE]
 //   elephant list  (CCAs, AQMs, workload presets, and the paper's axis values)
@@ -24,16 +25,31 @@
 // is reported and skipped, --manifest journals every cell to a JSONL file,
 // and --resume re-executes only cells without a successful journal entry.
 //
+// A manifest also turns the sweep into a crash-tolerant shared work queue:
+// start N `elephant sweep ... --manifest M --resume --worker-id wK` processes
+// on one host and they divide the cells through per-cell leases in the
+// journal (a SIGKILLed worker's in-flight cells are stolen after --lease-s).
+// SIGINT/SIGTERM drain gracefully: the in-flight cell finishes and is
+// journaled, nothing new is claimed, and the exit code reports the drain.
+//
+// sweep exit codes: 0 all cells succeeded; 1 some cells permanently failed
+// (or the sweep aborted, e.g. manifest unwritable); 2 usage error; 3 drained
+// by signal with cells left unattempted.
+//
 // --stats-interval S enables the self-profiling heartbeat: every S seconds
 // of wall time one JSON snapshot of the runtime metrics (event counts, queue
 // sojourn/srtt histograms, sweep progress and ETA) is appended to the
 // --metrics file (default metrics.jsonl, next to the manifest for sweeps)
 // and a progress line is printed to stderr.
 
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <atomic>
+#include <exception>
 #include <string>
+#include <unistd.h>
 #include <vector>
 
 #include "exp/config.hpp"
@@ -45,6 +61,17 @@
 namespace {
 
 using namespace elephant;
+
+/// Graceful-drain flag, set by SIGINT/SIGTERM. The sweep engine polls it:
+/// in-flight cells finish and are journaled, nothing further is claimed.
+std::atomic<bool> g_cancel{false};
+
+extern "C" void on_drain_signal(int) {
+  if (g_cancel.exchange(true)) {
+    // Second signal: the user really means it. 130 = interrupted.
+    ::_exit(130);
+  }
+}
 
 [[noreturn]] void usage() {
   std::fprintf(stderr,
@@ -58,9 +85,14 @@ using namespace elephant;
                "  sweep --aqm fifo --bw 1e9 [--pairs inter|intra|all] [--reps N]\n"
                "        [--threads N] [--shards N] [--retries N] [--event-budget N]\n"
                "        [--wall-budget S] [--manifest PATH] [--resume]\n"
+               "        [--worker-id ID] [--lease-s S] [--backoff S]\n"
                "        [--workload PRESET] [--workload-cdf FILE]\n"
                "        [--stats-interval S] [--metrics FILE]\n"
-               "  list\n");
+               "  list\n"
+               "multi-worker: run N sweeps with the same --manifest plus --resume and\n"
+               "unique --worker-id values; cells are leased through the journal and a\n"
+               "killed worker's cells are re-claimed after --lease-s (default 60).\n"
+               "exit codes: 0 ok, 1 failed cells or abort, 2 usage, 3 signal drain\n");
   std::exit(2);
 }
 
@@ -75,6 +107,9 @@ struct Args {
   double wall_budget_s = 0;
   std::string manifest;
   bool resume = false;
+  std::string worker_id;
+  double lease_s = 60;
+  double backoff_s = 0.25;
   double stats_interval_s = 0;
   std::string metrics_path;
 };
@@ -134,6 +169,12 @@ Args parse(int argc, char** argv) {
       a.manifest = need(i);
     } else if (!std::strcmp(arg, "--resume")) {
       a.resume = true;
+    } else if (!std::strcmp(arg, "--worker-id")) {
+      a.worker_id = need(i);
+    } else if (!std::strcmp(arg, "--lease-s")) {
+      a.lease_s = std::atof(need(i));
+    } else if (!std::strcmp(arg, "--backoff")) {
+      a.backoff_s = std::atof(need(i));
     } else if (!std::strcmp(arg, "--stats-interval")) {
       a.stats_interval_s = std::atof(need(i));
     } else if (!std::strcmp(arg, "--metrics")) {
@@ -246,6 +287,10 @@ int cmd_sweep(const Args& a) {
   opts.run_wall_budget_seconds = a.wall_budget_s;
   opts.manifest_path = a.manifest;
   opts.resume = a.resume;
+  opts.worker_id = a.worker_id;
+  opts.lease_s = a.lease_s;
+  opts.backoff_base_s = a.backoff_s;
+  opts.cancel = &g_cancel;
   opts.stats_interval_s = a.stats_interval_s;
   opts.metrics_path = a.metrics_path;
   // The heartbeat's own progress lines replace the carriage-return ticker
@@ -269,6 +314,8 @@ int cmd_sweep(const Args& a) {
       const exp::RunRecord& rec = report.records[i];
       if (rec.success()) {
         std::printf("  %10.3f", rec.result.jain2);
+      } else if (rec.status == exp::RunStatus::kSkipped) {
+        std::printf("  %10s", "-");
       } else {
         std::printf("  %10s", rec.status == exp::RunStatus::kTimedOut ? "t/o" : "fail");
       }
@@ -280,20 +327,32 @@ int cmd_sweep(const Args& a) {
               report.count(exp::RunStatus::kOk), report.count(exp::RunStatus::kRetried),
               report.count(exp::RunStatus::kFailed),
               report.count(exp::RunStatus::kTimedOut));
-  if (a.resume) {
+  if (report.skipped() > 0) std::printf(", %zu skipped", report.skipped());
+  if (a.resume || !a.manifest.empty()) {
     std::size_t resumed = 0;
     for (const auto& rec : report.records) resumed += rec.resumed ? 1 : 0;
-    std::printf(" (%zu resumed from %s)", resumed, a.manifest.c_str());
+    if (resumed > 0 || a.resume) {
+      std::printf(" (%zu resumed from %s)", resumed, a.manifest.c_str());
+    }
   }
   std::printf("\n");
   for (std::size_t k = 0; k < report.records.size(); ++k) {
     const exp::RunRecord& rec = report.records[k];
-    if (!rec.success()) {
+    if (!rec.success() && rec.status != exp::RunStatus::kSkipped) {
       std::fprintf(stderr, "  cell %zu [%s]: %s\n", k, configs[k].label().c_str(),
                    rec.error.c_str());
     }
   }
-  return report.failed() == 0 ? 0 : 1;
+  if (report.failed() > 0) {
+    std::fprintf(stderr, "sweep: %zu cells permanently failed\n", report.failed());
+    return 1;
+  }
+  if (report.skipped() > 0) {
+    std::fprintf(stderr, "sweep: drained by signal, %zu cells not attempted\n",
+                 report.skipped());
+    return 3;
+  }
+  return 0;
 }
 
 int cmd_list() {
@@ -322,7 +381,18 @@ int cmd_list() {
 int main(int argc, char** argv) {
   const Args a = parse(argc, argv);
   if (a.cmd == "run") return cmd_run(a);
-  if (a.cmd == "sweep") return cmd_sweep(a);
+  if (a.cmd == "sweep") {
+    std::signal(SIGINT, on_drain_signal);
+    std::signal(SIGTERM, on_drain_signal);
+    try {
+      return cmd_sweep(a);
+    } catch (const std::exception& e) {
+      // E.g. an unwritable manifest: better a loud nonzero exit than a sweep
+      // whose durable record silently went nowhere.
+      std::fprintf(stderr, "sweep: fatal: %s\n", e.what());
+      return 1;
+    }
+  }
   if (a.cmd == "list") return cmd_list();
   usage();
 }
