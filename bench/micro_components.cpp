@@ -284,6 +284,51 @@ BENCHMARK(BM_ShardedCell)
     ->UseRealTime()
     ->Unit(benchmark::kMillisecond);
 
+void BM_ManyFlowCell(benchmark::State& state) {
+  // The compact-state headline: Arg(0) finite CUBIC flows (constant total
+  // work — ~600k units split across the fleet) through a 10G FIFO cell at
+  // aggregation 1, so per-ACK scoreboard walks and per-flow state dominate.
+  // items = executed events; bytes_per_flow is the slab-arena + peak
+  // scoreboard footprint over the flow count, read from the run's memory
+  // gauges — the two numbers the perf gate tracks for this layout.
+  const auto n = static_cast<std::uint32_t>(state.range(0));
+  double bytes_per_flow = 0;
+  for (auto _ : state) {
+    obs::MetricsRegistry reg;
+    exp::ExperimentConfig cfg;
+    cfg.cca1 = cca::CcaKind::kCubic;
+    cfg.cca2 = cca::CcaKind::kCubic;
+    cfg.aqm = aqm::AqmKind::kFifo;
+    cfg.buffer_bdp = 1.0;
+    cfg.bottleneck_bps = 10e9;
+    cfg.aggregation = 1;
+    cfg.duration = sim::Time::seconds(5);
+    cfg.seed = 20260809;
+    cfg.metrics = &reg;
+    workload::TrafficClass flows;
+    flows.name = "manyflow";
+    flows.kind = workload::ClassKind::kFinite;
+    flows.cca = cca::CcaKind::kCubic;
+    flows.count = n;
+    flows.start_window = sim::Time::seconds(4);
+    flows.size =
+        workload::SizeSpec::fixed(std::max(4.0, 600'000.0 / n) * 8900.0);
+    cfg.workload.classes.push_back(flows);
+    const auto res = exp::run_experiment(cfg);
+    state.SetItemsProcessed(state.items_processed() +
+                            static_cast<std::int64_t>(res.events_executed));
+    bytes_per_flow = (reg.gauge("mem.flow_arena_bytes").value() +
+                      reg.gauge("mem.scoreboard_peak_bytes").value()) /
+                     n;
+  }
+  state.counters["bytes_per_flow"] = benchmark::Counter(bytes_per_flow);
+}
+BENCHMARK(BM_ManyFlowCell)
+    ->Arg(1'000)
+    ->Arg(10'000)
+    ->Arg(100'000)
+    ->Unit(benchmark::kMillisecond);
+
 void BM_SimSecondsPerWallSecond(benchmark::State& state) {
   // The capacity planner's number: how many simulated seconds of a paper
   // cell (CUBIC vs BBRv1, FIFO, 1 BDP, 100 Mbps) one wall-clock second buys.

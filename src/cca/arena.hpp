@@ -1,0 +1,62 @@
+#pragma once
+
+#include <cstddef>
+#include <stdexcept>
+
+#include "cca/bbr_v1.hpp"
+#include "cca/bbr_v2.hpp"
+#include "cca/congestion_control.hpp"
+#include "cca/cubic.hpp"
+#include "cca/htcp.hpp"
+#include "cca/reno.hpp"
+#include "sim/slab.hpp"
+
+namespace elephant::cca {
+
+/// Constructs congestion controllers in-place out of per-kind slabs, so a
+/// 100k-flow cell's CCA state is packed contiguously per algorithm instead
+/// of scattered across one heap allocation per flow (the make_cca path).
+/// Returned pointers are stable for the arena's lifetime; the arena frees
+/// everything at destruction — individual controllers are never released,
+/// matching flow lifetimes (flows are torn down with the cell, not
+/// mid-run).
+class CcaArena {
+ public:
+  CcaArena() = default;
+  CcaArena(const CcaArena&) = delete;
+  CcaArena& operator=(const CcaArena&) = delete;
+
+  [[nodiscard]] CongestionControl* make(CcaKind kind, const CcaParams& params) {
+    switch (kind) {
+      case CcaKind::kReno:
+        return reno_.emplace(params).second;
+      case CcaKind::kCubic:
+        return cubic_.emplace(params).second;
+      case CcaKind::kHtcp:
+        return htcp_.emplace(params).second;
+      case CcaKind::kBbrV1:
+        return bbr1_.emplace(params).second;
+      case CcaKind::kBbrV2:
+        return bbr2_.emplace(params).second;
+    }
+    throw std::invalid_argument("unknown CCA kind");
+  }
+
+  [[nodiscard]] std::size_t size() const {
+    return reno_.size() + cubic_.size() + htcp_.size() + bbr1_.size() + bbr2_.size();
+  }
+  /// Heap bytes pinned by the controller slabs (the RSS-per-flow metric's
+  /// CCA share).
+  [[nodiscard]] std::size_t bytes() const {
+    return reno_.bytes() + cubic_.bytes() + htcp_.bytes() + bbr1_.bytes() + bbr2_.bytes();
+  }
+
+ private:
+  sim::Slab<Reno> reno_;
+  sim::Slab<Cubic> cubic_;
+  sim::Slab<Htcp> htcp_;
+  sim::Slab<BbrV1> bbr1_;
+  sim::Slab<BbrV2> bbr2_;
+};
+
+}  // namespace elephant::cca

@@ -19,7 +19,9 @@ double exponential(sim::Rng& rng, double mean) {
 
 /// Hard cap on instantiated flows per run: an over-eager Poisson rate should
 /// degrade into a truncated arrival sequence, not an out-of-memory kill.
-constexpr std::size_t kMaxFlows = 65536;
+/// Slab-dense per-flow state keeps even the cap's worth of flows to a few
+/// hundred MB, so the cap sits at the million-flow roadmap scale.
+constexpr std::size_t kMaxFlows = 1u << 20;
 
 }  // namespace
 
@@ -54,7 +56,6 @@ void FlowFactory::build_legacy(sim::Rng& rng) {
   // side 0 (cca1) deterministically, instead of silently dropping it.
   const std::uint32_t per_side[2] = {(n_flows + 1) / 2, n_flows / 2};
   const std::uint32_t agg = cfg_.effective_aggregation();
-  flows_.reserve(n_flows);
 
   for (int side = 0; side < 2; ++side) {
     const cca::CcaKind kind = side == 0 ? cfg_.cca1 : cfg_.cca2;
@@ -81,20 +82,23 @@ void FlowFactory::build_legacy(sim::Rng& rng) {
       // Stagger starts within half a second, like scripted iperf3 launches.
       sc.start_time = sim::Time::seconds(0.5 * rng.next_double());
 
-      auto inst = std::make_unique<FlowInstance>();
-      inst->side = side;
-      inst->start_time = sc.start_time;
-      inst->lane = site.sched;
-      inst->receiver =
-          std::make_unique<tcp::TcpReceiver>(*site.sched, server, client.id(), flow);
-      inst->sender =
-          std::make_unique<tcp::TcpSender>(*site.sched, client, sc, cca::make_cca(kind, cp));
-      if (cfg_.tracer != nullptr) inst->sender->set_tracer(cfg_.tracer);
-      if (site.metrics != nullptr) inst->sender->set_metrics(site.metrics);
-      client.register_endpoint(flow, inst->sender.get());
-      server.register_endpoint(flow, inst->receiver.get());
-      inst->sender->start();
-      flows_.push_back(std::move(inst));
+      tcp::TcpReceiver* receiver =
+          receivers_.emplace(*site.sched, server, client.id(), flow).second;
+      tcp::TcpSender* sender =
+          senders_.emplace(*site.sched, client, sc, ccas_.make(kind, cp)).second;
+      FlowInstance& inst = *flows_.emplace().second;
+      inst.sender = sender;
+      inst.receiver = receiver;
+      inst.owner = this;
+      inst.side = side;
+      inst.start_time = sc.start_time;
+      inst.lane = site.sched;
+      if (cfg_.tracer != nullptr) sender->set_tracer(cfg_.tracer);
+      if (site.metrics != nullptr) sender->set_metrics(site.metrics);
+      sender->set_scoreboard_ledger(&scoreboard_ledger_);
+      client.register_endpoint(flow, sender);
+      server.register_endpoint(flow, receiver);
+      sender->start();
     }
   }
 }
@@ -189,27 +193,32 @@ FlowInstance& FlowFactory::spawn(int ci, const workload::TrafficClass& tc, int s
   sc.pace_always = cfg_.pace_all;
   sc.start_time = start;
   if (tc.kind == ClassKind::kFinite) {
-    const std::uint64_t unit_bytes = std::uint64_t{cfg_.mss} * agg;
-    sc.transfer_units = (bytes + unit_bytes - 1) / unit_bytes;
+    sc.transfer_units = tcp::bytes_to_units(bytes, cfg_.mss, agg);
   } else if (tc.kind == ClassKind::kOnOff) {
     sc.app_limited = true;
   }
 
-  auto inst = std::make_unique<FlowInstance>();
-  inst->side = side;
-  inst->cls = ci;
-  inst->kind = tc.kind;
-  inst->transfer_bytes = bytes;
-  inst->start_time = start;
-  inst->app_rng = sim::Rng(app_seed);
-  inst->lane = site.sched;
-  inst->receiver = std::make_unique<tcp::TcpReceiver>(*site.sched, server, client.id(), flow);
-  inst->sender =
-      std::make_unique<tcp::TcpSender>(*site.sched, client, sc, cca::make_cca(kind, cp));
-  if (cfg_.tracer != nullptr) inst->sender->set_tracer(cfg_.tracer);
-  if (site.metrics != nullptr) inst->sender->set_metrics(site.metrics);
-  client.register_endpoint(flow, inst->sender.get());
-  server.register_endpoint(flow, inst->receiver.get());
+  tcp::TcpReceiver* receiver =
+      receivers_.emplace(*site.sched, server, client.id(), flow).second;
+  tcp::TcpSender* sender =
+      senders_.emplace(*site.sched, client, sc, ccas_.make(kind, cp)).second;
+  FlowInstance& inst = *flows_.emplace().second;
+  inst.sender = sender;
+  inst.receiver = receiver;
+  inst.owner = this;
+  inst.traffic = &cfg_.workload.classes[static_cast<std::size_t>(ci)];
+  inst.side = side;
+  inst.cls = ci;
+  inst.kind = tc.kind;
+  inst.transfer_bytes = bytes;
+  inst.start_time = start;
+  inst.app_rng = sim::Rng(app_seed);
+  inst.lane = site.sched;
+  if (cfg_.tracer != nullptr) sender->set_tracer(cfg_.tracer);
+  if (site.metrics != nullptr) sender->set_metrics(site.metrics);
+  sender->set_scoreboard_ledger(&scoreboard_ledger_);
+  client.register_endpoint(flow, sender);
+  server.register_endpoint(flow, receiver);
 
   if (cfg_.tracer != nullptr) {
     trace::TraceRecord r;
@@ -222,47 +231,41 @@ FlowInstance& FlowFactory::spawn(int ci, const workload::TrafficClass& tc, int s
     cfg_.tracer->record(r);
   }
 
-  flows_.push_back(std::move(inst));
-  FlowInstance& ref = *flows_.back();
-  const std::size_t index = flows_.size() - 1;
-
   if (tc.kind == ClassKind::kFinite) {
-    ref.sender->set_on_complete([this, index] {
-      const FlowInstance& f = *flows_[index];
-      if (cfg_.tracer == nullptr) return;
-      trace::TraceRecord r;
-      r.t = f.lane->now();
-      r.type = trace::RecordType::kFlowEnd;
-      r.flow = f.sender->config().flow;
-      r.v0 = f.cls;
-      r.v1 = static_cast<double>(f.transfer_bytes);
-      r.v2 = (f.lane->now() - f.start_time).sec();
-      cfg_.tracer->record(r);
-    });
+    sender->set_on_complete(&FlowFactory::flow_complete_thunk, &inst);
   } else if (tc.kind == ClassKind::kOnOff) {
-    arm_on_off(index);
+    sender->set_on_app_idle(&FlowFactory::app_idle_thunk, &inst);
   }
 
-  ref.sender->start();
+  sender->start();
   if (tc.kind == ClassKind::kOnOff) {
     // First burst; held by the sender until start_time.
-    ref.sender->offer_bytes(bytes);
+    sender->offer_bytes(bytes);
   }
-  return ref;
+  return inst;
 }
 
-void FlowFactory::arm_on_off(std::size_t index) {
-  FlowInstance& f = *flows_[index];
-  const workload::TrafficClass& tc = cfg_.workload.classes[static_cast<std::size_t>(f.cls)];
-  f.sender->set_on_app_idle([this, index, &tc] {
-    FlowInstance& f2 = *flows_[index];
-    const sim::Time think =
-        sim::Time::seconds(exponential(f2.app_rng, tc.off_mean.sec()));
-    // Think-time wakeups are flow events: they belong to the flow's lane.
-    f2.lane->schedule_in(think, [this, index, &tc] {
-      FlowInstance& f3 = *flows_[index];
-      f3.sender->offer_bytes(tc.size.sample(f3.app_rng));
-    });
+void FlowFactory::flow_complete_thunk(void* ctx) {
+  const FlowInstance& f = *static_cast<FlowInstance*>(ctx);
+  if (f.owner->cfg_.tracer == nullptr) return;
+  trace::TraceRecord r;
+  r.t = f.lane->now();
+  r.type = trace::RecordType::kFlowEnd;
+  r.flow = f.sender->config().flow;
+  r.v0 = f.cls;
+  r.v1 = static_cast<double>(f.transfer_bytes);
+  r.v2 = (f.lane->now() - f.start_time).sec();
+  f.owner->cfg_.tracer->record(r);
+}
+
+void FlowFactory::app_idle_thunk(void* ctx) {
+  auto* f = static_cast<FlowInstance*>(ctx);
+  const workload::TrafficClass& tc = *f->traffic;
+  const sim::Time think = sim::Time::seconds(exponential(f->app_rng, tc.off_mean.sec()));
+  // Think-time wakeups are flow events: they belong to the flow's lane. The
+  // one-pointer capture stays inside the scheduler callback's inline buffer.
+  f->lane->schedule_in(think, [f] {
+    f->sender->offer_bytes(f->traffic->size.sample(f->app_rng));
   });
 }
 

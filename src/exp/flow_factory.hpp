@@ -1,13 +1,14 @@
 #pragma once
 
 #include <functional>
-#include <memory>
 #include <vector>
 
+#include "cca/arena.hpp"
 #include "exp/config.hpp"
 #include "net/topology.hpp"
 #include "sim/random.hpp"
 #include "sim/scheduler.hpp"
+#include "sim/slab.hpp"
 #include "tcp/tcp_receiver.hpp"
 #include "tcp/tcp_sender.hpp"
 #include "workload/workload.hpp"
@@ -18,11 +19,18 @@ struct TcpMetrics;
 
 namespace elephant::exp {
 
+class FlowFactory;
+
 /// One instantiated flow plus the workload bookkeeping the runner needs to
-/// aggregate per-class results after the run.
+/// aggregate per-class results after the run. Endpoints are raw pointers
+/// into the factory's slabs (stable for the factory's lifetime), not owned
+/// here — FlowInstance is plain data the completion/on-off thunks can use
+/// as their context without any heap-allocated closure.
 struct FlowInstance {
-  std::unique_ptr<tcp::TcpSender> sender;
-  std::unique_ptr<tcp::TcpReceiver> receiver;
+  tcp::TcpSender* sender = nullptr;
+  tcp::TcpReceiver* receiver = nullptr;
+  FlowFactory* owner = nullptr;  ///< back-pointer for static callback thunks
+  const workload::TrafficClass* traffic = nullptr;  ///< null in the legacy path
   int side = 0;
   int cls = -1;  ///< index into WorkloadSpec::classes; -1 in the legacy path
   workload::ClassKind kind = workload::ClassKind::kElephant;
@@ -61,6 +69,12 @@ using FlowPlacer = std::function<FlowSite(std::size_t flow_index, int side)>;
 ///    perturbs another class's randomness. kFlowStart records are emitted per
 ///    flow, and finite flows emit kFlowEnd on completion.
 ///
+/// Storage: flows, senders, receivers, and CCA state live in per-type slabs
+/// (sim::Slab / cca::CcaArena) — three in-place constructions per flow into
+/// contiguous chunks instead of three unique_ptr heap objects plus a
+/// make_cca allocation plus std::function closures. The run's per-ACK walks
+/// touch slab-dense memory, and the runner iterates flows by slab index.
+///
 /// The factory must outlive the scheduler run: on/off sources re-arm
 /// themselves through callbacks that point back into it.
 class FlowFactory {
@@ -81,10 +95,30 @@ class FlowFactory {
   FlowFactory(const FlowFactory&) = delete;
   FlowFactory& operator=(const FlowFactory&) = delete;
 
-  [[nodiscard]] const std::vector<std::unique_ptr<FlowInstance>>& flows() const {
-    return flows_;
-  }
   [[nodiscard]] std::size_t size() const { return flows_.size(); }
+  /// Flows are appended in construction order and never erased mid-run, so
+  /// slab indices 0..size()-1 are dense and iteration by index walks
+  /// contiguous chunk memory.
+  [[nodiscard]] const FlowInstance& flow(std::size_t i) const {
+    return flows_[static_cast<std::uint32_t>(i)];
+  }
+  [[nodiscard]] FlowInstance& flow(std::size_t i) {
+    return flows_[static_cast<std::uint32_t>(i)];
+  }
+
+  /// Heap bytes pinned by the per-flow state slabs (flow records, senders,
+  /// receivers, CCA state) — the denominator-free half of the RSS-per-flow
+  /// telemetry. Excludes scoreboard windows; see scoreboard_peak_bytes().
+  [[nodiscard]] std::size_t arena_bytes() const {
+    return flows_.bytes() + senders_.bytes() + receivers_.bytes() + ccas_.bytes();
+  }
+  /// High-water of *concurrently live* scoreboard window bytes across every
+  /// flow (a shared ledger updated on grow/release). Completed flows release
+  /// their windows, so this — not the sum of per-flow peaks — is what bounds
+  /// a many-flow cell's memory.
+  [[nodiscard]] std::size_t scoreboard_peak_bytes() const {
+    return scoreboard_ledger_.peak;
+  }
 
  private:
   void build(sim::Rng& cell_rng);
@@ -93,15 +127,26 @@ class FlowFactory {
   void build_class(int ci, const workload::TrafficClass& tc);
   FlowInstance& spawn(int ci, const workload::TrafficClass& tc, int side, sim::Time start,
                       std::uint64_t bytes, std::uint64_t cca_seed, std::uint64_t app_seed);
-  void arm_on_off(std::size_t index);
   [[nodiscard]] FlowSite site_for(std::size_t flow_index, int side);
+
+  /// Static callback thunks: a FlowInstance* is the whole closure.
+  static void flow_complete_thunk(void* ctx);
+  static void app_idle_thunk(void* ctx);
 
   sim::Scheduler* sched_ = nullptr;  ///< null when a placer supplies lanes
   net::Dumbbell* net_ = nullptr;     ///< null when a placer supplies hosts
   FlowPlacer placer_;
   const ExperimentConfig& cfg_;
   const obs::TcpMetrics* metrics_ = nullptr;
-  std::vector<std::unique_ptr<FlowInstance>> flows_;
+
+  // Per-type arenas. Declaration order matters for teardown: flows_ (plain
+  // data) first is fine anywhere, but senders_ must be destroyed before
+  // ccas_ (senders hold raw CongestionControl*), i.e. declared after it.
+  cca::CcaArena ccas_;
+  sim::Slab<tcp::TcpReceiver> receivers_;
+  sim::Slab<tcp::TcpSender> senders_;
+  sim::Slab<FlowInstance> flows_;
+  tcp::ScoreboardLedger scoreboard_ledger_;  ///< shared live-window account
 };
 
 }  // namespace elephant::exp

@@ -20,9 +20,27 @@
 #include "tcp/tcp_receiver.hpp"
 #include "tcp/tcp_sender.hpp"
 
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#endif
+
 namespace elephant::exp {
 
 namespace detail {
+
+std::uint64_t peak_rss_bytes() {
+#if defined(__unix__) || defined(__APPLE__)
+  struct rusage ru{};
+  if (getrusage(RUSAGE_SELF, &ru) != 0) return 0;
+#if defined(__APPLE__)
+  return static_cast<std::uint64_t>(ru.ru_maxrss);  // bytes on Darwin
+#else
+  return static_cast<std::uint64_t>(ru.ru_maxrss) * 1024;  // KiB on Linux
+#endif
+#else
+  return 0;
+#endif
+}
 
 net::DumbbellConfig make_dumbbell_config(const ExperimentConfig& cfg, sim::Rng& rng) {
   net::DumbbellConfig topo;
@@ -62,34 +80,35 @@ ExperimentResult finalize_experiment(const ExperimentConfig& cfg, sim::Time dura
   double side_bps[2] = {0, 0};
   std::vector<double> flow_bps;
   flow_bps.reserve(factory.size());
-  for (const auto& inst : factory.flows()) {
+  for (std::size_t i = 0; i < factory.size(); ++i) {
+    const FlowInstance& inst = factory.flow(i);
     FlowResult fr;
-    fr.flow = inst->sender->config().flow;
-    fr.sender = inst->side;
-    fr.cca = inst->sender->cc().name();
-    fr.start_s = inst->start_time.sec();
-    if (inst->cls >= 0) {
-      fr.cls = cfg.workload.classes[static_cast<std::size_t>(inst->cls)].name;
+    fr.flow = inst.sender->config().flow;
+    fr.sender = inst.side;
+    fr.cca = inst.sender->cc().name();
+    fr.start_s = inst.start_time.sec();
+    if (inst.cls >= 0) {
+      fr.cls = cfg.workload.classes[static_cast<std::size_t>(inst.cls)].name;
     }
-    fr.transfer_bytes = inst->transfer_bytes;
-    fr.completed = inst->sender->completed();
+    fr.transfer_bytes = inst.transfer_bytes;
+    fr.completed = inst.sender->completed();
     if (fr.completed) {
-      fr.fct_s = (inst->sender->completion_time() - inst->start_time).sec();
+      fr.fct_s = (inst.sender->completion_time() - inst.start_time).sec();
     }
     // Measure goodput over the flow's own active window: the staggered
     // starts (up to 0.5 s) would otherwise bias late starters low. Finite
     // flows that completed are active only until their last ACK.
     const sim::Time active =
-        fr.completed ? inst->sender->completion_time() - inst->start_time
-                     : duration - inst->start_time;
+        fr.completed ? inst.sender->completion_time() - inst.start_time
+                     : duration - inst.start_time;
     fr.throughput_bps =
         active > sim::Time::zero()
-            ? static_cast<double>(inst->receiver->delivered_bytes()) * 8.0 / active.sec()
+            ? static_cast<double>(inst.receiver->delivered_bytes()) * 8.0 / active.sec()
             : 0.0;
-    fr.retx_segments = inst->sender->retx_segments();
-    fr.rtos = inst->sender->stats().rtos;
-    fr.srtt_ms = inst->sender->rtt().srtt().ms();
-    side_bps[inst->side] += fr.throughput_bps;
+    fr.retx_segments = inst.sender->retx_segments();
+    fr.rtos = inst.sender->stats().rtos;
+    fr.srtt_ms = inst.sender->rtt().srtt().ms();
+    side_bps[inst.side] += fr.throughput_bps;
     res.retx_segments += fr.retx_segments;
     res.rtos += fr.rtos;
     flow_bps.push_back(fr.throughput_bps);
@@ -116,9 +135,10 @@ ExperimentResult finalize_experiment(const ExperimentConfig& cfg, sim::Time dura
     reg.counter("queue.ecn_marked").add(qs.ecn_marked);
     std::uint64_t acks = 0;
     std::uint64_t congestion_events = 0;
-    for (const auto& inst : factory.flows()) {
-      acks += inst->sender->stats().acks_received;
-      congestion_events += inst->sender->stats().congestion_events;
+    for (std::size_t i = 0; i < factory.size(); ++i) {
+      const FlowInstance& inst = factory.flow(i);
+      acks += inst.sender->stats().acks_received;
+      congestion_events += inst.sender->stats().congestion_events;
     }
     reg.counter("tcp.acks_received").add(acks);
     reg.counter("tcp.congestion_events").add(congestion_events);
@@ -129,6 +149,16 @@ ExperimentResult finalize_experiment(const ExperimentConfig& cfg, sim::Time dura
     if (res.wall_seconds > 0) {
       reg.gauge("sim.sim_s_per_wall_s").set(duration.sec() / res.wall_seconds);
     }
+    // Memory telemetry: peak scoreboard footprint across all flows (peaks
+    // survive the post-completion release), the flow-state arenas, and the
+    // process peak RSS the kernel observed. Gauges, not counters: each run
+    // reports its own footprint.
+    reg.gauge("mem.scoreboard_peak_bytes")
+        .set(static_cast<double>(factory.scoreboard_peak_bytes()));
+    reg.gauge("mem.flow_arena_bytes").set(static_cast<double>(factory.arena_bytes()));
+    if (const std::uint64_t rss = detail::peak_rss_bytes(); rss > 0) {
+      reg.gauge("mem.peak_rss_bytes").set(static_cast<double>(rss));
+    }
   }
 
   if (!cfg.workload.is_paper_default()) {
@@ -138,10 +168,10 @@ ExperimentResult finalize_experiment(const ExperimentConfig& cfg, sim::Time dura
     double total_bytes = 0;
     std::vector<double> class_bytes(cfg.workload.classes.size(), 0.0);
     for (std::size_t i = 0; i < factory.size(); ++i) {
-      const auto& inst = factory.flows()[i];
-      const auto delivered = static_cast<double>(inst->receiver->delivered_bytes());
+      const FlowInstance& inst = factory.flow(i);
+      const auto delivered = static_cast<double>(inst.receiver->delivered_bytes());
       total_bytes += delivered;
-      if (inst->cls >= 0) class_bytes[static_cast<std::size_t>(inst->cls)] += delivered;
+      if (inst.cls >= 0) class_bytes[static_cast<std::size_t>(inst.cls)] += delivered;
     }
     // Utilization over per-flow window rates (the legacy definition above)
     // overcounts when short flows burst and leave; for mixed traffic φ is
@@ -157,8 +187,8 @@ ExperimentResult finalize_experiment(const ExperimentConfig& cfg, sim::Time dura
       std::vector<double> fcts;
       std::vector<double> slowdowns;
       for (std::size_t i = 0; i < factory.size(); ++i) {
-        const auto& inst = factory.flows()[i];
-        if (inst->cls != static_cast<int>(ci)) continue;
+        const FlowInstance& inst = factory.flow(i);
+        if (inst.cls != static_cast<int>(ci)) continue;
         const FlowResult& fr = res.flows[i];
         ++cr.flows;
         goodputs.push_back(fr.throughput_bps);
@@ -220,22 +250,23 @@ ExperimentResult finalize_experiment(const ExperimentConfig& cfg, sim::Time dura
            " backlog=" + std::to_string(backlog_bytes) +
            " dropped=" + std::to_string(qs.bytes_dropped));
     }
-    for (const auto& inst : factory.flows()) {
-      const double cwnd = inst->sender->cc().cwnd_segments();
-      const double floor = inst->sender->cc().params().min_cwnd_segments;
+    for (std::size_t i = 0; i < factory.size(); ++i) {
+      const FlowInstance& inst = factory.flow(i);
+      const double cwnd = inst.sender->cc().cwnd_segments();
+      const double floor = inst.sender->cc().params().min_cwnd_segments;
       if (!(cwnd >= floor - 1e-9) || !std::isfinite(cwnd)) {
-        fail("flow " + std::to_string(inst->sender->config().flow) + " cwnd " +
+        fail("flow " + std::to_string(inst.sender->config().flow) + " cwnd " +
              std::to_string(cwnd) + " below floor " + std::to_string(floor));
       }
       // A finite flow that reports completion must have delivered the whole
       // object to its receiver (byte conservation end to end).
-      if (inst->sender->completed() &&
-          inst->receiver->delivered_bytes() <
-              std::uint64_t{inst->sender->config().transfer_units} *
-                  inst->sender->config().mss * inst->sender->config().agg) {
-        fail("flow " + std::to_string(inst->sender->config().flow) +
+      if (inst.sender->completed() &&
+          inst.receiver->delivered_bytes() <
+              std::uint64_t{inst.sender->config().transfer_units} *
+                  inst.sender->config().mss * inst.sender->config().agg) {
+        fail("flow " + std::to_string(inst.sender->config().flow) +
              " completed but delivered only " +
-             std::to_string(inst->receiver->delivered_bytes()) + " bytes");
+             std::to_string(inst.receiver->delivered_bytes()) + " bytes");
       }
     }
     for (const FlowResult& fr : res.flows) {

@@ -41,5 +41,10 @@ namespace detail {
 /// (sharded_runner.cpp).
 [[nodiscard]] ExperimentResult run_sharded_experiment(const ExperimentConfig& cfg);
 
+/// Process-lifetime peak resident set in bytes (getrusage ru_maxrss), or 0
+/// where the platform doesn't report it. Published as the mem.peak_rss_bytes
+/// gauge at run finalization.
+[[nodiscard]] std::uint64_t peak_rss_bytes();
+
 }  // namespace detail
 }  // namespace elephant::exp

@@ -21,13 +21,13 @@ void Host::transmit(Packet&& p) {
 }
 
 void Host::receive(Packet&& p) {
-  auto it = endpoints_.find(p.flow);
-  if (it == endpoints_.end()) {
+  PacketHandler* h = p.flow < endpoints_.size() ? endpoints_[p.flow] : nullptr;
+  if (h == nullptr) {
     ++no_endpoint_drops_;
     return;
   }
   ++delivered_;
-  it->second->on_packet(std::move(p));
+  h->on_packet(std::move(p));
 }
 
 }  // namespace elephant::net

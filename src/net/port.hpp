@@ -132,8 +132,16 @@ class Port {
   PacketSink* remote_sink_ = nullptr;
   trace::Tracer* tracer_ = nullptr;
   const obs::QueueMetrics* metrics_ = nullptr;
-  bool busy_ = false;
+  /// Instant the current serialization finishes; the link is idle when
+  /// now >= busy_until_. Replaces a per-packet "link free" one-shot event:
+  /// the wake timer below is armed only when queued work will actually be
+  /// waiting at that instant, so an uncongested port (most NICs in a
+  /// many-flow cell) pays zero scheduler events for link bookkeeping.
+  sim::Time busy_until_{};
   bool up_ = true;
+
+  /// Serialization-end wake; re-armable so the slot and callback persist.
+  sim::TimerHandle tx_timer_;
 
   /// Delay line of unperturbed in-flight packets. Serialization is FIFO and
   /// propagation fixed, so delivery instants are monotone: one re-armable

@@ -33,28 +33,29 @@ void Scheduler::release_slot(std::uint32_t slot) {
 
 // --- indexed 4-ary min-heap ------------------------------------------------
 //
-// Entries are 4-byte slot ids keyed by the slot's (at, seq); each slot
-// carries its heap position so removal and re-keying are direct. The wider
-// fan-out halves the tree depth of a binary heap and keeps sift loops inside
-// one or two cache lines of the entry array — the classic layout for DES
-// event queues with heavy cancel/re-arm traffic.
+// Entries carry the slot id and a copy of the slot's (at, seq) key; each
+// slot carries its heap position so removal and re-keying are direct. The
+// wider fan-out halves the tree depth of a binary heap, and the embedded key
+// keeps every comparison inside the contiguous entry array — a sift at
+// 100k-flow heap depth would otherwise take a cache miss per comparison
+// chasing slot ids into the scattered Slot array.
 
 void Scheduler::heap_sift_up(std::uint32_t pos) {
-  const std::uint32_t moving = heap_[pos];
+  const HeapEntry moving = heap_[pos];
   while (pos > 0) {
     const std::uint32_t parent = (pos - 1) / 4;
     if (!heap_less(moving, heap_[parent])) break;
     heap_[pos] = heap_[parent];
-    slots_[heap_[pos]].heap_pos = pos;
+    slots_[heap_[pos].slot].heap_pos = pos;
     pos = parent;
   }
   heap_[pos] = moving;
-  slots_[moving].heap_pos = pos;
+  slots_[moving.slot].heap_pos = pos;
 }
 
 void Scheduler::heap_sift_down(std::uint32_t pos) {
   const auto size = static_cast<std::uint32_t>(heap_.size());
-  const std::uint32_t moving = heap_[pos];
+  const HeapEntry moving = heap_[pos];
   while (true) {
     const std::uint32_t first_child = pos * 4 + 1;
     if (first_child >= size) break;
@@ -66,11 +67,11 @@ void Scheduler::heap_sift_down(std::uint32_t pos) {
     }
     if (!heap_less(heap_[best], moving)) break;
     heap_[pos] = heap_[best];
-    slots_[heap_[pos]].heap_pos = pos;
+    slots_[heap_[pos].slot].heap_pos = pos;
     pos = best;
   }
   heap_[pos] = moving;
-  slots_[moving].heap_pos = pos;
+  slots_[moving.slot].heap_pos = pos;
 }
 
 void Scheduler::heap_update(std::uint32_t pos) {
@@ -82,19 +83,20 @@ void Scheduler::heap_update(std::uint32_t pos) {
 }
 
 void Scheduler::heap_insert(std::uint32_t slot) {
-  heap_.push_back(slot);
+  const Slot& s = slots_[slot];
+  heap_.push_back(HeapEntry{s.at, s.seq, slot});
   if (heap_.size() > heap_peak_) heap_peak_ = heap_.size();
   slots_[slot].heap_pos = static_cast<std::uint32_t>(heap_.size() - 1);
   heap_sift_up(slots_[slot].heap_pos);
 }
 
 void Scheduler::heap_remove(std::uint32_t pos) {
-  slots_[heap_[pos]].heap_pos = kNpos;
-  const std::uint32_t last = heap_.back();
+  slots_[heap_[pos].slot].heap_pos = kNpos;
+  const HeapEntry last = heap_.back();
   heap_.pop_back();
   if (pos < heap_.size()) {
     heap_[pos] = last;
-    slots_[last].heap_pos = pos;
+    slots_[last.slot].heap_pos = pos;
     heap_update(pos);
   }
 }
@@ -150,11 +152,32 @@ void Scheduler::timer_destroy(std::uint32_t slot) {
 void Scheduler::timer_rearm(std::uint32_t slot, Time at) {
   assert(at >= now_ && "cannot schedule events in the past");
   Slot& s = slots_[slot];
-  assert(s.state == SlotState::kTimerArmed || s.state == SlotState::kTimerIdle);
+  assert(s.state == SlotState::kTimerArmed || s.state == SlotState::kTimerIdle ||
+         s.state == SlotState::kTimerFiring);
   s.at = at;
   s.seq = next_seq_++;  // fresh FIFO rank, exactly as cancel + re-schedule had
+  if (s.state == SlotState::kTimerFiring) {
+    // Re-armed from its own callback: the heap entry is parked in place;
+    // pop_one() re-keys it from the slot once the callback returns.
+    s.state = SlotState::kTimerArmed;
+    if (!s.weak) ++strong_armed_;
+    return;
+  }
   if (s.state == SlotState::kTimerArmed) {
-    heap_update(s.heap_pos);
+    HeapEntry& e = heap_[s.heap_pos];
+    if (at >= e.at) {
+      // Lazy re-key: pushing a deadline out (the RTO/delayed-ACK pattern —
+      // every ACK moves the timer later) leaves the stale entry in place
+      // instead of sifting it down the whole heap. pop_one() re-files the
+      // entry at the authoritative (at, seq) without firing, so fire order
+      // is exactly what an eager sift would have produced. The slot's key
+      // is already fresh, so this rearm is two stores instead of an
+      // O(log n) sift per ACK.
+      return;
+    }
+    e.at = s.at;
+    e.seq = s.seq;
+    heap_sift_up(s.heap_pos);  // strictly earlier than the entry: up only
   } else {
     s.state = SlotState::kTimerArmed;
     heap_insert(slot);
@@ -164,21 +187,43 @@ void Scheduler::timer_rearm(std::uint32_t slot, Time at) {
 
 void Scheduler::timer_disarm(std::uint32_t slot) {
   Slot& s = slots_[slot];
-  if (s.state != SlotState::kTimerArmed) return;
-  heap_remove(s.heap_pos);
-  s.state = SlotState::kTimerIdle;
-  if (!s.weak) --strong_armed_;
+  if (s.state == SlotState::kTimerArmed) {
+    heap_remove(s.heap_pos);
+    s.state = SlotState::kTimerIdle;
+    if (!s.weak) --strong_armed_;
+  } else if (s.state == SlotState::kTimerFiring) {
+    // Disarmed (or destroyed) from its own callback: drop the parked entry
+    // now so pop_one() finds nothing left to re-key. strong_armed_ was
+    // already decremented when the fire was popped.
+    heap_remove(s.heap_pos);
+    s.state = SlotState::kTimerIdle;
+  }
 }
 
 // --- run loop --------------------------------------------------------------
 
 bool Scheduler::pop_one(Time deadline) {
-  if (heap_.empty()) return false;
-  const std::uint32_t slot = heap_[0];
-  if (slots_[slot].at > deadline) return false;
+  std::uint32_t slot;
+  while (true) {
+    if (heap_.empty()) return false;
+    if (heap_[0].at > deadline) return false;
+    slot = heap_[0].slot;
+    const Slot& s = slots_[slot];
+    if (s.state == SlotState::kTimerArmed && s.seq != heap_[0].seq) {
+      // Stale entry from a lazy rearm (the seq is redrawn on every rearm, so
+      // a mismatch — including a same-instant rearm that only moved the FIFO
+      // rank — means the slot's key is the authority): re-file it and look
+      // again. now_ and executed_ are untouched, so the refile is invisible
+      // to the simulation.
+      heap_[0].at = s.at;
+      heap_[0].seq = s.seq;
+      heap_sift_down(0);
+      continue;
+    }
+    break;
+  }
 
-  now_ = slots_[slot].at;
-  heap_remove(0);
+  now_ = heap_[0].at;
   if (!slots_[slot].weak) --strong_armed_;
   ++executed_;
 
@@ -186,18 +231,40 @@ bool Scheduler::pop_one(Time deadline) {
     // Move the callback out and free the slot first, so the callback may
     // freely schedule new events (which can recycle this very slot or grow
     // the slot array) while it runs.
+    heap_remove(0);
     Callback cb = std::move(slots_[slot].cb);
     release_slot(slot);
     cb();
   } else {
-    // Timer fire: the slot survives for rearm(). The callback is moved to
+    // Timer fire: the slot survives for rearm(). The heap entry is parked in
+    // place — nearly every timer in the engine (delay line, serialization
+    // wake, pacing, RTO, samplers) re-arms from its own callback, and the
+    // parked entry turns that into one in-place re-key instead of a
+    // whole-depth remove plus a whole-depth insert. The callback is moved to
     // the stack for the call — slots_ may reallocate underneath us — and
     // moved back afterwards unless the timer was destroyed mid-call.
-    slots_[slot].state = SlotState::kTimerIdle;
+    slots_[slot].state = SlotState::kTimerFiring;
     const std::uint32_t gen = slots_[slot].gen;
     Callback cb = std::move(slots_[slot].cb);
     cb();
-    if (slots_[slot].gen == gen) slots_[slot].cb = std::move(cb);
+    if (slots_[slot].gen == gen) {
+      slots_[slot].cb = std::move(cb);
+      Slot& s = slots_[slot];
+      if (s.state == SlotState::kTimerFiring) {
+        // Not re-armed: the parked entry (possibly displaced by inserts
+        // during the callback — heap_pos tracks it) comes out now.
+        s.state = SlotState::kTimerIdle;
+        heap_remove(s.heap_pos);
+      } else if (s.state == SlotState::kTimerArmed) {
+        // Re-armed during the callback: refresh the parked entry's key from
+        // the slot and restore heap order with a single sift.
+        const std::uint32_t pos = s.heap_pos;
+        heap_[pos].at = s.at;
+        heap_[pos].seq = s.seq;
+        heap_update(pos);
+      }
+      // kTimerIdle: disarmed mid-callback; the entry is already gone.
+    }
   }
   return true;
 }
@@ -267,6 +334,7 @@ void Scheduler::clear() {
         release_slot(slot);
         break;
       case SlotState::kTimerArmed:
+      case SlotState::kTimerFiring:
         slots_[slot].state = SlotState::kTimerIdle;
         slots_[slot].heap_pos = kNpos;
         break;

@@ -29,10 +29,13 @@ struct EventId {
 ///
 /// - Callbacks are `InplaceCallback`s stored in stable slots recycled
 ///   through a free list; the common `[this]`-sized captures live inline.
-/// - The priority queue is an indexed 4-ary min-heap of 4-byte slot ids
-///   with back-pointers, so cancel() removes its entry directly (no
-///   tombstones, no `unordered_set` side table, and pending_events() is just
-///   the heap size).
+/// - The priority queue is an indexed 4-ary min-heap with back-pointers, so
+///   cancel() removes its entry directly (no tombstones, no `unordered_set`
+///   side table, and pending_events() is just the heap size). Each heap
+///   entry carries its own (at, seq) sort key: sift loops compare and move
+///   contiguous entries instead of dereferencing into the slot array, whose
+///   ~100k scattered Slots would cost a cache miss per comparison in a
+///   high-flow-count cell.
 /// - Re-armable timers (`TimerHandle`) keep their slot and callback across
 ///   fires: re-scheduling updates the slot's key and sifts, instead of
 ///   growing the heap with a cancelled entry plus a fresh allocation.
@@ -179,10 +182,13 @@ class Scheduler {
   static constexpr std::uint32_t kNpos = 0xffffffff;
 
   enum class SlotState : std::uint8_t {
-    kFree,        ///< on the free list
-    kOneShot,     ///< armed single-fire event; slot freed when it fires
-    kTimerArmed,  ///< timer with a heap entry
-    kTimerIdle,   ///< timer waiting for rearm(); owns no heap entry
+    kFree,         ///< on the free list
+    kOneShot,      ///< armed single-fire event; slot freed when it fires
+    kTimerArmed,   ///< timer with a heap entry
+    kTimerIdle,    ///< timer waiting for rearm(); owns no heap entry
+    kTimerFiring,  ///< mid-callback; the heap entry is parked in place so a
+                   ///< rearm from the callback (the dominant pattern) is a
+                   ///< single in-place re-key instead of remove + insert
   };
 
   struct Slot {
@@ -210,11 +216,18 @@ class Scheduler {
   void release_slot(std::uint32_t slot);
 
   // --- indexed 4-ary min-heap over (at, seq) ---
-  [[nodiscard]] bool heap_less(std::uint32_t a, std::uint32_t b) const {
-    const Slot& sa = slots_[a];
-    const Slot& sb = slots_[b];
-    if (sa.at != sb.at) return sa.at < sb.at;
-    return sa.seq < sb.seq;
+
+  /// One heap entry: the slot id plus a copy of its sort key, so ordering
+  /// decisions stay inside the contiguous heap array. The slot's own
+  /// (at, seq) is the authority; the copy is refreshed on insert and rearm.
+  struct HeapEntry {
+    Time at{};
+    std::uint64_t seq = 0;
+    std::uint32_t slot = 0;
+  };
+  [[nodiscard]] static bool heap_less(const HeapEntry& a, const HeapEntry& b) {
+    if (a.at != b.at) return a.at < b.at;
+    return a.seq < b.seq;
   }
   void heap_insert(std::uint32_t slot);
   void heap_remove(std::uint32_t pos);
@@ -232,7 +245,7 @@ class Scheduler {
   std::size_t heap_peak_ = 0;
   const obs::SchedulerMetrics* metrics_ = nullptr;
   std::vector<Slot> slots_;
-  std::vector<std::uint32_t> heap_;
+  std::vector<HeapEntry> heap_;
   std::vector<std::uint32_t> free_slots_;
 };
 

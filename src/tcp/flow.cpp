@@ -21,8 +21,7 @@ Flow::Flow(sim::Scheduler& sched, net::Host& client, net::Host& server, const Fl
   sc.start_time = cfg.start_time;
   sc.app_limited = cfg.app_limited;
   if (cfg.transfer_bytes != 0) {
-    const std::uint64_t unit_bytes = std::uint64_t{cfg.mss} * cfg.agg;
-    sc.transfer_units = (cfg.transfer_bytes + unit_bytes - 1) / unit_bytes;
+    sc.transfer_units = bytes_to_units(cfg.transfer_bytes, cfg.mss, cfg.agg);
   }
 
   receiver_ = std::make_unique<TcpReceiver>(sched, server, client.id(), cfg.id);

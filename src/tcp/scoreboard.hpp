@@ -1,0 +1,433 @@
+#pragma once
+
+#include <algorithm>
+#include <bit>
+#include <cassert>
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace elephant::tcp {
+
+/// Rate/RTT sample source: the most recently sent, never-retransmitted unit
+/// delivered by the current ACK (Karn's rule). Ties keep the first unit
+/// encountered (strict `>`), which pins the sample to the lowest sequence
+/// number among same-instant sends — the order the cumulative scan visits.
+struct DeliverySample {
+  sim::Time sent_time = sim::Time::zero();
+  double delivered_at_send = 0;
+  sim::Time delivered_time_at_send = sim::Time::zero();
+  bool has_sample = false;  // explicit: packets sent at t=0 are valid too
+
+  void consider(std::uint8_t retx, sim::Time sent, double delivered,
+                sim::Time delivered_time) {
+    if (retx == 0 && (!has_sample || sent > sent_time)) {
+      sent_time = sent;
+      delivered_at_send = delivered;
+      delivered_time_at_send = delivered_time;
+      has_sample = true;
+    }
+  }
+  [[nodiscard]] bool valid() const { return has_sample; }
+};
+
+/// Shared accounting for scoreboard window storage across a set of flows.
+/// grow()/release() keep `current` exact, so `peak` is the high-water of
+/// *concurrently live* window bytes — the number that actually bounds a
+/// many-flow cell's memory, since completed flows release their windows.
+struct ScoreboardLedger {
+  std::size_t current = 0;
+  std::size_t peak = 0;
+};
+
+/// SACK scoreboard in struct-of-arrays layout with packed flag bitmaps.
+///
+/// The live window [una_, next_seq_) maps onto a power-of-two ring: unit
+/// `abs` lives in slot `abs & mask_`. Because the capacity is a multiple of
+/// 64, bit `abs & 63` of word `(abs & mask_) >> 6` is unit `abs`'s flag bit,
+/// and a 64-aligned run of sequence numbers is exactly one bitmap word — so
+/// loss marking, RTO sweeps, cumulative-ACK resolution, and retransmit picks
+/// scan whole words (`std::countr_zero` / `std::popcount`) instead of
+/// walking ~40-byte structs. Time/rate fields sit in parallel arrays touched
+/// only for the units an ACK actually resolves.
+///
+/// Flag invariants (hold between calls, relied on by the word scans):
+///   - inflight ⇒ ¬sacked ∧ ¬lost   (sacking and loss-marking clear inflight)
+///   - lost    ⇒ ¬inflight          (retransmission clears lost, sets inflight)
+///   - pipe_units_  == popcount(inflight over [una_, next_seq_))
+///   - lost_pending_ counts lost-not-yet-retransmitted units, except a
+///     transient overcount after an RTO re-marks already-lost units; all
+///     decrements are floored at zero and pick_retx() resets a stale counter.
+///   - min_unresolved_ only ever advances over a fully SACKed prefix, so no
+///     lost unit is ever below it.
+///
+/// The arithmetic, scan order, and therefore every emitted trace record are
+/// identical to the historical RingDeque<UnitState> array-of-structs layout;
+/// golden digests prove it (tests/determinism_digest_test.cpp) and the
+/// lockstep property test drives both layouts through randomized
+/// SACK/loss/RTO sequences (tests/tcp_scoreboard_test.cpp).
+class Scoreboard {
+ public:
+  Scoreboard() = default;
+
+  [[nodiscard]] std::uint64_t una() const { return una_; }
+  [[nodiscard]] std::uint64_t next_seq() const { return next_seq_; }
+  [[nodiscard]] std::uint64_t pipe_units() const { return pipe_units_; }
+  [[nodiscard]] std::uint64_t lost_pending() const { return lost_pending_; }
+  [[nodiscard]] std::uint64_t min_unresolved() const { return min_unresolved_; }
+  [[nodiscard]] std::uint64_t highest_sacked() const { return highest_sacked_; }
+  [[nodiscard]] sim::Time latest_sacked_sent_time() const { return latest_sacked_sent_time_; }
+
+  [[nodiscard]] bool is_inflight(std::uint64_t abs) const { return test(inflight_, abs); }
+  [[nodiscard]] bool is_sacked(std::uint64_t abs) const { return test(sacked_, abs); }
+  [[nodiscard]] bool is_lost(std::uint64_t abs) const { return test(lost_, abs); }
+  [[nodiscard]] bool is_delivered_counted(std::uint64_t abs) const {
+    return test(delivered_, abs);
+  }
+  [[nodiscard]] std::uint8_t retx_of(std::uint64_t abs) const { return retx_[slot(abs)]; }
+  [[nodiscard]] sim::Time sent_time_of(std::uint64_t abs) const { return sent_time_[slot(abs)]; }
+
+  /// Record the (re)transmission of unit `abs`. For `abs == next_seq()` this
+  /// appends a fresh unit; otherwise `abs` must be marked lost (the only
+  /// units pick_retx() returns) and the retransmit clears the mark, bumps
+  /// the retx counter (mod-256, matching the historical uint8 wrap — golden
+  /// traces contain wraps, so saturating here would drift the digests), and
+  /// pulls the scan hint back so loss marking rescans it. Returns the
+  /// unit's retx count after the send — the value the flight recorder logs.
+  std::uint8_t record_send(std::uint64_t abs, sim::Time now, double delivered_segments,
+                           sim::Time delivered_time_eff) {
+    const bool is_retx = abs < next_seq_;
+    if (!is_retx) {
+      assert(abs == next_seq_);
+      if (next_seq_ - una_ == capacity_) grow();
+      ++next_seq_;
+      retx_[slot(abs)] = 0;
+      assert(!test(inflight_, abs) && !test(sacked_, abs) && !test(lost_, abs) &&
+             !test(delivered_, abs));
+    } else {
+      assert(test(lost_, abs) && !test(inflight_, abs));
+      clear(lost_, abs);
+      ++retx_[slot(abs)];  // wraps at 256, as the AoS layout always did
+      if (lost_pending_ > 0) --lost_pending_;
+      min_unresolved_ = std::min(min_unresolved_, abs);
+    }
+    const std::uint32_t s = slot(abs);
+    sent_time_[s] = now;
+    delivered_at_send_[s] = delivered_segments;
+    delivered_time_at_send_[s] = delivered_time_eff;
+    set(inflight_, abs);
+    ++pipe_units_;
+    return retx_[s];
+  }
+
+  /// Cumulative-ACK advance to `ack_to` (caller clamps to next_seq()).
+  /// Resolves every unit below it word-at-a-time: drops in-flight units from
+  /// pipe, cancels pending-lost counts, credits units not yet SACK-delivered
+  /// to `*newly` (feeding `newest` in ascending sequence order, as the
+  /// per-unit walk did), and wipes the slots for ring reuse. Returns whether
+  /// una advanced.
+  bool advance_una(std::uint64_t ack_to, std::uint64_t* newly, DeliverySample* newest) {
+    assert(ack_to <= next_seq_);
+    const bool progressed = ack_to > una_;
+    for (std::uint64_t abs = una_; abs < ack_to;) {
+      const std::uint64_t chunk_end = std::min(ack_to, (abs | 63) + 1);
+      const std::size_t w = word(abs);
+      const std::uint64_t base = abs & ~std::uint64_t{63};
+      const std::uint64_t m = range_mask(abs - base, chunk_end - base);
+
+      pipe_units_ -= static_cast<std::uint64_t>(std::popcount(inflight_[w] & m));
+      lost_pending_ -= std::min(
+          static_cast<std::uint64_t>(std::popcount(lost_[w] & m)), lost_pending_);
+      std::uint64_t todo = ~delivered_[w] & m;
+      *newly += static_cast<std::uint64_t>(std::popcount(todo));
+      while (todo != 0) {
+        const std::uint64_t a = base + static_cast<unsigned>(std::countr_zero(todo));
+        todo &= todo - 1;
+        const std::uint32_t s = slot(a);
+        newest->consider(retx_[s], sent_time_[s], delivered_at_send_[s],
+                         delivered_time_at_send_[s]);
+      }
+      inflight_[w] &= ~m;
+      sacked_[w] &= ~m;
+      lost_[w] &= ~m;
+      delivered_[w] &= ~m;
+      abs = chunk_end;
+    }
+    una_ = ack_to;
+    min_unresolved_ = std::max(min_unresolved_, una_);
+    return progressed;
+  }
+
+  /// Apply one SACK block [start, end). Newly SACKed units leave the pipe,
+  /// cancel pending retransmits, and count as delivered; fully-SACKed words
+  /// are skipped without touching the parallel arrays. `on_sack(abs, retx)`
+  /// fires per newly SACKed unit, ascending, after all counters update — the
+  /// tracer sees the post-update pipe.
+  template <typename OnSack>
+  void sack_range(std::uint64_t start, std::uint64_t end, std::uint64_t* newly,
+                  DeliverySample* newest, OnSack&& on_sack) {
+    // Everything below min_unresolved_ is already SACKed (the scan-hint
+    // invariant), so long-established blocks cost nothing to reprocess.
+    const std::uint64_t lo = std::max(start, std::max(una_, min_unresolved_));
+    const std::uint64_t hi = std::min(end, next_seq_);
+    for (std::uint64_t abs = lo; abs < hi;) {
+      const std::uint64_t chunk_end = std::min(hi, (abs | 63) + 1);
+      const std::size_t w = word(abs);
+      const std::uint64_t base = abs & ~std::uint64_t{63};
+      const std::uint64_t m = range_mask(abs - base, chunk_end - base);
+
+      std::uint64_t fresh = ~sacked_[w] & m;
+      while (fresh != 0) {
+        const std::uint64_t a = base + static_cast<unsigned>(std::countr_zero(fresh));
+        fresh &= fresh - 1;
+        const std::uint64_t bit = std::uint64_t{1} << (a & 63);
+        sacked_[w] |= bit;
+        if (inflight_[w] & bit) {
+          inflight_[w] &= ~bit;
+          --pipe_units_;
+        }
+        if (lost_[w] & bit) {
+          // Was marked lost but arrived after all; cancel the pending retx.
+          lost_[w] &= ~bit;
+          if (lost_pending_ > 0) --lost_pending_;
+        }
+        const std::uint32_t s = slot(a);
+        if (!(delivered_[w] & bit)) {
+          delivered_[w] |= bit;
+          ++*newly;
+          newest->consider(retx_[s], sent_time_[s], delivered_at_send_[s],
+                           delivered_time_at_send_[s]);
+        }
+        if (sent_time_[s] > latest_sacked_sent_time_) latest_sacked_sent_time_ = sent_time_[s];
+        if (a + 1 > highest_sacked_) highest_sacked_ = a + 1;
+        on_sack(a, retx_[s]);
+      }
+      abs = chunk_end;
+    }
+  }
+
+  /// FACK-with-RACK-timing loss marking below the forward-most SACK.
+  /// Candidates are in-flight words (`inflight ⇒ ¬sacked ∧ ¬lost`), checked
+  /// per-bit against the latest SACKed send time; the scan hint advances
+  /// only over the SACKed prefix. `on_loss(abs, retx)` fires per marked
+  /// unit, ascending, after counters update. Returns units newly marked.
+  template <typename OnLoss>
+  std::uint64_t mark_losses(std::uint32_t reorder_units, OnLoss&& on_loss) {
+    if (highest_sacked_ <= una_) return 0;
+    const std::uint64_t fack_limit =
+        highest_sacked_ > reorder_units ? highest_sacked_ - reorder_units : 0;
+    std::uint64_t newly_lost = 0;
+    // The hint may only advance over a SACKed prefix: lost-but-unsent units
+    // below it would otherwise be skipped by pick_retx().
+    bool prefix_resolved = true;
+    for (std::uint64_t abs = std::max(min_unresolved_, una_); abs < fack_limit;) {
+      const std::uint64_t chunk_end = std::min(fack_limit, (abs | 63) + 1);
+      const std::size_t w = word(abs);
+      const std::uint64_t base = abs & ~std::uint64_t{63};
+      const std::uint64_t m = range_mask(abs - base, chunk_end - base);
+
+      if (prefix_resolved) {
+        const std::uint64_t not_sacked = ~sacked_[w] & m;
+        if (not_sacked == 0) {
+          min_unresolved_ = chunk_end;
+          abs = chunk_end;
+          continue;
+        }
+        const std::uint64_t first =
+            base + static_cast<unsigned>(std::countr_zero(not_sacked));
+        if (first > abs) min_unresolved_ = first;
+        prefix_resolved = false;
+      }
+      std::uint64_t cand = inflight_[w] & m;
+      while (cand != 0) {
+        const std::uint64_t a = base + static_cast<unsigned>(std::countr_zero(cand));
+        cand &= cand - 1;
+        const std::uint32_t s = slot(a);
+        if (sent_time_[s] <= latest_sacked_sent_time_) {
+          // FACK rule with RACK-style ordering: at least reorder_units units
+          // sent after this one have been SACKed.
+          const std::uint64_t bit = std::uint64_t{1} << (a & 63);
+          lost_[w] |= bit;
+          inflight_[w] &= ~bit;
+          --pipe_units_;
+          ++lost_pending_;
+          ++newly_lost;
+          on_loss(a, retx_[s]);
+        }
+      }
+      abs = chunk_end;
+    }
+    return newly_lost;
+  }
+
+  /// RTO: everything in flight is presumed lost; SACKed units are retained
+  /// (no reneging model). Recounts lost_pending_ over every non-SACKed unit
+  /// — including ones already marked — exactly as the per-unit sweep did.
+  std::uint64_t rto_mark_all() {
+    lost_pending_ = 0;
+    for (std::uint64_t abs = una_; abs < next_seq_;) {
+      const std::uint64_t chunk_end = std::min(next_seq_, (abs | 63) + 1);
+      const std::size_t w = word(abs);
+      const std::uint64_t base = abs & ~std::uint64_t{63};
+      const std::uint64_t m = range_mask(abs - base, chunk_end - base);
+
+      const std::uint64_t not_sacked = ~sacked_[w] & m;
+      pipe_units_ -= static_cast<std::uint64_t>(std::popcount(inflight_[w] & m));
+      inflight_[w] &= ~m;
+      lost_[w] |= not_sacked;
+      lost_pending_ += static_cast<std::uint64_t>(std::popcount(not_sacked));
+      abs = chunk_end;
+    }
+    min_unresolved_ = una_;
+    return lost_pending_;
+  }
+
+  /// Lowest lost-and-not-yet-retransmitted unit, or nullopt (after zeroing a
+  /// stale lost_pending_ counter, so the caller falls through to new data).
+  [[nodiscard]] std::optional<std::uint64_t> pick_retx() {
+    if (lost_pending_ == 0) return std::nullopt;
+    for (std::uint64_t abs = std::max(min_unresolved_, una_); abs < next_seq_;) {
+      const std::uint64_t chunk_end = std::min(next_seq_, (abs | 63) + 1);
+      const std::size_t w = word(abs);
+      const std::uint64_t base = abs & ~std::uint64_t{63};
+      const std::uint64_t m = range_mask(abs - base, chunk_end - base);
+      const std::uint64_t cand = lost_[w] & m;
+      if (cand != 0) return base + static_cast<unsigned>(std::countr_zero(cand));
+      abs = chunk_end;
+    }
+    lost_pending_ = 0;  // stale counter; caller falls through to new data
+    return std::nullopt;
+  }
+
+  /// Drop the window storage after a finite transfer completes (the live
+  /// range is empty, so every scan is a no-op afterwards). Grow-only rings
+  /// would otherwise pin their peak allocation for the rest of a sweep.
+  void release() {
+    assert(una_ == next_seq_);
+    if (ledger_ != nullptr) ledger_->current -= memory_bytes();
+    capacity_ = 0;
+    mask_ = 0;
+    std::vector<sim::Time>().swap(sent_time_);
+    std::vector<sim::Time>().swap(delivered_time_at_send_);
+    std::vector<double>().swap(delivered_at_send_);
+    std::vector<std::uint8_t>().swap(retx_);
+    std::vector<std::uint64_t>().swap(inflight_);
+    std::vector<std::uint64_t>().swap(sacked_);
+    std::vector<std::uint64_t>().swap(lost_);
+    std::vector<std::uint64_t>().swap(delivered_);
+  }
+
+  /// Current heap bytes held by the window arrays.
+  [[nodiscard]] std::size_t memory_bytes() const {
+    return capacity_ * (2 * sizeof(sim::Time) + sizeof(double) + sizeof(std::uint8_t)) +
+           (capacity_ / 64) * 4 * sizeof(std::uint64_t);
+  }
+  /// High-water memory_bytes() over the scoreboard's lifetime (survives
+  /// release(), so end-of-run telemetry sees completed flows' peaks).
+  [[nodiscard]] std::size_t peak_memory_bytes() const { return peak_bytes_; }
+
+  /// Attach shared live-bytes accounting (null detaches). Attach before the
+  /// first send; the current window bytes are folded in immediately.
+  void set_ledger(ScoreboardLedger* ledger) {
+    ledger_ = ledger;
+    if (ledger_ != nullptr) {
+      ledger_->current += memory_bytes();
+      ledger_->peak = std::max(ledger_->peak, ledger_->current);
+    }
+  }
+
+ private:
+  [[nodiscard]] std::uint32_t slot(std::uint64_t abs) const {
+    return static_cast<std::uint32_t>(abs & mask_);
+  }
+  [[nodiscard]] std::size_t word(std::uint64_t abs) const {
+    return static_cast<std::size_t>((abs & mask_) >> 6);
+  }
+  [[nodiscard]] bool test(const std::vector<std::uint64_t>& bm, std::uint64_t abs) const {
+    return (bm[word(abs)] >> (abs & 63)) & 1;
+  }
+  void set(std::vector<std::uint64_t>& bm, std::uint64_t abs) {
+    bm[word(abs)] |= std::uint64_t{1} << (abs & 63);
+  }
+  void clear(std::vector<std::uint64_t>& bm, std::uint64_t abs) {
+    bm[word(abs)] &= ~(std::uint64_t{1} << (abs & 63));
+  }
+  /// Bits [lo, hi) of one word, 0 <= lo < hi <= 64.
+  [[nodiscard]] static std::uint64_t range_mask(std::uint64_t lo, std::uint64_t hi) {
+    const std::uint64_t upper = hi == 64 ? ~std::uint64_t{0} : (std::uint64_t{1} << hi) - 1;
+    return upper & ~((std::uint64_t{1} << lo) - 1);
+  }
+
+  void grow() {
+    const std::size_t bytes_before = memory_bytes();
+    const std::uint64_t ncap = std::max<std::uint64_t>(64, capacity_ * 2);
+    const std::uint64_t nmask = ncap - 1;
+    std::vector<sim::Time> nsent(ncap);
+    std::vector<sim::Time> ndtas(ncap);
+    std::vector<double> ndas(ncap, 0.0);
+    std::vector<std::uint8_t> nretx(ncap, 0);
+    std::vector<std::uint64_t> ninflight(ncap / 64, 0);
+    std::vector<std::uint64_t> nsacked(ncap / 64, 0);
+    std::vector<std::uint64_t> nlost(ncap / 64, 0);
+    std::vector<std::uint64_t> ndelivered(ncap / 64, 0);
+    for (std::uint64_t abs = una_; abs < next_seq_; ++abs) {
+      const std::uint32_t os = slot(abs);
+      const std::uint32_t ns = static_cast<std::uint32_t>(abs & nmask);
+      nsent[ns] = sent_time_[os];
+      ndtas[ns] = delivered_time_at_send_[os];
+      ndas[ns] = delivered_at_send_[os];
+      nretx[ns] = retx_[os];
+      const std::uint64_t bit = std::uint64_t{1} << (abs & 63);
+      const std::size_t ow = word(abs);
+      const std::size_t nw = static_cast<std::size_t>((abs & nmask) >> 6);
+      if (inflight_[ow] & bit) ninflight[nw] |= bit;
+      if (sacked_[ow] & bit) nsacked[nw] |= bit;
+      if (lost_[ow] & bit) nlost[nw] |= bit;
+      if (delivered_[ow] & bit) ndelivered[nw] |= bit;
+    }
+    sent_time_ = std::move(nsent);
+    delivered_time_at_send_ = std::move(ndtas);
+    delivered_at_send_ = std::move(ndas);
+    retx_ = std::move(nretx);
+    inflight_ = std::move(ninflight);
+    sacked_ = std::move(nsacked);
+    lost_ = std::move(nlost);
+    delivered_ = std::move(ndelivered);
+    capacity_ = ncap;
+    mask_ = nmask;
+    peak_bytes_ = std::max(peak_bytes_, memory_bytes());
+    if (ledger_ != nullptr) {
+      ledger_->current += memory_bytes() - bytes_before;
+      ledger_->peak = std::max(ledger_->peak, ledger_->current);
+    }
+  }
+
+  // Window scalars.
+  std::uint64_t una_ = 0;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t pipe_units_ = 0;
+  std::uint64_t lost_pending_ = 0;    // lost units not yet retransmitted
+  std::uint64_t min_unresolved_ = 0;  // scan hint for loss marking / retx pick
+  std::uint64_t highest_sacked_ = 0;  // absolute unit + 1 (0 = none)
+  sim::Time latest_sacked_sent_time_ = sim::Time::zero();
+
+  // Ring geometry: power-of-two capacity, multiple of 64.
+  std::uint64_t capacity_ = 0;
+  std::uint64_t mask_ = 0;
+  std::size_t peak_bytes_ = 0;
+  ScoreboardLedger* ledger_ = nullptr;  ///< optional shared live-bytes account
+
+  // Parallel arrays (slot-indexed) + flag bitmaps (one bit per slot).
+  std::vector<sim::Time> sent_time_;
+  std::vector<sim::Time> delivered_time_at_send_;
+  std::vector<double> delivered_at_send_;  // segments
+  std::vector<std::uint8_t> retx_;
+  std::vector<std::uint64_t> inflight_;
+  std::vector<std::uint64_t> sacked_;
+  std::vector<std::uint64_t> lost_;   // marked lost, awaiting retransmission
+  std::vector<std::uint64_t> delivered_;  // counted toward delivered_segments
+};
+
+}  // namespace elephant::tcp

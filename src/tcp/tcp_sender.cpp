@@ -13,15 +13,24 @@ constexpr std::uint32_t kMaxRtoBackoff = 64;
 }
 
 TcpSender::TcpSender(sim::Scheduler& sched, net::Host& local, TcpSenderConfig cfg,
-                     std::unique_ptr<cca::CongestionControl> cc)
-    : sched_(sched), local_(local), cfg_(cfg), cc_(std::move(cc)), rtt_(cfg.min_rto) {
+                     cca::CongestionControl* cc)
+    : sched_(sched), local_(local), cfg_(cfg), cc_(cc), rtt_(cfg.min_rto) {
   assert(cfg_.agg >= 1);
   assert(cc_ != nullptr);
+  // A finite transfer is fully available at start; combining it with
+  // app-limited mode would silently gate the transfer on offer_units().
+  assert(!(cfg_.app_limited && cfg_.transfer_units != 0));
   rto_timer_.init(sched_, [this] { rto_timer_fired(); });
   pace_timer_.init(sched_, [this] {
     pace_armed_ = false;
     try_send();
   });
+}
+
+TcpSender::TcpSender(sim::Scheduler& sched, net::Host& local, TcpSenderConfig cfg,
+                     std::unique_ptr<cca::CongestionControl> cc)
+    : TcpSender(sched, local, cfg, cc.get()) {
+  owned_cc_ = std::move(cc);
 }
 
 void TcpSender::start() {
@@ -34,23 +43,17 @@ void TcpSender::start() {
 double TcpSender::cwnd_segments() const { return cc_->cwnd_segments(); }
 
 bool TcpSender::can_send_now() const {
-  if (pipe_units_ == 0) return true;  // always allow one unit of progress
-  const double pipe_seg = static_cast<double>(pipe_units_) * cfg_.agg;
+  if (sb_.pipe_units() == 0) return true;  // always allow one unit of progress
+  const double pipe_seg = static_cast<double>(sb_.pipe_units()) * cfg_.agg;
   return pipe_seg + cfg_.agg <= cwnd_segments();
 }
 
 std::optional<std::uint64_t> TcpSender::pick_unit_to_send() {
-  if (lost_pending_ > 0) {
-    for (std::uint64_t abs = std::max(min_unresolved_, una_); abs < next_seq_; ++abs) {
-      UnitState& u = unit(abs);
-      if (u.lost && !u.inflight && !u.sacked) return abs;
-    }
-    lost_pending_ = 0;  // stale counter; fall through to new data
-  }
+  if (const auto abs = sb_.pick_retx()) return abs;
   const bool more_data =
-      !stopped_ && (cfg_.transfer_units == 0 || next_seq_ < cfg_.transfer_units) &&
-      (!cfg_.app_limited || next_seq_ < app_limit_units_);
-  if (more_data) return next_seq_;
+      !stopped_ && (cfg_.transfer_units == 0 || sb_.next_seq() < cfg_.transfer_units) &&
+      (!cfg_.app_limited || sb_.next_seq() < app_limit_units_);
+  if (more_data) return sb_.next_seq();
   return std::nullopt;
 }
 
@@ -59,11 +62,6 @@ void TcpSender::offer_units(std::uint64_t units) {
   app_limit_units_ += units;
   app_idle_notified_ = false;
   if (started_ && sched_.now() >= cfg_.start_time) try_send();
-}
-
-void TcpSender::offer_bytes(std::uint64_t bytes) {
-  const std::uint64_t unit_bytes = std::uint64_t{cfg_.mss} * cfg_.agg;
-  offer_units((bytes + unit_bytes - 1) / unit_bytes);
 }
 
 void TcpSender::try_send() {
@@ -92,26 +90,13 @@ void TcpSender::try_send() {
 
 void TcpSender::send_unit(std::uint64_t abs) {
   const sim::Time now = sched_.now();
-  const bool is_retx = abs < next_seq_;
+  const bool is_retx = abs < sb_.next_seq();
 
-  if (abs == next_seq_) {
-    units_.emplace_back();
-    ++next_seq_;
-  }
-  UnitState& u = unit(abs);
-  if (is_retx) {
-    assert(u.lost && !u.inflight);
-    u.lost = false;
-    ++u.retx;
-    if (lost_pending_ > 0) --lost_pending_;
-    ++stats_.retx_units;
-    min_unresolved_ = std::min(min_unresolved_, abs);
-  }
-  u.sent_time = now;
-  u.delivered_at_send = delivered_segments_;
-  u.delivered_time_at_send = delivered_time_ == sim::Time::zero() ? now : delivered_time_;
-  u.inflight = true;
-  ++pipe_units_;
+  const sim::Time delivered_time_eff =
+      delivered_time_ == sim::Time::zero() ? now : delivered_time_;
+  const std::uint8_t retx_count =
+      sb_.record_send(abs, now, delivered_segments_, delivered_time_eff);
+  if (is_retx) ++stats_.retx_units;
   ++stats_.units_sent;
 
   net::Packet p;
@@ -131,8 +116,8 @@ void TcpSender::send_unit(std::uint64_t abs) {
     r.flow = cfg_.flow;
     r.seq = abs;
     r.v0 = static_cast<double>(p.size);
-    r.v1 = static_cast<double>(pipe_units_);
-    r.v2 = static_cast<double>(u.retx);
+    r.v1 = static_cast<double>(sb_.pipe_units());
+    r.v2 = static_cast<double>(retx_count);
     tracer_->record(r);
   }
   local_.transmit(std::move(p));
@@ -153,7 +138,7 @@ void TcpSender::arm_rto() {
 
 void TcpSender::rto_timer_fired() {
   rto_armed_ = false;
-  if (pipe_units_ == 0 && lost_pending_ == 0) {
+  if (sb_.pipe_units() == 0 && sb_.lost_pending() == 0) {
     rto_deadline_ = sim::Time::max();
     return;
   }
@@ -187,19 +172,8 @@ void TcpSender::do_rto() {
 
   // Everything in flight is presumed lost; SACKed units are retained
   // (we do not model reneging).
-  lost_pending_ = 0;
-  for (std::uint64_t abs = una_; abs < next_seq_; ++abs) {
-    UnitState& u = unit(abs);
-    if (u.sacked) continue;
-    if (u.inflight) {
-      u.inflight = false;
-      --pipe_units_;
-    }
-    if (!u.lost) u.lost = true;
-    ++lost_pending_;
-  }
-  min_unresolved_ = una_;
-  recovery_point_ = next_seq_;
+  const std::uint64_t lost_pending = sb_.rto_mark_all();
+  recovery_point_ = sb_.next_seq();
   ++stats_.congestion_events;
   cc_->on_rto(now);
   if (tracer_) {
@@ -207,10 +181,10 @@ void TcpSender::do_rto() {
     r.t = now;
     r.type = trace::RecordType::kRtoFire;
     r.flow = cfg_.flow;
-    r.seq = una_;
+    r.seq = sb_.una();
     r.v0 = static_cast<double>(rto_backoff_);
     r.v1 = rtt_.rto().ms();
-    r.v2 = static_cast<double>(lost_pending_);
+    r.v2 = static_cast<double>(lost_pending);
     tracer_->record(r);
     trace_cwnd();
   }
@@ -228,88 +202,45 @@ void TcpSender::arm_pacing(sim::Time at) {
 }
 
 void TcpSender::process_sacks(const net::Packet& ack, std::uint64_t* newly_delivered_units,
-                              SampleRef* newest) {
+                              DeliverySample* newest) {
   for (std::uint8_t i = 0; i < ack.n_sacks; ++i) {
     const net::SackBlock& b = ack.sacks[i];
-    // Everything below min_unresolved_ is already SACKed (the scan-hint
-    // invariant), so long-established blocks cost nothing to reprocess.
-    const std::uint64_t lo = std::max(b.start, std::max(una_, min_unresolved_));
-    const std::uint64_t hi = std::min(b.end, next_seq_);
-    for (std::uint64_t abs = lo; abs < hi; ++abs) {
-      UnitState& u = unit(abs);
-      if (u.sacked) continue;
-      u.sacked = true;
-      if (u.inflight) {
-        u.inflight = false;
-        --pipe_units_;
-      }
-      if (u.lost) {
-        // Was marked lost but arrived after all; cancel the pending retx.
-        u.lost = false;
-        if (lost_pending_ > 0) --lost_pending_;
-      }
-      if (!u.delivered_counted) {
-        u.delivered_counted = true;
-        ++*newly_delivered_units;
-        newest->consider(u);
-      }
-      if (u.sent_time > latest_sacked_sent_time_) latest_sacked_sent_time_ = u.sent_time;
-      if (abs + 1 > highest_sacked_) highest_sacked_ = abs + 1;
-      if (tracer_) {
-        trace::TraceRecord r;
-        r.t = sched_.now();
-        r.type = trace::RecordType::kSackMark;
-        r.flow = cfg_.flow;
-        r.seq = abs;
-        r.v0 = static_cast<double>(cfg_.agg);
-        r.v1 = static_cast<double>(pipe_units_);
-        r.v2 = static_cast<double>(u.retx);
-        tracer_->record(r);
-      }
-    }
+    sb_.sack_range(b.start, b.end, newly_delivered_units, newest,
+                   [this](std::uint64_t abs, std::uint8_t retx_count) {
+                     if (tracer_) {
+                       trace::TraceRecord r;
+                       r.t = sched_.now();
+                       r.type = trace::RecordType::kSackMark;
+                       r.flow = cfg_.flow;
+                       r.seq = abs;
+                       r.v0 = static_cast<double>(cfg_.agg);
+                       r.v1 = static_cast<double>(sb_.pipe_units());
+                       r.v2 = static_cast<double>(retx_count);
+                       tracer_->record(r);
+                     }
+                   });
   }
 }
 
 void TcpSender::mark_losses() {
-  if (highest_sacked_ <= una_) return;
-  double lost_segments = 0;
-  const std::uint64_t fack_limit =
-      highest_sacked_ > cfg_.reorder_units ? highest_sacked_ - cfg_.reorder_units : 0;
-
-  // The hint may only advance over a SACKed prefix: lost-but-unsent units
-  // below it would otherwise be skipped by pick_unit_to_send().
-  bool prefix_resolved = true;
-  for (std::uint64_t abs = std::max(min_unresolved_, una_); abs < fack_limit; ++abs) {
-    UnitState& u = unit(abs);
-    if (u.sacked) {
-      if (prefix_resolved) min_unresolved_ = abs + 1;
-      continue;
-    }
-    if (!u.lost && u.inflight && u.sent_time <= latest_sacked_sent_time_) {
-      // FACK rule with RACK-style ordering: at least reorder_units units
-      // sent after this one have been SACKed.
-      u.lost = true;
-      u.inflight = false;
-      --pipe_units_;
-      ++lost_pending_;
-      ++stats_.lost_units_marked;
-      lost_segments += cfg_.agg;
-      if (tracer_) {
-        trace::TraceRecord r;
-        r.t = sched_.now();
-        r.type = trace::RecordType::kLossMark;
-        r.flow = cfg_.flow;
-        r.seq = abs;
-        r.v0 = static_cast<double>(cfg_.agg);
-        r.v1 = static_cast<double>(pipe_units_);
-        r.v2 = static_cast<double>(u.retx);
-        tracer_->record(r);
-      }
-    }
-    prefix_resolved = false;
+  const std::uint64_t newly_lost =
+      sb_.mark_losses(cfg_.reorder_units, [this](std::uint64_t abs, std::uint8_t retx_count) {
+        if (tracer_) {
+          trace::TraceRecord r;
+          r.t = sched_.now();
+          r.type = trace::RecordType::kLossMark;
+          r.flow = cfg_.flow;
+          r.seq = abs;
+          r.v0 = static_cast<double>(cfg_.agg);
+          r.v1 = static_cast<double>(sb_.pipe_units());
+          r.v2 = static_cast<double>(retx_count);
+          tracer_->record(r);
+        }
+      });
+  if (newly_lost > 0) {
+    stats_.lost_units_marked += newly_lost;
+    enter_or_update_recovery(static_cast<double>(newly_lost) * cfg_.agg);
   }
-
-  if (lost_segments > 0) enter_or_update_recovery(lost_segments);
 }
 
 void TcpSender::enter_or_update_recovery(double lost_segments) {
@@ -318,9 +249,9 @@ void TcpSender::enter_or_update_recovery(double lost_segments) {
   loss.lost_segments = lost_segments;
   loss.inflight_segments = pipe_segments();
   loss.delivered_segments = delivered_segments_;
-  loss.new_congestion_event = una_ >= recovery_point_;
+  loss.new_congestion_event = sb_.una() >= recovery_point_;
   if (loss.new_congestion_event) {
-    recovery_point_ = next_seq_;
+    recovery_point_ = sb_.next_seq();
     ++stats_.congestion_events;
   }
   cc_->on_loss(loss);
@@ -332,27 +263,11 @@ void TcpSender::on_packet(net::Packet&& p) {
   const sim::Time now = sched_.now();
 
   std::uint64_t newly_delivered_units = 0;
-  SampleRef newest;  // most recently sent unit delivered by this ACK
-  bool progressed = false;
+  DeliverySample newest;  // most recently sent unit delivered by this ACK
 
-  // 1. Cumulative ACK advance (capture rate-sample fields before popping).
-  const std::uint64_t ack_to = std::min(p.ack, next_seq_);
-  while (una_ < ack_to) {
-    UnitState& u = units_.front();
-    if (u.inflight) {
-      u.inflight = false;
-      --pipe_units_;
-    }
-    if (u.lost && lost_pending_ > 0) --lost_pending_;
-    if (!u.delivered_counted) {
-      ++newly_delivered_units;
-      newest.consider(u);
-    }
-    units_.pop_front();
-    ++una_;
-    progressed = true;
-  }
-  min_unresolved_ = std::max(min_unresolved_, una_);
+  // 1. Cumulative ACK advance (capture rate-sample fields before wiping).
+  const std::uint64_t ack_to = std::min(p.ack, sb_.next_seq());
+  const bool progressed = sb_.advance_una(ack_to, &newly_delivered_units, &newest);
 
   // 2. SACK processing (shares the same "newest delivered" tracking).
   process_sacks(p, &newly_delivered_units, &newest);
@@ -410,7 +325,7 @@ void TcpSender::on_packet(net::Packet&& p) {
   if (completion_time_ == sim::Time::zero() && completed()) {
     completion_time_ = now;
     teardown_after_completion();
-    if (on_complete_) on_complete_();
+    if (on_complete_) on_complete_(on_complete_ctx_);
     return;
   }
 
@@ -420,7 +335,7 @@ void TcpSender::on_packet(net::Packet&& p) {
   // cumulative advance would fire spurious RTOs (tcp_rearm_rto behaviour).
   if (progressed) rto_backoff_ = 1;
   if (progressed || newly_delivered_units > 0) {
-    rto_deadline_ = (pipe_units_ > 0 || lost_pending_ > 0)
+    rto_deadline_ = (sb_.pipe_units() > 0 || sb_.lost_pending() > 0)
                         ? now + rtt_.rto() * static_cast<std::int64_t>(rto_backoff_)
                         : sim::Time::max();
   }
@@ -430,10 +345,10 @@ void TcpSender::on_packet(net::Packet&& p) {
   // App-limited idle detection: everything offered has been sent AND
   // acknowledged. One upcall per burst; the callback typically schedules the
   // next offer_units() after a think time.
-  if (cfg_.app_limited && !app_idle_notified_ && una_ == next_seq_ &&
-      next_seq_ == app_limit_units_ && pipe_units_ == 0) {
+  if (cfg_.app_limited && !app_idle_notified_ && sb_.una() == sb_.next_seq() &&
+      sb_.next_seq() == app_limit_units_ && sb_.pipe_units() == 0) {
     app_idle_notified_ = true;
-    if (on_app_idle_) on_app_idle_();
+    if (on_app_idle_) on_app_idle_(on_app_idle_ctx_);
   }
 }
 
@@ -444,6 +359,10 @@ void TcpSender::teardown_after_completion() {
   rto_timer_.disarm();
   pace_armed_ = false;
   pace_timer_.disarm();
+  // The live window is empty (una == next_seq == transfer_units): drop the
+  // grow-only scoreboard storage so completed mice in long mixed sweeps do
+  // not pin their peak window allocation (bounded-RSS satellite).
+  sb_.release();
 }
 
 }  // namespace elephant::tcp

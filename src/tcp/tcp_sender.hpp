@@ -8,9 +8,9 @@
 #include "cca/congestion_control.hpp"
 #include "net/node.hpp"
 #include "net/packet.hpp"
-#include "sim/ring_deque.hpp"
 #include "sim/scheduler.hpp"
 #include "tcp/rtt_estimator.hpp"
+#include "tcp/scoreboard.hpp"
 #include "trace/trace.hpp"
 
 namespace elephant::obs {
@@ -18,6 +18,15 @@ struct TcpMetrics;
 }  // namespace elephant::obs
 
 namespace elephant::tcp {
+
+/// Canonical bytes → transmission-units conversion (round up to whole
+/// units of `agg` segments). The single source of truth for every
+/// transfer-size and offer_bytes computation.
+[[nodiscard]] constexpr std::uint64_t bytes_to_units(std::uint64_t bytes, std::uint32_t mss,
+                                                     std::uint32_t agg) {
+  const std::uint64_t unit_bytes = std::uint64_t{mss} * agg;
+  return (bytes + unit_bytes - 1) / unit_bytes;
+}
 
 /// Per-flow sender configuration.
 struct TcpSenderConfig {
@@ -31,7 +40,8 @@ struct TcpSenderConfig {
   /// Application-limited mode: the sender transmits only data the application
   /// has offered via offer_units(), idling (pipe drained, timers quiescent)
   /// in between. Used by on/off workload sources; incompatible with
-  /// transfer_units (a finite transfer is fully available at start).
+  /// transfer_units (a finite transfer is fully available at start) — the
+  /// sender asserts the combination away at construction.
   bool app_limited = false;
   bool ecn = false;               ///< mark packets ECT
   bool pace_always = false;       ///< ablation: pace loss-based CCAs at 2*cwnd/srtt
@@ -52,7 +62,8 @@ struct TcpSenderStats {
 /// A bulk-transfer ("elephant") TCP sender.
 ///
 /// Implements the transport machinery shared by every CCA the paper tests:
-/// a SACK scoreboard, FACK-with-RACK-timing loss marking, NewReno-style
+/// a SACK scoreboard (struct-of-arrays with packed flag bitmaps — see
+/// tcp/scoreboard.hpp), FACK-with-RACK-timing loss marking, NewReno-style
 /// recovery episodes, RFC 6298 RTO with exponential backoff, delivery-rate
 /// sampling (for BBR), packet-timed round tracking, and optional pacing.
 /// Congestion decisions are delegated entirely to the plugged
@@ -63,6 +74,16 @@ struct TcpSenderStats {
 /// RFC meanings under aggregation.
 class TcpSender : public net::PacketHandler {
  public:
+  /// Arena-friendly C-style callback: no captures, no allocation.
+  using Callback = void (*)(void*);
+
+  /// Non-owning congestion controller: the caller (typically a per-kind
+  /// cca slab) keeps `cc` alive for the sender's lifetime. This is the
+  /// allocation-free path high-flow-count cells use.
+  TcpSender(sim::Scheduler& sched, net::Host& local, TcpSenderConfig cfg,
+            cca::CongestionControl* cc);
+  /// Owning convenience overload for tests/examples built around
+  /// cca::make_cca().
   TcpSender(sim::Scheduler& sched, net::Host& local, TcpSenderConfig cfg,
             std::unique_ptr<cca::CongestionControl> cc);
 
@@ -75,18 +96,37 @@ class TcpSender : public net::PacketHandler {
   /// (re)start transmission. No-op unless cfg.app_limited.
   void offer_units(std::uint64_t units);
   /// Convenience wrapper: bytes rounded up to whole transmission units.
-  void offer_bytes(std::uint64_t bytes);
+  void offer_bytes(std::uint64_t bytes) { offer_units(bytes_to_units(bytes, cfg_.mss, cfg_.agg)); }
   /// Units the application has offered so far (app-limited mode).
   [[nodiscard]] std::uint64_t offered_units() const { return app_limit_units_; }
 
   /// Invoked exactly once when a finite transfer completes (every unit
   /// cumulatively acknowledged). By the time it runs the sender has torn
-  /// itself down: both timers are disarmed, so a completed flow holds no
-  /// scheduler events open.
-  void set_on_complete(std::function<void()> cb) { on_complete_ = std::move(cb); }
+  /// itself down: both timers are disarmed and the scoreboard storage is
+  /// released, so a completed flow holds no scheduler events and no
+  /// window memory.
+  void set_on_complete(Callback cb, void* ctx) {
+    on_complete_ = cb;
+    on_complete_ctx_ = ctx;
+  }
+  /// Capturing-lambda convenience overload (boxes the callable; fine for
+  /// tests, avoided by the flow factory's static-thunk path).
+  void set_on_complete(std::function<void()> cb) {
+    boxed_on_complete_ = std::move(cb);
+    on_complete_ = [](void* ctx) { (*static_cast<std::function<void()>*>(ctx))(); };
+    on_complete_ctx_ = &boxed_on_complete_;
+  }
   /// Invoked each time an app-limited sender drains everything offered
   /// (once per offer_units() burst). Drives on/off sources' think time.
-  void set_on_app_idle(std::function<void()> cb) { on_app_idle_ = std::move(cb); }
+  void set_on_app_idle(Callback cb, void* ctx) {
+    on_app_idle_ = cb;
+    on_app_idle_ctx_ = ctx;
+  }
+  void set_on_app_idle(std::function<void()> cb) {
+    boxed_on_app_idle_ = std::move(cb);
+    on_app_idle_ = [](void* ctx) { (*static_cast<std::function<void()>*>(ctx))(); };
+    on_app_idle_ctx_ = &boxed_on_app_idle_;
+  }
 
   void on_packet(net::Packet&& p) override;  // ACK input
 
@@ -104,12 +144,18 @@ class TcpSender : public net::PacketHandler {
   [[nodiscard]] const cca::CongestionControl& cc() const { return *cc_; }
   [[nodiscard]] const RttEstimator& rtt() const { return rtt_; }
   [[nodiscard]] const TcpSenderConfig& config() const { return cfg_; }
+  /// Window state, exposed for telemetry (peak bytes) and tests.
+  [[nodiscard]] const Scoreboard& scoreboard() const { return sb_; }
+  /// Attach shared live-window-bytes accounting (see ScoreboardLedger).
+  void set_scoreboard_ledger(ScoreboardLedger* ledger) { sb_.set_ledger(ledger); }
 
-  [[nodiscard]] std::uint64_t una() const { return una_; }
-  [[nodiscard]] std::uint64_t next_seq() const { return next_seq_; }
-  [[nodiscard]] double pipe_segments() const { return static_cast<double>(pipe_units_) * cfg_.agg; }
+  [[nodiscard]] std::uint64_t una() const { return sb_.una(); }
+  [[nodiscard]] std::uint64_t next_seq() const { return sb_.next_seq(); }
+  [[nodiscard]] double pipe_segments() const {
+    return static_cast<double>(sb_.pipe_units()) * cfg_.agg;
+  }
   [[nodiscard]] double delivered_segments() const { return delivered_segments_; }
-  [[nodiscard]] bool in_recovery() const { return una_ < recovery_point_; }
+  [[nodiscard]] bool in_recovery() const { return sb_.una() < recovery_point_; }
 
   /// Retransmitted segments (units * agg), the quantity Fig. 8 plots.
   [[nodiscard]] std::uint64_t retx_segments() const { return stats_.retx_units * cfg_.agg; }
@@ -117,43 +163,12 @@ class TcpSender : public net::PacketHandler {
   /// Finite transfers: true once every unit of the configured size is
   /// cumulatively acknowledged.
   [[nodiscard]] bool completed() const {
-    return cfg_.transfer_units != 0 && una_ >= cfg_.transfer_units;
+    return cfg_.transfer_units != 0 && sb_.una() >= cfg_.transfer_units;
   }
   /// Completion instant (zero until completed) — the FCT numerator.
   [[nodiscard]] sim::Time completion_time() const { return completion_time_; }
 
  private:
-  struct UnitState {
-    sim::Time sent_time{};
-    sim::Time delivered_time_at_send{};
-    double delivered_at_send = 0;  // segments
-    std::uint8_t retx = 0;
-    bool inflight = false;
-    bool sacked = false;
-    bool lost = false;            // marked lost, awaiting retransmission
-    bool delivered_counted = false;
-  };
-
-  /// Rate/RTT sample source: the most recently sent, never-retransmitted
-  /// unit delivered by the current ACK (Karn's rule).
-  struct SampleRef {
-    sim::Time sent_time = sim::Time::zero();
-    double delivered_at_send = 0;
-    sim::Time delivered_time_at_send = sim::Time::zero();
-    bool has_sample = false;  // explicit: packets sent at t=0 are valid too
-
-    void consider(const UnitState& u) {
-      if (u.retx == 0 && (!has_sample || u.sent_time > sent_time)) {
-        sent_time = u.sent_time;
-        delivered_at_send = u.delivered_at_send;
-        delivered_time_at_send = u.delivered_time_at_send;
-        has_sample = true;
-      }
-    }
-    [[nodiscard]] bool valid() const { return has_sample; }
-  };
-
-  [[nodiscard]] UnitState& unit(std::uint64_t abs) { return units_[abs - una_]; }
   [[nodiscard]] double cwnd_segments() const;
   [[nodiscard]] bool can_send_now() const;
   [[nodiscard]] std::optional<std::uint64_t> pick_unit_to_send();
@@ -162,7 +177,7 @@ class TcpSender : public net::PacketHandler {
   void send_unit(std::uint64_t abs);
   void teardown_after_completion();
   void process_sacks(const net::Packet& ack, std::uint64_t* newly_delivered_units,
-                     SampleRef* newest);
+                     DeliverySample* newest);
   void mark_losses();
   void enter_or_update_recovery(double lost_segments);
   void arm_rto();
@@ -174,23 +189,16 @@ class TcpSender : public net::PacketHandler {
   sim::Scheduler& sched_;
   net::Host& local_;
   TcpSenderConfig cfg_;
-  std::unique_ptr<cca::CongestionControl> cc_;
+  cca::CongestionControl* cc_;                     // never null
+  std::unique_ptr<cca::CongestionControl> owned_cc_;  // only on the owning path
   RttEstimator rtt_;
   TcpSenderStats stats_;
 
-  sim::RingDeque<UnitState> units_;  // scoreboard, index 0 == una_
-  std::uint64_t una_ = 0;
-  std::uint64_t next_seq_ = 0;
-  std::uint64_t pipe_units_ = 0;
-  std::uint64_t lost_pending_ = 0;    // lost units not yet retransmitted
-  std::uint64_t min_unresolved_ = 0;  // scan hint for loss marking / retx pick
+  Scoreboard sb_;  // SACK scoreboard: window scalars + SoA unit state
 
   double delivered_segments_ = 0;
   sim::Time delivered_time_ = sim::Time::zero();
   double next_round_delivered_ = 0;
-
-  std::uint64_t highest_sacked_ = 0;  // absolute unit + 1 (0 = none)
-  sim::Time latest_sacked_sent_time_ = sim::Time::zero();
 
   std::uint64_t recovery_point_ = 0;
 
@@ -214,8 +222,14 @@ class TcpSender : public net::PacketHandler {
   // Application-limited (on/off) machinery.
   std::uint64_t app_limit_units_ = 0;  ///< units offered by the application
   bool app_idle_notified_ = false;     ///< one idle upcall per offered burst
-  std::function<void()> on_complete_;
-  std::function<void()> on_app_idle_;
+  Callback on_complete_ = nullptr;
+  void* on_complete_ctx_ = nullptr;
+  Callback on_app_idle_ = nullptr;
+  void* on_app_idle_ctx_ = nullptr;
+  // Storage for the std::function convenience overloads only; empty (and
+  // allocation-free) on the static-thunk path.
+  std::function<void()> boxed_on_complete_;
+  std::function<void()> boxed_on_app_idle_;
 
   // Flight recorder (null = tracing off; hot paths pay one branch).
   trace::Tracer* tracer_ = nullptr;

@@ -124,17 +124,25 @@ exp::ExperimentConfig fault_cell() {
 }
 
 // Golden digests. The paper cell is captured from the PRE-SWAP engine and
-// passed unchanged through the swap: the unperturbed path is bit-identical
-// across the two implementations. The fault cell's trace digest is baked
-// from the new engine: under the jitter spike a handful of same-nanosecond
-// trace records permuted (the delay-line timer draws its FIFO tie-break rank
-// at head-rearm time, where the old engine drew one per packet at push
-// time). The record count and the full final-metrics digest are identical to
-// the pre-swap engine (0xc1429fac7222896d was the old trace fold), so the
-// permutation is confined to tie instants and does not alter behaviour.
+// passed unchanged through the swap AND through the conditional-wake port
+// rework: the unperturbed path is bit-identical across all three engines.
+// The fault cell's trace digest has been re-baked twice, each time for a
+// tie-instant observation shift with byte-identical packet behaviour:
+//   0xc1429fac7222896d  pre-swap engine
+//   0xd89f2f1f40645830  event-engine swap: a handful of same-nanosecond
+//                       records permuted (delay-line timers draw their FIFO
+//                       rank at head-rearm time, not per packet at push).
+//   0xff3b7a2b69074069  conditional link-free wake: a packet arriving at
+//                       exactly the instant the link frees now starts
+//                       serializing immediately instead of waiting for the
+//                       wake event's turn in the same-instant FIFO order, so
+//                       13 kAqmEnqueue records observe a backlog exactly one
+//                       packet smaller. Same (t, flow, seq) on every record,
+//                       same record count, identical final-metrics digest —
+//                       verified by a field-level diff of the full traces.
 constexpr CellDigest kGoldenPaperCell = {0x715fc370d3642f49ull, 0xa1201808252779ebull,
                                          107850ull};
-constexpr CellDigest kGoldenFaultCell = {0xd89f2f1f40645830ull, 0x9ff4cf27ff6a73c8ull,
+constexpr CellDigest kGoldenFaultCell = {0xff3b7a2b69074069ull, 0x9ff4cf27ff6a73c8ull,
                                          19068ull};
 
 TEST(DeterminismDigest, PaperCellMatchesPreSwapEngine) {

@@ -1,0 +1,139 @@
+#include "sim/slab.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace elephant::sim {
+namespace {
+
+/// Counts constructions/destructions so tests can prove the slab destroys
+/// exactly the live objects, exactly once.
+struct Tracked {
+  static int live;
+  explicit Tracked(int v) : value(v) { ++live; }
+  Tracked(const Tracked&) = delete;
+  ~Tracked() { --live; }
+  int value;
+};
+int Tracked::live = 0;
+
+struct Throws {
+  explicit Throws(bool do_throw) {
+    if (do_throw) throw std::runtime_error("ctor failure");
+  }
+};
+
+TEST(Slab, EmplaceReturnsStableIndicesAndAddresses) {
+  Slab<std::uint64_t> slab;
+  std::vector<std::uint64_t*> addrs;
+  // Cross several chunk boundaries; existing addresses must never move.
+  const std::size_t n = Slab<std::uint64_t>::kChunkObjects * 3 + 17;
+  for (std::size_t i = 0; i < n; ++i) {
+    auto [idx, p] = slab.emplace(static_cast<std::uint64_t>(i));
+    EXPECT_EQ(idx, i);
+    addrs.push_back(p);
+  }
+  EXPECT_EQ(slab.size(), n);
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_EQ(addrs[i], &slab[static_cast<std::uint32_t>(i)]);
+    EXPECT_EQ(slab[static_cast<std::uint32_t>(i)], i);
+  }
+  // Consecutive indices within one chunk are consecutive in memory.
+  EXPECT_EQ(addrs[1], addrs[0] + 1);
+}
+
+TEST(Slab, EraseRecyclesSlotsLifo) {
+  Tracked::live = 0;
+  {
+    Slab<Tracked> slab;
+    slab.emplace(0);
+    slab.emplace(1);
+    slab.emplace(2);
+    EXPECT_EQ(Tracked::live, 3);
+    slab.erase(1);
+    EXPECT_EQ(Tracked::live, 2);
+    EXPECT_FALSE(slab.is_live(1));
+    auto [idx, p] = slab.emplace(99);
+    EXPECT_EQ(idx, 1u);  // freed slot reused before growth
+    EXPECT_EQ(p->value, 99);
+    EXPECT_EQ(slab.size(), 3u);
+    EXPECT_EQ(slab.high_water(), 3u);
+  }
+  EXPECT_EQ(Tracked::live, 0);  // destructor destroyed every live object
+}
+
+TEST(Slab, ForEachVisitsLiveSlotsInIndexOrder) {
+  Slab<int> slab;
+  for (int i = 0; i < 10; ++i) slab.emplace(i);
+  slab.erase(3);
+  slab.erase(7);
+  std::vector<std::uint32_t> seen;
+  slab.for_each([&](std::uint32_t i, int v) {
+    EXPECT_EQ(static_cast<int>(i), v);
+    seen.push_back(i);
+  });
+  EXPECT_EQ(seen, (std::vector<std::uint32_t>{0, 1, 2, 4, 5, 6, 8, 9}));
+  const Slab<int>& cslab = slab;
+  std::size_t count = 0;
+  cslab.for_each([&](std::uint32_t, const int&) { ++count; });
+  EXPECT_EQ(count, slab.size());
+}
+
+TEST(Slab, ClearDestroysEverythingButKeepsChunks) {
+  Tracked::live = 0;
+  Slab<Tracked> slab;
+  for (int i = 0; i < 100; ++i) slab.emplace(i);
+  const std::size_t cap = slab.capacity();
+  const std::size_t bytes = slab.bytes();
+  slab.clear();
+  EXPECT_EQ(Tracked::live, 0);
+  EXPECT_TRUE(slab.empty());
+  EXPECT_EQ(slab.capacity(), cap);  // storage retained for reuse
+  EXPECT_EQ(slab.bytes(), bytes);
+  auto [idx, p] = slab.emplace(7);
+  EXPECT_EQ(idx, 0u);
+  EXPECT_EQ(p->value, 7);
+}
+
+TEST(Slab, ThrowingConstructorLeavesSlabConsistent) {
+  Slab<Throws> slab;
+  slab.emplace(false);
+  EXPECT_THROW(slab.emplace(true), std::runtime_error);
+  EXPECT_EQ(slab.size(), 1u);
+  EXPECT_FALSE(slab.is_live(1));
+  // The failed slot is recycled, not leaked.
+  auto [idx, p] = slab.emplace(false);
+  EXPECT_EQ(idx, 1u);
+  EXPECT_NE(p, nullptr);
+  EXPECT_EQ(slab.size(), 2u);
+}
+
+TEST(Slab, BytesGrowByWholeChunks) {
+  Slab<std::uint64_t> slab;
+  EXPECT_EQ(slab.bytes(), 0u);
+  slab.emplace(1);
+  const std::size_t one_chunk = slab.bytes();
+  EXPECT_GE(one_chunk, Slab<std::uint64_t>::kChunkObjects * sizeof(std::uint64_t));
+  for (std::size_t i = 1; i < Slab<std::uint64_t>::kChunkObjects; ++i) slab.emplace(i);
+  EXPECT_EQ(slab.bytes(), one_chunk);  // same chunk until it fills
+  slab.emplace(0);
+  EXPECT_GT(slab.bytes(), one_chunk);
+}
+
+TEST(Slab, LargeObjectsStillChunk) {
+  struct Big {
+    char payload[10000];
+  };
+  // kChunkObjects floors at 8 even when that overshoots the 64 KiB target.
+  EXPECT_EQ(Slab<Big>::kChunkObjects, 8u);
+  Slab<Big> slab;
+  for (int i = 0; i < 20; ++i) slab.emplace();
+  EXPECT_EQ(slab.size(), 20u);
+}
+
+}  // namespace
+}  // namespace elephant::sim
