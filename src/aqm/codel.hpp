@@ -129,6 +129,19 @@ class CodelQueue : public QueueDisc {
   [[nodiscard]] std::string name() const override { return "codel"; }
   [[nodiscard]] const CodelState& state() const { return state_; }
 
+  void save(sim::SnapshotWriter& w) const override {
+    QueueDisc::save(w);
+    w.put_u64(bytes_);
+    save_packets(w, queue_);
+    w.put_pod(state_);
+  }
+  void load(sim::SnapshotReader& r) override {
+    QueueDisc::load(r);
+    bytes_ = static_cast<std::size_t>(r.get_u64());
+    load_packets(r, &queue_);
+    r.get_pod(&state_);
+  }
+
  private:
   struct Access {
     CodelQueue& q;

@@ -22,6 +22,9 @@ class FifoQueue : public QueueDisc {
   [[nodiscard]] std::string name() const override { return "fifo"; }
   [[nodiscard]] std::size_t limit_bytes() const { return limit_bytes_; }
 
+  void save(sim::SnapshotWriter& w) const override;
+  void load(sim::SnapshotReader& r) override;
+
  private:
   std::size_t limit_bytes_;
   std::size_t bytes_ = 0;

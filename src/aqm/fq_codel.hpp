@@ -39,6 +39,45 @@ class FqCodelQueue : public QueueDisc {
   [[nodiscard]] std::uint32_t active_flows() const;
   [[nodiscard]] const FqCodelConfig& config() const { return cfg_; }
 
+  void save(sim::SnapshotWriter& w) const override {
+    QueueDisc::save(w);
+    w.put_u64(queues_.size());
+    for (const SubQueue& sq : queues_) {
+      save_packets(w, sq.pkts);
+      w.put_u64(sq.bytes);
+      w.put_i64(sq.deficit);
+      w.put_pod(sq.codel);
+      w.put_u8(static_cast<std::uint8_t>(sq.in_list));
+    }
+    w.put_u64(new_flows_.size());
+    for (const std::uint32_t f : new_flows_) w.put_u32(f);
+    w.put_u64(old_flows_.size());
+    for (const std::uint32_t f : old_flows_) w.put_u32(f);
+    w.put_u64(total_bytes_);
+    w.put_u64(total_packets_);
+  }
+  void load(sim::SnapshotReader& r) override {
+    QueueDisc::load(r);
+    const std::uint64_t nq = r.get_u64();
+    assert(nq == queues_.size() && "bucket count is fixed at construction");
+    for (std::uint64_t i = 0; i < nq && i < queues_.size(); ++i) {
+      SubQueue& sq = queues_[static_cast<std::size_t>(i)];
+      load_packets(r, &sq.pkts);
+      sq.bytes = static_cast<std::size_t>(r.get_u64());
+      sq.deficit = r.get_i64();
+      r.get_pod(&sq.codel);
+      sq.in_list = static_cast<ListState>(r.get_u8());
+    }
+    const std::uint64_t nn = r.get_u64();
+    new_flows_.clear();
+    for (std::uint64_t i = 0; i < nn; ++i) new_flows_.push_back(r.get_u32());
+    const std::uint64_t no = r.get_u64();
+    old_flows_.clear();
+    for (std::uint64_t i = 0; i < no; ++i) old_flows_.push_back(r.get_u32());
+    total_bytes_ = static_cast<std::size_t>(r.get_u64());
+    total_packets_ = static_cast<std::size_t>(r.get_u64());
+  }
+
  private:
   enum class ListState : std::uint8_t { kNone, kNew, kOld };
 

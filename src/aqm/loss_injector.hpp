@@ -54,6 +54,21 @@ class LossInjector : public QueueDisc {
   [[nodiscard]] double loss_rate() const { return loss_rate_; }
   [[nodiscard]] const QueueDisc& inner() const { return *inner_; }
 
+  void save(sim::SnapshotWriter& w) const override {
+    QueueDisc::save(w);
+    w.put_pod(rng_);
+    w.put_u64(injected_drops_);
+    w.put_u64(injected_bytes_);
+    inner_->save(w);
+  }
+  void load(sim::SnapshotReader& r) override {
+    QueueDisc::load(r);
+    r.get_pod(&rng_);
+    injected_drops_ = r.get_u64();
+    injected_bytes_ = r.get_u64();
+    inner_->load(r);
+  }
+
  private:
   /// Mirror the inner stats so Port/bench accounting sees one coherent view:
   /// every inner counter — including dropped_early from a proactive inner

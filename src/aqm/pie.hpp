@@ -42,6 +42,37 @@ class PieQueue : public QueueDisc {
   [[nodiscard]] sim::Time estimated_delay() const { return cur_delay_; }
   [[nodiscard]] const PieConfig& config() const { return cfg_; }
 
+  void save(sim::SnapshotWriter& w) const override {
+    QueueDisc::save(w);
+    w.put_pod(rng_);
+    save_packets(w, queue_);
+    w.put_u64(bytes_);
+    w.put_f64(prob_);
+    w.put_pod(cur_delay_);
+    w.put_pod(old_delay_);
+    w.put_pod(next_update_);
+    w.put_pod(burst_left_);
+    w.put_bool(in_measurement_);
+    w.put_u64(dq_count_bytes_);
+    w.put_pod(dq_start_);
+    w.put_f64(avg_drain_rate_);
+  }
+  void load(sim::SnapshotReader& r) override {
+    QueueDisc::load(r);
+    r.get_pod(&rng_);
+    load_packets(r, &queue_);
+    bytes_ = static_cast<std::size_t>(r.get_u64());
+    prob_ = r.get_f64();
+    r.get_pod(&cur_delay_);
+    r.get_pod(&old_delay_);
+    r.get_pod(&next_update_);
+    r.get_pod(&burst_left_);
+    in_measurement_ = r.get_bool();
+    dq_count_bytes_ = static_cast<std::size_t>(r.get_u64());
+    r.get_pod(&dq_start_);
+    avg_drain_rate_ = r.get_f64();
+  }
+
  private:
   void update_probability();
 

@@ -1,12 +1,14 @@
 #pragma once
 
 #include <cstdint>
+#include <deque>
 #include <memory>
 #include <optional>
 #include <string>
 
 #include "net/packet.hpp"
 #include "sim/scheduler.hpp"
+#include "sim/snapshot.hpp"
 #include "trace/trace.hpp"
 
 namespace elephant::aqm {
@@ -54,6 +56,14 @@ class QueueDisc {
   virtual void set_tracer(trace::Tracer* tracer) { tracer_ = tracer; }
   [[nodiscard]] trace::Tracer* tracer() const { return tracer_; }
 
+  /// Snapshot the discipline's full mutable state (queued packets and
+  /// algorithm variables included). Implementations override both, call the
+  /// base first (it serializes the counters), then append their own fields
+  /// in a fixed order. The decorators (LossInjector, TBF) forward to their
+  /// inner qdisc after their own state.
+  virtual void save(sim::SnapshotWriter& w) const { w.put_pod(stats_); }
+  virtual void load(sim::SnapshotReader& r) { r.get_pod(&stats_); }
+
   /// Trace emitters for implementations; each is a no-op (one predictable
   /// branch) when no tracer is attached. Public so the shared codel_dequeue
   /// algorithm can report drops on behalf of its host qdisc.
@@ -69,6 +79,17 @@ class QueueDisc {
 
  protected:
   [[nodiscard]] sim::Time now() const { return sched_->now(); }
+
+  /// Packet-deque (de)serialization shared by the deque-backed disciplines.
+  static void save_packets(sim::SnapshotWriter& w, const std::deque<net::Packet>& q) {
+    w.put_u64(q.size());
+    for (const net::Packet& p : q) w.put_pod(p);
+  }
+  static void load_packets(sim::SnapshotReader& r, std::deque<net::Packet>* q) {
+    const std::uint64_t n = r.get_u64();
+    q->clear();
+    for (std::uint64_t i = 0; i < n; ++i) q->push_back(r.get<net::Packet>());
+  }
 
   sim::Scheduler* sched_;
   QueueStats stats_;

@@ -68,6 +68,26 @@ class TbfQueue : public QueueDisc {
   }
   [[nodiscard]] std::string name() const override { return inner_->name() + "+tbf"; }
 
+  void save(sim::SnapshotWriter& w) const override {
+    QueueDisc::save(w);
+    w.put_f64(tokens_);
+    w.put_pod(last_refill_);
+    w.put_bool(held_.has_value());
+    if (held_) w.put_pod(*held_);
+    inner_->save(w);
+  }
+  void load(sim::SnapshotReader& r) override {
+    QueueDisc::load(r);
+    tokens_ = r.get_f64();
+    r.get_pod(&last_refill_);
+    if (r.get_bool()) {
+      held_ = r.get<net::Packet>();
+    } else {
+      held_.reset();
+    }
+    inner_->load(r);
+  }
+
   [[nodiscard]] double tokens() const { return tokens_; }
   [[nodiscard]] const TbfConfig& config() const { return cfg_; }
   /// Earliest instant the held head packet becomes sendable (for pollers).

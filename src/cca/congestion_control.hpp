@@ -5,6 +5,7 @@
 #include <string>
 
 #include "sim/random.hpp"
+#include "sim/snapshot.hpp"
 #include "sim/time.hpp"
 
 namespace elephant::cca {
@@ -67,6 +68,12 @@ class CongestionControl {
   [[nodiscard]] virtual std::string name() const = 0;
 
   [[nodiscard]] const CcaParams& params() const { return params_; }
+
+  /// Snapshot the controller's mutable state (sim::Snapshottable contract).
+  /// Defaults are no-ops for stateless stubs; every shipped algorithm
+  /// overrides both. `params_` is immutable and not stored.
+  virtual void save(sim::SnapshotWriter& w) const { (void)w; }
+  virtual void load(sim::SnapshotReader& r) { (void)r; }
 
  protected:
   CcaParams params_;

@@ -23,6 +23,17 @@ class Reno : public CongestionControl {
   [[nodiscard]] std::string name() const override { return "reno"; }
   [[nodiscard]] double ssthresh() const { return ssthresh_; }
 
+  void save(sim::SnapshotWriter& w) const override {
+    w.put_f64(cwnd_);
+    w.put_f64(ssthresh_);
+    w.put_f64(acked_accum_);
+  }
+  void load(sim::SnapshotReader& r) override {
+    cwnd_ = r.get_f64();
+    ssthresh_ = r.get_f64();
+    acked_accum_ = r.get_f64();
+  }
+
  private:
   double cwnd_;
   double ssthresh_;

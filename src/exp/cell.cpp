@@ -1,0 +1,130 @@
+#include "exp/cell.hpp"
+
+#include <cassert>
+#include <string>
+#include <utility>
+
+#include "exp/runner_internal.hpp"
+#include "exp/status.hpp"
+#include "trace/trace.hpp"
+
+namespace elephant::exp {
+
+Cell::Cell(const ExperimentConfig& cfg)
+    : cfg_(cfg), wall_start_(std::chrono::steady_clock::now()), rng_(cfg_.seed) {
+  assert(cfg_.shards <= 1 && "Cell is the single-shard engine; use run_experiment");
+
+  // Everything below mirrors the historical run_experiment() body exactly —
+  // same construction order, same RNG draws — so a Cell-driven run is
+  // bit-identical to pre-Cell builds (golden digests pin it).
+  const net::DumbbellConfig topo = detail::make_dumbbell_config(cfg_, rng_);
+  net_.emplace(sched_, topo);
+
+  // The injector owns the RNG behind probabilistic link perturbations, so it
+  // must outlive the scheduler run. Constructed (and the seed stream
+  // consumed) only when a plan exists, keeping fault-free runs bit-identical
+  // to pre-fault-subsystem results.
+  if (!cfg_.fault_plan.empty()) {
+    faults_.emplace(sched_, net_->bottleneck(), rng_.next_u64(), cfg_.tracer);
+    faults_->install(cfg_.fault_plan);
+  }
+
+  duration_ = cfg_.effective_duration();
+
+  if (cfg_.tracer != nullptr) {
+    net_->set_tracer(cfg_.tracer);
+    if (cfg_.trace_queue_sampling) {
+      net_->bottleneck().start_queue_sampling(cfg_.trace_queue_interval);
+    }
+  }
+
+  // Telemetry wiring: register the run's handles once (this may allocate),
+  // then hand the components raw pointers so steady-state updates never
+  // touch the registry. The bundles live on the cell for the whole run.
+  if (cfg_.metrics != nullptr) {
+    obs::MetricsRegistry& reg = *cfg_.metrics;
+    sched_metrics_.events_executed = &reg.gauge("sim.events_executed");
+    sched_metrics_.heap_depth = &reg.gauge("sim.heap_depth");
+    sched_metrics_.heap_peak = &reg.gauge("sim.heap_peak");
+    sched_.set_metrics(&sched_metrics_);
+    queue_metrics_.sojourn_s = &reg.histogram("queue.sojourn_s");
+    net_->bottleneck().set_metrics(&queue_metrics_);
+    tcp_metrics_.cwnd_segments = &reg.gauge("tcp.cwnd_segments");
+    tcp_metrics_.srtt_s = &reg.histogram("tcp.srtt_s");
+  }
+
+  // All flows — legacy elephants or a full WorkloadSpec mix — come from the
+  // factory; it must outlive the run (on/off sources call back into it).
+  factory_.emplace(sched_, *net_, cfg_, rng_,
+                   cfg_.metrics != nullptr ? &tcp_metrics_ : nullptr);
+
+  // Installed after setup: construction consumes no choice points, and a
+  // null hook (the default) leaves every branch on its seeded outcome.
+  sched_.set_choice_hook(cfg_.choice_hook);
+}
+
+sim::Scheduler::StopReason Cell::run_chunk(std::uint64_t max_events, sim::Time deadline) {
+  sim::Scheduler::RunLimits limits;
+  limits.max_events = max_events;
+  return sched_.run_until(deadline, limits);
+}
+
+ExperimentResult Cell::run_to_completion() {
+  sim::Scheduler::RunLimits limits;
+  limits.max_events = cfg_.max_events;
+  limits.max_wall_seconds = cfg_.max_wall_seconds;
+  const auto stop = sched_.run_until(duration_, limits);
+  if (stop == sim::Scheduler::StopReason::kEventBudget ||
+      stop == sim::Scheduler::StopReason::kWallBudget) {
+    const bool events = stop == sim::Scheduler::StopReason::kEventBudget;
+    throw RunTimeout("run " + cfg_.id() + " exceeded its " +
+                     (events ? "event budget (" + std::to_string(cfg_.max_events) + " events)"
+                             : "wall budget (" + std::to_string(cfg_.max_wall_seconds) +
+                                   " s)") +
+                     " at t=" + sched_.now().to_string());
+  }
+  return finalize();
+}
+
+ExperimentResult Cell::finalize() {
+  return detail::finalize_experiment(cfg_, duration_, *factory_, net_->bottleneck(),
+                                     sched_.executed_events(), wall_start_);
+}
+
+void Cell::serialize_components(sim::SnapshotWriter& w) const {
+  w.put_pod(rng_);
+  net_->save(w);
+  if (faults_) faults_->save(w);
+  factory_->save(w);
+}
+
+sim::Snapshot Cell::snapshot() const {
+  assert(cfg_.tracer == nullptr && "snapshots require tracing off (traces cannot rewind)");
+  sim::Snapshot s;
+  s.scheduler = sched_.save_image();
+  sim::SnapshotWriter w;
+  serialize_components(w);
+  s.components = std::move(w).take();
+  s.state_hash = sim::fnv1a_bytes(sim::fnv1a_fold(sim::kFnvOffset, sched_.state_hash()),
+                                  s.components.data(), s.components.size());
+  return s;
+}
+
+void Cell::restore(const sim::Snapshot& snap) {
+  sched_.restore_image(snap.scheduler);
+  sim::SnapshotReader r(snap.components);
+  r.get_pod(&rng_);
+  net_->load(r);
+  if (faults_) faults_->load(r);
+  factory_->load(r);
+  assert(r.exhausted() && "snapshot layout mismatch: trailing bytes after restore");
+}
+
+std::uint64_t Cell::state_hash() const {
+  sim::SnapshotWriter w;
+  serialize_components(w);
+  return sim::fnv1a_bytes(sim::fnv1a_fold(sim::kFnvOffset, sched_.state_hash()),
+                          w.bytes().data(), w.bytes().size());
+}
+
+}  // namespace elephant::exp

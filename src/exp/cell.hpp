@@ -1,0 +1,102 @@
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <optional>
+
+#include "exp/config.hpp"
+#include "exp/flow_factory.hpp"
+#include "exp/runner.hpp"
+#include "fault/fault.hpp"
+#include "net/topology.hpp"
+#include "obs/metrics.hpp"
+#include "sim/random.hpp"
+#include "sim/scheduler.hpp"
+#include "sim/snapshot.hpp"
+
+namespace elephant::exp {
+
+/// One single-shard experiment cell held open for stepping, snapshotting,
+/// and restoring — the substrate both run_experiment() (construct, run to
+/// the configured duration, finalize) and the model checker (src/mc: run a
+/// bounded chunk, snapshot, branch, restore, repeat) drive.
+///
+/// Construction replays the historical run_experiment() setup byte for
+/// byte: the same objects constructed in the same order with the same draws
+/// from the cell RNG, so golden digests are unchanged with mc off
+/// (tests/determinism_digest_test.cpp pins this).
+///
+/// Snapshot layout, in fixed registration order:
+///   1. scheduler image (heap + every slot with its callback cloned)
+///   2. cell RNG
+///   3. dumbbell: every port (qdisc decorator chains included), host and
+///      router counters, in construction order
+///   4. fault injector (present only when the config has a fault plan)
+///   5. flow factory: per flow, app RNG + sender (scoreboard and CCA
+///      included) + receiver, in slab order
+///
+/// Components are restored in place — `[this]` captures inside cloned
+/// scheduler callbacks stay valid because no component object ever moves.
+/// Snapshots require tracing off (a flight-recorder file cannot be rewound);
+/// counterexample replay re-runs the choice trace from scratch instead.
+class Cell {
+ public:
+  explicit Cell(const ExperimentConfig& cfg);
+
+  Cell(const Cell&) = delete;
+  Cell& operator=(const Cell&) = delete;
+
+  [[nodiscard]] const ExperimentConfig& config() const { return cfg_; }
+  [[nodiscard]] sim::Scheduler& scheduler() { return sched_; }
+  [[nodiscard]] net::Dumbbell& network() { return *net_; }
+  [[nodiscard]] FlowFactory& flows() { return *factory_; }
+  [[nodiscard]] sim::Time duration() const { return duration_; }
+  [[nodiscard]] sim::Time now() const { return sched_.now(); }
+
+  /// Execute at most `max_events` further events (0 = unbounded), never past
+  /// `deadline`. Returns why the chunk stopped; on kEventBudget the clock
+  /// stays at the last executed event, so snapshots taken here sit exactly
+  /// on an event boundary.
+  sim::Scheduler::StopReason run_chunk(std::uint64_t max_events, sim::Time deadline);
+  sim::Scheduler::StopReason run_chunk(std::uint64_t max_events) {
+    return run_chunk(max_events, duration_);
+  }
+
+  /// Historical run_experiment() behavior: run to the configured duration
+  /// under the config's watchdog budgets (throwing RunTimeout on a budget
+  /// stop) and finalize.
+  ExperimentResult run_to_completion();
+
+  /// Aggregate results and (when configured) check invariants against the
+  /// current state. Normally called once the clock reached duration();
+  /// calling mid-run is safe — conservation and cwnd invariants hold at
+  /// every event boundary — but per-flow throughputs are then averaged over
+  /// the flow's full configured window, not the elapsed part.
+  ExperimentResult finalize();
+
+  /// Capture the full simulation state. Requires cfg.tracer == nullptr.
+  [[nodiscard]] sim::Snapshot snapshot() const;
+  /// Restore a snapshot taken from *this cell* (same config, same process).
+  /// A snapshot can be restored any number of times (DFS backtracking).
+  void restore(const sim::Snapshot& snap);
+  /// Hash of the full simulation state (scheduler pending-event digest plus
+  /// every component's serialized bytes) for explored-state deduplication.
+  [[nodiscard]] std::uint64_t state_hash() const;
+
+ private:
+  void serialize_components(sim::SnapshotWriter& w) const;
+
+  ExperimentConfig cfg_;  ///< stable copy: the factory holds a reference
+  std::chrono::steady_clock::time_point wall_start_;
+  sim::Scheduler sched_;
+  sim::Rng rng_;
+  sim::Time duration_{};
+  std::optional<net::Dumbbell> net_;
+  std::optional<fault::FaultInjector> faults_;
+  obs::SchedulerMetrics sched_metrics_;
+  obs::QueueMetrics queue_metrics_;
+  obs::TcpMetrics tcp_metrics_;
+  std::optional<FlowFactory> factory_;
+};
+
+}  // namespace elephant::exp

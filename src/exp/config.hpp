@@ -14,6 +14,10 @@ namespace elephant::trace {
 class Tracer;
 }
 
+namespace elephant::sim {
+class ChoiceHook;
+}
+
 namespace elephant::obs {
 class MetricsRegistry;
 }
@@ -77,6 +81,12 @@ struct ExperimentConfig {
   trace::Tracer* tracer = nullptr;
   /// Bottleneck queue-depth sampling period when tracing (kQueueDepth).
   sim::Time trace_queue_interval = sim::Time::milliseconds(100);
+  /// Arm the periodic queue-depth sampler when tracing. Counterexample
+  /// replay (mc::Explorer::replay) turns it off: the sampler's weak timer
+  /// joins same-instant tie sets and would shift the recorded choice-point
+  /// sequence, so a traced replay must run with the exact event population
+  /// the untraced exploration had. Excluded from id() like the tracer.
+  bool trace_queue_sampling = true;
 
   /// Optional telemetry registry the run publishes into (see obs/metrics.hpp):
   /// scheduler gauges, bottleneck sojourn histogram, TCP srtt/cwnd, and
@@ -86,6 +96,13 @@ struct ExperimentConfig {
   /// samples. Histograms are written lock-free by the simulation thread, so
   /// each concurrently running cell needs its own registry (merge afterwards).
   obs::MetricsRegistry* metrics = nullptr;
+
+  /// Optional model-checking choice hook (see sim/choice.hpp) installed on
+  /// the cell scheduler for the run: the explorer steers scheduler ties and
+  /// probabilistic fault outcomes through it. Null (the default) leaves
+  /// every choice on its seeded branch — mc off changes nothing. Excluded
+  /// from id() like the tracer: an explored run is never cached.
+  sim::ChoiceHook* choice_hook = nullptr;
 
   /// BDP in bytes (paper Eq. 1): BW · RTT / 8.
   [[nodiscard]] double bdp_bytes() const { return bottleneck_bps * rtt.sec() / 8.0; }

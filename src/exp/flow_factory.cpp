@@ -1,6 +1,7 @@
 #include "exp/flow_factory.hpp"
 
 #include <algorithm>
+#include <cassert>
 #include <cmath>
 #include <utility>
 
@@ -243,6 +244,27 @@ FlowInstance& FlowFactory::spawn(int ci, const workload::TrafficClass& tc, int s
     sender->offer_bytes(bytes);
   }
   return inst;
+}
+
+void FlowFactory::save(sim::SnapshotWriter& w) const {
+  w.put_u64(flows_.size());
+  for (std::size_t i = 0; i < flows_.size(); ++i) {
+    const FlowInstance& f = flow(i);
+    w.put_pod(f.app_rng);
+    f.sender->save(w);
+    f.receiver->save(w);
+  }
+}
+
+void FlowFactory::load(sim::SnapshotReader& r) {
+  const std::uint64_t n = r.get_u64();
+  assert(n == flows_.size() && "flow set is fixed at construction");
+  for (std::size_t i = 0; i < flows_.size() && i < n; ++i) {
+    FlowInstance& f = flow(i);
+    r.get_pod(&f.app_rng);
+    f.sender->load(r);
+    f.receiver->load(r);
+  }
 }
 
 void FlowFactory::flow_complete_thunk(void* ctx) {

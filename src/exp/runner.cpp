@@ -8,6 +8,7 @@
 #include <string>
 
 #include "exp/cache.hpp"
+#include "exp/cell.hpp"
 #include "exp/flow_factory.hpp"
 #include "exp/runner_internal.hpp"
 #include "exp/status.hpp"
@@ -290,70 +291,11 @@ ExperimentResult finalize_experiment(const ExperimentConfig& cfg, sim::Time dura
 ExperimentResult run_experiment(const ExperimentConfig& cfg) {
   if (cfg.shards > 1) return detail::run_sharded_experiment(cfg);
 
-  const auto wall_start = std::chrono::steady_clock::now();
-
-  sim::Scheduler sched;
-  sim::Rng rng(cfg.seed);
-
-  const net::DumbbellConfig topo = detail::make_dumbbell_config(cfg, rng);
-  net::Dumbbell net(sched, topo);
-
-  // The injector owns the RNG behind probabilistic link perturbations, so it
-  // must outlive the scheduler run below. Constructed (and the seed stream
-  // consumed) only when a plan exists, keeping fault-free runs bit-identical
-  // to pre-fault-subsystem results.
-  std::optional<fault::FaultInjector> faults;
-  if (!cfg.fault_plan.empty()) {
-    faults.emplace(sched, net.bottleneck(), rng.next_u64(), cfg.tracer);
-    faults->install(cfg.fault_plan);
-  }
-
-  const sim::Time duration = cfg.effective_duration();
-
-  if (cfg.tracer != nullptr) {
-    net.set_tracer(cfg.tracer);
-    net.bottleneck().start_queue_sampling(cfg.trace_queue_interval);
-  }
-
-  // Telemetry wiring: register the run's handles once (this may allocate),
-  // then hand the components raw pointers so steady-state updates never
-  // touch the registry. The bundles live on this frame for the whole run.
-  obs::SchedulerMetrics sched_metrics;
-  obs::QueueMetrics queue_metrics;
-  obs::TcpMetrics tcp_metrics;
-  if (cfg.metrics != nullptr) {
-    obs::MetricsRegistry& reg = *cfg.metrics;
-    sched_metrics.events_executed = &reg.gauge("sim.events_executed");
-    sched_metrics.heap_depth = &reg.gauge("sim.heap_depth");
-    sched_metrics.heap_peak = &reg.gauge("sim.heap_peak");
-    sched.set_metrics(&sched_metrics);
-    queue_metrics.sojourn_s = &reg.histogram("queue.sojourn_s");
-    net.bottleneck().set_metrics(&queue_metrics);
-    tcp_metrics.cwnd_segments = &reg.gauge("tcp.cwnd_segments");
-    tcp_metrics.srtt_s = &reg.histogram("tcp.srtt_s");
-  }
-
-  // All flows — legacy elephants or a full WorkloadSpec mix — come from the
-  // factory; it must outlive the run (on/off sources call back into it).
-  FlowFactory factory(sched, net, cfg, rng,
-                      cfg.metrics != nullptr ? &tcp_metrics : nullptr);
-
-  sim::Scheduler::RunLimits limits;
-  limits.max_events = cfg.max_events;
-  limits.max_wall_seconds = cfg.max_wall_seconds;
-  const auto stop = sched.run_until(duration, limits);
-  if (stop == sim::Scheduler::StopReason::kEventBudget ||
-      stop == sim::Scheduler::StopReason::kWallBudget) {
-    const bool events = stop == sim::Scheduler::StopReason::kEventBudget;
-    throw RunTimeout("run " + cfg.id() + " exceeded its " +
-                     (events ? "event budget (" + std::to_string(cfg.max_events) + " events)"
-                             : "wall budget (" + std::to_string(cfg.max_wall_seconds) +
-                                   " s)") +
-                     " at t=" + sched.now().to_string());
-  }
-
-  return detail::finalize_experiment(cfg, duration, factory, net.bottleneck(),
-                                     sched.executed_events(), wall_start);
+  // The single-shard engine lives in exp::Cell so the model checker can hold
+  // a run open for stepping and snapshot/restore; constructing a cell and
+  // running it to completion is the historical behavior bit for bit.
+  Cell cell(cfg);
+  return cell.run_to_completion();
 }
 
 AveragedResult average(const ExperimentConfig& cfg, const std::vector<ExperimentResult>& runs) {

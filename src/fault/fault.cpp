@@ -5,6 +5,7 @@
 
 #include "net/port.hpp"
 #include "sim/scheduler.hpp"
+#include "sim/snapshot.hpp"
 #include "trace/trace.hpp"
 
 namespace elephant::fault {
@@ -193,6 +194,20 @@ void FaultInjector::revert(const FaultEvent& e, std::size_t index) {
   target_.set_perturb(p);
   ++reverted_;
   record(e, index, /*applying=*/false);
+}
+
+void FaultInjector::save(sim::SnapshotWriter& w) const {
+  w.put_pod(rng_);
+  w.put_pod(link_down_depth_);
+  w.put_u64(applied_);
+  w.put_u64(reverted_);
+}
+
+void FaultInjector::load(sim::SnapshotReader& r) {
+  r.get_pod(&rng_);
+  r.get_pod(&link_down_depth_);
+  applied_ = r.get_u64();
+  reverted_ = r.get_u64();
 }
 
 }  // namespace elephant::fault

@@ -12,7 +12,9 @@ class Port;
 }
 namespace elephant::sim {
 class Scheduler;
-}
+class SnapshotReader;
+class SnapshotWriter;
+}  // namespace elephant::sim
 namespace elephant::trace {
 class Tracer;
 }
@@ -111,6 +113,12 @@ class FaultInjector {
 
   [[nodiscard]] std::uint64_t applied() const { return applied_; }
   [[nodiscard]] std::uint64_t reverted() const { return reverted_; }
+
+  /// Snapshot the injector's mutable state (sim::Snapshottable contract):
+  /// the fault RNG, outage nesting depth, and apply/revert counters. The
+  /// scheduled apply/revert events themselves live in the scheduler image.
+  void save(sim::SnapshotWriter& w) const;
+  void load(sim::SnapshotReader& r);
 
  private:
   void apply(const FaultEvent& e, std::size_t index);

@@ -4,6 +4,7 @@
 
 #include "aqm/queue_disc.hpp"
 #include "fault/fault.hpp"
+#include "sim/choice.hpp"
 #include "sim/random.hpp"
 
 namespace elephant::fault {
@@ -25,15 +26,33 @@ class GilbertElliottLoss : public aqm::QueueDisc {
 
   bool enqueue(net::Packet&& p) override {
     // Advance the chain, then apply the (new) state's loss probability.
-    const double flip = rng_.next_double();
-    if (bad_ ? flip < params_.p_bad_to_good : flip < params_.p_good_to_bad) bad_ = !bad_;
+    // Both steps are model-checking choice points: the seeded draw is always
+    // consumed first (keeping the RNG stream schedule-independent), then an
+    // attached hook may flip the outcome — branch 0 is the seeded one, and a
+    // certain/impossible transition or loss offers no branch.
+    sim::ChoiceHook* hook = sched_->choice_hook();
+    const double p_flip = bad_ ? params_.p_bad_to_good : params_.p_good_to_bad;
+    const double flip_draw = rng_.next_double();
+    bool flip = flip_draw < p_flip;
+    if (hook != nullptr && p_flip > 0 && p_flip < 1.0 &&
+        hook->choose(sim::ChoiceKind::kGeTransition, 2) != 0) {
+      flip = !flip;
+    }
+    if (flip) bad_ = !bad_;
     const double loss = bad_ ? params_.loss_bad : params_.loss_good;
-    if (loss > 0 && rng_.next_double() < loss) {
-      ++injected_drops_;
-      injected_bytes_ += p.size;
-      trace_drop(p, /*early=*/true);
-      sync_stats();
-      return false;
+    if (loss > 0) {
+      bool lost = rng_.next_double() < loss;
+      if (hook != nullptr && loss < 1.0 &&
+          hook->choose(sim::ChoiceKind::kGeLoss, 2) != 0) {
+        lost = !lost;
+      }
+      if (lost) {
+        ++injected_drops_;
+        injected_bytes_ += p.size;
+        trace_drop(p, /*early=*/true);
+        sync_stats();
+        return false;
+      }
     }
     const bool ok = inner_->enqueue(std::move(p));
     sync_stats();
@@ -54,6 +73,23 @@ class GilbertElliottLoss : public aqm::QueueDisc {
   [[nodiscard]] bool in_bad_state() const { return bad_; }
   [[nodiscard]] const GilbertElliottParams& params() const { return params_; }
   [[nodiscard]] const aqm::QueueDisc& inner() const { return *inner_; }
+
+  void save(sim::SnapshotWriter& w) const override {
+    QueueDisc::save(w);
+    w.put_pod(rng_);
+    w.put_bool(bad_);
+    w.put_u64(injected_drops_);
+    w.put_u64(injected_bytes_);
+    inner_->save(w);
+  }
+  void load(sim::SnapshotReader& r) override {
+    QueueDisc::load(r);
+    r.get_pod(&rng_);
+    bad_ = r.get_bool();
+    injected_drops_ = r.get_u64();
+    injected_bytes_ = r.get_u64();
+    inner_->load(r);
+  }
 
  private:
   /// Present one coherent stats view: the inner qdisc's counters plus our

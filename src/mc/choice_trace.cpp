@@ -1,0 +1,121 @@
+#include "mc/choice_trace.hpp"
+
+#include <cinttypes>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace elephant::mc {
+
+namespace {
+
+std::string num(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+/// Reads "key value" where value is the rest of the line (may be empty).
+bool take_line(std::istringstream& in, const char* key, std::string* value,
+               std::string* error) {
+  std::string line;
+  if (!std::getline(in, line)) {
+    *error = std::string("unexpected end of trace, wanted '") + key + "'";
+    return false;
+  }
+  const std::size_t klen = std::char_traits<char>::length(key);
+  if (line.compare(0, klen, key) != 0 || (line.size() > klen && line[klen] != ' ')) {
+    *error = std::string("expected '") + key + " ...', got '" + line + "'";
+    return false;
+  }
+  value->clear();
+  if (line.size() > klen + 1) value->assign(line, klen + 1, std::string::npos);
+  return true;
+}
+
+}  // namespace
+
+std::string ChoiceTrace::serialize() const {
+  std::string out;
+  out += "elephant-choice-trace v1\n";
+  out += "config " + config_id + "\n";
+  out += "oracle " + oracle + "\n";
+  out += "detail " + detail + "\n";
+  out += "at_s " + num(at_s) + "\n";
+  char hex[32];
+  std::snprintf(hex, sizeof(hex), "%016" PRIx64, state_hash);
+  out += std::string("state_hash ") + hex + "\n";
+  out += "horizon_s " + num(horizon_s) + "\n";
+  out += "window_s " + num(window_s) + "\n";
+  out += "jain_floor " + num(jain_floor) + "\n";
+  out += "retx_storm " + std::to_string(retx_storm_segments) + "\n";
+  out += "max_events " + std::to_string(max_schedule_events) + "\n";
+  out += "choices " + std::to_string(choices.size()) + "\n";
+  for (const ChoiceRec& c : choices) {
+    out += std::to_string(static_cast<unsigned>(c.kind)) + " " +
+           std::to_string(c.n_branches) + " " + std::to_string(c.chosen) + "\n";
+  }
+  return out;
+}
+
+bool ChoiceTrace::parse(const std::string& text, ChoiceTrace* out, std::string* error) {
+  std::istringstream in(text);
+  std::string line;
+  if (!std::getline(in, line) || line != "elephant-choice-trace v1") {
+    *error = "not a choice trace (bad header)";
+    return false;
+  }
+  ChoiceTrace t;
+  std::string v;
+  if (!take_line(in, "config", &t.config_id, error)) return false;
+  if (!take_line(in, "oracle", &t.oracle, error)) return false;
+  if (!take_line(in, "detail", &t.detail, error)) return false;
+  if (!take_line(in, "at_s", &v, error)) return false;
+  t.at_s = std::strtod(v.c_str(), nullptr);
+  if (!take_line(in, "state_hash", &v, error)) return false;
+  t.state_hash = std::strtoull(v.c_str(), nullptr, 16);
+  if (!take_line(in, "horizon_s", &v, error)) return false;
+  t.horizon_s = std::strtod(v.c_str(), nullptr);
+  if (!take_line(in, "window_s", &v, error)) return false;
+  t.window_s = std::strtod(v.c_str(), nullptr);
+  if (!take_line(in, "jain_floor", &v, error)) return false;
+  t.jain_floor = std::strtod(v.c_str(), nullptr);
+  if (!take_line(in, "retx_storm", &v, error)) return false;
+  t.retx_storm_segments = std::strtoull(v.c_str(), nullptr, 10);
+  if (!take_line(in, "max_events", &v, error)) return false;
+  t.max_schedule_events = std::strtoull(v.c_str(), nullptr, 10);
+  if (!take_line(in, "choices", &v, error)) return false;
+  const std::uint64_t n = std::strtoull(v.c_str(), nullptr, 10);
+  t.choices.reserve(n);
+  for (std::uint64_t i = 0; i < n; ++i) {
+    unsigned kind = 0, branches = 0, chosen = 0;
+    if (!std::getline(in, line) ||
+        std::sscanf(line.c_str(), "%u %u %u", &kind, &branches, &chosen) != 3) {
+      *error = "bad choice row " + std::to_string(i);
+      return false;
+    }
+    t.choices.push_back(ChoiceRec{static_cast<sim::ChoiceKind>(kind), branches, chosen});
+  }
+  *out = std::move(t);
+  return true;
+}
+
+bool ChoiceTrace::write_file(const std::string& path) const {
+  std::ofstream f(path, std::ios::trunc);
+  if (!f) return false;
+  f << serialize();
+  return static_cast<bool>(f.flush());
+}
+
+bool ChoiceTrace::read_file(const std::string& path, ChoiceTrace* out, std::string* error) {
+  std::ifstream f(path);
+  if (!f) {
+    *error = "cannot open " + path;
+    return false;
+  }
+  std::ostringstream buf;
+  buf << f.rdbuf();
+  return parse(buf.str(), out, error);
+}
+
+}  // namespace elephant::mc

@@ -1,10 +1,12 @@
 #include "net/port.hpp"
 
 #include <cassert>
+#include <type_traits>
 #include <utility>
 
 #include "net/node.hpp"
 #include "obs/metrics.hpp"
+#include "sim/choice.hpp"
 
 namespace elephant::net {
 
@@ -127,23 +129,91 @@ void Port::try_transmit() {
   if (fault_rng_ != nullptr) [[unlikely]] {
     // Link-level perturbations act after serialization, like a flaky wire:
     // the packet occupied the link either way.
-    if (perturb_.loss_prob > 0 && fault_rng_->next_double() < perturb_.loss_prob) {
-      ++fault_lost_;
-      return;  // corrupted in flight
+    //
+    // Each probabilistic site is a model-checking choice point: the seeded
+    // RNG draw is always consumed first (so the stream — and the position of
+    // every later choice point — is identical whichever branch is taken),
+    // then an attached hook may flip the outcome. Branch 0 keeps the seeded
+    // outcome; a certain (p >= 1) or impossible (p <= 0) site offers no
+    // branch. Jitter is a continuous perturbation, not an enumerable one,
+    // and stays purely seeded.
+    sim::ChoiceHook* hook = sched_.choice_hook();
+    if (perturb_.loss_prob > 0) {
+      bool lost = fault_rng_->next_double() < perturb_.loss_prob;
+      if (hook != nullptr && perturb_.loss_prob < 1.0 &&
+          hook->choose(sim::ChoiceKind::kFaultLoss, 2) != 0) {
+        lost = !lost;
+      }
+      if (lost) {
+        ++fault_lost_;
+        return;  // corrupted in flight
+      }
     }
     if (perturb_.jitter > sim::Time::zero()) {
       extra += perturb_.jitter * fault_rng_->next_double();
     }
-    if (perturb_.reorder_prob > 0 && fault_rng_->next_double() < perturb_.reorder_prob) {
-      extra += perturb_.reorder_delay;
-      ++fault_reordered_;
+    if (perturb_.reorder_prob > 0) {
+      bool late = fault_rng_->next_double() < perturb_.reorder_prob;
+      if (hook != nullptr && perturb_.reorder_prob < 1.0 &&
+          hook->choose(sim::ChoiceKind::kFaultReorder, 2) != 0) {
+        late = !late;
+      }
+      if (late) {
+        extra += perturb_.reorder_delay;
+        ++fault_reordered_;
+      }
     }
-    if (perturb_.duplicate_prob > 0 && fault_rng_->next_double() < perturb_.duplicate_prob) {
-      ++fault_duplicated_;
-      deliver_in(tx + propagation_ + extra, Packet(*next));
+    if (perturb_.duplicate_prob > 0) {
+      bool dup = fault_rng_->next_double() < perturb_.duplicate_prob;
+      if (hook != nullptr && perturb_.duplicate_prob < 1.0 &&
+          hook->choose(sim::ChoiceKind::kFaultDuplicate, 2) != 0) {
+        dup = !dup;
+      }
+      if (dup) {
+        ++fault_duplicated_;
+        deliver_in(tx + propagation_ + extra, Packet(*next));
+      }
     }
   }
   deliver_in(tx + propagation_ + extra, std::move(*next));
+}
+
+void Port::save(sim::SnapshotWriter& w) const {
+  static_assert(std::is_trivially_copyable_v<InFlight>);
+  w.put_pod(busy_until_);
+  w.put_bool(up_);
+  w.put_f64(rate_bps_);
+  w.put_pod(perturb_);
+  w.put_u64(fault_lost_);
+  w.put_u64(fault_reordered_);
+  w.put_u64(fault_duplicated_);
+  w.put_u64(tx_packets_);
+  w.put_u64(tx_bytes_);
+  w.put_pod(sample_interval_);
+  w.put_u64(line_.size());
+  for (std::size_t i = 0; i < line_.size(); ++i) w.put_pod(line_[i]);
+  qdisc_->save(w);
+}
+
+void Port::load(sim::SnapshotReader& r) {
+  r.get_pod(&busy_until_);
+  up_ = r.get_bool();
+  rate_bps_ = r.get_f64();
+  r.get_pod(&perturb_);
+  fault_lost_ = r.get_u64();
+  fault_reordered_ = r.get_u64();
+  fault_duplicated_ = r.get_u64();
+  tx_packets_ = r.get_u64();
+  tx_bytes_ = r.get_u64();
+  r.get_pod(&sample_interval_);
+  const std::uint64_t n = r.get_u64();
+  line_.clear();
+  for (std::uint64_t i = 0; i < n; ++i) {
+    InFlight f;
+    r.get_pod(&f);
+    line_.push_back(std::move(f));
+  }
+  qdisc_->load(r);
 }
 
 }  // namespace elephant::net

@@ -9,6 +9,7 @@
 #include "sim/random.hpp"
 #include "sim/ring_deque.hpp"
 #include "sim/scheduler.hpp"
+#include "sim/snapshot.hpp"
 #include "sim/time.hpp"
 
 namespace elephant::obs {
@@ -110,6 +111,16 @@ class Port {
   [[nodiscard]] std::uint64_t fault_lost() const { return fault_lost_; }
   [[nodiscard]] std::uint64_t fault_reordered() const { return fault_reordered_; }
   [[nodiscard]] std::uint64_t fault_duplicated() const { return fault_duplicated_; }
+
+  // --- model-checking snapshot surface ---
+
+  /// Serialize the port's mutable state: link/serialization scalars, fault
+  /// perturbation and counters, the in-flight delay line, and the attached
+  /// queue discipline (which serializes itself, derived state included).
+  /// Timer armed-ness is not written here — it lives in the scheduler image,
+  /// and the timers' slots survive restore untouched.
+  void save(sim::SnapshotWriter& w) const;
+  void load(sim::SnapshotReader& r);
 
  private:
   void try_transmit();

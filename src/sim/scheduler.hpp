@@ -13,6 +13,8 @@ struct SchedulerMetrics;
 
 namespace elephant::sim {
 
+class ChoiceHook;
+
 /// Opaque handle to a scheduled one-shot event; used to cancel it.
 ///
 /// Encodes a slot index and that slot's generation. A handle is live exactly
@@ -40,9 +42,27 @@ struct EventId {
 ///   fires: re-scheduling updates the slot's key and sifts, instead of
 ///   growing the heap with a cancelled entry plus a fresh allocation.
 ///
-/// Events scheduled for the same instant fire in scheduling order (FIFO
-/// tie-break via a monotone sequence number, re-drawn on every (re)arm),
-/// which keeps runs deterministic.
+/// ## Same-instant ordering contract
+///
+/// Events scheduled for the same instant fire in scheduling order: every
+/// (re)arm draws a fresh value from a monotone sequence counter, and the
+/// heap orders by (at, seq). This FIFO-among-ties behavior is an explicit,
+/// documented contract, not an implementation accident:
+///
+///  - it is what makes whole runs deterministic functions of the seed (the
+///    golden-digest tests pin it end to end);
+///  - re-arming a timer for the *same* instant still demotes it behind
+///    events armed earlier for that instant (the seq is re-drawn);
+///  - lazy re-keying (see timer_rearm) never changes fire order — pop_one()
+///    re-files stale entries against the slot's authoritative (at, seq)
+///    before firing anything;
+///  - the model checker's kSchedulerTie choice point branches over exactly
+///    this tie set, with the FIFO pick as branch 0, so exploration off
+///    reproduces the contract bit-for-bit.
+///
+/// Debug builds assert, on every fire, that no live same-instant entry with
+/// a smaller sequence number was bypassed; a dedicated regression test arms
+/// two timers for the same tick and asserts arm-order firing.
 class Scheduler {
  public:
   using Callback = InplaceCallback;
@@ -118,6 +138,33 @@ class Scheduler {
   /// pointed-to handles must outlive the scheduler or be detached with
   /// nullptr. Null (the default) costs one untaken branch per run-loop exit.
   void set_metrics(const obs::SchedulerMetrics* metrics) { metrics_ = metrics; }
+
+  /// Attach a model-checking choice hook (null detaches, the default).
+  /// With a hook attached, a fire instant with two or more live entries
+  /// becomes a ChoiceKind::kSchedulerTie branch point — the hook picks which
+  /// tied event fires first (branch 0 = the FIFO pick). Components reach the
+  /// hook through their scheduler (see choice_hook()) for their own choice
+  /// points. A null hook costs one untaken branch per event.
+  void set_choice_hook(ChoiceHook* hook) { choice_hook_ = hook; }
+  [[nodiscard]] ChoiceHook* choice_hook() const { return choice_hook_; }
+
+  /// Deep copy of the scheduler's full state: counters, heap, free list, and
+  /// every slot with its callback *cloned* (captures are copy-constructed).
+  /// Captured only between events — save_image() asserts no slot is
+  /// mid-fire. Restoring clones from the image again, so one image can seed
+  /// arbitrarily many restores (DFS backtracking). Slot indices and
+  /// generations are preserved, so TimerHandles and EventIds held by
+  /// components remain valid across a restore, and `[this]` captures stay
+  /// correct because components are restored in place.
+  struct Image;
+  [[nodiscard]] Image save_image() const;
+  void restore_image(const Image& img);
+
+  /// Digest of the pending-event state (now, each armed slot's identity,
+  /// deadline and kind, in arrival order) for explored-state deduplication.
+  /// Excludes executed-event and peak counters, and excludes absolute
+  /// sequence values (only their relative order matters for behavior).
+  [[nodiscard]] std::uint64_t state_hash() const;
 
   /// A re-armable timer owning one scheduler slot for its whole life.
   ///
@@ -236,6 +283,11 @@ class Scheduler {
   void heap_update(std::uint32_t pos);
 
   bool pop_one(Time deadline);
+  /// With a choice hook attached: re-file every stale same-instant entry,
+  /// collect the live tie set in seq order, and let the hook pick. Returns
+  /// the heap position of the entry to fire (0 when there is no tie).
+  [[nodiscard]] std::uint32_t choose_tied_entry();
+  void fire_entry(std::uint32_t pos);
   void publish_metrics() const;
 
   Time now_ = Time::zero();
@@ -244,9 +296,27 @@ class Scheduler {
   std::size_t strong_armed_ = 0;
   std::size_t heap_peak_ = 0;
   const obs::SchedulerMetrics* metrics_ = nullptr;
+  ChoiceHook* choice_hook_ = nullptr;
   std::vector<Slot> slots_;
   std::vector<HeapEntry> heap_;
   std::vector<std::uint32_t> free_slots_;
+  /// (seq, heap position) scratch for the tie choice point; member so the
+  /// per-event path stays allocation-free once warm.
+  std::vector<std::pair<std::uint64_t, std::uint32_t>> tie_scratch_;
+};
+
+/// Deep-copyable image of a Scheduler (see Scheduler::save_image()). Slots
+/// hold cloned callbacks, so the image is independent of the live scheduler
+/// and move-only (callbacks are). Defined out of line because it names the
+/// private Slot/HeapEntry types.
+struct Scheduler::Image {
+  Time now{};
+  std::uint64_t next_seq = 1;
+  std::uint64_t executed = 0;
+  std::size_t strong_armed = 0;
+  std::vector<Slot> slots;
+  std::vector<HeapEntry> heap;
+  std::vector<std::uint32_t> free_slots;
 };
 
 using TimerHandle = Scheduler::TimerHandle;

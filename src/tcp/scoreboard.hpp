@@ -7,6 +7,7 @@
 #include <optional>
 #include <vector>
 
+#include "sim/snapshot.hpp"
 #include "sim/time.hpp"
 
 namespace elephant::tcp {
@@ -332,6 +333,57 @@ class Scoreboard {
   /// first send; the current window bytes are folded in immediately.
   void set_ledger(ScoreboardLedger* ledger) {
     ledger_ = ledger;
+    if (ledger_ != nullptr) {
+      ledger_->current += memory_bytes();
+      ledger_->peak = std::max(ledger_->peak, ledger_->current);
+    }
+  }
+
+  /// Snapshot the full window state — scalars, ring geometry, parallel
+  /// arrays, and flag bitmaps (sim::Snapshottable contract). The ledger
+  /// pointer is wiring, not state: load() keeps the attached ledger and
+  /// swaps the restored window's byte count in for the current one, so a
+  /// restore across a grow() or release() leaves the shared account exact.
+  void save(sim::SnapshotWriter& w) const {
+    w.put_u64(una_);
+    w.put_u64(next_seq_);
+    w.put_u64(pipe_units_);
+    w.put_u64(lost_pending_);
+    w.put_u64(min_unresolved_);
+    w.put_u64(highest_sacked_);
+    w.put_pod(latest_sacked_sent_time_);
+    w.put_u64(capacity_);
+    w.put_u64(mask_);
+    w.put_u64(peak_bytes_);
+    w.put_pod_vector(sent_time_);
+    w.put_pod_vector(delivered_time_at_send_);
+    w.put_pod_vector(delivered_at_send_);
+    w.put_pod_vector(retx_);
+    w.put_pod_vector(inflight_);
+    w.put_pod_vector(sacked_);
+    w.put_pod_vector(lost_);
+    w.put_pod_vector(delivered_);
+  }
+  void load(sim::SnapshotReader& r) {
+    if (ledger_ != nullptr) ledger_->current -= memory_bytes();
+    una_ = r.get_u64();
+    next_seq_ = r.get_u64();
+    pipe_units_ = r.get_u64();
+    lost_pending_ = r.get_u64();
+    min_unresolved_ = r.get_u64();
+    highest_sacked_ = r.get_u64();
+    r.get_pod(&latest_sacked_sent_time_);
+    capacity_ = r.get_u64();
+    mask_ = r.get_u64();
+    peak_bytes_ = static_cast<std::size_t>(r.get_u64());
+    r.get_pod_vector(&sent_time_);
+    r.get_pod_vector(&delivered_time_at_send_);
+    r.get_pod_vector(&delivered_at_send_);
+    r.get_pod_vector(&retx_);
+    r.get_pod_vector(&inflight_);
+    r.get_pod_vector(&sacked_);
+    r.get_pod_vector(&lost_);
+    r.get_pod_vector(&delivered_);
     if (ledger_ != nullptr) {
       ledger_->current += memory_bytes();
       ledger_->peak = std::max(ledger_->peak, ledger_->current);

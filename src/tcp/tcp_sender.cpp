@@ -365,4 +365,52 @@ void TcpSender::teardown_after_completion() {
   sb_.release();
 }
 
+void TcpSender::save(sim::SnapshotWriter& w) const {
+  static_assert(std::is_trivially_copyable_v<RttEstimator>);
+  static_assert(std::is_trivially_copyable_v<TcpSenderStats>);
+  w.put_pod(rtt_);
+  w.put_pod(stats_);
+  sb_.save(w);
+  w.put_f64(delivered_segments_);
+  w.put_pod(delivered_time_);
+  w.put_f64(next_round_delivered_);
+  w.put_u64(recovery_point_);
+  w.put_pod(rto_deadline_);
+  w.put_bool(rto_armed_);
+  w.put_u32(rto_backoff_);
+  w.put_pod(next_pace_time_);
+  w.put_bool(pace_armed_);
+  w.put_bool(started_);
+  w.put_bool(stopped_);
+  w.put_pod(completion_time_);
+  w.put_u64(app_limit_units_);
+  w.put_bool(app_idle_notified_);
+  w.put_f64(last_traced_cwnd_);
+  w.put_f64(last_traced_pacing_);
+  cc_->save(w);
+}
+
+void TcpSender::load(sim::SnapshotReader& r) {
+  r.get_pod(&rtt_);
+  r.get_pod(&stats_);
+  sb_.load(r);
+  delivered_segments_ = r.get_f64();
+  r.get_pod(&delivered_time_);
+  next_round_delivered_ = r.get_f64();
+  recovery_point_ = r.get_u64();
+  r.get_pod(&rto_deadline_);
+  rto_armed_ = r.get_bool();
+  rto_backoff_ = r.get_u32();
+  r.get_pod(&next_pace_time_);
+  pace_armed_ = r.get_bool();
+  started_ = r.get_bool();
+  stopped_ = r.get_bool();
+  r.get_pod(&completion_time_);
+  app_limit_units_ = r.get_u64();
+  app_idle_notified_ = r.get_bool();
+  last_traced_cwnd_ = r.get_f64();
+  last_traced_pacing_ = r.get_f64();
+  cc_->load(r);
+}
+
 }  // namespace elephant::tcp

@@ -168,6 +168,13 @@ class TcpSender : public net::PacketHandler {
   /// Completion instant (zero until completed) — the FCT numerator.
   [[nodiscard]] sim::Time completion_time() const { return completion_time_; }
 
+  /// Snapshot the full transport state (sim::Snapshottable contract): RTT
+  /// estimator, counters, scoreboard, delivery-rate state, recovery point,
+  /// RTO/pacing deadlines, and the plugged CCA's state. Timer armed-ness
+  /// lives in the scheduler image; callbacks and wiring are not stored.
+  void save(sim::SnapshotWriter& w) const;
+  void load(sim::SnapshotReader& r);
+
  private:
   [[nodiscard]] double cwnd_segments() const;
   [[nodiscard]] bool can_send_now() const;

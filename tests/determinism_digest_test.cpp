@@ -15,6 +15,7 @@
 #include <cstdlib>
 #include <cstring>
 
+#include "exp/result_digest.hpp"
 #include "exp/runner.hpp"
 #include "fault/fault.hpp"
 #include "obs/metrics.hpp"
@@ -30,13 +31,6 @@ struct CellDigest {
   std::uint64_t records = 0;  ///< record count (localizes a digest mismatch)
 };
 
-std::uint64_t bits(double d) {
-  std::uint64_t u;
-  static_assert(sizeof(u) == sizeof(d));
-  std::memcpy(&u, &d, sizeof(u));
-  return u;
-}
-
 CellDigest run_cell(exp::ExperimentConfig cfg,
                     obs::MetricsRegistry* metrics = nullptr) {
   trace::DigestSink sink;
@@ -48,31 +42,13 @@ CellDigest run_cell(exp::ExperimentConfig cfg,
   CellDigest d;
   d.trace = sink.digest();
   d.records = sink.count();
-
-  // Final metrics, hashed by bit pattern: throughputs, fairness, losses.
-  // events_executed is deliberately excluded — it counts engine-internal
-  // timer wakeups, which may legitimately change across engine versions
-  // without the simulation behaving any differently.
-  std::uint64_t h = 14695981039346656037ull;
-  auto fold = trace::DigestSink::fold;
-  h = fold(h, bits(res.sender_bps[0]));
-  h = fold(h, bits(res.sender_bps[1]));
-  h = fold(h, bits(res.jain2));
-  h = fold(h, bits(res.utilization));
-  h = fold(h, res.retx_segments);
-  h = fold(h, res.rtos);
-  h = fold(h, res.bottleneck.enqueued);
-  h = fold(h, res.bottleneck.dequeued);
-  h = fold(h, res.bottleneck.dropped_overflow);
-  h = fold(h, res.bottleneck.dropped_early);
-  h = fold(h, res.bottleneck.bytes_enqueued);
-  for (const exp::FlowResult& f : res.flows) {
-    h = fold(h, bits(f.throughput_bps));
-    h = fold(h, f.retx_segments);
-    h = fold(h, f.rtos);
-    h = fold(h, bits(f.srtt_ms));
-  }
-  d.metrics = h;
+  // Final metrics via the shared fold (exp/result_digest.hpp) — the same
+  // digest `elephant run --check-digest`, the snapshot round-trip tests, and
+  // the explorer's replay verification compute, so golden values here pin
+  // all of them. events_executed is deliberately excluded from that fold: it
+  // counts engine-internal timer wakeups, which may legitimately change
+  // across engine versions without the simulation behaving any differently.
+  d.metrics = exp::metrics_digest(res);
   return d;
 }
 

@@ -1,0 +1,219 @@
+// Model-checker exploration: the ScheduleController steers runs down
+// prescribed branch prefixes, the Explorer enumerates bounded-depth
+// schedules with end-state dedup, oracle violations serialize to a
+// replayable choice trace, and replay reproduces the identical failure.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+#include "exp/config.hpp"
+#include "exp/result_digest.hpp"
+#include "exp/runner.hpp"
+#include "fault/fault.hpp"
+#include "mc/choice_trace.hpp"
+#include "mc/controller.hpp"
+#include "mc/explorer.hpp"
+
+namespace elephant {
+namespace {
+
+// The acceptance cell: two flows over a small bottleneck with a loss burst
+// covering the middle of the run — every in-burst packet is a kFaultLoss
+// branch, so the schedule space is rich but each schedule is milliseconds.
+exp::ExperimentConfig fault_cell() {
+  exp::ExperimentConfig cfg;
+  cfg.cca1 = cca::CcaKind::kCubic;
+  cfg.cca2 = cca::CcaKind::kBbrV1;
+  cfg.aqm = aqm::AqmKind::kFifo;
+  cfg.buffer_bdp = 1.0;
+  cfg.bottleneck_bps = 20e6;
+  cfg.total_flows = 2;
+  cfg.duration = sim::Time::seconds(1);
+  cfg.seed = 7;
+  for (const fault::FaultEvent& e :
+       fault::FaultPlan::loss_burst(sim::Time::seconds(0.2), 0.05, sim::Time::seconds(0.5))
+           .events) {
+    cfg.fault_plan.add(e);
+  }
+  return cfg;
+}
+
+TEST(ChoiceTrace, SerializeParseRoundTrip) {
+  mc::ChoiceTrace t;
+  t.config_id = "cubic_vs_bbr1-fifo-bdp1-20M";
+  t.oracle = "jain_floor";
+  t.detail = "jain2 0.7 below floor 0.9 (S1 3 Mbps, S2 15 Mbps)";
+  t.at_s = 1.25;
+  t.state_hash = 0xdeadbeefcafef00dull;
+  t.horizon_s = 1.5;
+  t.window_s = 0.25;
+  t.jain_floor = 0.9;
+  t.retx_storm_segments = 500;
+  t.max_schedule_events = 1000000;
+  t.choices = {{sim::ChoiceKind::kSchedulerTie, 3, 2},
+               {sim::ChoiceKind::kFaultLoss, 2, 0},
+               {sim::ChoiceKind::kGeLoss, 2, 1}};
+
+  mc::ChoiceTrace back;
+  std::string error;
+  ASSERT_TRUE(mc::ChoiceTrace::parse(t.serialize(), &back, &error)) << error;
+  EXPECT_EQ(back.config_id, t.config_id);
+  EXPECT_EQ(back.oracle, t.oracle);
+  EXPECT_EQ(back.detail, t.detail);
+  EXPECT_EQ(back.at_s, t.at_s);
+  EXPECT_EQ(back.state_hash, t.state_hash);
+  EXPECT_EQ(back.horizon_s, t.horizon_s);
+  EXPECT_EQ(back.window_s, t.window_s);
+  EXPECT_EQ(back.jain_floor, t.jain_floor);
+  EXPECT_EQ(back.retx_storm_segments, t.retx_storm_segments);
+  EXPECT_EQ(back.max_schedule_events, t.max_schedule_events);
+  ASSERT_EQ(back.choices.size(), t.choices.size());
+  for (std::size_t i = 0; i < t.choices.size(); ++i) {
+    EXPECT_EQ(back.choices[i].kind, t.choices[i].kind);
+    EXPECT_EQ(back.choices[i].n_branches, t.choices[i].n_branches);
+    EXPECT_EQ(back.choices[i].chosen, t.choices[i].chosen);
+  }
+
+  EXPECT_FALSE(mc::ChoiceTrace::parse("not a trace", &back, &error));
+}
+
+// An attached controller with an empty plan takes branch 0 everywhere — by
+// the choice-point protocol that IS the seeded schedule, so the result must
+// be bit-identical to a hook-free run of the same cell.
+TEST(McExplorer, EmptyPlanMatchesHookFreeRun) {
+  const exp::ExperimentConfig cfg = fault_cell();
+  const std::uint64_t want = exp::metrics_digest(exp::run_experiment(cfg));
+
+  mc::ScheduleController controller;
+  controller.reset({});
+  exp::ExperimentConfig steered = cfg;
+  steered.choice_hook = &controller;
+  EXPECT_EQ(exp::metrics_digest(exp::run_experiment(steered)), want);
+  EXPECT_GT(controller.trace().size(), 0u) << "fault cell consulted no choice points";
+}
+
+// Acceptance: bounded exploration of the 2-flow fault cell enumerates at
+// least 50 distinct schedules, with the dedup set accounting for every run.
+TEST(McExplorer, EnumeratesDistinctSchedules) {
+  mc::ExplorerOptions opts;
+  opts.max_depth = 8;
+  opts.max_schedules = 120;
+  mc::Explorer explorer(fault_cell(), opts);
+  const mc::ExploreStats st = explorer.explore();
+
+  EXPECT_GE(st.distinct_states, 50u);
+  EXPECT_EQ(st.schedules_run, st.distinct_states + st.duplicate_states);
+  EXPECT_GT(st.max_choice_points, opts.max_depth) << "cell too small to exercise the bound";
+  EXPECT_TRUE(explorer.violations().empty());
+}
+
+// Flipping one fault-loss branch must actually change the run: the first
+// alternative schedule may not collapse back onto the seeded end state.
+TEST(McExplorer, BranchesProduceDifferentStates) {
+  mc::ExplorerOptions opts;
+  opts.max_depth = 1;  // seeded run + every branch of the first choice point
+  opts.max_schedules = 4;
+  mc::Explorer explorer(fault_cell(), opts);
+  const mc::ExploreStats st = explorer.explore();
+  EXPECT_GE(st.distinct_states, 2u);
+}
+
+// Acceptance: a planted violation is found, its choice trace serializes to
+// a file, and replaying the file reproduces the identical failure — same
+// oracle, same detail, same end-state hash.
+TEST(McExplorer, PlantedViolationReplaysIdentically) {
+  const exp::ExperimentConfig cfg = fault_cell();
+  const std::string path = testing::TempDir() + "mc_counterexample.trace";
+
+  mc::ExplorerOptions opts;
+  opts.max_depth = 6;
+  opts.max_schedules = 40;
+  // Plant: under the loss burst this cell's Jain index sits far below 0.99
+  // in every schedule, so the very first one is a counterexample.
+  opts.jain_floor = 0.99;
+  opts.trace_out = path;
+  mc::Explorer explorer(cfg, opts);
+  const mc::ExploreStats st = explorer.explore();
+  ASSERT_GT(st.violations, 0u);
+  const mc::Violation& v = explorer.violations().front();
+  EXPECT_EQ(v.oracle, "jain_floor");
+
+  mc::ChoiceTrace stored;
+  std::string error;
+  ASSERT_TRUE(mc::ChoiceTrace::read_file(path, &stored, &error)) << error;
+  EXPECT_EQ(stored.config_id, cfg.id());
+  EXPECT_EQ(stored.oracle, v.oracle);
+  EXPECT_EQ(stored.state_hash, v.trace.state_hash);
+  ASSERT_EQ(stored.choices.size(), v.trace.choices.size());
+
+  const mc::Explorer::ReplayReport rep = mc::Explorer::replay(cfg, stored);
+  EXPECT_TRUE(rep.config_matches);
+  EXPECT_FALSE(rep.diverged);
+  EXPECT_TRUE(rep.hash_matches) << "replay end-state hash drifted";
+  EXPECT_TRUE(rep.violation_reproduced);
+  EXPECT_EQ(rep.oracle, v.oracle);
+  EXPECT_EQ(rep.detail, v.detail);
+  EXPECT_EQ(rep.at_s, v.at_s);
+  EXPECT_TRUE(rep.ok());
+
+  std::remove(path.c_str());
+}
+
+// Replay against the wrong cell must refuse via the config identity echo.
+TEST(McExplorer, ReplayRejectsMismatchedConfig) {
+  exp::ExperimentConfig cfg = fault_cell();
+  mc::ExplorerOptions opts;
+  opts.max_depth = 2;
+  opts.max_schedules = 2;
+  opts.jain_floor = 0.99;
+  mc::Explorer explorer(cfg, opts);
+  explorer.explore();
+  ASSERT_FALSE(explorer.violations().empty());
+
+  exp::ExperimentConfig other = cfg;
+  other.seed = cfg.seed + 1;
+  const mc::Explorer::ReplayReport rep =
+      mc::Explorer::replay(other, explorer.violations().front().trace);
+  EXPECT_FALSE(rep.config_matches);
+  EXPECT_FALSE(rep.ok());
+}
+
+// The starvation and retransmit-storm oracles fire on a cell engineered to
+// trip them: a hard 60% loss burst stalls both flows' delivery for longer
+// than the probe window.
+TEST(McExplorer, WindowedOraclesDetectStalls) {
+  exp::ExperimentConfig cfg = fault_cell();
+  cfg.fault_plan = fault::FaultPlan{};
+  for (const fault::FaultEvent& e :
+       fault::FaultPlan::loss_burst(sim::Time::seconds(0.2), 0.6, sim::Time::seconds(0.6))
+           .events) {
+    cfg.fault_plan.add(e);
+  }
+  mc::ExplorerOptions opts;
+  opts.max_depth = 4;
+  opts.max_schedules = 8;
+  opts.starvation_window_s = 0.1;
+  mc::Explorer explorer(cfg, opts);
+  explorer.explore();
+  ASSERT_FALSE(explorer.violations().empty());
+  const mc::Violation& v = explorer.violations().front();
+  EXPECT_EQ(v.oracle, "starvation");
+  EXPECT_GT(v.at_s, 0.0);
+  EXPECT_LT(v.at_s, 1.0) << "starvation must be detected mid-run, not at the horizon";
+
+  // Same cell, retransmit-storm detector: the burst forces a storm of
+  // retransmissions well above a deliberately tiny per-window threshold.
+  mc::ExplorerOptions storm;
+  storm.max_depth = 4;
+  storm.max_schedules = 8;
+  storm.retx_storm_segments = 5;
+  mc::Explorer explorer2(cfg, storm);
+  explorer2.explore();
+  ASSERT_FALSE(explorer2.violations().empty());
+  EXPECT_EQ(explorer2.violations().front().oracle, "retx_storm");
+}
+
+}  // namespace
+}  // namespace elephant

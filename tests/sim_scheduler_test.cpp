@@ -224,5 +224,78 @@ TEST(Scheduler, ClearInvalidatesOldIds) {
   EXPECT_TRUE(fired);
 }
 
+// --- same-instant ordering contract ----------------------------------------
+//
+// The (at, seq) FIFO tie-break is an explicit API contract (see the class
+// comment in sim/scheduler.hpp), not an implementation accident: components
+// rely on it for deterministic same-tick behavior (delayed-ACK vs data
+// timers, delay-line ranks), the model checker enumerates tie sets in seq
+// order, and debug builds assert it per fired event. These tests pin it for
+// every arming path.
+
+TEST(Scheduler, SameTickTimersFireInArmOrder) {
+  Scheduler s;
+  std::vector<int> order;
+  Scheduler::TimerHandle a, b, c;
+  a.init(s, [&] { order.push_back(0); });
+  b.init(s, [&] { order.push_back(1); });
+  c.init(s, [&] { order.push_back(2); });
+  // Armed for the same tick in the order a, b, c — created order must not
+  // matter, armed order must.
+  const Time tick = Time::milliseconds(7);
+  a.rearm(tick);
+  b.rearm(tick);
+  c.rearm(tick);
+  s.run_until(tick);
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));
+}
+
+TEST(Scheduler, RearmMovesTimerToBackOfItsInstant) {
+  Scheduler s;
+  std::vector<int> order;
+  Scheduler::TimerHandle a, b;
+  a.init(s, [&] { order.push_back(0); });
+  b.init(s, [&] { order.push_back(1); });
+  const Time tick = Time::milliseconds(7);
+  a.rearm(tick);
+  b.rearm(tick);
+  // Re-arming a for the same tick redraws its FIFO rank: it now fires after
+  // b, exactly as cancel + re-schedule would have ordered it.
+  a.rearm(tick);
+  s.run_until(tick);
+  EXPECT_EQ(order, (std::vector<int>{1, 0}));
+}
+
+TEST(Scheduler, SameTickOneShotsAndTimersInterleaveInArmOrder) {
+  Scheduler s;
+  std::vector<int> order;
+  Scheduler::TimerHandle t1, t2;
+  t1.init(s, [&] { order.push_back(1); });
+  t2.init(s, [&] { order.push_back(3); });
+  const Time tick = Time::milliseconds(2);
+  s.schedule_at(tick, [&] { order.push_back(0); });
+  t1.rearm(tick);
+  s.schedule_at(tick, [&] { order.push_back(2); });
+  t2.rearm(tick);
+  s.run_until(tick);
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3}));
+}
+
+TEST(Scheduler, LazyRearmDoesNotFireAtTheOldInstant) {
+  Scheduler s;
+  std::vector<int> order;
+  Scheduler::TimerHandle t;
+  t.init(s, [&] { order.push_back(1); });
+  t.rearm(Time::milliseconds(5));
+  // Pushing the deadline out leaves a stale heap entry behind (lazy re-key);
+  // the old instant must fire only the one-shot, the new instant the timer.
+  t.rearm(Time::milliseconds(9));
+  s.schedule_at(Time::milliseconds(5), [&] { order.push_back(0); });
+  s.run_until(Time::milliseconds(5));
+  EXPECT_EQ(order, (std::vector<int>{0}));
+  s.run_until(Time::milliseconds(9));
+  EXPECT_EQ(order, (std::vector<int>{0, 1}));
+}
+
 }  // namespace
 }  // namespace elephant::sim

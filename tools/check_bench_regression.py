@@ -53,11 +53,15 @@ def main():
     scale = 1.0
     if args.normalize_by:
         if args.normalize_by not in base or args.normalize_by not in cand:
-            print(f"error: anchor {args.normalize_by!r} missing from "
-                  f"{'baseline' if args.normalize_by not in base else 'candidate'}")
-            return 2
-        scale = base[args.normalize_by] / cand[args.normalize_by]
-        print(f"normalizing by {args.normalize_by}: candidate x {scale:.3f}")
+            # A filtered run (e.g. a smoke job gating only its own benchmark
+            # family) legitimately omits the anchor; fall back to raw times
+            # with a notice rather than rejecting the comparison outright.
+            print(f"notice: anchor {args.normalize_by!r} missing from "
+                  f"{'baseline' if args.normalize_by not in base else 'candidate'}"
+                  f"; comparing raw times (no host calibration)")
+        else:
+            scale = base[args.normalize_by] / cand[args.normalize_by]
+            print(f"normalizing by {args.normalize_by}: candidate x {scale:.3f}")
 
     failures = []
     for name in sorted(base):

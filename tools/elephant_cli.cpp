@@ -52,11 +52,18 @@
 #include <unistd.h>
 #include <vector>
 
+#include <fstream>
+
 #include "exp/config.hpp"
+#include "exp/result_digest.hpp"
 #include "exp/runner.hpp"
 #include "exp/sweep.hpp"
+#include "mc/choice_trace.hpp"
+#include "mc/explorer.hpp"
 #include "obs/heartbeat.hpp"
 #include "obs/metrics.hpp"
+#include "trace/sinks.hpp"
+#include "trace/trace.hpp"
 
 namespace {
 
@@ -88,7 +95,19 @@ extern "C" void on_drain_signal(int) {
                "        [--worker-id ID] [--lease-s S] [--backoff S]\n"
                "        [--workload PRESET] [--workload-cdf FILE]\n"
                "        [--stats-interval S] [--metrics FILE]\n"
+               "  explore [run config flags] [--fault-loss T:RATE:DUR]\n"
+               "        [--fault-flap T:DOWN_MS:COUNT]\n"
+               "        [--depth N] [--schedules N] [--horizon S]\n"
+               "        [--schedule-events N] [--jain-floor X] [--starvation-window S]\n"
+               "        [--retx-storm N] [--trace-out FILE]\n"
+               "  explore --replay FILE [run config flags] [--replay-trace OUT.csv]\n"
                "  list\n"
+               "run --check-digest N: execute the cell N times and fail (exit 1) with a\n"
+               "field-level diff if any repetition's metrics digest drifts.\n"
+               "explore: bounded-depth systematic schedule exploration (scheduler ties,\n"
+               "fault/GE loss branches) with state-hash dedup; oracle violations write a\n"
+               "replayable choice trace. --replay re-executes a stored trace, verifies the\n"
+               "end-state hash, and writes a flight-recorder CSV of the failure.\n"
                "multi-worker: run N sweeps with the same --manifest plus --resume and\n"
                "unique --worker-id values; cells are leased through the journal and a\n"
                "killed worker's cells are re-claimed after --lease-s (default 60).\n"
@@ -112,6 +131,10 @@ struct Args {
   double backoff_s = 0.25;
   double stats_interval_s = 0;
   std::string metrics_path;
+  int check_digest = 0;
+  mc::ExplorerOptions explore;
+  std::string replay_path;
+  std::string replay_trace = "replay_trace.csv";
 };
 
 Args parse(int argc, char** argv) {
@@ -179,6 +202,47 @@ Args parse(int argc, char** argv) {
       a.stats_interval_s = std::atof(need(i));
     } else if (!std::strcmp(arg, "--metrics")) {
       a.metrics_path = need(i);
+    } else if (!std::strcmp(arg, "--fault-loss")) {
+      double start = 0, rate = 0, dur = 0;
+      if (std::sscanf(need(i), "%lf:%lf:%lf", &start, &rate, &dur) != 3) usage();
+      for (const fault::FaultEvent& e :
+           fault::FaultPlan::loss_burst(sim::Time::seconds(start), rate,
+                                        sim::Time::seconds(dur))
+               .events) {
+        a.cfg.fault_plan.add(e);
+      }
+    } else if (!std::strcmp(arg, "--fault-flap")) {
+      double start = 0, down_ms = 0;
+      int count = 0;
+      if (std::sscanf(need(i), "%lf:%lf:%d", &start, &down_ms, &count) != 3) usage();
+      for (const fault::FaultEvent& e :
+           fault::FaultPlan::link_flap(sim::Time::seconds(start),
+                                       sim::Time::seconds(down_ms / 1e3), count)
+               .events) {
+        a.cfg.fault_plan.add(e);
+      }
+    } else if (!std::strcmp(arg, "--check-digest")) {
+      a.check_digest = std::atoi(need(i));
+    } else if (!std::strcmp(arg, "--depth")) {
+      a.explore.max_depth = static_cast<std::uint32_t>(std::atoi(need(i)));
+    } else if (!std::strcmp(arg, "--schedules")) {
+      a.explore.max_schedules = static_cast<std::uint64_t>(std::atoll(need(i)));
+    } else if (!std::strcmp(arg, "--horizon")) {
+      a.explore.horizon_s = std::atof(need(i));
+    } else if (!std::strcmp(arg, "--schedule-events")) {
+      a.explore.max_schedule_events = static_cast<std::uint64_t>(std::atoll(need(i)));
+    } else if (!std::strcmp(arg, "--jain-floor")) {
+      a.explore.jain_floor = std::atof(need(i));
+    } else if (!std::strcmp(arg, "--starvation-window")) {
+      a.explore.starvation_window_s = std::atof(need(i));
+    } else if (!std::strcmp(arg, "--retx-storm")) {
+      a.explore.retx_storm_segments = static_cast<std::uint64_t>(std::atoll(need(i)));
+    } else if (!std::strcmp(arg, "--trace-out")) {
+      a.explore.trace_out = need(i);
+    } else if (!std::strcmp(arg, "--replay")) {
+      a.replay_path = need(i);
+    } else if (!std::strcmp(arg, "--replay-trace")) {
+      a.replay_trace = need(i);
     } else if (!std::strcmp(arg, "--workload")) {
       const char* name = need(i);
       if (!workload::WorkloadSpec::from_name(name, &a.cfg.workload)) {
@@ -235,7 +299,38 @@ void print_row(const exp::AveragedResult& res) {
   }
 }
 
+/// --check-digest N: run the identical cell N times and require every
+/// repetition's metrics digest to be bit-identical to the first. A mismatch
+/// prints a field-level diff (which metric drifted, both values) instead of
+/// two opaque hashes, and exits nonzero — the determinism smoke a user can
+/// point at any configuration, not just the golden-pinned ones.
+int cmd_check_digest(const Args& a) {
+  if (a.check_digest < 2) {
+    std::fprintf(stderr, "--check-digest needs N >= 2 runs to compare\n");
+    return 2;
+  }
+  const exp::ExperimentResult first = exp::run_experiment(a.cfg);
+  const std::uint64_t want = exp::metrics_digest(first);
+  for (int rep = 2; rep <= a.check_digest; ++rep) {
+    const exp::ExperimentResult res = exp::run_experiment(a.cfg);
+    const std::uint64_t got = exp::metrics_digest(res);
+    if (got == want) continue;
+    std::fprintf(stderr,
+                 "check-digest: run %d of %s diverged (digest %016llx != %016llx):\n",
+                 rep, a.cfg.id().c_str(), static_cast<unsigned long long>(got),
+                 static_cast<unsigned long long>(want));
+    for (const std::string& line : exp::diff_results(first, res)) {
+      std::fprintf(stderr, "  %s\n", line.c_str());
+    }
+    return 1;
+  }
+  std::printf("check-digest: %d runs of %s bit-identical (digest %016llx)\n",
+              a.check_digest, a.cfg.id().c_str(), static_cast<unsigned long long>(want));
+  return 0;
+}
+
 int cmd_run(const Args& a) {
+  if (a.check_digest != 0) return cmd_check_digest(a);
   if (a.stats_interval_s <= 0) {
     print_row(exp::run_averaged(a.cfg, a.reps));
     return 0;
@@ -355,6 +450,78 @@ int cmd_sweep(const Args& a) {
   return 0;
 }
 
+int cmd_explore(const Args& a) {
+  if (!a.replay_path.empty()) {
+    mc::ChoiceTrace trace;
+    std::string error;
+    if (!mc::ChoiceTrace::read_file(a.replay_path, &trace, &error)) {
+      std::fprintf(stderr, "explore --replay: %s\n", error.c_str());
+      return 2;
+    }
+    if (a.cfg.id() != trace.config_id) {
+      std::fprintf(stderr,
+                   "explore --replay: config mismatch\n  trace: %s\n  flags: %s\n"
+                   "pass the same configuration flags the trace was recorded with\n",
+                   trace.config_id.c_str(), a.cfg.id().c_str());
+      return 2;
+    }
+    std::ofstream csv(a.replay_trace, std::ios::trunc);
+    if (!csv) {
+      std::fprintf(stderr, "explore --replay: cannot write %s\n", a.replay_trace.c_str());
+      return 2;
+    }
+    trace::CsvSink sink(csv);
+    trace::Tracer recorder(sink, /*capacity=*/4096);
+    const mc::Explorer::ReplayReport rep =
+        mc::Explorer::replay(a.cfg, trace, &recorder);
+    std::printf("replay: %zu choice points, oracle=%s at t=%.6g s\n",
+                trace.choices.size(), rep.oracle.empty() ? "(none)" : rep.oracle.c_str(),
+                rep.at_s);
+    if (!rep.detail.empty()) std::printf("  %s\n", rep.detail.c_str());
+    std::printf("  end-state hash %016llx (stored %016llx) — %s\n",
+                static_cast<unsigned long long>(rep.end_state_hash),
+                static_cast<unsigned long long>(trace.state_hash),
+                rep.hash_matches ? "match" : "MISMATCH");
+    if (rep.diverged) {
+      std::fprintf(stderr, "  DIVERGED at choice point %zu — code drifted since the "
+                           "trace was recorded\n", rep.divergence_at);
+    }
+    std::printf("  flight recorder: %s\n", a.replay_trace.c_str());
+    if (!rep.ok()) {
+      std::fprintf(stderr, "replay: failed to reproduce the recorded failure\n");
+      return 1;
+    }
+    std::printf("replay: reproduced the recorded %s violation\n", trace.oracle.c_str());
+    return 0;
+  }
+
+  mc::Explorer explorer(a.cfg, a.explore);
+  const mc::ExploreStats st = explorer.explore();
+  std::printf("explore %s: %llu schedules (%llu distinct states, %llu pruned as "
+              "duplicates, %llu truncated), up to %llu choice points, %llu plans "
+              "unexplored\n",
+              a.cfg.label().c_str(), static_cast<unsigned long long>(st.schedules_run),
+              static_cast<unsigned long long>(st.distinct_states),
+              static_cast<unsigned long long>(st.duplicate_states),
+              static_cast<unsigned long long>(st.truncated),
+              static_cast<unsigned long long>(st.max_choice_points),
+              static_cast<unsigned long long>(st.frontier_left));
+  for (const mc::Violation& v : explorer.violations()) {
+    std::printf("  violation [%s] at t=%.6g s: %s (%zu choices)\n", v.oracle.c_str(),
+                v.at_s, v.detail.c_str(), v.trace.choices.size());
+  }
+  if (!explorer.violations().empty()) {
+    if (!a.explore.trace_out.empty()) {
+      std::printf("counterexample trace written to %s — replay with:\n"
+                  "  elephant explore --replay %s [same config flags]\n",
+                  a.explore.trace_out.c_str(), a.explore.trace_out.c_str());
+    }
+    return 1;
+  }
+  std::printf("explore: no oracle violations\n");
+  return 0;
+}
+
 int cmd_list() {
   std::printf("CCAs: reno cubic htcp bbr1 bbr2\n");
   std::printf("AQMs: fifo red fq_codel codel red_adaptive pie\n");
@@ -390,6 +557,14 @@ int main(int argc, char** argv) {
       // E.g. an unwritable manifest: better a loud nonzero exit than a sweep
       // whose durable record silently went nowhere.
       std::fprintf(stderr, "sweep: fatal: %s\n", e.what());
+      return 1;
+    }
+  }
+  if (a.cmd == "explore") {
+    try {
+      return cmd_explore(a);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "explore: fatal: %s\n", e.what());
       return 1;
     }
   }
