@@ -14,6 +14,7 @@
 #include "cca/congestion_control.hpp"
 #include "exp/runner.hpp"
 #include "obs/metrics.hpp"
+#include "obs/profiler.hpp"
 #include "sim/scheduler.hpp"
 
 namespace {
@@ -104,6 +105,24 @@ void BM_HistogramRecord(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_HistogramRecord);
+
+// One PhaseProfiler span open+close per item: two steady_clock reads plus a
+// histogram record. This is the per-window cost the sharded engine pays per
+// (phase, lane) when a profiler is attached — it must stay far below a
+// window's worth of event work to hold the <2% telemetry budget. The Arg is
+// 1 for a live profiler, 0 for the detached (nullptr) span, whose cost must
+// be indistinguishable from an empty loop.
+void BM_ProfilerOverhead(benchmark::State& state) {
+  obs::PhaseProfiler prof(1);
+  const std::size_t phase = prof.register_phase("bench");
+  obs::PhaseProfiler* attached = state.range(0) != 0 ? &prof : nullptr;
+  for (auto _ : state) {
+    obs::PhaseProfiler::Span span(attached, phase, 0);
+    benchmark::DoNotOptimize(span);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ProfilerOverhead)->Arg(0)->Arg(1);
 
 // Same churn with a capture too large for the inline buffer: exercises the
 // pooled-block fallback (the pre-swap engine heap-allocated every oversized

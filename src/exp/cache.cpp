@@ -193,6 +193,44 @@ std::optional<ExperimentResult> ResultCache::load_impl(const ExperimentConfig& c
     std::filesystem::remove(path, ec);
     return std::nullopt;
   }
+
+  // Fairness episodes: "epN=cause;15 numeric fields". No format-migration
+  // check is needed: the episode knobs are part of the config id, so an
+  // episode-enabled config can never resolve to an entry written without
+  // them — an entry with no ep rows genuinely had zero episodes.
+  for (std::size_t ei = 0;; ++ei) {
+    auto it = kv.find("ep" + std::to_string(ei));
+    if (it == kv.end()) break;
+    std::vector<std::string> fields;
+    std::stringstream ss(it->second);
+    std::string field;
+    while (std::getline(ss, field, ';')) fields.push_back(field);
+    double v[15];
+    bool ok = fields.size() == 16;
+    for (std::size_t i = 0; ok && i < 15; ++i) ok = parse_field(fields[i + 1], &v[i]);
+    if (!ok) {
+      quarantine(path);
+      return std::nullopt;
+    }
+    obs::Episode ep;
+    ep.cause = fields[0];
+    ep.start_s = v[0];
+    ep.end_s = v[1];
+    ep.worst_jain = v[2];
+    ep.worst_t_s = v[3];
+    ep.victim_flow = static_cast<std::uint32_t>(v[4]);
+    ep.victim_side = static_cast<int>(v[5]);
+    ep.victim_share = v[6];
+    ep.loss_injected = static_cast<std::uint64_t>(v[7]);
+    ep.drops_overflow = static_cast<std::uint64_t>(v[8]);
+    ep.drops_early = static_cast<std::uint64_t>(v[9]);
+    ep.ecn_marks = static_cast<std::uint64_t>(v[10]);
+    ep.rtos = static_cast<std::uint64_t>(v[11]);
+    ep.retx = static_cast<std::uint64_t>(v[12]);
+    ep.faults = static_cast<std::uint64_t>(v[13]);
+    ep.cwnd_collapses = static_cast<std::uint32_t>(v[14]);
+    res.episodes.push_back(std::move(ep));
+  }
   return res;
 }
 
@@ -226,6 +264,15 @@ void ResultCache::store(const ExperimentResult& result) {
          << c.throughput_bps << ';' << c.share << ';' << c.jain << ';' << c.fct_p50_s
          << ';' << c.fct_p95_s << ';' << c.fct_p99_s << ';' << c.fct_mean_s << ';'
          << c.slowdown_p50 << ';' << c.slowdown_p95 << ';' << c.slowdown_p99 << '\n';
+  }
+  for (std::size_t ei = 0; ei < result.episodes.size(); ++ei) {
+    const obs::Episode& ep = result.episodes[ei];
+    body << "ep" << ei << '=' << ep.cause << ';' << ep.start_s << ';' << ep.end_s << ';'
+         << ep.worst_jain << ';' << ep.worst_t_s << ';' << ep.victim_flow << ';'
+         << ep.victim_side << ';' << ep.victim_share << ';' << ep.loss_injected << ';'
+         << ep.drops_overflow << ';' << ep.drops_early << ';' << ep.ecn_marks << ';'
+         << ep.rtos << ';' << ep.retx << ';' << ep.faults << ';' << ep.cwnd_collapses
+         << '\n';
   }
   const std::string text = body.str();
   char sum[32];

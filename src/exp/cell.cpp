@@ -1,5 +1,6 @@
 #include "exp/cell.hpp"
 
+#include <algorithm>
 #include <cassert>
 #include <string>
 #include <utility>
@@ -43,14 +44,23 @@ Cell::Cell(const ExperimentConfig& cfg)
   // touch the registry. The bundles live on the cell for the whole run.
   if (cfg_.metrics != nullptr) {
     obs::MetricsRegistry& reg = *cfg_.metrics;
-    sched_metrics_.events_executed = &reg.gauge("sim.events_executed");
+    sched_metrics_.events_executed =
+        &reg.gauge("sim.events_executed", "Events executed by the cell scheduler");
     sched_metrics_.heap_depth = &reg.gauge("sim.heap_depth");
-    sched_metrics_.heap_peak = &reg.gauge("sim.heap_peak");
+    sched_metrics_.heap_peak =
+        &reg.gauge("sim.heap_peak", "High-water mark of the event heap");
+    sched_metrics_.run_wall_s = &reg.histogram(
+        "prof.sched_run_s", "Wall seconds per scheduler run_until call");
     sched_.set_metrics(&sched_metrics_);
-    queue_metrics_.sojourn_s = &reg.histogram("queue.sojourn_s");
+    queue_metrics_.sojourn_s = &reg.histogram(
+        "queue.sojourn_s", "Bottleneck queueing delay per dequeued packet");
     net_->bottleneck().set_metrics(&queue_metrics_);
     tcp_metrics_.cwnd_segments = &reg.gauge("tcp.cwnd_segments");
     tcp_metrics_.srtt_s = &reg.histogram("tcp.srtt_s");
+    prof_run_s_ = &reg.histogram("prof.cell_run_s",
+                                 "Wall seconds in the cell's event loop");
+    prof_finalize_s_ = &reg.histogram(
+        "prof.cell_finalize_s", "Wall seconds aggregating and checking results");
   }
 
   // All flows — legacy elephants or a full WorkloadSpec mix — come from the
@@ -58,9 +68,25 @@ Cell::Cell(const ExperimentConfig& cfg)
   factory_.emplace(sched_, *net_, cfg_, rng_,
                    cfg_.metrics != nullptr ? &tcp_metrics_ : nullptr);
 
+  // Fairness-episode sampling reads flows and the bottleneck qdisc but never
+  // schedules anything, so constructing the probe is digest-neutral.
+  if (cfg_.episodes.enabled && cfg_.episodes.valid()) {
+    probe_.emplace(cfg_, *factory_, net_->bottleneck(),
+                   faults_ ? &*faults_ : nullptr);
+  }
+
   // Installed after setup: construction consumes no choice points, and a
   // null hook (the default) leaves every branch on its seeded outcome.
   sched_.set_choice_hook(cfg_.choice_hook);
+
+  if (cfg_.metrics != nullptr) {
+    cfg_.metrics
+        ->histogram("prof.cell_setup_s",
+                    "Wall seconds constructing topology, faults, and flows")
+        .record(std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                              wall_start_)
+                    .count());
+  }
 }
 
 sim::Scheduler::StopReason Cell::run_chunk(std::uint64_t max_events, sim::Time deadline) {
@@ -70,25 +96,85 @@ sim::Scheduler::StopReason Cell::run_chunk(std::uint64_t max_events, sim::Time d
 }
 
 ExperimentResult Cell::run_to_completion() {
-  sim::Scheduler::RunLimits limits;
-  limits.max_events = cfg_.max_events;
-  limits.max_wall_seconds = cfg_.max_wall_seconds;
-  const auto stop = sched_.run_until(duration_, limits);
-  if (stop == sim::Scheduler::StopReason::kEventBudget ||
-      stop == sim::Scheduler::StopReason::kWallBudget) {
-    const bool events = stop == sim::Scheduler::StopReason::kEventBudget;
-    throw RunTimeout("run " + cfg_.id() + " exceeded its " +
-                     (events ? "event budget (" + std::to_string(cfg_.max_events) + " events)"
-                             : "wall budget (" + std::to_string(cfg_.max_wall_seconds) +
-                                   " s)") +
-                     " at t=" + sched_.now().to_string());
+  const auto throw_on_budget = [this](sim::Scheduler::StopReason stop) {
+    if (stop == sim::Scheduler::StopReason::kEventBudget ||
+        stop == sim::Scheduler::StopReason::kWallBudget) {
+      const bool events = stop == sim::Scheduler::StopReason::kEventBudget;
+      throw RunTimeout("run " + cfg_.id() + " exceeded its " +
+                       (events ? "event budget (" + std::to_string(cfg_.max_events) +
+                                     " events)"
+                               : "wall budget (" + std::to_string(cfg_.max_wall_seconds) +
+                                     " s)") +
+                       " at t=" + sched_.now().to_string());
+    }
+  };
+
+  {
+    obs::ScopedTimer run_timer(prof_run_s_);
+    if (!probe_) {
+      // Historical path: one run_until call for the whole cell.
+      sim::Scheduler::RunLimits limits;
+      limits.max_events = cfg_.max_events;
+      limits.max_wall_seconds = cfg_.max_wall_seconds;
+      throw_on_budget(sched_.run_until(duration_, limits));
+    } else {
+      // Episode sampling: chop the run into detector windows. Re-invoking
+      // run_until at a window boundary schedules nothing and executes the
+      // same events in the same order, so digests stay bit-identical to the
+      // single-call path; the watchdog budgets are carried across chunks so
+      // their collective meaning is unchanged.
+      const sim::Time window = sim::Time::seconds(cfg_.episodes.window_s);
+      const auto run_start = std::chrono::steady_clock::now();
+      probe_->sample(sim::Time::zero());  // baseline
+      sim::Time next = window;
+      for (;;) {
+        sim::Scheduler::RunLimits limits;
+        if (cfg_.max_events > 0) {
+          const std::uint64_t used = sched_.executed_events();
+          limits.max_events = cfg_.max_events > used ? cfg_.max_events - used : 1;
+        }
+        if (cfg_.max_wall_seconds > 0) {
+          const double rest =
+              cfg_.max_wall_seconds -
+              std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                            run_start)
+                  .count();
+          limits.max_wall_seconds = rest > 0.01 ? rest : 0.01;
+        }
+        const auto stop = sched_.run_until(std::min(duration_, next), limits);
+        throw_on_budget(stop);
+        probe_->sample(sched_.now());
+        if (stop == sim::Scheduler::StopReason::kQueueExhausted ||
+            sched_.now() >= duration_) {
+          break;
+        }
+        next = next + window;
+      }
+      probe_->finish(sched_.now());
+    }
   }
   return finalize();
 }
 
 ExperimentResult Cell::finalize() {
-  return detail::finalize_experiment(cfg_, duration_, *factory_, net_->bottleneck(),
-                                     sched_.executed_events(), wall_start_);
+  obs::ScopedTimer finalize_timer(prof_finalize_s_);
+  ExperimentResult res =
+      detail::finalize_experiment(cfg_, duration_, *factory_, net_->bottleneck(),
+                                  sched_.executed_events(), wall_start_);
+  if (probe_) {
+    res.episodes = probe_->episodes();
+    if (cfg_.metrics != nullptr) {
+      cfg_.metrics
+          ->counter("episodes.count",
+                    "Fairness episodes detected across runs")
+          .add(res.episodes.size());
+      for (const obs::Episode& e : res.episodes) {
+        cfg_.metrics->histogram("episodes.worst_jain").record(e.worst_jain);
+        cfg_.metrics->histogram("episodes.duration_s").record(e.end_s - e.start_s);
+      }
+    }
+  }
+  return res;
 }
 
 void Cell::serialize_components(sim::SnapshotWriter& w) const {

@@ -5,6 +5,7 @@
 #include <optional>
 
 #include "exp/config.hpp"
+#include "exp/episode_probe.hpp"
 #include "exp/flow_factory.hpp"
 #include "exp/runner.hpp"
 #include "fault/fault.hpp"
@@ -97,6 +98,13 @@ class Cell {
   obs::QueueMetrics queue_metrics_;
   obs::TcpMetrics tcp_metrics_;
   std::optional<FlowFactory> factory_;
+  /// Fairness-episode sampler (cfg.episodes.enabled only); read-only against
+  /// the simulation, so its presence never changes a digest.
+  std::optional<EpisodeProbe> probe_;
+  /// Runner-phase wall-time histograms (cfg.metrics only): prof.cell_run_s /
+  /// prof.cell_finalize_s, plus prof.sched_run_s via sched_metrics_.
+  obs::LogLinHistogram* prof_run_s_ = nullptr;
+  obs::LogLinHistogram* prof_finalize_s_ = nullptr;
 };
 
 }  // namespace elephant::exp

@@ -7,6 +7,7 @@
 #include "aqm/factory.hpp"
 #include "cca/congestion_control.hpp"
 #include "fault/fault.hpp"
+#include "obs/episode.hpp"
 #include "sim/time.hpp"
 #include "workload/workload.hpp"
 
@@ -96,6 +97,17 @@ struct ExperimentConfig {
   /// samples. Histograms are written lock-free by the simulation thread, so
   /// each concurrently running cell needs its own registry (merge afterwards).
   obs::MetricsRegistry* metrics = nullptr;
+
+  /// Fairness-episode detection (see obs/episode.hpp): when enabled, the run
+  /// samples per-flow delivered bytes and bottleneck evidence every window_s
+  /// of simulated time and segments the run into share-imbalance episodes.
+  /// Pure observation — sampling adds no scheduler events, so digests are
+  /// bit-identical with it on or off — but the *result* gains an episodes
+  /// vector, so the detection knobs (enabled/window/thresholds) are part of
+  /// the cache identity (id() appends "-ep..." only when enabled, preserving
+  /// existing cache keys); the jsonl sink path is presentation-only and
+  /// excluded.
+  obs::EpisodeOptions episodes{};
 
   /// Optional model-checking choice hook (see sim/choice.hpp) installed on
   /// the cell scheduler for the run: the explorer steers scheduler ties and

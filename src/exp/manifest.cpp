@@ -323,6 +323,18 @@ std::string SweepManifest::format_line(const ManifestEntry& e) {
     }
     line += ']';
   }
+  // Both blocks below are conditional so lines from builds (or cells)
+  // without them stay byte-identical to the earlier journal format.
+  if (e.wall_s > 0) appendf(&line, ",\"wall_s\":%.17g", e.wall_s);
+  if (e.episodes > 0) {
+    appendf(&line,
+            ",\"episodes\":{\"count\":%.17g,\"worst_jain\":%.17g,"
+            "\"worst_t\":%.17g,\"victim\":%u,\"cause\":\"",
+            e.episodes, e.episode_worst_jain, e.episode_worst_t_s,
+            e.episode_victim);
+    append_escaped(e.episode_cause, &line);
+    line += "\"}";
+  }
   line += ",\"error\":\"";
   append_escaped(e.error, &line);
   line += "\"}";
@@ -401,6 +413,26 @@ bool SweepManifest::parse_line(const std::string& line, ManifestEntry* out) {
     }
   }
   if (!parse_classes(line, &e.classes)) return false;
+  (void)get_number(line, "wall_s", &e.wall_s);  // optional
+  // Optional episode summary block. Quotes inside the (escaped) error string
+  // cannot spell the unescaped search key, so a plain find is safe — same
+  // argument as the classes block.
+  const std::size_t ep = line.find("\"episodes\":{");
+  if (ep != std::string::npos) {
+    const std::size_t open = ep + std::strlen("\"episodes\":");
+    const std::size_t close = line.find('}', open);
+    if (close == std::string::npos) return false;  // torn block
+    const std::string obj = line.substr(open, close - open + 1);
+    double victim = 0;
+    if (!get_number(obj, "count", &e.episodes) ||
+        !get_number(obj, "worst_jain", &e.episode_worst_jain) ||
+        !get_number(obj, "worst_t", &e.episode_worst_t_s) ||
+        !get_number(obj, "victim", &victim) ||
+        !get_string(obj, "cause", &e.episode_cause)) {
+      return false;
+    }
+    e.episode_victim = static_cast<std::uint32_t>(victim);
+  }
   (void)get_string(line, "error", &e.error);  // optional
   e.index = static_cast<std::size_t>(idx);
   e.attempts = static_cast<int>(attempts);

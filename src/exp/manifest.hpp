@@ -29,6 +29,18 @@ struct ManifestEntry {
   /// shares); empty for elephant-only cells, whose journal lines are
   /// byte-identical to the pre-workload format.
   std::vector<ClassResult> classes;
+  /// Wall seconds the executing worker spent on the cell. Serialized only
+  /// when > 0, so journal lines from resumed cells (and pre-profiler
+  /// builds) keep their exact prior format.
+  double wall_s = 0;
+  /// Fairness-episode summary (see obs/episode.hpp); serialized as a
+  /// conditional "episodes" block only when `episodes > 0`, so
+  /// detection-off cells keep the pre-episode line format byte for byte.
+  double episodes = 0;            ///< mean episode count per repetition
+  double episode_worst_jain = 1.0;
+  double episode_worst_t_s = 0;
+  std::uint32_t episode_victim = 0;
+  std::string episode_cause;
   std::string error;  ///< exception message for failed/timed-out cells
 
   // Lease fields, serialized only on kClaimed lines so completion lines keep

@@ -320,6 +320,23 @@ AveragedResult average(const ExperimentConfig& cfg, const std::vector<Experiment
   avg.retx_segments /= n;
   avg.rtos /= n;
 
+  // Episode summary: mean count per repetition plus the single worst episode
+  // seen anywhere (a sweep ranks cells by how unfair they ever got, not by
+  // how the unfairness averaged out).
+  double episode_total = 0;
+  for (const ExperimentResult& r : runs) {
+    episode_total += static_cast<double>(r.episodes.size());
+    for (const obs::Episode& e : r.episodes) {
+      if (e.worst_jain < avg.episode_worst_jain || avg.episode_cause.empty()) {
+        avg.episode_worst_jain = e.worst_jain;
+        avg.episode_worst_t_s = e.worst_t_s;
+        avg.episode_victim = e.victim_flow;
+        avg.episode_cause = e.cause;
+      }
+    }
+  }
+  avg.episodes = episode_total / n;
+
   // Per-class means, matched by index (every repetition runs the same
   // WorkloadSpec and therefore reports the same class list).
   const std::size_t n_classes = runs.front().classes.size();

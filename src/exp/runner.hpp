@@ -61,6 +61,10 @@ struct ExperimentResult {
   std::uint64_t rtos = 0;
   aqm::QueueStats bottleneck;
 
+  /// Fairness episodes detected during the run (empty unless
+  /// config.episodes.enabled; see obs/episode.hpp).
+  std::vector<obs::Episode> episodes;
+
   std::uint64_t events_executed = 0;
   double wall_seconds = 0;
 };
@@ -77,6 +81,15 @@ struct AveragedResult {
   /// Per-class aggregates averaged across repetitions (matched by index;
   /// every repetition runs the same WorkloadSpec).
   std::vector<ClassResult> classes;
+
+  /// Episode summary across repetitions (zero/empty when detection is off or
+  /// nothing fired): mean count per repetition, and the worst episode seen in
+  /// any repetition (minimum windowed Jain, with its victim and cause tag).
+  double episodes = 0;
+  double episode_worst_jain = 1.0;
+  double episode_worst_t_s = 0;
+  std::uint32_t episode_victim = 0;
+  std::string episode_cause;
 };
 
 /// Execute one configuration once (seed taken from the config).

@@ -22,12 +22,14 @@
 #include <string>
 #include <vector>
 
+#include "exp/episode_probe.hpp"
 #include "exp/flow_factory.hpp"
 #include "exp/runner.hpp"
 #include "exp/runner_internal.hpp"
 #include "exp/status.hpp"
 #include "net/sharded_topology.hpp"
 #include "obs/metrics.hpp"
+#include "obs/profiler.hpp"
 #include "sim/random.hpp"
 #include "sim/scheduler.hpp"
 #include "sim/sharded_engine.hpp"
@@ -99,12 +101,43 @@ ExperimentResult run_sharded_experiment(const ExperimentConfig& cfg) {
       },
       factory_cfg, rng);
 
+  // Lane/phase profiler: per-(phase, lane) histograms written lock-free by
+  // each lane thread, folded into cfg.metrics once the lanes join. Wall-time
+  // observation only — lane schedules are untouched.
+  std::optional<obs::PhaseProfiler> profiler;
+  if (cfg.metrics != nullptr) {
+    profiler.emplace(engine.lanes());
+    engine.set_profiler(&*profiler);
+  }
+
+  // Fairness-episode sampling runs in the window-boundary observer: every
+  // lane is parked there, so cross-lane flow state (receiver byte counts,
+  // sender cwnd/retx) is safe to read. The observer schedules nothing, so
+  // sharded digests stay bit-identical with detection on. Boundaries fire
+  // every lookahead window (sub-RTT); the probe downsamples to the
+  // configured episode window.
+  std::optional<EpisodeProbe> probe;
+  sim::Time next_sample = sim::Time::zero();
+  if (cfg.episodes.enabled && cfg.episodes.valid()) {
+    probe.emplace(cfg, factory, net.bottleneck(), faults ? &*faults : nullptr);
+    const sim::Time window = sim::Time::seconds(cfg.episodes.window_s);
+    probe->sample(sim::Time::zero());  // baseline
+    next_sample = window;
+    engine.set_boundary_observer([&engine, &probe, &next_sample, window, net_lane] {
+      const sim::Time now = engine.lane(net_lane).now();
+      if (now < next_sample) return;
+      probe->sample(now);
+      while (next_sample <= now) next_sample = next_sample + window;
+    });
+  }
+
   sim::Scheduler::RunLimits limits;
   limits.max_events = cfg.max_events;
   limits.max_wall_seconds = cfg.max_wall_seconds;
   const auto stop = engine.run_windows(
       duration, net.lookahead(), limits,
       [&](std::size_t lane) { net.drain_lane(lane, engine.lane(lane)); });
+  if (probe) probe->finish(net_sched.now());
   if (stop == sim::Scheduler::StopReason::kEventBudget ||
       stop == sim::Scheduler::StopReason::kWallBudget) {
     const bool events = stop == sim::Scheduler::StopReason::kEventBudget;
@@ -126,10 +159,25 @@ ExperimentResult run_sharded_experiment(const ExperimentConfig& cfg) {
     for (std::size_t i = 0; i < engine.lanes(); ++i) depth += engine.lane(i).pending_events();
     reg.gauge("sim.heap_depth").set(static_cast<double>(depth));
     reg.gauge("sim.heap_peak").set(static_cast<double>(engine.total_peak_pending_events()));
+    if (profiler) profiler->publish(reg);
   }
 
-  return finalize_experiment(cfg, duration, factory, net.bottleneck(),
-                             engine.total_executed_events(), wall_start);
+  ExperimentResult res =
+      finalize_experiment(cfg, duration, factory, net.bottleneck(),
+                          engine.total_executed_events(), wall_start);
+  if (probe) {
+    res.episodes = probe->episodes();
+    if (cfg.metrics != nullptr) {
+      cfg.metrics
+          ->counter("episodes.count", "Fairness episodes detected across runs")
+          .add(res.episodes.size());
+      for (const obs::Episode& e : res.episodes) {
+        cfg.metrics->histogram("episodes.worst_jain").record(e.worst_jain);
+        cfg.metrics->histogram("episodes.duration_s").record(e.end_s - e.start_s);
+      }
+    }
+  }
+  return res;
 }
 
 }  // namespace elephant::exp::detail

@@ -18,6 +18,7 @@
 #include <utility>
 
 #include "exp/cache.hpp"
+#include "exp/eta.hpp"
 #include "exp/work_queue.hpp"
 #include "obs/export.hpp"
 #include "obs/heartbeat.hpp"
@@ -118,6 +119,11 @@ AveragedResult from_manifest(const ExperimentConfig& cfg, const ManifestEntry& e
   avg.retx_segments = e.retx_segments;
   avg.rtos = e.rtos;
   avg.classes = e.classes;
+  avg.episodes = e.episodes;
+  avg.episode_worst_jain = e.episode_worst_jain;
+  avg.episode_worst_t_s = e.episode_worst_t_s;
+  avg.episode_victim = e.episode_victim;
+  avg.episode_cause = e.episode_cause;
   return avg;
 }
 
@@ -135,6 +141,12 @@ ManifestEntry to_manifest(std::size_t index, const std::string& id, const RunRec
   e.retx_segments = rec.result.retx_segments;
   e.rtos = rec.result.rtos;
   e.classes = rec.result.classes;
+  e.wall_s = rec.wall_s;
+  e.episodes = rec.result.episodes;
+  e.episode_worst_jain = rec.result.episode_worst_jain;
+  e.episode_worst_t_s = rec.result.episode_worst_t_s;
+  e.episode_victim = rec.result.episode_victim;
+  e.episode_cause = rec.result.episode_cause;
   e.error = rec.error;
   return e;
 }
@@ -267,6 +279,10 @@ SweepReport run_sweep_resilient(const std::vector<ExperimentConfig>& configs,
   }
 
   const auto sweep_start = std::chrono::steady_clock::now();
+  // ETA from an EWMA of recent cell wall times (see eta.hpp): robust to a
+  // warm-cache prefix and to heterogeneous matrices where the lifetime
+  // average badly misprices the remaining cells.
+  EtaEstimator eta;
   std::optional<obs::Heartbeat> heartbeat;
   if (options.stats_interval_s > 0) {
     obs::Heartbeat::Options hb;
@@ -293,9 +309,7 @@ SweepReport run_sweep_resilient(const std::vector<ExperimentConfig>& configs,
           const double elapsed =
               std::chrono::duration<double>(std::chrono::steady_clock::now() - sweep_start)
                   .count();
-          const double eta = d > 0 ? elapsed * static_cast<double>(total - d) /
-                                         static_cast<double>(d)
-                                   : 0;
+          const double eta_s = eta.eta_s(d, total, threads);
           const std::uint64_t events = events_total->value();
           const double rate = elapsed > 0 ? static_cast<double>(events) / elapsed : 0;
           std::string cell;
@@ -307,14 +321,14 @@ SweepReport run_sweep_resilient(const std::vector<ExperimentConfig>& configs,
           std::snprintf(buf, sizeof(buf),
                         "\"cells_done\":%zu,\"cells_total\":%zu,\"eta_s\":%.1f,"
                         "\"event_rate\":%.3g,\"cache_hits\":%" PRIu64 ",\"cell\":\"",
-                        d, total, eta, rate,
+                        d, total, eta_s, rate,
                         ResultCache::global().hits() - cache_hits0);
           *fields += buf;
           obs::append_json_escaped(cell, fields);
           *fields += "\",";
           std::snprintf(buf, sizeof(buf),
                         "[sweep] %zu/%zu cells, eta %.0fs, %.3g ev/s, running: %s", d,
-                        total, eta, rate, cell.c_str());
+                        total, eta_s, rate, cell.c_str());
           *line = buf;
         });
     heartbeat->start();
@@ -328,20 +342,27 @@ SweepReport run_sweep_resilient(const std::vector<ExperimentConfig>& configs,
       current_label = configs[i].label();
     }
     RunRecord rec;
+    const auto cell_start = std::chrono::steady_clock::now();
     if (reg != nullptr) {
       obs::MetricsRegistry local;
-      const auto cell_start = std::chrono::steady_clock::now();
       rec = run_cell(configs[i], options, &local);
-      local.histogram("sweep.cell_wall_s")
-          .record(std::chrono::duration<double>(std::chrono::steady_clock::now() -
-                                                cell_start)
-                      .count());
+      rec.wall_s = std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                                 cell_start)
+                       .count();
+      local
+          .histogram("sweep.cell_wall_s",
+                     "Wall seconds per sweep cell (all attempts, this worker)")
+          .record(rec.wall_s);
       reg->merge_from(local);
       if (rec.attempts > 1) reg->counter("sweep.retries").add(rec.attempts - 1);
       if (!rec.success()) reg->counter("sweep.cells_failed").add(1);
     } else {
       rec = run_cell(configs[i], options, nullptr);
+      rec.wall_s = std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                                 cell_start)
+                       .count();
     }
+    eta.record_cell(rec.wall_s);
     return rec;
   };
 

@@ -34,6 +34,7 @@ struct RunRecord {
   RunStatus status = RunStatus::kOk;
   int attempts = 0;    ///< simulation attempts actually made (0 if resumed)
   bool resumed = false;  ///< satisfied from the manifest, not re-run
+  double wall_s = 0;   ///< wall seconds this worker spent on the cell (0 if resumed)
   std::string error;
   AveragedResult result;
 

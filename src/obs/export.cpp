@@ -36,6 +36,22 @@ void append_u64(std::uint64_t v, std::string* out) {
   if (n > 0) out->append(buf, static_cast<std::size_t>(n));
 }
 
+// Exposition-format help escaping: only backslash and line feed are special
+// in a HELP line (text runs to end of line).
+void append_prom_help(std::string_view name, std::string_view help,
+                      std::string* out) {
+  if (help.empty()) return;
+  *out += "# HELP " + std::string(name) + ' ';
+  for (const char c : help) {
+    switch (c) {
+      case '\\': *out += "\\\\"; break;
+      case '\n': *out += "\\n"; break;
+      default: out->push_back(c);
+    }
+  }
+  *out += '\n';
+}
+
 }  // namespace
 
 void append_json_escaped(std::string_view s, std::string* out) {
@@ -62,18 +78,21 @@ void write_prometheus(const MetricsRegistry& reg, std::string* out) {
   std::lock_guard lock(reg.mutex());
   reg.for_each_counter([&](const std::string& name, const Counter& c) {
     const std::string n = prom_name(name);
+    append_prom_help(n, reg.help_text(name), out);
     *out += "# TYPE " + n + " counter\n" + n + " ";
     append_u64(c.value(), out);
     *out += '\n';
   });
   reg.for_each_gauge([&](const std::string& name, const Gauge& g) {
     const std::string n = prom_name(name);
+    append_prom_help(n, reg.help_text(name), out);
     *out += "# TYPE " + n + " gauge\n" + n + " ";
     append_double(g.value(), out);
     *out += '\n';
   });
   reg.for_each_histogram([&](const std::string& name, const LogLinHistogram& h) {
     const std::string n = prom_name(name);
+    append_prom_help(n, reg.help_text(name), out);
     *out += "# TYPE " + n + " summary\n";
     for (const auto& [q, label] :
          {std::pair{0.5, "0.5"}, std::pair{0.95, "0.95"}, std::pair{0.99, "0.99"}}) {
@@ -140,7 +159,20 @@ void append_json(const MetricsRegistry& reg, std::string* out, bool include_hist
       append_double(h.quantile(0.95), out);
       *out += ",\"p99\":";
       append_double(h.quantile(0.99), out);
-      *out += '}';
+      // Sparse bucket dump makes the journal line a lossless transport: the
+      // C++ journal reader reconstructs a mergeable histogram from it.
+      *out += ",\"buckets\":[";
+      bool first_bucket = true;
+      h.for_each_bucket([&](std::size_t index, std::uint64_t n) {
+        if (!first_bucket) *out += ',';
+        first_bucket = false;
+        *out += "[";
+        append_u64(index, out);
+        *out += ',';
+        append_u64(n, out);
+        *out += ']';
+      });
+      *out += "]}";
     });
     *out += '}';
   }

@@ -7,7 +7,24 @@
 namespace elephant::obs {
 
 Heartbeat::Heartbeat(const MetricsRegistry& reg, Options options, StatusFn status)
-    : reg_(reg), options_(std::move(options)), status_(std::move(status)) {}
+    : reg_(reg), options_(std::move(options)), status_(std::move(status)) {
+  // Guard the tick period: a zero/negative interval would either busy-spin
+  // the emitter thread or (with the old silent fallback) quietly ignore what
+  // the caller asked for. Clamp and say so once.
+  effective_interval_s_ = options_.interval_s;
+  if (!(effective_interval_s_ > 0)) {  // catches NaN too
+    effective_interval_s_ = kFallbackIntervalS;
+  } else if (effective_interval_s_ < kMinIntervalS) {
+    effective_interval_s_ = kMinIntervalS;
+  }
+  if (effective_interval_s_ != options_.interval_s) {
+    std::FILE* warn = options_.console != nullptr ? options_.console : stderr;
+    std::fprintf(warn,
+                 "[heartbeat] warning: interval %g s is out of range, using %g s\n",
+                 options_.interval_s, effective_interval_s_);
+    std::fflush(warn);
+  }
+}
 
 Heartbeat::~Heartbeat() { stop(); }
 
@@ -35,8 +52,7 @@ void Heartbeat::stop() {
 
 void Heartbeat::run() {
   std::unique_lock lock(mu_);
-  const auto interval = std::chrono::duration<double>(
-      options_.interval_s > 0 ? options_.interval_s : 10.0);
+  const auto interval = std::chrono::duration<double>(effective_interval_s_);
   while (!cv_.wait_for(lock, interval, [this] { return stopping_; })) {
     lock.unlock();
     emit(/*final_snapshot=*/false);

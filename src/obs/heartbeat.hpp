@@ -43,6 +43,12 @@ class Heartbeat {
   /// thread; synchronize any state it reads.
   using StatusFn = std::function<void(std::string* fields, std::string* line)>;
 
+  /// Smallest tick period the guard will allow: a sub-10ms request is a
+  /// configuration bug (the emitter would out-shout the work it reports on).
+  static constexpr double kMinIntervalS = 0.01;
+  /// What a zero/negative interval clamps to (the documented default).
+  static constexpr double kFallbackIntervalS = 10.0;
+
   Heartbeat(const MetricsRegistry& reg, Options options, StatusFn status = {});
   ~Heartbeat();  ///< stops (with final snapshot) if still running
 
@@ -57,6 +63,12 @@ class Heartbeat {
     return ticks_.load(std::memory_order_relaxed);
   }
 
+  /// The tick period actually in force after the constructor's guard:
+  /// `interval_s` as requested, kFallbackIntervalS for zero/negative
+  /// requests, kMinIntervalS for positive-but-sub-minimum ones. Clamping
+  /// prints one warning to the console stream (stderr if none).
+  [[nodiscard]] double effective_interval_s() const { return effective_interval_s_; }
+
  private:
   void run();
   void emit(bool final_snapshot);
@@ -64,6 +76,7 @@ class Heartbeat {
   const MetricsRegistry& reg_;
   Options options_;
   StatusFn status_;
+  double effective_interval_s_ = kFallbackIntervalS;
 
   std::mutex mu_;
   std::condition_variable cv_;

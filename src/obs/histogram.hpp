@@ -74,6 +74,39 @@ class LogLinHistogram {
 
   void reset();
 
+  /// Visit every non-empty bucket as f(index, count) in index order — the
+  /// sparse view the JSON exporter serializes.
+  template <typename F>
+  void for_each_bucket(F&& f) const {
+    for (std::size_t i = 0; i < kBucketCount; ++i) {
+      if (buckets_[i] != 0) f(i, buckets_[i]);
+    }
+  }
+
+  /// Reconstruction path for the journal reader: add `n` observations
+  /// directly into bucket `index`. The side summary (sum/min/max) is
+  /// approximated from the bucket midpoint; callers that know the exact
+  /// values (the exporter writes them) should follow up with
+  /// restore_summary(). Out-of-range indices are dropped.
+  void add_bucket(std::size_t index, std::uint64_t n) {
+    if (index >= kBucketCount || n == 0) return;
+    buckets_[index] += n;
+    count_ += n;
+    const double v = bucket_midpoint(index);
+    sum_ += v * static_cast<double>(n);
+    if (v < min_ || count_ == n) min_ = v;
+    if (v > max_ || count_ == n) max_ = v;
+  }
+
+  /// Overwrite the side summary with exact values recovered from a journal.
+  /// No-op on an empty histogram (an empty histogram reports 0s already).
+  void restore_summary(double sum, double min, double max) {
+    if (count_ == 0) return;
+    sum_ = sum;
+    min_ = min;
+    max_ = max;
+  }
+
   /// The value a whole bucket reports (its midpoint) — exposed for tests.
   [[nodiscard]] static double bucket_midpoint(std::size_t index);
   [[nodiscard]] static std::size_t bucket_index(double v) {

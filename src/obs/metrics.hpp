@@ -56,6 +56,18 @@ class MetricsRegistry {
   [[nodiscard]] Gauge& gauge(std::string_view name);
   [[nodiscard]] LogLinHistogram& histogram(std::string_view name);
 
+  /// Find-or-create with a one-line description attached on first sight —
+  /// the Prometheus writer emits it as `# HELP`. An empty help string, or a
+  /// name that already has one, leaves the stored text unchanged.
+  [[nodiscard]] Counter& counter(std::string_view name, std::string_view help);
+  [[nodiscard]] Gauge& gauge(std::string_view name, std::string_view help);
+  [[nodiscard]] LogLinHistogram& histogram(std::string_view name,
+                                           std::string_view help);
+
+  /// Description registered for `name`, or an empty view. Called with
+  /// mutex() held (the export writers) or after registration has quiesced.
+  [[nodiscard]] std::string_view help_text(std::string_view name) const;
+
   /// Fold another registry into this one: counters add, gauges take the
   /// source value, histograms merge bucket-wise. Locks this registry; the
   /// source must be quiescent (its run has finished).
@@ -86,6 +98,7 @@ class MetricsRegistry {
   std::map<std::string, Counter, std::less<>> counters_;
   std::map<std::string, Gauge, std::less<>> gauges_;
   std::map<std::string, LogLinHistogram, std::less<>> histograms_;
+  std::map<std::string, std::string, std::less<>> help_;
 };
 
 /// RAII wall-clock timer: records elapsed seconds into a histogram on
@@ -119,6 +132,11 @@ struct SchedulerMetrics {
   Gauge* events_executed = nullptr;  ///< monotone total over the scheduler's life
   Gauge* heap_depth = nullptr;       ///< pending events at loop exit
   Gauge* heap_peak = nullptr;        ///< high-water mark of the event heap
+  /// Wall seconds per run_until(deadline, limits) call. Left null by the
+  /// hot-path benchmarks (which call run_until once per event): the clock is
+  /// only read when this is wired, so arming it is an explicit opt-in by the
+  /// cell runners whose run_until calls span whole windows.
+  LogLinHistogram* run_wall_s = nullptr;
 };
 
 /// Hot-layer handles for one bottleneck port and its qdisc. The counters are

@@ -1,0 +1,34 @@
+#include "obs/profiler.hpp"
+
+#include <utility>
+
+#include "obs/metrics.hpp"
+
+namespace elephant::obs {
+
+PhaseProfiler::PhaseProfiler(std::size_t lanes) : lanes_(lanes == 0 ? 1 : lanes) {}
+
+std::size_t PhaseProfiler::register_phase(std::string name) {
+  names_.push_back(std::move(name));
+  hists_.resize(names_.size() * lanes_);
+  return names_.size() - 1;
+}
+
+void PhaseProfiler::publish(MetricsRegistry& reg, bool per_lane) const {
+  for (std::size_t p = 0; p < names_.size(); ++p) {
+    LogLinHistogram& total = reg.histogram(
+        "prof." + names_[p],
+        "Wall seconds spent in this engine phase (merged across lanes)");
+    for (std::size_t lane = 0; lane < lanes_; ++lane) {
+      const LogLinHistogram& h = hists_[p * lanes_ + lane];
+      if (h.count() == 0) continue;
+      total.merge(h);
+      if (per_lane) {
+        reg.histogram("prof." + names_[p] + ".lane" + std::to_string(lane))
+            .merge(h);
+      }
+    }
+  }
+}
+
+}  // namespace elephant::obs

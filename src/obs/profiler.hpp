@@ -1,0 +1,100 @@
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/histogram.hpp"
+
+namespace elephant::obs {
+
+class MetricsRegistry;
+
+/// Low-overhead wall-time profiler for the engine's lanes and phases — the
+/// instrument behind the "where does a window go: work, barrier wait, or
+/// mailbox drain" question the sharded engine's tuning needs.
+///
+/// Layout: `register_phase()` calls (single-threaded, before the run) name
+/// the phases; each (phase, lane) pair owns one LogLinHistogram in a flat
+/// array sized once at the last registration. During the run a lane thread
+/// records spans only into its own (phase, lane) histograms, so the hot path
+/// is lock-free and allocation-free: a Span is two steady_clock reads and one
+/// histogram record. A null profiler disables a Span entirely (no clock
+/// read), mirroring the ScopedTimer idiom.
+///
+/// After the lanes join, publish() folds the per-lane histograms into
+/// `prof.<phase>` histograms of a MetricsRegistry (plus `prof.<phase>.lane<i>`
+/// when per-lane detail is requested), where heartbeats, journals, and the
+/// sweep report pick them up for free.
+class PhaseProfiler {
+ public:
+  /// `lanes` concurrent writers (one per engine lane; single-threaded users
+  /// pass 1).
+  explicit PhaseProfiler(std::size_t lanes);
+
+  PhaseProfiler(const PhaseProfiler&) = delete;
+  PhaseProfiler& operator=(const PhaseProfiler&) = delete;
+
+  /// Register a phase before the run starts (not thread-safe; allocates).
+  /// Returns the phase index Spans are opened with.
+  std::size_t register_phase(std::string name);
+
+  [[nodiscard]] std::size_t lanes() const { return lanes_; }
+  [[nodiscard]] std::size_t phases() const { return names_.size(); }
+  [[nodiscard]] const std::string& phase_name(std::size_t phase) const {
+    return names_[phase];
+  }
+
+  /// Record `seconds` into (phase, lane) directly — for callers that already
+  /// hold a measured duration.
+  void record(std::size_t phase, std::size_t lane, double seconds) {
+    hists_[phase * lanes_ + lane].record(seconds);
+  }
+
+  [[nodiscard]] const LogLinHistogram& histogram(std::size_t phase,
+                                                 std::size_t lane) const {
+    return hists_[phase * lanes_ + lane];
+  }
+
+  /// RAII span: records the elapsed wall time into (phase, lane) on
+  /// destruction. A null profiler makes construction and destruction free
+  /// (no clock read), so instrumented code paths cost one untaken branch
+  /// when profiling is off.
+  class Span {
+   public:
+    Span(PhaseProfiler* p, std::size_t phase, std::size_t lane)
+        : p_(p), phase_(phase), lane_(lane) {
+      if (p_ != nullptr) start_ = std::chrono::steady_clock::now();
+    }
+    ~Span() {
+      if (p_ != nullptr) {
+        p_->record(phase_, lane_,
+                   std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                                 start_)
+                       .count());
+      }
+    }
+    Span(const Span&) = delete;
+    Span& operator=(const Span&) = delete;
+
+   private:
+    PhaseProfiler* p_;
+    std::size_t phase_;
+    std::size_t lane_;
+    std::chrono::steady_clock::time_point start_{};
+  };
+
+  /// Fold every lane's histogram of each phase into `prof.<name>` in `reg`
+  /// (bucket-wise merge under the registry mutex). With `per_lane` set, also
+  /// publish `prof.<name>.lane<i>` for each lane that recorded anything.
+  /// Call after the lanes have joined (the profiler must be quiescent).
+  void publish(MetricsRegistry& reg, bool per_lane = false) const;
+
+ private:
+  std::size_t lanes_;
+  std::vector<std::string> names_;
+  std::vector<LogLinHistogram> hists_;  ///< [phase * lanes_ + lane]
+};
+
+}  // namespace elephant::obs

@@ -353,6 +353,12 @@ Scheduler::StopReason Scheduler::run_until(Time deadline, const RunLimits& limit
   // Poll the wall clock only once per kWallCheckStride events: a
   // steady_clock read per event would dominate the scheduler's cost.
   constexpr std::uint64_t kWallCheckStride = 4096;
+  // The per-call wall histogram is an explicit opt-in (see SchedulerMetrics):
+  // the clock is only read when it is wired, so callers that invoke run_until
+  // at per-event granularity pay one untaken branch, not two clock reads.
+  const bool profile_wall = metrics_ != nullptr && metrics_->run_wall_s != nullptr;
+  const auto call_start = profile_wall ? std::chrono::steady_clock::now()
+                                       : std::chrono::steady_clock::time_point{};
   const bool wall_bounded = limits.max_wall_seconds > 0;
   const auto wall_deadline =
       std::chrono::steady_clock::now() +
@@ -383,7 +389,14 @@ Scheduler::StopReason Scheduler::run_until(Time deadline, const RunLimits& limit
       break;
     }
   }
-  if (metrics_ != nullptr) publish_metrics();
+  if (metrics_ != nullptr) {
+    publish_metrics();
+    if (profile_wall) {
+      metrics_->run_wall_s->record(
+          std::chrono::duration<double>(std::chrono::steady_clock::now() - call_start)
+              .count());
+    }
+  }
   return reason;
 }
 

@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <barrier>
 #include <thread>
+#include <utility>
+
+#include "obs/profiler.hpp"
 
 namespace elephant::sim {
 
@@ -21,6 +24,20 @@ ShardedEngine::ShardedEngine(std::size_t lanes) {
     lanes_.push_back(std::make_unique<Scheduler>());
   }
   lane_stops_.assign(lanes, Scheduler::StopReason::kQueueExhausted);
+}
+
+void ShardedEngine::set_profiler(obs::PhaseProfiler* profiler) {
+  profiler_ = profiler;
+  if (profiler_ != nullptr) {
+    phase_work_ = profiler_->register_phase("shard_work");
+    phase_barrier_a_ = profiler_->register_phase("shard_barrier_a");
+    phase_drain_ = profiler_->register_phase("shard_drain");
+    phase_barrier_b_ = profiler_->register_phase("shard_barrier_b");
+  }
+}
+
+void ShardedEngine::set_boundary_observer(std::function<void()> observer) {
+  boundary_observer_ = std::move(observer);
 }
 
 std::uint64_t ShardedEngine::total_executed_events() const {
@@ -55,6 +72,10 @@ Scheduler::RunLimits ShardedEngine::lane_limits() const {
 
 void ShardedEngine::on_window_boundary() noexcept {
   using SR = Scheduler::StopReason;
+  // Every lane is parked in barrier B: the observer may read any lane's
+  // scheduler and the shared simulation state without racing. It must not
+  // throw (noexcept context) and must not mutate the schedule.
+  if (boundary_observer_) boundary_observer_();
   for (const SR s : lane_stops_) {
     if (s == SR::kEventBudget || s == SR::kWallBudget) {
       stop_ = s;
@@ -121,10 +142,25 @@ Scheduler::StopReason ShardedEngine::run_windows(Time deadline, Time window,
 
   auto loop = [&](std::size_t i) {
     for (;;) {
-      lane_stops_[i] = lanes_[i]->run_until(window_end_, per_lane_limits_);
-      run_done.arrive_and_wait();  // every producer is done with this window
-      drain(i);                    // pull this lane's inbound handoffs
-      window_done.arrive_and_wait();
+      {
+        obs::PhaseProfiler::Span span(profiler_, phase_work_, i);
+        lane_stops_[i] = lanes_[i]->run_until(window_end_, per_lane_limits_);
+      }
+      {
+        // Time spent waiting on the stragglers: the lane-imbalance signal.
+        obs::PhaseProfiler::Span span(profiler_, phase_barrier_a_, i);
+        run_done.arrive_and_wait();  // every producer is done with this window
+      }
+      {
+        obs::PhaseProfiler::Span span(profiler_, phase_drain_, i);
+        drain(i);  // pull this lane's inbound handoffs
+      }
+      {
+        // Includes the boundary completion (stop decision + observer) for
+        // whichever thread the barrier elects to run it.
+        obs::PhaseProfiler::Span span(profiler_, phase_barrier_b_, i);
+        window_done.arrive_and_wait();
+      }
       if (done_) return;
     }
   };

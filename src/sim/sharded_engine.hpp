@@ -9,6 +9,10 @@
 #include "sim/scheduler.hpp"
 #include "sim/time.hpp"
 
+namespace elephant::obs {
+class PhaseProfiler;
+}
+
 namespace elephant::sim {
 
 /// Conservative bounded-lag parallel driver over K independent Schedulers.
@@ -65,6 +69,22 @@ class ShardedEngine {
   /// Sum of heap high-water marks over all lanes.
   [[nodiscard]] std::size_t total_peak_pending_events() const;
 
+  /// Attach a lane/phase profiler before run_windows(): the engine registers
+  /// its four per-window phases (shard_work, shard_barrier_a, shard_drain,
+  /// shard_barrier_b) and each lane thread wraps the corresponding stage of
+  /// its loop in a span. The profiler must have at least lanes() lanes and
+  /// outlive the run; null detaches. Pure wall-clock observation — lane
+  /// schedules and digests are unaffected.
+  void set_profiler(obs::PhaseProfiler* profiler);
+
+  /// Observer invoked at every window boundary, on the one thread that runs
+  /// the barrier-B completion while all lanes are parked — the only safe
+  /// point to read cross-lane state (flow counters, queue stats) mid-run.
+  /// Runs inside a noexcept context: the observer must not throw. It fires
+  /// before the stop decision, so the final (possibly partial) window is
+  /// observed too. Null detaches.
+  void set_boundary_observer(std::function<void()> observer);
+
  private:
   /// Barrier-B completion: runs on exactly one thread while every lane is
   /// parked, so it may touch all schedulers and the shared window state.
@@ -87,6 +107,13 @@ class ShardedEngine {
   Scheduler::StopReason stop_ = Scheduler::StopReason::kQueueExhausted;
   bool done_ = false;
   std::chrono::steady_clock::time_point wall_start_{};
+
+  obs::PhaseProfiler* profiler_ = nullptr;
+  std::size_t phase_work_ = 0;
+  std::size_t phase_barrier_a_ = 0;
+  std::size_t phase_drain_ = 0;
+  std::size_t phase_barrier_b_ = 0;
+  std::function<void()> boundary_observer_;
 };
 
 }  // namespace elephant::sim

@@ -1,0 +1,51 @@
+#include "exp/eta.hpp"
+
+#include <gtest/gtest.h>
+
+namespace elephant::exp {
+namespace {
+
+TEST(EtaEstimatorTest, ZeroUntilFirstSampleAndWhenNothingRemains) {
+  EtaEstimator eta;
+  EXPECT_DOUBLE_EQ(eta.eta_s(0, 10, 1), 0.0);
+  eta.record_cell(2.0);
+  EXPECT_DOUBLE_EQ(eta.eta_s(10, 10, 1), 0.0);
+  EXPECT_DOUBLE_EQ(eta.eta_s(11, 10, 1), 0.0);
+}
+
+TEST(EtaEstimatorTest, ConstantCellsGiveExactEstimate) {
+  EtaEstimator eta;
+  for (int i = 0; i < 20; ++i) eta.record_cell(2.0);
+  EXPECT_NEAR(eta.cell_ewma_s(), 2.0, 1e-12);
+  EXPECT_NEAR(eta.eta_s(20, 30, 1), 20.0, 1e-9);
+  // Parallel drain divides by the worker count (clamped to >= 1).
+  EXPECT_NEAR(eta.eta_s(20, 30, 4), 5.0, 1e-9);
+  EXPECT_NEAR(eta.eta_s(20, 30, 0), 20.0, 1e-9);
+}
+
+TEST(EtaEstimatorTest, AdaptsAfterWarmCachePrefix) {
+  // The failure mode of the old `elapsed * remaining / done` estimate: 100
+  // near-instant cache hits followed by real 10 s cells. The lifetime
+  // average would predict ~0.1 s/cell; the EWMA converges to ~10 s within a
+  // handful of real cells.
+  EtaEstimator eta;
+  for (int i = 0; i < 100; ++i) eta.record_cell(0.001);
+  for (int i = 0; i < 10; ++i) eta.record_cell(10.0);
+  EXPECT_GT(eta.cell_ewma_s(), 9.0);
+  // 90 remaining cells on 1 worker: the naive lifetime-average estimate
+  // would say ~86 s; the EWMA says ~900 s.
+  EXPECT_GT(eta.eta_s(110, 200, 1), 800.0);
+}
+
+TEST(EtaEstimatorTest, ClampsNegativeSamplesAndCounts) {
+  EtaEstimator eta;
+  eta.record_cell(-5.0);
+  EXPECT_DOUBLE_EQ(eta.cell_ewma_s(), 0.0);
+  EXPECT_EQ(eta.samples(), 1u);
+  eta.record_cell(1.0);
+  EXPECT_EQ(eta.samples(), 2u);
+  EXPECT_NEAR(eta.cell_ewma_s(), EtaEstimator::kAlpha * 1.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace elephant::exp

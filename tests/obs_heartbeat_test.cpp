@@ -4,6 +4,7 @@
 #include <unistd.h>
 
 #include <chrono>
+#include <cmath>
 #include <filesystem>
 #include <fstream>
 #include <string>
@@ -124,6 +125,41 @@ TEST_F(HeartbeatTest, StopIsIdempotentAndEmitsExactlyOneFinalSnapshot) {
   hb.stop();
   EXPECT_EQ(hb.ticks(), 1u);
   EXPECT_EQ(read_lines(jsonl()).size(), 1u);
+}
+
+TEST_F(HeartbeatTest, ZeroAndNegativeIntervalsClampToDefault) {
+  // A zero, negative, or NaN --stats-interval must not spin the emitter
+  // thread (interval 0 would busy-write the journal); it falls back to the
+  // documented 10 s default and warns once.
+  MetricsRegistry reg;
+  for (const double bad : {0.0, -3.0, std::nan("")}) {
+    Heartbeat::Options opts;
+    opts.interval_s = bad;
+    opts.jsonl_path = jsonl();
+    opts.console = nullptr;
+    Heartbeat hb(reg, opts);
+    EXPECT_DOUBLE_EQ(hb.effective_interval_s(), Heartbeat::kFallbackIntervalS)
+        << "interval " << bad;
+    hb.start();
+    hb.stop();
+    EXPECT_EQ(hb.ticks(), 1u) << "interval " << bad;  // only the final snapshot
+  }
+}
+
+TEST_F(HeartbeatTest, SubMinimumIntervalClampsUpNormalIntervalUnchanged) {
+  MetricsRegistry reg;
+  Heartbeat::Options opts;
+  opts.interval_s = 0.001;  // positive but below the 10 ms floor
+  opts.console = nullptr;
+  {
+    Heartbeat hb(reg, opts);
+    EXPECT_DOUBLE_EQ(hb.effective_interval_s(), Heartbeat::kMinIntervalS);
+  }
+  opts.interval_s = 2.5;
+  {
+    Heartbeat hb(reg, opts);
+    EXPECT_DOUBLE_EQ(hb.effective_interval_s(), 2.5);
+  }
 }
 
 // End-to-end: a self-profiling sweep fills the shared registry and writes the

@@ -1,0 +1,87 @@
+#include "obs/profiler.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "obs/metrics.hpp"
+
+namespace elephant::obs {
+namespace {
+
+TEST(PhaseProfilerTest, RecordsPerPhasePerLane) {
+  PhaseProfiler prof(2);
+  const std::size_t work = prof.register_phase("work");
+  const std::size_t wait = prof.register_phase("wait");
+  EXPECT_EQ(prof.phases(), 2u);
+  EXPECT_EQ(prof.lanes(), 2u);
+  EXPECT_EQ(prof.phase_name(work), "work");
+
+  prof.record(work, 0, 0.5);
+  prof.record(work, 0, 1.5);
+  prof.record(work, 1, 2.0);
+  prof.record(wait, 1, 0.25);
+
+  EXPECT_EQ(prof.histogram(work, 0).count(), 2u);
+  EXPECT_DOUBLE_EQ(prof.histogram(work, 0).sum(), 2.0);
+  EXPECT_EQ(prof.histogram(work, 1).count(), 1u);
+  EXPECT_EQ(prof.histogram(wait, 0).count(), 0u);
+  EXPECT_EQ(prof.histogram(wait, 1).count(), 1u);
+}
+
+TEST(PhaseProfilerTest, SpanMeasuresElapsedAndNullProfilerIsFree) {
+  PhaseProfiler prof(1);
+  const std::size_t phase = prof.register_phase("span");
+  {
+    PhaseProfiler::Span span(&prof, phase, 0);
+  }
+  EXPECT_EQ(prof.histogram(phase, 0).count(), 1u);
+  EXPECT_GE(prof.histogram(phase, 0).min(), 0.0);
+
+  // Null profiler: constructing and destroying a Span must be a no-op.
+  { PhaseProfiler::Span span(nullptr, 42, 42); }
+}
+
+TEST(PhaseProfilerTest, PublishMergesLanesIntoRegistry) {
+  PhaseProfiler prof(3);
+  const std::size_t work = prof.register_phase("shard_work");
+  prof.register_phase("shard_drain");  // never recorded: must not publish
+  prof.record(work, 0, 1.0);
+  prof.record(work, 1, 2.0);
+  prof.record(work, 2, 4.0);
+
+  MetricsRegistry reg;
+  prof.publish(reg);
+  const LogLinHistogram& merged = reg.histogram("prof.shard_work");
+  EXPECT_EQ(merged.count(), 3u);
+  EXPECT_DOUBLE_EQ(merged.sum(), 7.0);
+  EXPECT_EQ(reg.histogram("prof.shard_drain").count(), 0u);
+}
+
+TEST(PhaseProfilerTest, PublishPerLaneAddsLaneBreakdown) {
+  PhaseProfiler prof(2);
+  const std::size_t work = prof.register_phase("w");
+  prof.record(work, 0, 1.0);
+  prof.record(work, 1, 3.0);
+
+  MetricsRegistry reg;
+  prof.publish(reg, /*per_lane=*/true);
+  EXPECT_EQ(reg.histogram("prof.w").count(), 2u);
+  EXPECT_EQ(reg.histogram("prof.w.lane0").count(), 1u);
+  EXPECT_DOUBLE_EQ(reg.histogram("prof.w.lane1").sum(), 3.0);
+}
+
+TEST(PhaseProfilerTest, PublishTwiceAccumulates) {
+  // publish() merges (it does not replace): two runs folded into one shared
+  // registry see both runs' spans — the sweep-aggregation contract.
+  PhaseProfiler prof(1);
+  const std::size_t p = prof.register_phase("p");
+  prof.record(p, 0, 1.0);
+  MetricsRegistry reg;
+  prof.publish(reg);
+  prof.publish(reg);
+  EXPECT_EQ(reg.histogram("prof.p").count(), 2u);
+}
+
+}  // namespace
+}  // namespace elephant::obs

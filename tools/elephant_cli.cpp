@@ -55,6 +55,7 @@
 #include <fstream>
 
 #include "exp/config.hpp"
+#include "exp/report.hpp"
 #include "exp/result_digest.hpp"
 #include "exp/runner.hpp"
 #include "exp/sweep.hpp"
@@ -101,7 +102,17 @@ extern "C" void on_drain_signal(int) {
                "        [--schedule-events N] [--jain-floor X] [--starvation-window S]\n"
                "        [--retx-storm N] [--trace-out FILE]\n"
                "  explore --replay FILE [run config flags] [--replay-trace OUT.csv]\n"
+               "  report --manifest PATH [--metrics FILE ...] [--json FILE]\n"
+               "        [--md FILE] [--top N]\n"
                "  list\n"
+               "fairness episodes (run and sweep): --episodes turns on the windowed\n"
+               "share-imbalance detector; --episode-window S, --episode-enter J,\n"
+               "--episode-exit J tune it; --episodes-out FILE appends episodes.jsonl\n"
+               "(run only). Episode knobs are part of the cell identity (cache key).\n"
+               "report: merge a sweep's manifest + per-worker metrics journals +\n"
+               "episode summaries into one document (markdown to stdout; --json and\n"
+               "--md write files; --metrics may repeat, default: metrics*.jsonl next\n"
+               "to the manifest).\n"
                "run --check-digest N: execute the cell N times and fail (exit 1) with a\n"
                "field-level diff if any repetition's metrics digest drifts.\n"
                "explore: bounded-depth systematic schedule exploration (scheduler ties,\n"
@@ -131,6 +142,10 @@ struct Args {
   double backoff_s = 0.25;
   double stats_interval_s = 0;
   std::string metrics_path;
+  std::vector<std::string> report_metrics;  ///< explicit journals for `report`
+  std::string report_json;
+  std::string report_md;
+  std::size_t report_top = 10;
   int check_digest = 0;
   mc::ExplorerOptions explore;
   std::string replay_path;
@@ -202,6 +217,27 @@ Args parse(int argc, char** argv) {
       a.stats_interval_s = std::atof(need(i));
     } else if (!std::strcmp(arg, "--metrics")) {
       a.metrics_path = need(i);
+      a.report_metrics.push_back(a.metrics_path);  // `report` accepts repeats
+    } else if (!std::strcmp(arg, "--episodes")) {
+      a.cfg.episodes.enabled = true;
+    } else if (!std::strcmp(arg, "--episode-window")) {
+      a.cfg.episodes.enabled = true;
+      a.cfg.episodes.window_s = std::atof(need(i));
+    } else if (!std::strcmp(arg, "--episode-enter")) {
+      a.cfg.episodes.enabled = true;
+      a.cfg.episodes.enter_jain = std::atof(need(i));
+    } else if (!std::strcmp(arg, "--episode-exit")) {
+      a.cfg.episodes.enabled = true;
+      a.cfg.episodes.exit_jain = std::atof(need(i));
+    } else if (!std::strcmp(arg, "--episodes-out")) {
+      a.cfg.episodes.enabled = true;
+      a.cfg.episodes.jsonl_path = need(i);
+    } else if (!std::strcmp(arg, "--json")) {
+      a.report_json = need(i);
+    } else if (!std::strcmp(arg, "--md")) {
+      a.report_md = need(i);
+    } else if (!std::strcmp(arg, "--top")) {
+      a.report_top = static_cast<std::size_t>(std::atoi(need(i)));
     } else if (!std::strcmp(arg, "--fault-loss")) {
       double start = 0, rate = 0, dur = 0;
       if (std::sscanf(need(i), "%lf:%lf:%lf", &start, &rate, &dur) != 3) usage();
@@ -279,6 +315,14 @@ Args parse(int argc, char** argv) {
       usage();
     }
   }
+  if (a.cfg.episodes.enabled && !a.cfg.episodes.valid()) {
+    std::fprintf(stderr,
+                 "invalid episode thresholds: need window > 0 and "
+                 "0 < enter <= exit <= 1 (got window=%g enter=%g exit=%g)\n",
+                 a.cfg.episodes.window_s, a.cfg.episodes.enter_jain,
+                 a.cfg.episodes.exit_jain);
+    std::exit(2);
+  }
   return a;
 }
 
@@ -296,6 +340,14 @@ void print_row(const exp::AveragedResult& res) {
                   c.slowdown_p99);
     }
     std::printf("\n");
+  }
+  if (res.episodes > 0) {
+    std::printf(
+        "  episodes %.1f/rep  worst_jain=%5.3f at t=%.1fs victim=flow%u cause=%s\n",
+        res.episodes, res.episode_worst_jain, res.episode_worst_t_s,
+        res.episode_victim, res.episode_cause.c_str());
+  } else if (res.config.episodes.enabled) {
+    std::printf("  episodes: none detected\n");
   }
 }
 
@@ -522,6 +574,42 @@ int cmd_explore(const Args& a) {
   return 0;
 }
 
+int cmd_report(const Args& a) {
+  if (a.manifest.empty()) {
+    std::fprintf(stderr, "report: --manifest PATH is required\n");
+    return 2;
+  }
+  exp::ReportOptions opt;
+  opt.manifest_path = a.manifest;
+  for (const std::string& p : a.report_metrics) opt.metrics_paths.emplace_back(p);
+  opt.top_n = a.report_top;
+  exp::SweepSummary summary;
+  std::string error;
+  if (!exp::build_report(opt, &summary, &error)) {
+    std::fprintf(stderr, "report: %s\n", error.c_str());
+    return 1;
+  }
+  auto write_file = [](const std::string& path, const std::string& text,
+                       const char* what) {
+    std::ofstream out(path, std::ios::trunc);
+    out << text;
+    out.flush();
+    if (!out.good()) {
+      std::fprintf(stderr, "report: cannot write %s file %s\n", what, path.c_str());
+      return false;
+    }
+    return true;
+  };
+  if (!a.report_json.empty() &&
+      !write_file(a.report_json, exp::render_report_json(summary) + "\n", "json")) {
+    return 1;
+  }
+  const std::string md = exp::render_report_markdown(summary);
+  if (!a.report_md.empty() && !write_file(a.report_md, md, "markdown")) return 1;
+  std::fputs(md.c_str(), stdout);
+  return 0;
+}
+
 int cmd_list() {
   std::printf("CCAs: reno cubic htcp bbr1 bbr2\n");
   std::printf("AQMs: fifo red fq_codel codel red_adaptive pie\n");
@@ -565,6 +653,14 @@ int main(int argc, char** argv) {
       return cmd_explore(a);
     } catch (const std::exception& e) {
       std::fprintf(stderr, "explore: fatal: %s\n", e.what());
+      return 1;
+    }
+  }
+  if (a.cmd == "report") {
+    try {
+      return cmd_report(a);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "report: fatal: %s\n", e.what());
       return 1;
     }
   }
